@@ -1,0 +1,794 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see EXPERIMENTS.md for the paper-vs-measured record), then
+   runs Bechamel micro-benchmarks of the core operations.
+
+     dune exec bench/main.exe
+
+   The scalability sweeps (Tables VII-IX) default to reduced ranges so the
+   whole run finishes in a few minutes; set NETDIV_BENCH_FULL=1 for the
+   paper's full ranges (up to 6,000 hosts and 240,000 links).
+   NETDIV_BENCH_RUNS overrides the 1,000 simulation runs per MTTC cell. *)
+
+module Corpus = Netdiv_vuln.Corpus
+module Similarity = Netdiv_vuln.Similarity
+module Graph = Netdiv_graph.Graph
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+module Optimize = Netdiv_core.Optimize
+module Encode = Netdiv_core.Encode
+module Attack_bn = Netdiv_bayes.Attack_bn
+module Engine = Netdiv_sim.Engine
+module Workload = Netdiv_workload.Workload
+module Topology = Netdiv_casestudy.Topology
+module Products = Netdiv_casestudy.Products
+module Experiments = Netdiv_casestudy.Experiments
+
+let full_sweep =
+  match Sys.getenv_opt "NETDIV_BENCH_FULL" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let mttc_runs =
+  match Sys.getenv_opt "NETDIV_BENCH_RUNS" with
+  | Some s -> (try int_of_string s with Failure _ -> 1000)
+  | None -> 1000
+
+let section title =
+  Format.printf "@.======================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "======================================================@."
+
+(* ------------------------------------------------- Tables II and III *)
+
+let similarity_tables () =
+  section "[Table II] OS vulnerability similarity (CVE/NVD 1999-2016)";
+  Format.printf "%a@." Similarity.pp (Corpus.table Corpus.os_spec);
+  section "[Table III] Web browser vulnerability similarity";
+  Format.printf "%a@." Similarity.pp (Corpus.table Corpus.browser_spec);
+  section "[Table III+] Database vulnerability similarity (curated)";
+  Format.printf "%a@." Similarity.pp (Corpus.table Corpus.database_spec);
+  (* verify the synthetic-NVD round trip on the fly *)
+  let spec = Corpus.os_spec in
+  let round =
+    Similarity.of_nvd ~since:1999 ~until:2016 (Corpus.synthesize spec)
+      (Array.to_list spec.Corpus.products)
+  in
+  let ok = ref true in
+  let n = Similarity.size round in
+  let reference = Corpus.table spec in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        Similarity.shared_count round i j
+        <> Similarity.shared_count reference i j
+      then ok := false
+    done
+  done;
+  Format.printf "synthetic NVD round-trip reproduces Table II exactly: %b@."
+    !ok
+
+(* -------------------------------------------------------- Figure 1 *)
+
+let figure1 () =
+  section "[Figure 1] Motivational example: breach probability of the target";
+  let module Gen = Netdiv_graph.Gen in
+  let breach a =
+    Attack_bn.p_compromise ~base_rate:1.0 ~sim_floor:0.0 a ~entry:0 ~target:3
+      ~model:Attack_bn.Best_choice
+  in
+  let single sim =
+    let services =
+      [| { Network.sv_name = "app"; sv_products = [| "circle"; "triangle" |];
+           sv_similarity = [| 1.0; sim; sim; 1.0 |] } |]
+    in
+    Network.create ~graph:(Gen.line 4) ~services
+      ~hosts:
+        (Array.init 4 (fun h ->
+             { Network.h_name = Printf.sprintf "h%d" h;
+               h_services = [ (0, [||]) ] }))
+  in
+  let alternate net = Assignment.make net (fun ~host ~service:_ -> host mod 2) in
+  Format.printf "(a) single-label, similarity 0.0: %.3f   (paper: 0)@."
+    (breach (alternate (single 0.0)));
+  Format.printf "(b) single-label, similarity 0.5: %.3f   (paper: ~0.125)@."
+    (breach (alternate (single 0.5)));
+  let services =
+    [|
+      { Network.sv_name = "app"; sv_products = [| "circle"; "triangle" |];
+        sv_similarity = [| 1.0; 0.5; 0.5; 1.0 |] };
+      { Network.sv_name = "square"; sv_products = [| "square" |];
+        sv_similarity = [| 1.0 |] };
+    |]
+  in
+  let net =
+    Network.create ~graph:(Gen.line 4) ~services
+      ~hosts:
+        (Array.init 4 (fun h ->
+             { Network.h_name = Printf.sprintf "h%d" h;
+               h_services =
+                 (if h = 0 then [ (0, [||]) ] else [ (0, [||]); (1, [||]) ]) }))
+  in
+  let c =
+    Assignment.make net (fun ~host ~service ->
+        if service = 0 then host mod 2 else 0)
+  in
+  Format.printf "(c) multi-label, two exploits:    %.3f   (paper: ~0.5)@."
+    (breach c)
+
+(* -------------------------------------------------------- Figure 2 *)
+
+let figure2 () =
+  section "[Figure 2] Example network: optimal vs homogeneous assignment";
+  let graph =
+    Graph.of_edges ~n:6
+      [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 4); (3, 4); (3, 5); (4, 5) ]
+  in
+  let services =
+    [|
+      { Network.sv_name = "browser"; sv_products = [| "wb1"; "wb2"; "wb3" |];
+        sv_similarity = [| 1.0; 0.3; 0.0; 0.3; 1.0; 0.1; 0.0; 0.1; 1.0 |] };
+      { Network.sv_name = "database"; sv_products = [| "db1"; "db2"; "db3" |];
+        sv_similarity = [| 1.0; 0.2; 0.05; 0.2; 1.0; 0.0; 0.05; 0.0; 1.0 |] };
+    |]
+  in
+  let hosts =
+    Array.init 6 (fun h ->
+        { Network.h_name = Printf.sprintf "h%d" h;
+          h_services = [ (0, [||]); (1, [||]) ] })
+  in
+  let net = Network.create ~graph ~services ~hosts in
+  let r = Optimize.run net [] in
+  let e = Encode.encode net [] in
+  Format.printf "optimal energy    %.4f (bound %.4f)@." r.Optimize.energy
+    r.Optimize.lower_bound;
+  Format.printf "homogeneous       %.4f@."
+    (Encode.assignment_energy e (Assignment.mono net));
+  Format.printf "random (seed 1)   %.4f@."
+    (Encode.assignment_energy e
+       (Assignment.random ~rng:(Random.State.make [| 1 |]) net))
+
+(* ---------------------------------------------- case study artifacts *)
+
+let case_assignments = lazy (
+  let net = Products.network () in
+  (net, Experiments.compute_assignments net))
+
+let figure4 () =
+  section "[Figure 4] Case-study optimal assignments";
+  let net, a = Lazy.force case_assignments in
+  let print_products label assignment h =
+    Format.printf "%-10s" label;
+    Array.iter
+      (fun s ->
+        Format.printf " %-9s"
+          (Network.product_name net ~service:s
+             (Assignment.get assignment ~host:h ~service:s)))
+      (Network.host_services net h);
+    Format.printf "@."
+  in
+  for h = 0 to Network.n_hosts net - 1 do
+    if Array.length (Network.host_services net h) > 0 then begin
+      Format.printf "%s:@." (Network.host_name net h);
+      print_products "  (a)" a.Experiments.optimal h;
+      print_products "  (b)" a.Experiments.host_constrained h;
+      print_products "  (c)" a.Experiments.product_constrained h
+    end
+  done
+
+let table5 () =
+  section "[Table V] Network diversity metric d_bn (entry c4, target t5)";
+  let _, a = Lazy.force case_assignments in
+  let paper =
+    [ ("optimal", 0.81457); ("host-constr", 0.48590);
+      ("product-constr", 0.48119); ("random", 0.26622); ("mono", 0.06709) ]
+  in
+  Format.printf "%-16s %10s %10s %10s %12s@." "assignment" "log10 P'"
+    "log10 P" "d_bn" "paper d_bn";
+  List.iter
+    (fun (r : Experiments.diversity_row) ->
+      Format.printf "%-16s %10.3f %10.3f %10.5f %12.5f@." r.label
+        r.log_p_ref r.log_p_sim r.d_bn
+        (List.assoc r.label paper))
+    (Experiments.diversity_table a)
+
+let table6 () =
+  section
+    (Printf.sprintf "[Table VI] MTTC in ticks (%d runs per cell)" mttc_runs);
+  let _, a = Lazy.force case_assignments in
+  let paper =
+    [ ("optimal", [ 45.313; 37.561; 52.663; 52.491; 24.053 ]);
+      ("host-constr", [ 28.041; 16.812; 44.359; 48.472; 15.243 ]);
+      ("product-constr", [ 14.549; 15.817; 45.118; 46.257; 14.749 ]);
+      ("mono", [ 14.345; 12.654; 19.338; 18.865; 15.916 ]) ]
+  in
+  Format.printf "%-16s" "assignment";
+  List.iter (Format.printf "%9s") Topology.entry_points;
+  Format.printf "@.";
+  List.iter
+    (fun (r : Experiments.mttc_row) ->
+      Format.printf "%-16s" r.label;
+      List.iter
+        (fun (_, (s : Engine.mttc_stats)) -> Format.printf "%9.2f" s.mean_ticks)
+        r.per_entry;
+      Format.printf "@.";
+      Format.printf "%-16s" "  (paper)";
+      List.iter (Format.printf "%9.2f") (List.assoc r.label paper);
+      Format.printf "@.")
+    (Experiments.mttc_table ~runs:mttc_runs a)
+
+(* --------------------------------------------- scalability sweeps *)
+
+let time_instance ~hosts ~degree ~services =
+  let net =
+    Workload.instance
+      { hosts; degree; services; products_per_service = 4; seed = 1 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Optimize.run net [] in
+  ignore report.Optimize.energy;
+  Unix.gettimeofday () -. t0
+
+let table7 () =
+  section "[Table VII] Optimization time (s) vs number of hosts";
+  let sizes =
+    if full_sweep then [ 100; 200; 400; 600; 800; 1000; 2000; 4000; 6000 ]
+    else [ 100; 200; 400; 600; 800; 1000; 2000 ]
+  in
+  Format.printf "%-30s" "# hosts";
+  List.iter (Format.printf "%9d") sizes;
+  Format.printf "@.";
+  let row label degree services =
+    Format.printf "%-30s" label;
+    List.iter
+      (fun hosts ->
+        Format.printf "%9.3f%!" (time_instance ~hosts ~degree ~services))
+      sizes;
+    Format.printf "@."
+  in
+  row "mid-density (deg 20, 15 svc)" 20 15;
+  let high_sizes = if full_sweep then sizes else [ 100; 200; 400; 600 ] in
+  Format.printf "%-30s" "# hosts";
+  List.iter (Format.printf "%9d") high_sizes;
+  Format.printf "@.";
+  Format.printf "%-30s" "high-density (deg 40, 25 svc)";
+  List.iter
+    (fun hosts ->
+      Format.printf "%9.3f%!" (time_instance ~hosts ~degree:40 ~services:25))
+    high_sizes;
+  Format.printf "@."
+
+let table8 () =
+  section "[Table VIII] Optimization time (s) vs average degree";
+  let degrees =
+    if full_sweep then [ 5; 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
+    else [ 5; 10; 20; 30; 40; 50 ]
+  in
+  Format.printf "%-30s" "# degree";
+  List.iter (Format.printf "%9d") degrees;
+  Format.printf "@.";
+  Format.printf "%-30s" "mid-scale (1000 hosts, 15 svc)";
+  List.iter
+    (fun degree ->
+      Format.printf "%9.3f%!" (time_instance ~hosts:1000 ~degree ~services:15))
+    degrees;
+  Format.printf "@.";
+  if full_sweep then begin
+    Format.printf "%-30s" "large (6000 hosts, 25 svc)";
+    List.iter
+      (fun degree ->
+        Format.printf "%9.3f%!"
+          (time_instance ~hosts:6000 ~degree ~services:25))
+      degrees;
+    Format.printf "@."
+  end
+
+let table9 () =
+  section "[Table IX] Optimization time (s) vs number of services";
+  let services = [ 5; 10; 15; 20; 25; 30 ] in
+  Format.printf "%-30s" "# services";
+  List.iter (Format.printf "%9d") services;
+  Format.printf "@.";
+  Format.printf "%-30s" "mid-scale (1000 hosts, deg 20)";
+  List.iter
+    (fun s ->
+      Format.printf "%9.3f%!" (time_instance ~hosts:1000 ~degree:20 ~services:s))
+    services;
+  Format.printf "@.";
+  if full_sweep then begin
+    Format.printf "%-30s" "large (6000 hosts, deg 40)";
+    List.iter
+      (fun s ->
+        Format.printf "%9.3f%!"
+          (time_instance ~hosts:6000 ~degree:40 ~services:s))
+      services;
+    Format.printf "@."
+  end
+
+(* ---------------------------------------------- diversity metrics *)
+
+let metrics_table () =
+  section "[Metrics] d1 / least-effort / d2 / d3 per assignment (entry c4, target t5)";
+  let net, a = Lazy.force case_assignments in
+  let entry = Topology.host "c4" and target = Topology.host "t5" in
+  let module M = Netdiv_metrics.Metrics in
+  Format.printf "%-16s %8s %6s %8s %10s@." "assignment" "d1" "k" "d2" "d3";
+  List.iter
+    (fun (label, assignment) ->
+      let k =
+        match M.least_effort ~limit:5 assignment ~entry ~target with
+        | Ok e -> string_of_int (List.length e)
+        | Error `Above_limit -> ">5"
+        | Error `Unreachable -> "inf"
+      in
+      Format.printf "%-16s %8.4f %6s %8.4f %10.5f@." label (M.d1 assignment)
+        k
+        (M.d2 assignment ~entry ~target)
+        (M.d3 assignment ~entry ~target))
+    (Experiments.labelled a);
+  ignore net
+
+(* --------------------------------------------------- ablation benches *)
+
+let ablation_solvers () =
+  section "[Ablation] solvers on a 400-host random network (deg 10, 5 svc)";
+  let net =
+    Workload.instance
+      { hosts = 400; degree = 10; services = 5; products_per_service = 4;
+        seed = 3 }
+  in
+  let e = Encode.encode net [] in
+  let mono = Encode.assignment_energy e (Assignment.mono net) in
+  Format.printf "%-10s %12s %12s %10s %8s@." "solver" "energy" "bound"
+    "time (s)" "vs mono";
+  List.iter
+    (fun solver ->
+      let r = Optimize.run ~solver net [] in
+      Format.printf "%-10s %12.2f %12.2f %10.3f %7.1f%%@."
+        (Optimize.solver_name solver)
+        r.Optimize.energy r.Optimize.lower_bound r.Optimize.runtime_s
+        (100.0 *. r.Optimize.energy /. mono))
+    [ Optimize.Trws_icm; Optimize.Trws; Optimize.Icm; Optimize.Bp;
+      Optimize.Sa ];
+  Format.printf "%-10s %12.2f@." "mono" mono
+
+let ablation_topologies () =
+  section "[Ablation] topology families at ~400 hosts, average degree ~6";
+  let module T = Netdiv_graph.Topologies in
+  let module St = Netdiv_graph.Stats in
+  let rng () = Random.State.make [| 11 |] in
+  let zoned =
+    (T.zoned ~rng:(rng ()) ~zone_sizes:(Array.make 20 20) ~intra_degree:5
+       ~gateway_links:2 ())
+      .T.graph
+  in
+  let graphs =
+    [
+      ("uniform", Netdiv_graph.Gen.avg_degree ~rng:(rng ()) ~n:400 ~degree:6);
+      ("scale-free", T.barabasi_albert ~rng:(rng ()) ~n:400 ~m:3);
+      ("small-world", T.watts_strogatz ~rng:(rng ()) ~n:400 ~k:6 ~beta:0.2);
+      ("zoned-ics", zoned);
+    ]
+  in
+  Format.printf "%-12s %7s %7s %9s %12s %12s %9s@." "topology" "edges"
+    "maxdeg" "cluster" "opt energy" "mono" "time (s)";
+  List.iter
+    (fun (label, graph) ->
+      let services =
+        Array.init 5 (fun sv ->
+            { Netdiv_core.Network.sv_name = Printf.sprintf "svc%d" sv;
+              sv_products = Array.init 4 (fun k -> Printf.sprintf "p%d" k);
+              sv_similarity =
+                Workload.synthetic_similarity
+                  ~rng:(Random.State.make [| 5; sv |])
+                  ~products:4 })
+      in
+      let hosts =
+        Array.init (Netdiv_graph.Graph.n_nodes graph) (fun h ->
+            { Netdiv_core.Network.h_name = Printf.sprintf "h%d" h;
+              h_services = List.init 5 (fun sv -> (sv, [||])) })
+      in
+      let net = Network.create ~graph ~services ~hosts in
+      let r = Optimize.run net [] in
+      let e = Encode.encode net [] in
+      let mono = Encode.assignment_energy e (Assignment.mono net) in
+      Format.printf "%-12s %7d %7d %9.3f %12.2f %12.2f %9.3f@." label
+        (Netdiv_graph.Graph.n_edges graph)
+        (Netdiv_graph.Graph.max_degree graph)
+        (St.average_clustering graph) r.Optimize.energy mono
+        r.Optimize.runtime_s)
+    graphs
+
+let ablation_weighted () =
+  section "[Ablation] severity-weighted similarity on the case study";
+  let plain = Products.network () in
+  let weighted = Products.network_weighted () in
+  let entry = Topology.host "c4" and target = Topology.host "t5" in
+  List.iter
+    (fun (label, net) ->
+      let r = Optimize.run net [] in
+      let dbn =
+        Netdiv_bayes.Attack_bn.diversity r.Optimize.assignment ~entry ~target
+      in
+      Format.printf "%-10s optimal energy %10.4f  d_bn %8.5f@." label
+        r.Optimize.energy dbn)
+    [ ("plain", plain); ("weighted", weighted) ];
+  (* do the two objectives agree on the deployment? *)
+  let a_plain = (Optimize.run plain []).Optimize.assignment in
+  let a_weighted = (Optimize.run weighted []).Optimize.assignment in
+  let differing = ref 0 in
+  for h = 0 to Network.n_hosts plain - 1 do
+    Array.iter
+      (fun s ->
+        if
+          Assignment.get a_plain ~host:h ~service:s
+          <> Assignment.get a_weighted ~host:h ~service:s
+        then incr differing)
+      (Network.host_services plain h)
+  done;
+  Format.printf "slots assigned differently under the weighted metric: %d@."
+    !differing
+
+let ablation_constraints () =
+  section "[Ablation] optimization cost & diversity vs number of Fix constraints";
+  let net = Products.network () in
+  let all = Products.host_constraints net in
+  Format.printf "%-14s %10s %12s %10s@." "# constraints" "energy" "bound"
+    "time (s)";
+  List.iter
+    (fun k ->
+      let cs = List.filteri (fun i _ -> i < k) all in
+      let r = Optimize.run net cs in
+      Format.printf "%-14d %10.4f %12.4f %10.3f@." k r.Optimize.energy
+        r.Optimize.lower_bound r.Optimize.runtime_s)
+    [ 0; 3; 6; 9; 11 ]
+
+(* ---------------------------------------------- scaled realistic ICS *)
+
+let scaled_ics () =
+  section "[Scaled] realistic zoned ICS (case-study roles at N x scale)";
+  let module Scaled = Netdiv_casestudy.Scaled in
+  let scales = if full_sweep then [ 1; 5; 20; 50; 100; 200 ] else [ 1; 5; 20; 50 ] in
+  Format.printf "%6s %7s %8s %10s %12s %12s %7s@." "scale" "hosts" "links"
+    "opt (s)" "energy" "bound" "gap";
+  List.iter
+    (fun scale ->
+      let s = Scaled.generate ~scale () in
+      let r = Optimize.run s.Scaled.network [] in
+      let gap =
+        100.0
+        *. (r.Optimize.energy -. r.Optimize.lower_bound)
+        /. Float.max r.Optimize.energy 1e-9
+      in
+      Format.printf "%6d %7d %8d %10.3f %12.2f %12.2f %6.1f%%@." scale
+        (Network.n_hosts s.Scaled.network)
+        (Graph.n_edges (Network.graph s.Scaled.network))
+        r.Optimize.runtime_s r.Optimize.energy r.Optimize.lower_bound gap;
+      if scale <= 5 then begin
+        let mono = Assignment.mono s.Scaled.network in
+        let entry = List.hd s.Scaled.entries in
+        let opt_stats =
+          Engine.mttc_parallel ~seed:5 ~runs:300 r.Optimize.assignment
+            ~entry ~target:s.Scaled.target ()
+        in
+        let mono_stats =
+          Engine.mttc_parallel ~seed:5 ~runs:300 mono ~entry
+            ~target:s.Scaled.target ()
+        in
+        Format.printf
+          "       MTTC from corporate: optimal %.1f vs mono %.1f ticks@."
+          opt_stats.Engine.mean_ticks mono_stats.Engine.mean_ticks
+      end)
+    scales
+
+(* ------------------------------------------- attacker capability *)
+
+let ablation_attacker () =
+  section "[Ablation] attacker capability levels (case study, entry c4, MTTC)";
+  let _, a = Lazy.force case_assignments in
+  let entry = Topology.host "c4" and target = Topology.host "t5" in
+  Format.printf "%-16s %14s %14s %14s@." "assignment" "reconnaissance"
+    "uniform" "static arsenal";
+  List.iter
+    (fun (label, assignment) ->
+      let mean strategy seed =
+        let stats, _ =
+          Engine.mttc_summary
+            ~rng:(Random.State.make [| seed |])
+            ~strategy ~runs:mttc_runs assignment ~entry ~target
+        in
+        if stats.Engine.successes = 0 then nan else stats.Engine.mean_ticks
+      in
+      Format.printf "%-16s %14.2f %14.2f %14.2f@." label
+        (mean Engine.Best_exploit 41)
+        (mean Engine.Uniform_exploit 42)
+        (mean Engine.Arsenal_exploit 43))
+    (List.filter
+       (fun (l, _) -> l = "optimal" || l = "mono")
+       (Experiments.labelled a))
+
+(* ------------------------------------------- defense in depth *)
+
+let ablation_defense_in_depth () =
+  section "[Ablation] asset-weighted optimization (protecting t5)";
+  let net, _ = Lazy.force case_assignments in
+  let target = Topology.host "t5" in
+  let dist = Netdiv_graph.Traversal.bfs (Network.graph net) target in
+  let weight u v =
+    if min dist.(u) dist.(v) <= 1 && dist.(u) >= 0 && dist.(v) >= 0 then 5.0
+    else 1.0
+  in
+  let plain = Optimize.run net [] in
+  let weighted = Optimize.run ~edge_weight:weight net [] in
+  Format.printf "%-22s %12s %12s@." "" "plain opt" "weighted opt";
+  let unweighted_energy a =
+    Encode.assignment_energy (Encode.encode net []) a
+  in
+  Format.printf "%-22s %12.4f %12.4f@." "unweighted energy"
+    (unweighted_energy plain.Optimize.assignment)
+    (unweighted_energy weighted.Optimize.assignment);
+  List.iter
+    (fun entry_name ->
+      let entry = Topology.host entry_name in
+      let mttc a seed =
+        (Engine.mttc_parallel ~seed ~runs:mttc_runs a ~entry ~target ())
+          .Engine.mean_ticks
+      in
+      Format.printf "%-22s %12.2f %12.2f@."
+        (Printf.sprintf "MTTC from %s" entry_name)
+        (mttc plain.Optimize.assignment 51)
+        (mttc weighted.Optimize.assignment 52))
+    Topology.entry_points
+
+(* ------------------------------------------- certified optimality *)
+
+let extension_certified () =
+  section "[Exact] branch-and-bound certificates";
+  (* the Fig. 2 example certifies instantly *)
+  let graph =
+    Graph.of_edges ~n:6
+      [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 4); (3, 4); (3, 5); (4, 5) ]
+  in
+  let services =
+    [|
+      { Network.sv_name = "browser"; sv_products = [| "wb1"; "wb2"; "wb3" |];
+        sv_similarity = [| 1.0; 0.3; 0.0; 0.3; 1.0; 0.1; 0.0; 0.1; 1.0 |] };
+      { Network.sv_name = "database"; sv_products = [| "db1"; "db2"; "db3" |];
+        sv_similarity = [| 1.0; 0.2; 0.05; 0.2; 1.0; 0.0; 0.05; 0.0; 1.0 |] };
+    |]
+  in
+  let hosts =
+    Array.init 6 (fun h ->
+        { Network.h_name = Printf.sprintf "h%d" h;
+          h_services = [ (0, [||]); (1, [||]) ] })
+  in
+  let net = Network.create ~graph ~services ~hosts in
+  let exact = Optimize.run ~solver:Optimize.Exact net [] in
+  let approx = Optimize.run net [] in
+  Format.printf
+    "Fig. 2 network: certified optimum %.4f in %.3fs; trws+icm %.4f      (%s)@."
+    exact.Optimize.energy exact.Optimize.runtime_s approx.Optimize.energy
+    (if abs_float (exact.Optimize.energy -. approx.Optimize.energy) < 1e-9
+     then "matches the certificate"
+     else
+       Printf.sprintf "approximation gap %.4f caught by certification"
+         (approx.Optimize.energy -. exact.Optimize.energy));
+  if full_sweep then begin
+    (* the full case study: expensive, only in the full sweep *)
+    let net, _ = Lazy.force case_assignments in
+    let e = Encode.encode net [] in
+    let bb = Netdiv_mrf.Bnb.solve (Encode.mrf e) in
+    Format.printf
+      "case study: incumbent %.4f, certified %b (%d search nodes, %.1fs)@."
+      bb.Netdiv_mrf.Solver.energy bb.Netdiv_mrf.Solver.converged
+      bb.Netdiv_mrf.Solver.iterations bb.Netdiv_mrf.Solver.runtime_s
+  end
+
+(* ------------------------------------------- detection & response *)
+
+let extension_defense () =
+  section "[Extension] detection & response: P(t5 compromised) vs detection rate";
+  let _, a = Lazy.force case_assignments in
+  let entry = Topology.host "c4" and target = Topology.host "t5" in
+  let rates = [ 0.0; 0.01; 0.03; 0.1 ] in
+  Format.printf "%-16s" "assignment";
+  List.iter (fun r -> Format.printf "  det=%-6.2f" r) rates;
+  Format.printf "@.";
+  List.iter
+    (fun (label, assignment) ->
+      Format.printf "%-16s" label;
+      List.iter
+        (fun rate ->
+          let stats =
+            Engine.mttc_defended
+              ~rng:(Random.State.make [| 71 |])
+              ~defense:{ Engine.detect_rate = rate; immunize = true }
+              ~max_ticks:2000 ~runs:(max 200 (mttc_runs / 2))
+              assignment ~entry ~target
+          in
+          Format.printf "  %10.3f"
+            (float_of_int stats.Engine.successes
+            /. float_of_int stats.Engine.runs))
+        rates;
+      Format.printf "@.")
+    (List.filter
+       (fun (l, _) -> l = "optimal" || l = "mono")
+       (Experiments.labelled a))
+
+(* ------------------------------------------- incremental refinement *)
+
+let extension_refine () =
+  section "[Extension] incremental re-optimization after a policy change";
+  let s = Netdiv_casestudy.Scaled.generate ~scale:50 () in
+  let net = s.Netdiv_casestudy.Scaled.network in
+  let base = Optimize.run net [] in
+  (* the new policy: pin host 0's first service to its first candidate *)
+  let service = (Network.host_services net 0).(0) in
+  let fresh =
+    [ Netdiv_core.Constr.Fix
+        { host = 0; service;
+          product = (Network.candidates net ~host:0 ~service).(0) } ]
+  in
+  let full = Optimize.run net fresh in
+  let refined = Optimize.refine ~previous:base.Optimize.assignment net fresh in
+  Format.printf "%-22s %12s %10s@." "" "energy" "time (s)";
+  Format.printf "%-22s %12.2f %10.3f@." "full re-solve" full.Optimize.energy
+    full.Optimize.runtime_s;
+  Format.printf "%-22s %12.2f %10.3f@." "warm-started refine"
+    refined.Optimize.energy refined.Optimize.runtime_s;
+  Format.printf "constraints satisfied: full %b, refine %b@."
+    full.Optimize.constraints_ok refined.Optimize.constraints_ok
+
+(* ------------------------------------------- host risk ranking *)
+
+let extension_ranking () =
+  section "[Extension] riskiest hosts under the optimal deployment (entry c4)";
+  let net, a = Lazy.force case_assignments in
+  let marginals =
+    Attack_bn.host_marginals ~samples:50_000
+      ~rng:(Random.State.make [| 81 |])
+      a.Experiments.optimal ~entry:(Topology.host "c4")
+      ~model:Attack_bn.Uniform_choice
+  in
+  let sorted =
+    List.sort (fun (_, p) (_, q) -> compare q p) (Array.to_list marginals)
+  in
+  List.iteri
+    (fun i (h, p) ->
+      if i < 8 then
+        Format.printf "%2d. %-6s %8.5f@." (i + 1) (Network.host_name net h) p)
+    sorted
+
+(* ------------------------------------------- cost-aware diversification *)
+
+let extension_cost () =
+  section "[Extension] cost-constrained diversification (Pareto front)";
+  let net, _ = Lazy.force case_assignments in
+  (* commercial products carry license costs; open source is free *)
+  let license ~host:_ ~service ~product =
+    match (service, product) with
+    | 0, (0 | 1) -> 2.0   (* Windows *)
+    | 1, (0 | 1) -> 0.5   (* Internet Explorer (support contract) *)
+    | 2, (0 | 1) -> 4.0   (* MS SQL Server *)
+    | _ -> 0.0
+  in
+  let points =
+    Netdiv_core.Cost.pareto ~cost:license
+      ~lambdas:[ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1; 0.5; 2.0 ]
+      net []
+  in
+  Format.printf "%10s %12s %12s@." "lambda" "cost" "energy";
+  List.iter
+    (fun (p : Netdiv_core.Cost.point) ->
+      Format.printf "%10.3f %12.2f %12.4f@." p.Netdiv_core.Cost.lambda
+        p.Netdiv_core.Cost.cost p.Netdiv_core.Cost.energy)
+    points;
+  match
+    Netdiv_core.Cost.cheapest_under ~cost:license ~budget:40.0 net []
+  with
+  | Some p ->
+      Format.printf
+        "most diverse deployment under a 40-unit budget: cost %.2f,          energy %.4f@."
+        p.Netdiv_core.Cost.cost p.Netdiv_core.Cost.energy
+  | None -> Format.printf "no deployment fits a 40-unit budget@."
+
+(* ------------------------------------------- segmentation analysis *)
+
+let extension_segmentation () =
+  section "[Extension] segmentation: minimum cuts isolating t5";
+  let net, _ = Lazy.force case_assignments in
+  let g = Network.graph net in
+  let target = Topology.host "t5" in
+  List.iter
+    (fun entry_name ->
+      let entry = Topology.host entry_name in
+      let cut = Netdiv_graph.Cut.min_edge_cut g ~source:entry ~sink:target in
+      Format.printf "%-4s -> t5: %d edge-disjoint paths; cut {%s}@."
+        entry_name (List.length cut)
+        (String.concat ", "
+           (List.map
+              (fun (u, v) ->
+                Printf.sprintf "%s-%s" (Network.host_name net u)
+                  (Network.host_name net v))
+              cut)))
+    Topology.entry_points
+
+(* ------------------------------------------- Bechamel micro-benches *)
+
+let micro_benchmarks () =
+  section "[Micro] Bechamel micro-benchmarks (ns per run)";
+  let open Bechamel in
+  let net, a = Lazy.force case_assignments in
+  let small = Workload.instance
+      { hosts = 100; degree = 10; services = 5; products_per_service = 4;
+        seed = 1 } in
+  let small_encoded = Encode.encode small [] in
+  let entry = Topology.host "c4" and target = Topology.host "t5" in
+  let tests =
+    [
+      Test.make ~name:"table2.similarity-table"
+        (Staged.stage (fun () -> Corpus.table Corpus.os_spec));
+      Test.make ~name:"table2.synthesize-nvd"
+        (Staged.stage (fun () -> Corpus.synthesize Corpus.database_spec));
+      Test.make ~name:"fig4.encode-casestudy"
+        (Staged.stage (fun () -> Encode.encode net []));
+      Test.make ~name:"fig4.optimize-casestudy"
+        (Staged.stage (fun () -> Optimize.run net []));
+      Test.make ~name:"table5.dbn-metric"
+        (Staged.stage (fun () ->
+             Attack_bn.diversity a.Experiments.optimal ~entry ~target));
+      Test.make ~name:"table6.one-simulation"
+        (let rng = Random.State.make [| 3 |] in
+         Staged.stage (fun () ->
+             Engine.run ~rng a.Experiments.optimal ~entry ~target));
+      Test.make ~name:"table7.trws-100-hosts"
+        (Staged.stage (fun () -> Optimize.solve_encoded small_encoded));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"netdiv" ~fmt:"%s/%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ t ] -> Format.printf "%-36s %14.0f ns/run@." name t
+      | _ -> Format.printf "%-36s %14s@." name "n/a")
+    rows
+
+let () =
+  Format.printf "netdiv benchmark harness (full sweep: %b)@." full_sweep;
+  similarity_tables ();
+  figure1 ();
+  figure2 ();
+  figure4 ();
+  table5 ();
+  table6 ();
+  table7 ();
+  table8 ();
+  table9 ();
+  metrics_table ();
+  scaled_ics ();
+  ablation_attacker ();
+  ablation_defense_in_depth ();
+  ablation_solvers ();
+  ablation_topologies ();
+  ablation_weighted ();
+  ablation_constraints ();
+  extension_certified ();
+  extension_defense ();
+  extension_refine ();
+  extension_ranking ();
+  extension_cost ();
+  extension_segmentation ();
+  micro_benchmarks ();
+  Format.printf "@.done.@."

@@ -1,0 +1,559 @@
+(* netdiv: command-line front end for the network-diversity toolkit.
+
+   Subcommands:
+     similarity   print a CVE/NVD vulnerability-similarity table
+     optimize     optimally diversify a random network and report energies
+     casestudy    run the Stuxnet-inspired ICS case study (Tables V/VI)
+     simulate     agent-based worm propagation on the case study
+     scalability  runtime sweep over random networks (Tables VII-IX) *)
+
+module Corpus = Netdiv_vuln.Corpus
+module Similarity = Netdiv_vuln.Similarity
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+module Optimize = Netdiv_core.Optimize
+module Encode = Netdiv_core.Encode
+module Workload = Netdiv_workload.Workload
+module Engine = Netdiv_sim.Engine
+module Topology = Netdiv_casestudy.Topology
+module Products = Netdiv_casestudy.Products
+module Experiments = Netdiv_casestudy.Experiments
+
+open Cmdliner
+
+(* ------------------------------------------------------------ similarity *)
+
+let similarity_cmd =
+  let corpus =
+    let doc = "Corpus to print: os, browser or database." in
+    Arg.(value & opt string "os" & info [ "corpus" ] ~docv:"NAME" ~doc)
+  in
+  let synthesize =
+    let doc =
+      "Round-trip through a synthetic NVD: generate CVE entries matching \
+       the curated counts and recompute the table from them."
+    in
+    Arg.(value & flag & info [ "synthesize" ] ~doc)
+  in
+  let run corpus synthesize =
+    match Corpus.find_spec corpus with
+    | None -> `Error (false, Printf.sprintf "unknown corpus %S" corpus)
+    | Some spec ->
+        let table =
+          if synthesize then
+            Similarity.of_nvd ~since:1999 ~until:2016
+              (Corpus.synthesize spec)
+              (Array.to_list spec.Corpus.products)
+          else Corpus.table spec
+        in
+        Format.printf "%a@." Similarity.pp table;
+        `Ok ()
+  in
+  let doc = "print a vulnerability-similarity table (paper Tables II/III)" in
+  Cmd.v
+    (Cmd.info "similarity" ~doc)
+    Term.(ret (const run $ corpus $ synthesize))
+
+(* -------------------------------------------------------------- optimize *)
+
+let solver_conv =
+  let parse = function
+    | "trws" -> Ok Optimize.Trws
+    | "trws+icm" -> Ok Optimize.Trws_icm
+    | "bp" -> Ok Optimize.Bp
+    | "icm" -> Ok Optimize.Icm
+    | "sa" -> Ok Optimize.Sa
+    | "bnb" | "exact" -> Ok Optimize.Exact
+    | s -> Error (`Msg (Printf.sprintf "unknown solver %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Optimize.solver_name s) in
+  Arg.conv (parse, print)
+
+let optimize_cmd =
+  let hosts =
+    Arg.(value & opt int 200 & info [ "hosts" ] ~docv:"N" ~doc:"Host count.")
+  in
+  let degree =
+    Arg.(value & opt int 10 & info [ "degree" ] ~docv:"D" ~doc:"Average degree.")
+  in
+  let services =
+    Arg.(value & opt int 5 & info [ "services" ] ~docv:"S" ~doc:"Services per host.")
+  in
+  let products =
+    Arg.(value & opt int 4 & info [ "products" ] ~docv:"P" ~doc:"Products per service.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let solver =
+    Arg.(value & opt solver_conv Optimize.Trws_icm
+         & info [ "solver" ] ~docv:"SOLVER"
+             ~doc:"Solver: trws+icm, trws, bp, icm, sa or bnb.")
+  in
+  let run hosts degree services products_per_service seed solver =
+    let net =
+      Workload.instance { hosts; degree; services; products_per_service; seed }
+    in
+    Format.printf "%a@." Network.pp net;
+    let report = Optimize.run ~solver net [] in
+    let encoded = Encode.encode net [] in
+    let mono = Encode.assignment_energy encoded (Assignment.mono net) in
+    let random =
+      Encode.assignment_energy encoded
+        (Assignment.random ~rng:(Random.State.make [| seed |]) net)
+    in
+    Format.printf "solver  %s@." (Optimize.solver_name solver);
+    Format.printf "optimal %a@." Optimize.pp_report report;
+    Format.printf "mono    energy %.3f@.random  energy %.3f@." mono random
+  in
+  let doc = "diversify a random network and compare against baselines" in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(const run $ hosts $ degree $ services $ products $ seed $ solver)
+
+(* ------------------------------------------------------------- casestudy *)
+
+let casestudy_cmd =
+  let runs =
+    Arg.(value & opt int 1000
+         & info [ "runs" ] ~docv:"N" ~doc:"Simulation runs per MTTC cell.")
+  in
+  let seed = Arg.(value & opt int 2020 & info [ "seed" ] ~doc:"Random seed.") in
+  let show_assignments =
+    Arg.(value & flag
+         & info [ "assignments" ]
+             ~doc:"Also print the three optimal assignments (Fig. 4).")
+  in
+  let run runs seed show_assignments =
+    let net = Products.network () in
+    let a = Experiments.compute_assignments ~seed net in
+    if show_assignments then begin
+      Format.printf "=== optimal assignment (Fig. 4a) ===@.%a@." Assignment.pp
+        a.Experiments.optimal;
+      Format.printf "=== host-constrained (Fig. 4b) ===@.%a@." Assignment.pp
+        a.Experiments.host_constrained;
+      Format.printf "=== product-constrained (Fig. 4c) ===@.%a@."
+        Assignment.pp a.Experiments.product_constrained
+    end;
+    Format.printf "=== Table V: BN diversity metric (entry c4, target t5) ===@.";
+    Format.printf "%-16s %10s %10s %10s@." "assignment" "log10 P'" "log10 P"
+      "d_bn";
+    List.iter
+      (fun (r : Experiments.diversity_row) ->
+        Format.printf "%-16s %10.3f %10.3f %10.5f@." r.label r.log_p_ref
+          r.log_p_sim r.d_bn)
+      (Experiments.diversity_table a);
+    Format.printf "@.=== Table VI: MTTC in ticks (%d runs each) ===@." runs;
+    Format.printf "%-16s" "assignment";
+    List.iter (Format.printf "%10s") Topology.entry_points;
+    Format.printf "@.";
+    List.iter
+      (fun (r : Experiments.mttc_row) ->
+        Format.printf "%-16s" r.label;
+        List.iter
+          (fun (_, (s : Engine.mttc_stats)) ->
+            Format.printf "%10.2f" s.mean_ticks)
+          r.per_entry;
+        Format.printf "@.")
+      (Experiments.mttc_table ~seed ~runs a)
+  in
+  let doc = "run the Stuxnet-inspired ICS case study (paper Section VII)" in
+  Cmd.v
+    (Cmd.info "casestudy" ~doc)
+    Term.(const run $ runs $ seed $ show_assignments)
+
+(* -------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let entry =
+    Arg.(value & opt string "c4"
+         & info [ "entry" ] ~docv:"HOST" ~doc:"Attack entry host.")
+  in
+  let target =
+    Arg.(value & opt string "t5"
+         & info [ "target" ] ~docv:"HOST" ~doc:"Attack target host.")
+  in
+  let runs = Arg.(value & opt int 1000 & info [ "runs" ] ~doc:"Runs.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  let assignment =
+    Arg.(value & opt string "optimal"
+         & info [ "assignment" ] ~docv:"NAME"
+             ~doc:"One of: optimal, host-constr, product-constr, random, mono.")
+  in
+  let run entry target runs seed assignment =
+    let net = Products.network () in
+    let a = Experiments.compute_assignments ~seed net in
+    match List.assoc_opt assignment (Experiments.labelled a) with
+    | None -> `Error (false, Printf.sprintf "unknown assignment %S" assignment)
+    | Some chosen -> (
+        match (Network.find_host net entry, Network.find_host net target) with
+        | Some entry_h, Some target_h ->
+            let rng = Random.State.make [| seed |] in
+            let stats, summary =
+              Engine.mttc_summary ~rng ~runs chosen ~entry:entry_h
+                ~target:target_h
+            in
+            Format.printf "%s from %s to %s: %a@." assignment entry target
+              Engine.pp_mttc stats;
+            (match summary with
+            | Some s ->
+                Format.printf "distribution: %a@." Netdiv_sim.Stat.pp_summary s
+            | None -> ());
+            let curve =
+              Engine.epidemic_curve ~rng ~max_ticks:200 chosen ~entry:entry_h
+            in
+            Format.printf "epidemic curve (infected hosts per tick): %s@."
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int curve)));
+            `Ok ()
+        | _ -> `Error (false, "unknown entry or target host"))
+  in
+  let doc = "simulate Stuxnet-like worm propagation on the case study" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(ret (const run $ entry $ target $ runs $ seed $ assignment))
+
+(* --------------------------------------------------------------- metrics *)
+
+let metrics_cmd =
+  let entry =
+    Arg.(value & opt string "c4"
+         & info [ "entry" ] ~docv:"HOST" ~doc:"Attack entry host.")
+  in
+  let target =
+    Arg.(value & opt string "t5"
+         & info [ "target" ] ~docv:"HOST" ~doc:"Attack target host.")
+  in
+  let seed = Arg.(value & opt int 2020 & info [ "seed" ] ~doc:"Random seed.") in
+  let run entry target seed =
+    let net = Products.network () in
+    match (Network.find_host net entry, Network.find_host net target) with
+    | Some entry_h, Some target_h ->
+        let a = Experiments.compute_assignments ~seed net in
+        let module M = Netdiv_metrics.Metrics in
+        Format.printf "diversity metrics, entry %s, target %s:@.@." entry
+          target;
+        Format.printf "%-16s %10s %24s %8s %10s@." "assignment" "d1"
+          "least effort (k)" "d2" "d3 (d_bn)";
+        List.iter
+          (fun (label, assignment) ->
+            let effort =
+              match
+                M.least_effort ~limit:5 assignment ~entry:entry_h
+                  ~target:target_h
+              with
+              | Ok exploits ->
+                  Printf.sprintf "%d: %s" (List.length exploits)
+                    (String.concat ","
+                       (List.map
+                          (Format.asprintf "%a" (M.pp_exploit net))
+                          exploits))
+              | Error `Above_limit -> ">5"
+              | Error `Unreachable -> "unreachable"
+            in
+            Format.printf "%-16s %10.4f %24s %8.4f %10.5f@." label
+              (M.d1 assignment) effort
+              (M.d2 assignment ~entry:entry_h ~target:target_h)
+              (M.d3 assignment ~entry:entry_h ~target:target_h))
+          (Experiments.labelled a);
+        `Ok ()
+    | _ -> `Error (false, "unknown entry or target host")
+  in
+  let doc = "score case-study deployments with the d1/d2/d3 diversity metrics" in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(ret (const run $ entry $ target $ seed))
+
+(* ------------------------------------------------------------------ feed *)
+
+let feed_cmd =
+  let file =
+    Arg.(required & opt (some file) None
+         & info [ "file" ] ~docv:"FILE" ~doc:"NVD JSON feed (schema 1.1).")
+  in
+  let cpes =
+    Arg.(value & opt_all string []
+         & info [ "cpe" ] ~docv:"CPE"
+             ~doc:"CPE pattern to include in the similarity table \
+                   (repeatable), e.g. cpe:/o:microsoft:windows_7.")
+  in
+  let weighted =
+    Arg.(value & flag
+         & info [ "weighted" ]
+             ~doc:"Weight the similarity by CVSS base scores.")
+  in
+  let run file cpes weighted =
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let db = Netdiv_vuln.Nvd.create () in
+    match Netdiv_vuln.Feed.load_into db contents with
+    | Error msg -> `Error (false, msg)
+    | Ok (count, warnings) ->
+        Format.printf "loaded %d CVE entries (%d skipped)@." count
+          (List.length warnings);
+        List.iter (fun w -> Format.printf "  warning: %s@." w) warnings;
+        let parsed =
+          List.map
+            (fun s ->
+              match Netdiv_vuln.Cpe.of_string s with
+              | Ok c -> Ok (s, c)
+              | Error e -> Error e)
+            cpes
+        in
+        (match
+           List.find_opt (function Error _ -> true | Ok _ -> false) parsed
+         with
+        | Some (Error e) -> `Error (false, e)
+        | _ ->
+            let products =
+              List.filter_map (function Ok p -> Some p | Error _ -> None)
+                parsed
+            in
+            if products <> [] then begin
+              let table =
+                if weighted then Netdiv_vuln.Weighted.of_nvd db products
+                else Netdiv_vuln.Similarity.of_nvd db products
+              in
+              Format.printf "%a@." Netdiv_vuln.Similarity.pp table
+            end;
+            `Ok ())
+  in
+  let doc = "ingest an NVD JSON feed and compute similarity tables" in
+  Cmd.v (Cmd.info "feed" ~doc) Term.(ret (const run $ file $ cpes $ weighted))
+
+(* ---------------------------------------------------------------- verify *)
+
+let verify_cmd =
+  let network_file =
+    Arg.(required & opt (some file) None
+         & info [ "network" ] ~docv:"FILE" ~doc:"Network JSON (see export).")
+  in
+  let assignment_file =
+    Arg.(required & opt (some file) None
+         & info [ "assignment" ] ~docv:"FILE" ~doc:"Assignment JSON.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let run network_file assignment_file =
+    match Netdiv_core.Serial.network_of_string (read_file network_file) with
+    | Error msg -> `Error (false, "network: " ^ msg)
+    | Ok net -> (
+        match
+          Netdiv_core.Serial.assignment_of_string net
+            (read_file assignment_file)
+        with
+        | Error msg -> `Error (false, "assignment: " ^ msg)
+        | Ok a ->
+            let encoded = Encode.encode net [] in
+            Format.printf "network:    %a@." Network.pp net;
+            Format.printf "energy:     %.6f@."
+              (Encode.assignment_energy encoded a);
+            Format.printf "cross-edge similarity: %.6f@."
+              (Assignment.pairwise_energy a);
+            let optimal = Optimize.run net [] in
+            Format.printf
+              "optimizer reaches:     %.6f (bound %.6f)@."
+              optimal.Optimize.energy optimal.Optimize.lower_bound;
+            `Ok ())
+  in
+  let doc = "score a saved assignment against its network file" in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(ret (const run $ network_file $ assignment_file))
+
+(* ------------------------------------------------------------------ rank *)
+
+let rank_cmd =
+  let entry =
+    Arg.(value & opt string "c4"
+         & info [ "entry" ] ~docv:"HOST" ~doc:"Attack entry host.")
+  in
+  let assignment =
+    Arg.(value & opt string "optimal"
+         & info [ "assignment" ] ~docv:"NAME"
+             ~doc:"One of: optimal, host-constr, product-constr, random, mono.")
+  in
+  let samples =
+    Arg.(value & opt int 50_000 & info [ "samples" ] ~doc:"BN samples.")
+  in
+  let top = Arg.(value & opt int 15 & info [ "top" ] ~doc:"Rows to print.") in
+  let run entry assignment samples top =
+    let net = Products.network () in
+    let a = Experiments.compute_assignments net in
+    match
+      ( List.assoc_opt assignment (Experiments.labelled a),
+        Network.find_host net entry )
+    with
+    | Some chosen, Some entry_h ->
+        let marginals =
+          Netdiv_bayes.Attack_bn.host_marginals ~samples chosen
+            ~entry:entry_h ~model:Netdiv_bayes.Attack_bn.Uniform_choice
+        in
+        let zone h =
+          let name = Network.host_name net h in
+          match
+            List.find_opt
+              (fun (_, members) -> List.mem name members)
+              Topology.zones
+          with
+          | Some (zone, _) -> zone
+          | None -> "?"
+        in
+        let rows = Array.to_list marginals in
+        let sorted =
+          List.sort (fun (_, p) (_, q) -> compare q p) rows
+        in
+        Format.printf
+          "host compromise risk under %s (entry %s, %d samples):@."
+          assignment entry samples;
+        Format.printf "%-6s %-12s %10s@." "host" "zone" "P(comp.)";
+        List.iteri
+          (fun i (h, p) ->
+            if i < top then
+              Format.printf "%-6s %-12s %10.5f@."
+                (Network.host_name net h) (zone h) p)
+          sorted;
+        `Ok ()
+    | None, _ -> `Error (false, "unknown assignment")
+    | _, None -> `Error (false, "unknown entry host")
+  in
+  let doc = "rank case-study hosts by compromise probability" in
+  Cmd.v
+    (Cmd.info "rank" ~doc)
+    Term.(ret (const run $ entry $ assignment $ samples $ top))
+
+(* ---------------------------------------------------------------- export *)
+
+let export_cmd =
+  let network_out =
+    Arg.(value & opt (some string) None
+         & info [ "network" ] ~docv:"FILE"
+             ~doc:"Write the case-study network as JSON.")
+  in
+  let assignment_out =
+    Arg.(value & opt (some string) None
+         & info [ "assignment" ] ~docv:"FILE"
+             ~doc:"Write the optimal assignment as JSON.")
+  in
+  let feed_out =
+    Arg.(value & opt (some string) None
+         & info [ "feed" ] ~docv:"FILE"
+             ~doc:"Write the synthetic OS corpus as an NVD JSON feed.")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Write the optimal assignment as a Graphviz DOT graph.")
+  in
+  let write path contents =
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc;
+    Format.printf "wrote %s@." path
+  in
+  let run network_out assignment_out feed_out dot_out =
+    let net = Products.network () in
+    Option.iter
+      (fun path ->
+        write path (Netdiv_core.Serial.network_to_string ~pretty:true net))
+      network_out;
+    Option.iter
+      (fun path ->
+        let report = Optimize.run net [] in
+        write path
+          (Netdiv_core.Serial.assignment_to_string ~pretty:true
+             report.Optimize.assignment))
+      assignment_out;
+    Option.iter
+      (fun path ->
+        write path
+          (Netdiv_vuln.Feed.to_string ~pretty:true
+             (Corpus.synthesize Corpus.os_spec)))
+      feed_out;
+    Option.iter
+      (fun path ->
+        let report = Optimize.run net [] in
+        write path
+          (Netdiv_core.Viz.assignment_dot
+             ~entry:(Topology.host "c4")
+             ~target:(Topology.host Topology.target)
+             report.Optimize.assignment))
+      dot_out
+  in
+  let doc = "export the case study (network, assignment, synthetic feed) as JSON" in
+  Cmd.v
+    (Cmd.info "export" ~doc)
+    Term.(const run $ network_out $ assignment_out $ feed_out $ dot_out)
+
+(* ----------------------------------------------------------- scalability *)
+
+let scalability_cmd =
+  let sweep =
+    Arg.(value & opt string "hosts"
+         & info [ "sweep" ] ~docv:"DIM" ~doc:"Dimension: hosts, degree or services.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Run the paper's full parameter ranges.")
+  in
+  let run sweep full =
+    let time_one hosts degree services =
+      let net =
+        Workload.instance
+          { hosts; degree; services; products_per_service = 4; seed = 1 }
+      in
+      let (_ : Optimize.report) = Optimize.run net [] in
+      let t0 = Unix.gettimeofday () in
+      let (_ : Optimize.report) = Optimize.run net [] in
+      Unix.gettimeofday () -. t0
+    in
+    (match sweep with
+    | "hosts" ->
+        let sizes =
+          if full then [ 100; 200; 400; 600; 800; 1000; 2000; 4000; 6000 ]
+          else [ 100; 200; 400; 800; 1000 ]
+        in
+        Format.printf "# hosts (degree 20, 15 services): time in seconds@.";
+        List.iter
+          (fun n -> Format.printf "%6d %8.3f@." n (time_one n 20 15))
+          sizes
+    | "degree" ->
+        let degrees =
+          if full then [ 5; 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
+          else [ 5; 10; 20; 30 ]
+        in
+        Format.printf "# degree (1000 hosts, 15 services): time in seconds@.";
+        List.iter
+          (fun d -> Format.printf "%6d %8.3f@." d (time_one 1000 d 15))
+          degrees
+    | "services" ->
+        let services =
+          if full then [ 5; 10; 15; 20; 25; 30 ] else [ 5; 10; 15 ]
+        in
+        Format.printf "# services (1000 hosts, degree 20): time in seconds@.";
+        List.iter
+          (fun s -> Format.printf "%6d %8.3f@." s (time_one 1000 20 s))
+          services
+    | other -> Format.printf "unknown sweep dimension %S@." other);
+    ()
+  in
+  let doc = "runtime sweeps over random networks (paper Tables VII-IX)" in
+  Cmd.v (Cmd.info "scalability" ~doc) Term.(const run $ sweep $ full)
+
+let main =
+  let doc =
+    "optimal network diversification for ICS resilience (DSN 2020 \
+     reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "netdiv" ~version:"1.0.0" ~doc)
+    [ similarity_cmd; optimize_cmd; casestudy_cmd; simulate_cmd;
+      scalability_cmd; metrics_cmd; feed_cmd; export_cmd; rank_cmd;
+      verify_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/defense_planning.ml: Array Format List Netdiv_bayes Netdiv_casestudy Netdiv_core Netdiv_graph Netdiv_sim Random

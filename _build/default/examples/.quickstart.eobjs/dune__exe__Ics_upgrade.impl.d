@@ -1,0 +1,1 @@
+examples/ics_upgrade.ml: Array Format List Netdiv_casestudy Netdiv_core String

@@ -1,0 +1,1 @@
+examples/ics_upgrade.mli:

@@ -1,0 +1,1 @@
+examples/motivational.ml: Array Format List Netdiv_bayes Netdiv_core Netdiv_graph Printf

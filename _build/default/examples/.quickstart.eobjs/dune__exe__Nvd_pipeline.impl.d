@@ -1,0 +1,1 @@
+examples/nvd_pipeline.ml: Array Filename Format List Netdiv_core Netdiv_graph Netdiv_vuln Printf Sys

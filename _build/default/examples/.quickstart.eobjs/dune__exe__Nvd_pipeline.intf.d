@@ -1,0 +1,1 @@
+examples/nvd_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Netdiv_core Netdiv_graph

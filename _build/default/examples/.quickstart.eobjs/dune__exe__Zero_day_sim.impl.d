@@ -1,0 +1,1 @@
+examples/zero_day_sim.ml: Array Format List Netdiv_casestudy Netdiv_sim Random String

@@ -1,0 +1,1 @@
+examples/zero_day_sim.mli:

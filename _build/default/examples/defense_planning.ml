@@ -1,0 +1,101 @@
+(* A defender's planning session on the Stuxnet-inspired ICS.
+
+   Walks the whole toolkit the way an operator would: find the risky
+   hosts, find the chokepoints, buy diversity where it matters (under a
+   license budget), harden the approaches to the crown jewels, and verify
+   the gain with the worm simulator.
+
+   Run with:  dune exec examples/defense_planning.exe *)
+
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+module Optimize = Netdiv_core.Optimize
+module Cost = Netdiv_core.Cost
+module Cut = Netdiv_graph.Cut
+module Attack_bn = Netdiv_bayes.Attack_bn
+module Engine = Netdiv_sim.Engine
+module Topology = Netdiv_casestudy.Topology
+module Products = Netdiv_casestudy.Products
+
+let () =
+  let net = Products.network () in
+  let entry = Topology.host "c4" in
+  let target = Topology.host Topology.target in
+
+  (* step 1: where does the risk concentrate today (homogeneous estate)? *)
+  let mono = Assignment.mono net in
+  Format.printf "== 1. risk ranking of the current (homogeneous) estate ==@.";
+  let marginals =
+    Attack_bn.host_marginals ~samples:40_000
+      ~rng:(Random.State.make [| 1 |])
+      mono ~entry ~model:Attack_bn.Uniform_choice
+  in
+  Array.to_list marginals
+  |> List.sort (fun (_, p) (_, q) -> compare q p)
+  |> List.iteri (fun i (h, p) ->
+         if i < 6 then
+           Format.printf "   %-4s P(compromised) = %.4f@."
+             (Network.host_name net h) p);
+
+  (* step 2: which links are the chokepoints toward the WinCC server? *)
+  Format.printf "@.== 2. chokepoints between %s and %s ==@." "c4"
+    Topology.target;
+  let cut =
+    Cut.min_edge_cut (Network.graph net) ~source:entry ~sink:target
+  in
+  List.iter
+    (fun (u, v) ->
+      Format.printf "   watch/firewall %s - %s@." (Network.host_name net u)
+        (Network.host_name net v))
+    cut;
+
+  (* step 3: diversify under a license budget *)
+  Format.printf "@.== 3. diversification under a license budget ==@.";
+  let license ~host:_ ~service ~product =
+    match (service, product) with
+    | 0, (0 | 1) -> 2.0
+    | 1, (0 | 1) -> 0.5
+    | 2, (0 | 1) -> 4.0
+    | _ -> 0.0
+  in
+  (match Cost.cheapest_under ~cost:license ~budget:80.0 net [] with
+  | Some plan ->
+      Format.printf
+        "   affordable plan: license cost %.1f, diversity energy %.3f@."
+        plan.Cost.cost plan.Cost.energy
+  | None -> Format.printf "   no plan fits the budget@.");
+
+  (* step 4: spend extra diversity on the approaches to the target *)
+  Format.printf "@.== 4. defense in depth around %s ==@." Topology.target;
+  let dist = Netdiv_graph.Traversal.bfs (Network.graph net) target in
+  let weight u v =
+    if dist.(u) >= 0 && dist.(v) >= 0 && min dist.(u) dist.(v) <= 1 then 5.0
+    else 1.0
+  in
+  let hardened = Optimize.run ~edge_weight:weight net [] in
+  let baseline = Optimize.run net [] in
+
+  (* step 5: verify with the worm simulator, with and without a SOC *)
+  Format.printf "@.== 5. verification by simulation (entry c4) ==@.";
+  let mttc label a =
+    let stats =
+      Engine.mttc_parallel ~seed:9 ~runs:600 a ~entry ~target ()
+    in
+    Format.printf "   %-28s MTTC %.1f ticks@." label stats.Engine.mean_ticks
+  in
+  mttc "homogeneous estate" mono;
+  mttc "optimal diversification" baseline.Optimize.assignment;
+  mttc "hardened around target" hardened.Optimize.assignment;
+  let soc = { Engine.detect_rate = 0.03; immunize = true } in
+  let contained label a =
+    let stats =
+      Engine.mttc_defended
+        ~rng:(Random.State.make [| 5 |])
+        ~defense:soc ~max_ticks:2000 ~runs:600 a ~entry ~target
+    in
+    Format.printf "   %-28s P(compromise | SOC) = %.3f@." label
+      (float_of_int stats.Engine.successes /. float_of_int stats.Engine.runs)
+  in
+  Format.printf "@.   with a SOC detecting 3%% of infections per tick:@.";
+  contained "homogeneous estate" mono;
+  contained "hardened around target" hardened.Optimize.assignment

@@ -1,0 +1,1 @@
+lib/bayes/attack_bn.ml: Array Bn Dbn Fun Infer List Netdiv_core Netdiv_graph Printf Random

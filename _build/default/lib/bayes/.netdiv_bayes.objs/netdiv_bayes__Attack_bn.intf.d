@@ -1,0 +1,1 @@
+lib/bayes/attack_bn.mli: Bn Dbn Netdiv_core Random

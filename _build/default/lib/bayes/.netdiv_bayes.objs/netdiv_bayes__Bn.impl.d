@@ -1,0 +1,1 @@
+lib/bayes/bn.ml: Array Factor Format Printf String

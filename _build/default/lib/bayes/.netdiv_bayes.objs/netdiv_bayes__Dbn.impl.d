@@ -1,0 +1,1 @@
+lib/bayes/dbn.ml: Array Fun List Mfactor Printf Random String

@@ -1,0 +1,1 @@
+lib/bayes/dbn.mli: Mfactor Random

@@ -1,0 +1,1 @@
+lib/bayes/factor.ml: Array List Printf

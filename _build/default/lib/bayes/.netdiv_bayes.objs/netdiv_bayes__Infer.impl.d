@@ -1,0 +1,1 @@
+lib/bayes/infer.ml: Array Bn Factor List Random

@@ -1,0 +1,1 @@
+lib/bayes/mfactor.ml: Array List Printf

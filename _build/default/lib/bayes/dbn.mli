@@ -1,0 +1,48 @@
+(** Bayesian networks over multi-valued discrete variables.
+
+    The multi-valued counterpart of {!Bn}, needed for the explicit attack
+    BN of Section VI whose attacker-choice nodes have one state per
+    exploitable product plus "silent".  Nodes are added in topological
+    order; CPDs are given as functions and tabulated on the spot. *)
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  name:string ->
+  card:int ->
+  parents:int array ->
+  (int array -> int -> float) ->
+  int
+(** [add t ~name ~card ~parents cpd] appends a node with [card] states;
+    [cpd parent_values k] is P(node = k | parents), checked to be
+    non-negative and to sum to 1 (±1e-6) over [k] for every parent
+    configuration.
+    @raise Invalid_argument on violations, bad parents, or [card < 1]. *)
+
+val n_nodes : t -> int
+val name : t -> int -> string
+val card : t -> int -> int
+val parents : t -> int -> int array
+val find : t -> string -> int option
+
+val prob : t -> int -> int array -> int -> float
+(** [prob t node parent_values k] = P(node = k | parents). *)
+
+val node_factor : t -> int -> Mfactor.t
+(** CPT as a factor over the node and its parents. *)
+
+val marginal : ?evidence:(int * int) list -> t -> int -> float array
+(** Exact marginal distribution of a node by variable elimination with a
+    min-size ordering.
+    @raise Invalid_argument if the evidence has probability zero or an
+    intermediate factor overflows. *)
+
+val brute_marginal : ?evidence:(int * int) list -> t -> int -> float array
+(** The same by full joint enumeration (testing only).
+    @raise Invalid_argument when the joint exceeds 2^22 entries. *)
+
+val sample : rng:Random.State.t -> t -> int array
+(** One ancestral sample. *)

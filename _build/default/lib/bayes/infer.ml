@@ -1,0 +1,117 @@
+(* Variable elimination with a greedy min-degree ordering. *)
+let exact_marginal ?(evidence = []) bn query =
+  let n = Bn.n_nodes bn in
+  let factors = ref [] in
+  for i = 0 to n - 1 do
+    let f = ref (Bn.node_factor bn i) in
+    List.iter (fun (v, value) -> f := Factor.restrict !f v value) evidence;
+    factors := !f :: !factors
+  done;
+  let keep = query :: List.map fst evidence in
+  (* eliminate every non-query, non-evidence variable, smallest induced
+     factor first *)
+  let remaining = ref [] in
+  for i = n - 1 downto 0 do
+    if not (List.mem i keep) then remaining := i :: !remaining
+  done;
+  let eliminate v =
+    let touching, rest =
+      List.partition
+        (fun f -> Array.exists (fun x -> x = v) (Factor.vars f))
+        !factors
+    in
+    match touching with
+    | [] -> ()
+    | f :: fs ->
+        let joined = List.fold_left Factor.product f fs in
+        factors := Factor.sum_out joined v :: rest
+  in
+  let induced_size v =
+    let vars =
+      List.fold_left
+        (fun acc f ->
+          if Array.exists (fun x -> x = v) (Factor.vars f) then
+            Array.fold_left (fun a x -> x :: a) acc (Factor.vars f)
+          else acc)
+        [] !factors
+    in
+    List.length (List.sort_uniq compare vars)
+  in
+  while !remaining <> [] do
+    let best =
+      List.fold_left
+        (fun (bv, bs) v ->
+          let s = induced_size v in
+          if s < bs then (v, s) else (bv, bs))
+        (-1, max_int) !remaining
+    in
+    let v = fst best in
+    eliminate v;
+    remaining := List.filter (fun x -> x <> v) !remaining
+  done;
+  let joined =
+    match !factors with
+    | [] -> Factor.constant 1.0
+    | f :: fs -> List.fold_left Factor.product f fs
+  in
+  let p_true = Factor.value joined [ (query, true) ] in
+  let p_false = Factor.value joined [ (query, false) ] in
+  let z = p_true +. p_false in
+  if z <= 0.0 then
+    invalid_arg "Infer.exact_marginal: evidence has probability zero";
+  p_true /. z
+
+let joint_brute_force ?(evidence = []) bn query =
+  let n = Bn.n_nodes bn in
+  if n > 20 then invalid_arg "Infer.joint_brute_force: too many nodes";
+  let values = Array.make n false in
+  let p_query = ref 0.0 and p_evidence = ref 0.0 in
+  for idx = 0 to (1 lsl n) - 1 do
+    for i = 0 to n - 1 do
+      values.(i) <- idx land (1 lsl i) <> 0
+    done;
+    if List.for_all (fun (v, b) -> values.(v) = b) evidence then begin
+      let p = ref 1.0 in
+      for i = 0 to n - 1 do
+        let pv = Array.map (fun q -> values.(q)) (Bn.parents bn i) in
+        let pt = Bn.prob_true bn i pv in
+        p := !p *. (if values.(i) then pt else 1.0 -. pt)
+      done;
+      p_evidence := !p_evidence +. !p;
+      if values.(query) then p_query := !p_query +. !p
+    end
+  done;
+  if !p_evidence <= 0.0 then
+    invalid_arg "Infer.joint_brute_force: evidence has probability zero";
+  !p_query /. !p_evidence
+
+let forward_sample ~rng bn =
+  let n = Bn.n_nodes bn in
+  let values = Array.make n false in
+  for i = 0 to n - 1 do
+    let pv = Array.map (fun q -> values.(q)) (Bn.parents bn i) in
+    values.(i) <- Random.State.float rng 1.0 < Bn.prob_true bn i pv
+  done;
+  values
+
+let estimate_marginal ~rng ~samples ?(evidence = []) bn query =
+  let n = Bn.n_nodes bn in
+  let fixed = Array.make n None in
+  List.iter (fun (v, b) -> fixed.(v) <- Some b) evidence;
+  let values = Array.make n false in
+  let weight_sum = ref 0.0 and hit_sum = ref 0.0 in
+  for _ = 1 to samples do
+    let w = ref 1.0 in
+    for i = 0 to n - 1 do
+      let pv = Array.map (fun q -> values.(q)) (Bn.parents bn i) in
+      let pt = Bn.prob_true bn i pv in
+      match fixed.(i) with
+      | Some b ->
+          values.(i) <- b;
+          w := !w *. (if b then pt else 1.0 -. pt)
+      | None -> values.(i) <- Random.State.float rng 1.0 < pt
+    done;
+    weight_sum := !weight_sum +. !w;
+    if values.(query) then hit_sum := !hit_sum +. !w
+  done;
+  if !weight_sum <= 0.0 then 0.0 else !hit_sum /. !weight_sum

@@ -1,0 +1,1 @@
+lib/casestudy/experiments.ml: Hashtbl List Netdiv_bayes Netdiv_core Netdiv_sim Products Random Topology

@@ -1,0 +1,1 @@
+lib/casestudy/experiments.mli: Netdiv_core Netdiv_sim

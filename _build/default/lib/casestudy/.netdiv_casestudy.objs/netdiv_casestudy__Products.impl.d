@@ -1,0 +1,1 @@
+lib/casestudy/products.ml: Array List Netdiv_core Netdiv_vuln Printf String Topology

@@ -1,0 +1,1 @@
+lib/casestudy/products.mli: Netdiv_core Netdiv_vuln

@@ -1,0 +1,1 @@
+lib/casestudy/scaled.ml: Array Hashtbl List Netdiv_core Netdiv_graph Printf Products Random String

@@ -1,0 +1,1 @@
+lib/casestudy/scaled.mli: Netdiv_core

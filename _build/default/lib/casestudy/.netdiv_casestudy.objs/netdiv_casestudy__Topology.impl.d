@@ -1,0 +1,1 @@
+lib/casestudy/topology.ml: Array List Netdiv_graph Printf String

@@ -1,0 +1,1 @@
+lib/casestudy/topology.mli: Netdiv_graph

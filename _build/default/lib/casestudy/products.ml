@@ -1,0 +1,207 @@
+module Corpus = Netdiv_vuln.Corpus
+module Similarity = Netdiv_vuln.Similarity
+module Network = Netdiv_core.Network
+module Constr = Netdiv_core.Constr
+
+let os = "os"
+let browser = "browser"
+let database = "database"
+
+(* Restrict a curated similarity table to a product subset, preserving
+   counts. *)
+let restrict_table spec keep =
+  let indices =
+    Array.map
+      (fun name ->
+        let rec find i =
+          if i >= Array.length spec.Corpus.products then
+            invalid_arg ("Products.restrict_table: unknown " ^ name)
+          else if String.equal (fst spec.Corpus.products.(i)) name then i
+          else find (i + 1)
+        in
+        find 0)
+      keep
+  in
+  let full = Corpus.table spec in
+  let n = Array.length keep in
+  let totals = Array.map (fun i -> Similarity.shared_count full i i) indices in
+  let shared = ref [] in
+  for a = 0 to n - 1 do
+    for b = 0 to a - 1 do
+      let c = Similarity.shared_count full indices.(a) indices.(b) in
+      if c > 0 then shared := (a, b, c) :: !shared
+    done
+  done;
+  Similarity.of_counts ~products:keep ~totals ~shared:!shared
+
+let os_products = [| "WinXP2"; "Win7"; "Ubt14.04"; "Deb8.0" |]
+let wb_products = [| "IE8"; "IE10"; "Chrome" |]
+let db_products = [| "MSSQL08"; "MSSQL14"; "MySQL5.5"; "MariaDB10" |]
+
+let service_tables =
+  [|
+    (os, restrict_table Corpus.os_spec os_products);
+    (browser, restrict_table Corpus.browser_spec wb_products);
+    (database, restrict_table Corpus.database_spec db_products);
+  |]
+
+(* product indices within the restricted tables *)
+let winxp = 0
+let win7 = 1
+let ubuntu = 2
+let debian = 3
+let ie8 = 0
+let ie10 = 1
+let mssql08 = 0
+let mssql14 = 1
+
+let s_os = 0
+let s_wb = 1
+let s_db = 2
+
+let windows_os = [| winxp; win7 |]
+let ie_browsers = [| ie8; ie10 |]
+let ms_databases = [| mssql08; mssql14 |]
+let any = [||]
+
+(* Candidate lists per host role (see the interface for the derivation). *)
+let role_services name =
+  match name with
+  (* corporate *)
+  | "c1" (* WinCC Web Client *) -> [ (s_os, windows_os); (s_wb, ie_browsers) ]
+  | "c2" (* OS Web Client *) -> [ (s_os, any); (s_wb, any) ]
+  | "c3" (* DataMonitor Web Client *) ->
+      [ (s_os, windows_os); (s_wb, ie_browsers) ]
+  | "c4" (* Historian Web Client *) -> [ (s_os, any); (s_wb, any) ]
+  (* DMZ *)
+  | "z1" (* Virus scan server *) -> [ (s_os, windows_os); (s_db, any) ]
+  | "z2" (* WSUS server: Windows + Microsoft DB *) ->
+      [ (s_os, windows_os); (s_db, ms_databases) ]
+  | "z3" (* Web Navigator server (WinCC) *) ->
+      [ (s_os, [| win7 |]); (s_wb, ie_browsers); (s_db, ms_databases) ]
+  | "z4" (* OS Web server (WinCC Web Navigator): Windows + IE + MS SQL *) ->
+      [ (s_os, windows_os); (s_wb, ie_browsers); (s_db, ms_databases) ]
+  (* operations (legacy zone) *)
+  | "p1" (* Historian Web Client *) ->
+      [ (s_os, windows_os); (s_wb, ie_browsers) ]
+  | "p2" (* SIMATIC IT server, legacy *) ->
+      [ (s_os, [| winxp |]); (s_db, [| mssql08 |]) ]
+  | "p3" (* SIMATIC SQL server, legacy *) ->
+      [ (s_os, [| winxp |]); (s_db, [| mssql08 |]) ]
+  (* control network *)
+  | "t1" (* maintenance server *) ->
+      [ (s_os, [| win7 |]); (s_wb, ie_browsers); (s_db, ms_databases) ]
+  | "t2" (* OS client *) -> [ (s_os, windows_os); (s_wb, ie_browsers) ]
+  | "t3" (* WinCC client, legacy *) ->
+      [ (s_os, [| winxp |]); (s_wb, [| ie8 |]) ]
+  | "t4" (* OS server *) -> [ (s_os, [| win7 |]); (s_db, ms_databases) ]
+  | "t5" (* WinCC server, legacy build *) ->
+      [ (s_os, [| win7 |]); (s_db, [| mssql14 |]) ]
+  | "t6" (* WinCC server, legacy build *) ->
+      [ (s_os, [| win7 |]); (s_db, [| mssql14 |]) ]
+  (* clients *)
+  | "e1" (* WinCC Web Client *) ->
+      [ (s_os, windows_os); (s_wb, ie_browsers); (s_db, any) ]
+  | "e2" (* OS Web Client *) -> [ (s_os, any); (s_wb, any) ]
+  | "e3" (* client workstation *) -> [ (s_os, any); (s_wb, any) ]
+  | "e4" (* client historian *) -> [ (s_os, any); (s_db, any) ]
+  (* remote clients *)
+  | "r1" (* WinCC Web Client *) ->
+      [ (s_os, windows_os); (s_wb, ie_browsers); (s_db, any) ]
+  | "r2" (* OS Web Client *) -> [ (s_os, any); (s_wb, any) ]
+  | "r3" (* client workstation *) -> [ (s_os, any); (s_wb, any) ]
+  | "r4" (* client workstation *) -> [ (s_os, any); (s_wb, any) ]
+  | "r5" (* client historian *) -> [ (s_os, any); (s_db, any) ]
+  (* vendors support *)
+  | "v1" (* Historian Web Client *) ->
+      [ (s_os, windows_os); (s_wb, ie_browsers) ]
+  | "v2" (* vendors workstation *) -> [ (s_os, any); (s_wb, any) ]
+  | "v3" (* vendors workstation *) -> [ (s_os, any); (s_wb, any) ]
+  (* PLCs: nothing to diversify *)
+  | "f1" | "f2" | "f3" -> []
+  | other ->
+      invalid_arg (Printf.sprintf "Products.host_services: unknown %S" other)
+
+let hosts_spec () =
+  Array.map
+    (fun name -> { Network.h_name = name; h_services = role_services name })
+    Topology.host_names
+
+let network () =
+  Network.of_similarity_tables ~graph:(Topology.graph ())
+    ~services:service_tables ~hosts:(hosts_spec ())
+
+(* Severity-weighted tables: rebuild each table from the synthetic corpus
+   with CVSS-proportional weights, restricted to the Table IV products. *)
+let weighted_table spec keep =
+  let module Weighted = Netdiv_vuln.Weighted in
+  let db = Corpus.synthesize spec in
+  let products =
+    Array.to_list keep
+    |> List.map (fun name ->
+           let rec find i =
+             if i >= Array.length spec.Corpus.products then
+               invalid_arg ("Products.weighted_table: unknown " ^ name)
+             else if String.equal (fst spec.Corpus.products.(i)) name then
+               spec.Corpus.products.(i)
+             else find (i + 1)
+           in
+           find 0)
+  in
+  Weighted.of_nvd ~since:1999 ~until:2016 db products
+
+let service_tables_weighted () =
+  [|
+    (os, weighted_table Corpus.os_spec os_products);
+    (browser, weighted_table Corpus.browser_spec wb_products);
+    (database, weighted_table Corpus.database_spec db_products);
+  |]
+
+let network_weighted () =
+  Network.of_similarity_tables ~graph:(Topology.graph ())
+    ~services:(service_tables_weighted ())
+    ~hosts:(hosts_spec ())
+
+(* corporate standard build for policy-fixed hosts *)
+let fix host_name service product =
+  Constr.Fix { host = Topology.host host_name; service; product }
+
+let checked net cs =
+  match Constr.validate_all net cs with
+  | Ok () -> cs
+  | Error msg -> invalid_arg ("Products: invalid constraint set: " ^ msg)
+
+let host_constraints net =
+  checked net
+    [
+      fix "z4" s_os winxp;
+      fix "z4" s_wb ie8;
+      fix "z4" s_db mssql08;
+      fix "e1" s_os winxp;
+      fix "e1" s_wb ie8;
+      fix "e1" s_db mssql08;
+      fix "r1" s_os winxp;
+      fix "r1" s_wb ie8;
+      fix "r1" s_db mssql08;
+      fix "v1" s_os winxp;
+      fix "v1" s_wb ie8;
+    ]
+
+let product_constraints net =
+  checked net
+  (host_constraints net
+  @ [
+      (* Internet Explorer does not run on Linux *)
+      Constr.Forbids
+        { scope = Constr.All; service_m = s_os; product_j = ubuntu;
+          service_n = s_wb; product_k = ie10 };
+      Constr.Forbids
+        { scope = Constr.All; service_m = s_os; product_j = ubuntu;
+          service_n = s_wb; product_k = ie8 };
+      Constr.Forbids
+        { scope = Constr.All; service_m = s_os; product_j = debian;
+          service_n = s_wb; product_k = ie10 };
+      Constr.Forbids
+        { scope = Constr.All; service_m = s_os; product_j = debian;
+          service_n = s_wb; product_k = ie8 };
+    ])

@@ -1,0 +1,141 @@
+module Graph = Netdiv_graph.Graph
+module Gen = Netdiv_graph.Gen
+module Network = Netdiv_core.Network
+
+type t = {
+  network : Network.t;
+  zone_of : int array;
+  zone_names : string array;
+  entries : int list;
+  target : int;
+}
+
+(* zone -> base size and role cycle (case-study host names) *)
+let zone_templates =
+  [|
+    ("corporate", [| "c1"; "c2"; "c3"; "c4" |]);
+    ("dmz", [| "z1"; "z2"; "z3"; "z4" |]);
+    ("operations", [| "p1"; "p2"; "p3" |]);
+    ("control", [| "t1"; "t2"; "t3"; "t4"; "t5"; "t6" |]);
+    ("clients", [| "e1"; "e2"; "e3"; "e4" |]);
+    ("remote", [| "r1"; "r2"; "r3"; "r4"; "r5" |]);
+    ("vendors", [| "v1"; "v2"; "v3" |]);
+    ("field", [| "f1"; "f2"; "f3" |]);
+  |]
+
+(* zone-level firewall adjacency, following Fig. 3's white-list *)
+let zone_links =
+  [
+    ("corporate", "dmz");
+    ("operations", "dmz");
+    ("dmz", "control");
+    ("operations", "control");
+    ("operations", "clients");
+    ("operations", "remote");
+    ("operations", "vendors");
+    ("control", "clients");
+    ("control", "remote");
+    ("control", "vendors");
+    ("control", "field");
+  ]
+
+let generate ?(seed = 17) ?(gateway_links = 3) ~scale () =
+  if scale < 1 then invalid_arg "Scaled.generate: scale < 1";
+  let rng = Random.State.make [| seed; scale |] in
+  let n_zones = Array.length zone_templates in
+  let zone_sizes =
+    Array.map (fun (_, roles) -> Array.length roles * scale) zone_templates
+  in
+  let offsets = Array.make (n_zones + 1) 0 in
+  for z = 0 to n_zones - 1 do
+    offsets.(z + 1) <- offsets.(z) + zone_sizes.(z)
+  done;
+  let n = offsets.(n_zones) in
+  let zone_of = Array.make n 0 in
+  let host_specs = Array.make n { Network.h_name = ""; h_services = [] } in
+  for z = 0 to n_zones - 1 do
+    let zone_name, roles = zone_templates.(z) in
+    for k = 0 to zone_sizes.(z) - 1 do
+      let h = offsets.(z) + k in
+      zone_of.(h) <- z;
+      let role = roles.(k mod Array.length roles) in
+      host_specs.(h) <-
+        {
+          Network.h_name = Printf.sprintf "%s%04d_%s" zone_name k role;
+          h_services = Products.role_services role;
+        }
+    done
+  done;
+  (* intra-zone connectivity *)
+  let edges = ref [] in
+  for z = 0 to n_zones - 1 do
+    let size = zone_sizes.(z) in
+    let base = offsets.(z) in
+    if size <= 6 then
+      for i = 0 to size - 1 do
+        for j = i + 1 to size - 1 do
+          edges := (base + i, base + j) :: !edges
+        done
+      done
+    else begin
+      let sub = Gen.connected_avg_degree ~rng ~n:size ~degree:5 in
+      Graph.iter_edges
+        (fun u v -> edges := (base + u, base + v) :: !edges)
+        sub
+    end
+  done;
+  (* inter-zone gateways *)
+  let zone_index name =
+    let rec find z =
+      if z >= n_zones then invalid_arg "Scaled: unknown zone"
+      else if String.equal (fst zone_templates.(z)) name then z
+      else find (z + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun (za, zb) ->
+      let za = zone_index za and zb = zone_index zb in
+      let links = max 1 (gateway_links * scale / 4) in
+      let seen = Hashtbl.create links in
+      let tries = ref 0 in
+      while Hashtbl.length seen < links && !tries < 64 * links do
+        incr tries;
+        let u = offsets.(za) + Random.State.int rng zone_sizes.(za) in
+        let v = offsets.(zb) + Random.State.int rng zone_sizes.(zb) in
+        if not (Hashtbl.mem seen (u, v)) then begin
+          Hashtbl.replace seen (u, v) ();
+          edges := (u, v) :: !edges
+        end
+      done)
+    zone_links;
+  let graph = Graph.of_edges ~n !edges in
+  let network =
+    Network.of_similarity_tables ~graph ~services:Products.service_tables
+      ~hosts:host_specs
+  in
+  (* the target: the first WinCC-server role (t5) in the control zone *)
+  let control = zone_index "control" in
+  let target = ref (offsets.(control)) in
+  (try
+     for h = offsets.(control) to offsets.(control + 1) - 1 do
+       let name = host_specs.(h).Network.h_name in
+       let suffix = String.sub name (String.length name - 2) 2 in
+       if String.equal suffix "t5" then begin
+         target := h;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let entry_of zone_name =
+    let z = zone_index zone_name in
+    offsets.(z)
+  in
+  {
+    network;
+    zone_of;
+    zone_names = Array.map fst zone_templates;
+    entries =
+      List.map entry_of [ "corporate"; "clients"; "remote"; "vendors" ];
+    target = !target;
+  }

@@ -1,0 +1,25 @@
+(** Scaled realistic ICS instances.
+
+    The paper's scalability study uses uniform random networks; this
+    generator instead scales the case study itself: the seven IT/OT zones
+    of Fig. 3 grow by a [scale] factor, hosts take the same roles (WinCC
+    web client, WSUS server, legacy SIMATIC hosts, ...) with the same
+    Table IV candidate catalogs, zones stay internally well-connected,
+    and zones are joined by a bounded number of firewall gateway links
+    along the Fig. 3 access rules.  The result is a large network with
+    realistic candidate heterogeneity and frozen legacy pockets — a much
+    harsher test for the optimizer than a uniform random instance. *)
+
+type t = {
+  network : Netdiv_core.Network.t;
+  zone_of : int array;          (** zone index per host *)
+  zone_names : string array;
+  entries : int list;           (** one attack entry per IT zone *)
+  target : int;                 (** a WinCC-server-role host in control *)
+}
+
+val generate : ?seed:int -> ?gateway_links:int -> scale:int -> unit -> t
+(** [generate ~scale ()] builds an ICS with [scale]x the case-study zone
+    sizes (so [scale = 1] has the same 32 hosts, [scale = 100] has
+    3,200).
+    @raise Invalid_argument if [scale < 1]. *)

@@ -1,0 +1,72 @@
+let host_names =
+  [|
+    "c1"; "c2"; "c3"; "c4";
+    "z1"; "z2"; "z3"; "z4";
+    "p1"; "p2"; "p3";
+    "t1"; "t2"; "t3"; "t4"; "t5"; "t6";
+    "e1"; "e2"; "e3"; "e4";
+    "r1"; "r2"; "r3"; "r4"; "r5";
+    "v1"; "v2"; "v3";
+    "f1"; "f2"; "f3";
+  |]
+
+let host name =
+  let rec loop i =
+    if i >= Array.length host_names then
+      invalid_arg (Printf.sprintf "Topology.host: unknown host %S" name)
+    else if String.equal host_names.(i) name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let zones =
+  [
+    ("corporate", [ "c1"; "c2"; "c3"; "c4" ]);
+    ("dmz", [ "z1"; "z2"; "z3"; "z4" ]);
+    ("operations", [ "p1"; "p2"; "p3" ]);
+    ("control", [ "t1"; "t2"; "t3"; "t4"; "t5"; "t6" ]);
+    ("clients", [ "e1"; "e2"; "e3"; "e4" ]);
+    ("remote", [ "r1"; "r2"; "r3"; "r4"; "r5" ]);
+    ("vendors", [ "v1"; "v2"; "v3" ]);
+    ("field", [ "f1"; "f2"; "f3" ]);
+  ]
+
+(* firewall white-list rules of Fig. 3, as (source hosts, destinations) *)
+let firewall_rules =
+  [
+    ([ "c2"; "c4" ], [ "z4" ]);
+    ([ "p2"; "p3" ], [ "z4" ]);
+    ([ "z4" ], [ "t1"; "t2" ]);
+    ([ "p1" ], [ "t1"; "e1"; "r1"; "v1" ]);
+    ([ "t1"; "t2" ], [ "e1"; "r1"; "v1" ]);
+    ([ "t4"; "t5"; "t6" ], [ "f1"; "f2"; "f3" ]);
+  ]
+
+let graph () =
+  let edges = ref [] in
+  let add a b =
+    let u = host a and v = host b in
+    if u <> v then edges := (u, v) :: !edges
+  in
+  (* full mesh within each zone *)
+  List.iter
+    (fun (_, members) ->
+      let rec mesh = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter (fun b -> add a b) rest;
+            mesh rest
+      in
+      mesh members)
+    zones;
+  (* cross-zone links along the white-list rules *)
+  List.iter
+    (fun (sources, destinations) ->
+      List.iter
+        (fun a -> List.iter (fun b -> add a b) destinations)
+        sources)
+    firewall_rules;
+  Netdiv_graph.Graph.of_edges ~n:(Array.length host_names) !edges
+
+let entry_points = [ "c1"; "c4"; "e3"; "r4"; "v1" ]
+let target = "t5"

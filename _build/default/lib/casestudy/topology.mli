@@ -1,0 +1,39 @@
+(** The Stuxnet-inspired integrated ICS of Fig. 3.
+
+    Five IT/OT zones plus field devices:
+
+    - Corporate sub-network [c1-c4] (WinCC/OS/DataMonitor/Historian web
+      clients),
+    - DMZ [z1-z4] (virus scan, WSUS, Web Navigator and OS web servers),
+    - Operations network [p1-p3] (Historian client, SIMATIC IT server,
+      SIMATIC SQL server — the legacy zone),
+    - Control network [t1-t6] (maintenance server, OS client, WinCC
+      client, OS server and two WinCC servers),
+    - Clients network [e1-e4], Remote clients [r1-r5], Vendors support
+      [v1-v3],
+    - field devices [f1-f3] (PLCs; no diversifiable services).
+
+    Hosts within a zone are fully meshed; zones are joined exactly along
+    the firewall white-list rules printed in Fig. 3 (c2,c4→z4; p2,p3→z4;
+    z4→t1,t2; p1→t1,e1,r1,v1; t1,t2→e1,r1,v1), and the control servers
+    t4-t6 reach the PLCs. *)
+
+val host_names : string array
+(** All 32 host names, fixing the host numbering. *)
+
+val host : string -> int
+(** Index of a host by name.
+    @raise Invalid_argument for an unknown name. *)
+
+val zones : (string * string list) list
+(** Zone name to member host names. *)
+
+val graph : unit -> Netdiv_graph.Graph.t
+(** The host connectivity graph. *)
+
+val entry_points : string list
+(** The five attack entry hosts of the MTTC experiments (Table VI):
+    c1, c4, e3, r4, v1. *)
+
+val target : string
+(** The attack target of Section VII-C: the WinCC server t5. *)

@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Array Format List Netdiv_graph Network Printf Random

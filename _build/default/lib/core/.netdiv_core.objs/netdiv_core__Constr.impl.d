@@ -1,0 +1,1 @@
+lib/core/constr.ml: Array Assignment Format Fun Hashtbl List Network Printf Result

@@ -1,0 +1,1 @@
+lib/core/constr.mli: Assignment Format Network

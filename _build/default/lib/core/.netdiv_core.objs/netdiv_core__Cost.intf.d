@@ -1,0 +1,1 @@
+lib/core/cost.mli: Assignment Constr Network Optimize

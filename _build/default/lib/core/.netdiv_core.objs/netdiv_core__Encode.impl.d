@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Assignment Constr Fun Hashtbl List Netdiv_graph Netdiv_mrf Network Printf

@@ -1,0 +1,1 @@
+lib/core/encode.mli: Assignment Constr Netdiv_mrf Network

@@ -1,0 +1,1 @@
+lib/core/network.ml: Array Format Fun Hashtbl List Netdiv_graph Netdiv_vuln Printf String

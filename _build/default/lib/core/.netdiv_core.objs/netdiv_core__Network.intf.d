@@ -1,0 +1,1 @@
+lib/core/network.mli: Format Netdiv_graph Netdiv_vuln

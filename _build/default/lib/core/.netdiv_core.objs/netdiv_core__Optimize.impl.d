@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Array Assignment Constr Encode Format List Netdiv_mrf Printf

@@ -1,0 +1,1 @@
+lib/core/optimize.mli: Assignment Constr Encode Format Netdiv_mrf Network

@@ -1,0 +1,1 @@
+lib/core/serial.mli: Assignment Netdiv_vuln Network

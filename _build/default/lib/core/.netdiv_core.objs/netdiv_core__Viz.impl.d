@@ -1,0 +1,1 @@
+lib/core/viz.ml: Array Assignment Hashtbl List Netdiv_graph Network Printf String

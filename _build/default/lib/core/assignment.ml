@@ -1,0 +1,150 @@
+module Graph = Netdiv_graph.Graph
+
+type t = {
+  net : Network.t;
+  chosen : int array array;  (* host -> slot (aligned with host_services) *)
+}
+
+let network t = t.net
+
+let slot_of t host service =
+  let services = Network.host_services t.net host in
+  let rec search lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      if services.(mid) = service then mid
+      else if services.(mid) < service then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length services)
+
+let get t ~host ~service =
+  let k = slot_of t host service in
+  if k < 0 then
+    invalid_arg
+      (Printf.sprintf "Assignment.get: host %s does not run %s"
+         (Network.host_name t.net host)
+         (Network.service_name t.net service));
+  t.chosen.(host).(k)
+
+let get_opt t ~host ~service =
+  let k = slot_of t host service in
+  if k < 0 then None else Some t.chosen.(host).(k)
+
+let make net choose =
+  let n = Network.n_hosts net in
+  let chosen =
+    Array.init n (fun h ->
+        let services = Network.host_services net h in
+        Array.map
+          (fun s ->
+            let p = choose ~host:h ~service:s in
+            let cands = Network.candidates net ~host:h ~service:s in
+            if not (Array.exists (fun c -> c = p) cands) then
+              invalid_arg
+                (Printf.sprintf
+                   "Assignment.make: product %s not a candidate of %s/%s"
+                   (Network.product_name net ~service:s p)
+                   (Network.host_name net h)
+                   (Network.service_name net s));
+            p)
+          services)
+  in
+  { net; chosen }
+
+let first_candidate net =
+  make net (fun ~host ~service ->
+      (Network.candidates net ~host ~service).(0))
+
+let mono net =
+  (* per service, rank products by how many hosts accept them *)
+  let n_services = Network.n_services net in
+  let popular = Array.make n_services 0 in
+  for s = 0 to n_services - 1 do
+    let counts = Array.make (Network.n_products net s) 0 in
+    for h = 0 to Network.n_hosts net - 1 do
+      if Network.runs_service net ~host:h ~service:s then
+        Array.iter
+          (fun p -> counts.(p) <- counts.(p) + 1)
+          (Network.candidates net ~host:h ~service:s)
+    done;
+    let best = ref 0 in
+    Array.iteri (fun p c -> if c > counts.(!best) then best := p) counts;
+    popular.(s) <- !best
+  done;
+  make net (fun ~host ~service ->
+      let cands = Network.candidates net ~host ~service in
+      if Array.exists (fun c -> c = popular.(service)) cands then
+        popular.(service)
+      else cands.(0))
+
+let random ~rng net =
+  make net (fun ~host ~service ->
+      let cands = Network.candidates net ~host ~service in
+      cands.(Random.State.int rng (Array.length cands)))
+
+let shared_services t u v =
+  let su = Network.host_services t.net u in
+  let sv = Network.host_services t.net v in
+  let acc = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length su && !j < Array.length sv do
+    if su.(!i) = sv.(!j) then begin
+      acc := su.(!i) :: !acc;
+      incr i;
+      incr j
+    end
+    else if su.(!i) < sv.(!j) then incr i
+    else incr j
+  done;
+  List.rev !acc
+
+let edge_infection_rates t =
+  let acc = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      let sims =
+        List.map
+          (fun s ->
+            Network.similarity t.net ~service:s
+              (get t ~host:u ~service:s)
+              (get t ~host:v ~service:s))
+          (shared_services t u v)
+      in
+      acc := ((u, v), Array.of_list sims) :: !acc)
+    (Network.graph t.net);
+  List.rev !acc
+
+let pairwise_energy t =
+  List.fold_left
+    (fun acc (_, sims) -> Array.fold_left ( +. ) acc sims)
+    0.0
+    (edge_infection_rates t)
+
+let distinct_products t ~service =
+  let seen = Array.make (Network.n_products t.net service) false in
+  for h = 0 to Network.n_hosts t.net - 1 do
+    if Network.runs_service t.net ~host:h ~service then
+      seen.(get t ~host:h ~service) <- true
+  done;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
+
+let equal a b =
+  a.net == b.net
+  && Array.for_all2 (fun xs ys -> xs = ys) a.chosen b.chosen
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>";
+  for h = 0 to Network.n_hosts t.net - 1 do
+    fprintf ppf "%-10s" (Network.host_name t.net h);
+    Array.iter
+      (fun s ->
+        fprintf ppf " %s=%s"
+          (Network.service_name t.net s)
+          (Network.product_name t.net ~service:s (get t ~host:h ~service:s)))
+      (Network.host_services t.net h);
+    pp_print_cut ppf ()
+  done;
+  fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Product assignments (Definition 3).
+
+    An assignment [α] picks one candidate product for every (host, service)
+    slot of a network.  This module also provides the two baseline
+    generators the paper evaluates against (Table V): the homogeneous
+    mono-assignment [αm] and the uniformly random assignment [αr]. *)
+
+type t
+
+val make : Network.t -> (host:int -> service:int -> int) -> t
+(** [make net choose] builds an assignment by asking [choose] for every
+    slot.  The chosen product must be one of the slot's candidates.
+    @raise Invalid_argument otherwise. *)
+
+val get : t -> host:int -> service:int -> int
+(** Product assigned to a slot.
+    @raise Invalid_argument if the host does not run the service. *)
+
+val get_opt : t -> host:int -> service:int -> int option
+
+val network : t -> Network.t
+
+val mono : Network.t -> t
+(** The most homogeneous assignment: for every service, the product
+    compatible with the largest number of hosts is installed everywhere it
+    is a candidate; hosts that cannot run it fall back to their first
+    candidate.  This is the paper's [αm]. *)
+
+val random : rng:Random.State.t -> Network.t -> t
+(** Uniform choice among each slot's candidates — the paper's [αr]. *)
+
+val first_candidate : Network.t -> t
+(** Every slot takes its first candidate (deterministic default). *)
+
+val pairwise_energy : t -> float
+(** Total similarity over connected host pairs and shared services — the
+    pairwise term (3) of the optimization function. *)
+
+val edge_infection_rates : t -> ((int * int) * float array) list
+(** For each graph edge, the per-shared-service similarity of the assigned
+    products (the zero-day infection rates of Section VI). *)
+
+val distinct_products : t -> service:int -> int
+(** Number of distinct products of a service actually deployed. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Host-by-host table of assigned product names. *)

@@ -1,0 +1,167 @@
+type scope = Host of int | All
+
+type t =
+  | Fix of { host : int; service : int; product : int }
+  | Requires of {
+      scope : scope;
+      service_m : int;
+      product_j : int;
+      service_n : int;
+      product_l : int;
+    }
+  | Forbids of {
+      scope : scope;
+      service_m : int;
+      product_j : int;
+      service_n : int;
+      product_k : int;
+    }
+
+let check_service net s =
+  if s < 0 || s >= Network.n_services net then
+    Error (Printf.sprintf "unknown service %d" s)
+  else Ok ()
+
+let check_product net s p =
+  if p < 0 || p >= Network.n_products net s then
+    Error
+      (Printf.sprintf "unknown product %d for service %s" p
+         (Network.service_name net s))
+  else Ok ()
+
+let check_host net h =
+  if h < 0 || h >= Network.n_hosts net then
+    Error (Printf.sprintf "unknown host %d" h)
+  else Ok ()
+
+let ( let* ) = Result.bind
+
+let rec validate net = function
+  | Fix { host; service; product } ->
+      let* () = check_host net host in
+      let* () = check_service net service in
+      let* () = check_product net service product in
+      if not (Network.runs_service net ~host ~service) then
+        Error
+          (Printf.sprintf "host %s does not run service %s"
+             (Network.host_name net host)
+             (Network.service_name net service))
+      else if
+        not
+          (Array.exists
+             (fun c -> c = product)
+             (Network.candidates net ~host ~service))
+      then
+        Error
+          (Printf.sprintf "product %s is not a candidate of %s/%s"
+             (Network.product_name net ~service product)
+             (Network.host_name net host)
+             (Network.service_name net service))
+      else Ok ()
+  | Requires { scope; service_m; product_j; service_n; product_l } ->
+      let* () = check_service net service_m in
+      let* () = check_service net service_n in
+      let* () = check_product net service_m product_j in
+      let* () = check_product net service_n product_l in
+      if service_m = service_n then
+        Error "combination constraint names the same service twice"
+      else begin
+        match scope with
+        | All -> Ok ()
+        | Host h ->
+            let* () = check_host net h in
+            if
+              Network.runs_service net ~host:h ~service:service_m
+              && Network.runs_service net ~host:h ~service:service_n
+            then Ok ()
+            else
+              Error
+                (Printf.sprintf "host %s does not run both services"
+                   (Network.host_name net h))
+      end
+  | Forbids { scope; service_m; product_j; service_n; product_k } ->
+      validate net
+        (Requires
+           {
+             scope;
+             service_m;
+             product_j;
+             service_n;
+             product_l = product_k;
+           })
+
+let validate_all net cs =
+  List.fold_left
+    (fun acc c -> match acc with Error _ -> acc | Ok () -> validate net c)
+    (Ok ()) cs
+
+let hosts_in_scope net = function
+  | Host h -> [ h ]
+  | All -> List.init (Network.n_hosts net) Fun.id
+
+let combo_holds net a h sm pj sn ~want ~pn =
+  if
+    Network.runs_service net ~host:h ~service:sm
+    && Network.runs_service net ~host:h ~service:sn
+  then
+    if Assignment.get a ~host:h ~service:sm <> pj then true
+    else
+      let q = Assignment.get a ~host:h ~service:sn in
+      if want then q = pn else q <> pn
+  else true
+
+let satisfied net a = function
+  | Fix { host; service; product } ->
+      Assignment.get a ~host ~service = product
+  | Requires { scope; service_m; product_j; service_n; product_l } ->
+      List.for_all
+        (fun h ->
+          combo_holds net a h service_m product_j service_n ~want:true
+            ~pn:product_l)
+        (hosts_in_scope net scope)
+  | Forbids { scope; service_m; product_j; service_n; product_k } ->
+      List.for_all
+        (fun h ->
+          combo_holds net a h service_m product_j service_n ~want:false
+            ~pn:product_k)
+        (hosts_in_scope net scope)
+
+let violations net a cs = List.filter (fun c -> not (satisfied net a c)) cs
+
+let apply_fixes net cs a =
+  let fixes = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Fix { host; service; product } ->
+          Hashtbl.replace fixes (host, service) product
+      | Requires _ | Forbids _ -> ())
+    cs;
+  Assignment.make net (fun ~host ~service ->
+      match Hashtbl.find_opt fixes (host, service) with
+      | Some p -> p
+      | None -> Assignment.get a ~host ~service)
+
+let pp net ppf = function
+  | Fix { host; service; product } ->
+      Format.fprintf ppf "fix %s/%s = %s"
+        (Network.host_name net host)
+        (Network.service_name net service)
+        (Network.product_name net ~service product)
+  | Requires { scope; service_m; product_j; service_n; product_l } ->
+      Format.fprintf ppf "%s: %s=%s requires %s=%s"
+        (match scope with
+        | All -> "all hosts"
+        | Host h -> Network.host_name net h)
+        (Network.service_name net service_m)
+        (Network.product_name net ~service:service_m product_j)
+        (Network.service_name net service_n)
+        (Network.product_name net ~service:service_n product_l)
+  | Forbids { scope; service_m; product_j; service_n; product_k } ->
+      Format.fprintf ppf "%s: %s=%s forbids %s=%s"
+        (match scope with
+        | All -> "all hosts"
+        | Host h -> Network.host_name net h)
+        (Network.service_name net service_m)
+        (Network.product_name net ~service:service_m product_j)
+        (Network.service_name net service_n)
+        (Network.product_name net ~service:service_n product_k)

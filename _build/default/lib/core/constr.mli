@@ -1,0 +1,59 @@
+(** Configuration constraints (Definition 4).
+
+    Constraints express real-world configuration requirements that the
+    optimal assignment must accommodate:
+
+    - {!constructor-Fix}: a host is required by policy to run a specific
+      product (constraint (ii) of Section VII, e.g. hosts z4/e1/r1/v1 of
+      the case study).
+    - {!constructor-Requires} (the paper's [cy], desirable combination):
+      whenever service [sm] is assigned [pj], service [sn] on the same host
+      must be assigned [pl].
+    - {!constructor-Forbids} (the paper's [cx], undesirable combination):
+      whenever service [sm] is assigned [pj], service [sn] on the same host
+      must {e not} be assigned [pk] (e.g. "no IE10 on Ubuntu 14.04").
+
+    Combination constraints carry a {!scope}: a single host (local
+    constraint) or every host (global constraint).  Legacy hosts that
+    cannot be diversified at all (constraint (i)) are modeled upstream by
+    singleton candidate lists in {!Network}. *)
+
+type scope = Host of int | All
+
+type t =
+  | Fix of { host : int; service : int; product : int }
+  | Requires of {
+      scope : scope;
+      service_m : int;
+      product_j : int;
+      service_n : int;
+      product_l : int;
+    }
+  | Forbids of {
+      scope : scope;
+      service_m : int;
+      product_j : int;
+      service_n : int;
+      product_k : int;
+    }
+
+val validate : Network.t -> t -> (unit, string) result
+(** Checks that hosts, services and products exist; that a [Fix]ed product
+    is among the host's candidates; and that a host-scoped combination
+    constraint names services the host actually runs. *)
+
+val validate_all : Network.t -> t list -> (unit, string) result
+
+val satisfied : Network.t -> Assignment.t -> t -> bool
+(** Whether an assignment meets one constraint.  Combination constraints
+    hold vacuously on hosts that do not run both services. *)
+
+val violations : Network.t -> Assignment.t -> t list -> t list
+(** Constraints the assignment breaks. *)
+
+val apply_fixes : Network.t -> t list -> Assignment.t -> Assignment.t
+(** Rewrites an assignment so that every [Fix] holds (used to build the
+    baseline assignments [αm], [αr] under the case study's policies).
+    Combination constraints are left untouched. *)
+
+val pp : Network.t -> Format.formatter -> t -> unit

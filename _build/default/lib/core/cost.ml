@@ -1,0 +1,88 @@
+type cost_fn = host:int -> service:int -> product:int -> float
+
+type point = {
+  lambda : float;
+  assignment : Assignment.t;
+  energy : float;
+  cost : float;
+}
+
+let total_cost cost a =
+  let net = Assignment.network a in
+  let acc = ref 0.0 in
+  for h = 0 to Network.n_hosts net - 1 do
+    Array.iter
+      (fun s ->
+        acc :=
+          !acc
+          +. cost ~host:h ~service:s
+               ~product:(Assignment.get a ~host:h ~service:s))
+      (Network.host_services net h)
+  done;
+  !acc
+
+let optimize ?solver ~cost ~lambda net constraints =
+  if lambda < 0.0 then invalid_arg "Cost.optimize: negative lambda";
+  let preference ~host ~service ~product =
+    let c = cost ~host ~service ~product in
+    if c < 0.0 then invalid_arg "Cost.optimize: negative cost";
+    Encode.default_prconst +. (lambda *. c)
+  in
+  let report = Optimize.run ?solver ~preference net constraints in
+  let assignment = report.Optimize.assignment in
+  (* report the unscalarized objectives *)
+  let plain = Encode.encode net constraints in
+  {
+    lambda;
+    assignment;
+    energy = Encode.assignment_energy plain assignment;
+    cost = total_cost cost assignment;
+  }
+
+let pareto ?solver ~cost ~lambdas net constraints =
+  let points =
+    List.map (fun lambda -> optimize ?solver ~cost ~lambda net constraints)
+      lambdas
+  in
+  let sorted =
+    List.sort_uniq
+      (fun a b -> compare (a.cost, a.energy) (b.cost, b.energy))
+      points
+  in
+  (* drop dominated points: keep strictly decreasing energy as cost grows *)
+  let rec prune best_energy = function
+    | [] -> []
+    | p :: rest ->
+        if p.energy < best_energy -. 1e-12 then
+          p :: prune p.energy rest
+        else prune best_energy rest
+  in
+  (* the cheapest point always survives *)
+  match sorted with
+  | [] -> []
+  | first :: rest -> first :: prune first.energy rest
+
+let cheapest_under ?solver ?(iterations = 20) ?(lambda_max = 100.0) ~cost
+    ~budget net constraints =
+  (* energy is non-increasing in lambda spent on cost, cost non-increasing
+     in lambda: bisect for the smallest lambda meeting the budget *)
+  let best = ref None in
+  let consider p =
+    if p.cost <= budget then
+      match !best with
+      | Some q when q.energy <= p.energy -> ()
+      | _ -> best := Some p
+  in
+  consider (optimize ?solver ~cost ~lambda:0.0 net constraints);
+  if !best = None then begin
+    let lo = ref 0.0 and hi = ref lambda_max in
+    consider (optimize ?solver ~cost ~lambda:lambda_max net constraints);
+    if !best <> None then
+      for _ = 1 to iterations do
+        let mid = 0.5 *. (!lo +. !hi) in
+        let p = optimize ?solver ~cost ~lambda:mid net constraints in
+        consider p;
+        if p.cost <= budget then hi := mid else lo := mid
+      done
+  end;
+  !best

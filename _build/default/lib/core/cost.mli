@@ -1,0 +1,61 @@
+(** Cost-aware diversification (after Borbor et al., cited in the paper's
+    related work: "Diversifying network services under cost constraints
+    for better resilience against unknown attacks").
+
+    Products carry deployment costs (licenses, retraining, support
+    contracts); maximal diversity may be unaffordable.  This module
+    scalarizes the two objectives — the MRF diversity energy and the
+    total deployment cost — and exposes the trade-off:
+
+    - {!optimize}: minimize [energy + lambda * cost] for a given price of
+      money;
+    - {!pareto}: sweep lambda to trace the achievable (cost, energy)
+      front;
+    - {!cheapest_under}: bisect lambda to meet a budget. *)
+
+type cost_fn = host:int -> service:int -> product:int -> float
+(** Deployment cost of installing a product at a slot; must be
+    non-negative. *)
+
+type point = {
+  lambda : float;
+  assignment : Assignment.t;
+  energy : float;       (** diversity energy, {e unweighted} by lambda *)
+  cost : float;         (** total deployment cost *)
+}
+
+val total_cost : cost_fn -> Assignment.t -> float
+
+val optimize :
+  ?solver:Optimize.solver ->
+  cost:cost_fn ->
+  lambda:float ->
+  Network.t ->
+  Constr.t list ->
+  point
+(** One scalarized solve.  [lambda = 0] recovers the plain optimum.
+    @raise Invalid_argument on negative costs or [lambda < 0]. *)
+
+val pareto :
+  ?solver:Optimize.solver ->
+  cost:cost_fn ->
+  lambdas:float list ->
+  Network.t ->
+  Constr.t list ->
+  point list
+(** The trade-off curve, one point per lambda, sorted by cost
+    (duplicates by (cost, energy) removed).  Points on the returned list
+    are mutually non-dominated up to solver approximation. *)
+
+val cheapest_under :
+  ?solver:Optimize.solver ->
+  ?iterations:int ->
+  ?lambda_max:float ->
+  cost:cost_fn ->
+  budget:float ->
+  Network.t ->
+  Constr.t list ->
+  point option
+(** Bisects lambda in [0, lambda_max] (default 100, 20 iterations) for
+    the most diverse assignment whose cost fits the budget; [None] when
+    even the cheapest trade-off found exceeds it. *)

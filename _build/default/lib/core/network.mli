@@ -1,0 +1,84 @@
+(** Networks of hosts, services and candidate products (Definition 2).
+
+    A network [N = <H, L, S, P>] couples an undirected host graph with a
+    service catalog.  Every service [s] is provided by a range of products
+    [p(s)], each pair of which has a vulnerability similarity (Definition 1);
+    every host runs a subset of the services, and for each of them carries a
+    candidate list — the products that may be installed there.  Legacy hosts
+    are modeled by singleton candidate lists (no flexibility to diversify,
+    constraint (i) of Section VII).
+
+    Products are identified per service: service [s]'s products are numbered
+    [0 .. n_products t s - 1]. *)
+
+type t
+
+type service_spec = {
+  sv_name : string;
+  sv_products : string array;
+  sv_similarity : float array;
+      (** row-major [p*p] similarity matrix; symmetric, unit diagonal *)
+}
+
+type host_spec = {
+  h_name : string;
+  h_services : (int * int array) list;
+      (** (service id, candidate products); [[||]] means "all products" *)
+}
+
+val create :
+  graph:Netdiv_graph.Graph.t ->
+  services:service_spec array ->
+  hosts:host_spec array ->
+  t
+(** Validates and freezes a network.
+    @raise Invalid_argument when host count differs from the graph's node
+    count, a similarity matrix is not symmetric/unit-diagonal/within [0,1],
+    a candidate list is empty after normalization, repeats a product, or
+    mentions an unknown service or product, or a host lists a service
+    twice. *)
+
+val of_similarity_tables :
+  graph:Netdiv_graph.Graph.t ->
+  services:(string * Netdiv_vuln.Similarity.table) array ->
+  hosts:host_spec array ->
+  t
+(** Builds the service specs straight from vulnerability similarity tables
+    (product names and pairwise similarities). *)
+
+val graph : t -> Netdiv_graph.Graph.t
+val n_hosts : t -> int
+val n_services : t -> int
+
+val host_name : t -> int -> string
+val service_name : t -> int -> string
+val product_name : t -> service:int -> int -> string
+
+val n_products : t -> int -> int
+(** Products available for a service. *)
+
+val similarity : t -> service:int -> int -> int -> float
+(** [similarity t ~service p q]: vulnerability similarity of two products of
+    the same service. *)
+
+val similarity_matrix : t -> service:int -> float array
+(** The service's full matrix (shared; do not mutate). *)
+
+val host_services : t -> int -> int array
+(** Sorted service ids run by a host. *)
+
+val runs_service : t -> host:int -> service:int -> bool
+
+val candidates : t -> host:int -> service:int -> int array
+(** Candidate products of a host for a service (shared; do not mutate).
+    @raise Invalid_argument if the host does not run the service. *)
+
+val find_host : t -> string -> int option
+val find_service : t -> string -> int option
+val find_product : t -> service:int -> string -> int option
+
+val slots : t -> (int * int) array
+(** All (host, service) pairs, i.e. the variables of the assignment
+    problem, ordered by host then service. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+module S = Netdiv_mrf.Solver
+module Trws_solver = Netdiv_mrf.Trws
+module Bp_solver = Netdiv_mrf.Bp
+module Icm_solver = Netdiv_mrf.Icm
+module Sa_solver = Netdiv_mrf.Sa
+module Bnb_solver = Netdiv_mrf.Bnb
+
+type solver = Trws | Trws_icm | Bp | Icm | Sa | Exact
+
+type report = {
+  assignment : Assignment.t;
+  energy : float;
+  lower_bound : float;
+  solver_result : S.result;
+  constraints_ok : bool;
+  violated : Constr.t list;
+  runtime_s : float;
+}
+
+let solver_name = function
+  | Trws -> "trws"
+  | Trws_icm -> "trws+icm"
+  | Bp -> "bp"
+  | Icm -> "icm"
+  | Sa -> "sa"
+  | Exact -> "bnb"
+
+let solve_encoded ?(solver = Trws_icm) ?max_iters encoded =
+  let model = Encode.mrf encoded in
+  let trws_config =
+    match max_iters with
+    | None -> Trws_solver.default_config
+    | Some m -> { Trws_solver.default_config with max_iters = m }
+  in
+  let bp_config =
+    match max_iters with
+    | None -> Bp_solver.default_config
+    | Some m -> { Bp_solver.default_config with max_iters = m }
+  in
+  match solver with
+  | Trws -> Trws_solver.solve ~config:trws_config model
+  | Bp -> Bp_solver.solve ~config:bp_config model
+  | Icm -> Icm_solver.solve model
+  | Sa -> Sa_solver.solve model
+  | Exact -> Bnb_solver.solve model
+  | Trws_icm ->
+      let r = Trws_solver.solve ~config:trws_config model in
+      let p = Icm_solver.solve ~init:r.S.labeling model in
+      if p.S.energy < r.S.energy then
+        {
+          p with
+          S.lower_bound = r.S.lower_bound;
+          runtime_s = r.S.runtime_s +. p.S.runtime_s;
+          iterations = r.S.iterations + p.S.iterations;
+        }
+      else { r with S.runtime_s = r.S.runtime_s +. p.S.runtime_s }
+
+let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters net
+    constraints =
+  let (encoded, result), runtime_s =
+    S.timed (fun () ->
+        let encoded =
+          Encode.encode ?prconst ?big_m ?preference ?edge_weight net
+            constraints
+        in
+        (encoded, solve_encoded ?solver ?max_iters encoded))
+  in
+  let assignment = Encode.decode encoded result.S.labeling in
+  let violated = Constr.violations net assignment constraints in
+  {
+    assignment;
+    energy = result.S.energy;
+    lower_bound = result.S.lower_bound;
+    solver_result = result;
+    constraints_ok = violated = [];
+    violated;
+    runtime_s;
+  }
+
+let refine ?prconst ?big_m ?preference ?edge_weight ~previous net
+    constraints =
+  let (encoded, result), runtime_s =
+    S.timed (fun () ->
+        let encoded =
+          Encode.encode ?prconst ?big_m ?preference ?edge_weight net
+            constraints
+        in
+        (* project the previous assignment into the new encoding: slots
+           whose old product is no longer selectable (a fresh Fix, a
+           shrunk candidate list) fall back to their first label *)
+        let model = Encode.mrf encoded in
+        let init =
+          Array.init (Encode.n_vars encoded) (fun v ->
+              let h, s = Encode.slot_of encoded v in
+              let p = Assignment.get previous ~host:h ~service:s in
+              let cands = Encode.labels_of encoded v in
+              let rec find i =
+                if i >= Array.length cands then 0
+                else if cands.(i) = p then i
+                else find (i + 1)
+              in
+              find 0)
+        in
+        (encoded, Icm_solver.solve ~init model))
+  in
+  let assignment = Encode.decode encoded result.S.labeling in
+  let violated = Constr.violations net assignment constraints in
+  {
+    assignment;
+    energy = result.S.energy;
+    lower_bound = neg_infinity;
+    solver_result = result;
+    constraints_ok = violated = [];
+    violated;
+    runtime_s;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>energy %.6f (bound %.6f), constraints %s, %.3fs@]" r.energy
+    r.lower_bound
+    (if r.constraints_ok then "satisfied"
+     else Printf.sprintf "VIOLATED (%d)" (List.length r.violated))
+    r.runtime_s

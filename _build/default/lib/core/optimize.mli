@@ -1,0 +1,65 @@
+(** Optimal diversification (Definition 5, Section V-C).
+
+    Encodes a network and its constraints as an MRF and minimizes with a
+    configurable solver.  The default pipeline is TRW-S followed by an ICM
+    polish of the decoded labeling: TRW-S supplies the global structure and
+    the dual bound, ICM removes residual single-slot defects (it can only
+    lower the energy). *)
+
+type solver =
+  | Trws           (** TRW-S alone *)
+  | Trws_icm       (** TRW-S + ICM polish (default, "our method") *)
+  | Bp             (** loopy belief propagation baseline *)
+  | Icm            (** greedy local search baseline *)
+  | Sa             (** simulated annealing baseline *)
+  | Exact
+      (** branch-and-bound ({!Netdiv_mrf.Bnb}): proves global optimality
+          when it converges; practical for small or loosely-coupled
+          instances *)
+
+type report = {
+  assignment : Assignment.t;
+  energy : float;              (** MRF energy of [assignment] *)
+  lower_bound : float;         (** dual bound ([neg_infinity] without one) *)
+  solver_result : Netdiv_mrf.Solver.result;
+  constraints_ok : bool;       (** all constraints satisfied *)
+  violated : Constr.t list;
+  runtime_s : float;           (** encode + solve wall clock *)
+}
+
+val run :
+  ?solver:solver ->
+  ?prconst:float ->
+  ?big_m:float ->
+  ?preference:(host:int -> service:int -> product:int -> float) ->
+  ?edge_weight:(int -> int -> float) ->
+  ?max_iters:int ->
+  Network.t ->
+  Constr.t list ->
+  report
+(** Computes an (approximately) optimal constrained assignment; the
+    optional arguments are forwarded to {!Encode.encode}. *)
+
+val refine :
+  ?prconst:float ->
+  ?big_m:float ->
+  ?preference:(host:int -> service:int -> product:int -> float) ->
+  ?edge_weight:(int -> int -> float) ->
+  previous:Assignment.t ->
+  Network.t ->
+  Constr.t list ->
+  report
+(** Incremental re-optimization after a small change (a new constraint, a
+    changed candidate list): warm-starts local search from [previous]
+    instead of solving from scratch.  Slots whose previous product is no
+    longer selectable fall back before polishing.  Much faster than
+    {!run} for small perturbations, with no dual bound. *)
+
+val solve_encoded : ?solver:solver -> ?max_iters:int -> Encode.encoded ->
+  Netdiv_mrf.Solver.result
+(** Lower-level entry point on a pre-built encoding (used by the
+    scalability benches, which time encode and solve separately). *)
+
+val solver_name : solver -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,285 @@
+module Json = Netdiv_vuln.Json
+module Graph = Netdiv_graph.Graph
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------- writing *)
+
+let network_to_json net =
+  let services =
+    Json.List
+      (List.init (Network.n_services net) (fun s ->
+           let p = Network.n_products net s in
+           Json.Object
+             [
+               ("name", Json.String (Network.service_name net s));
+               ( "products",
+                 Json.List
+                   (List.init p (fun k ->
+                        Json.String (Network.product_name net ~service:s k)))
+               );
+               ( "similarity",
+                 Json.List
+                   (Array.to_list
+                      (Array.map
+                         (fun v -> Json.Number v)
+                         (Network.similarity_matrix net ~service:s))) );
+             ]))
+  in
+  let hosts =
+    Json.List
+      (List.init (Network.n_hosts net) (fun h ->
+           let slots =
+             Array.to_list (Network.host_services net h)
+             |> List.map (fun s ->
+                    let cands = Network.candidates net ~host:h ~service:s in
+                    let all = Network.n_products net s in
+                    let fields =
+                      [ ("service", Json.String (Network.service_name net s)) ]
+                    in
+                    let fields =
+                      if Array.length cands = all then fields
+                      else
+                        fields
+                        @ [
+                            ( "candidates",
+                              Json.List
+                                (Array.to_list
+                                   (Array.map
+                                      (fun p ->
+                                        Json.String
+                                          (Network.product_name net ~service:s
+                                             p))
+                                      cands)) );
+                          ]
+                    in
+                    Json.Object fields)
+           in
+           Json.Object
+             [
+               ("name", Json.String (Network.host_name net h));
+               ("services", Json.List slots);
+             ]))
+  in
+  let links =
+    let acc = ref [] in
+    Graph.iter_edges
+      (fun u v ->
+        acc :=
+          Json.List
+            [
+              Json.String (Network.host_name net u);
+              Json.String (Network.host_name net v);
+            ]
+          :: !acc)
+      (Network.graph net);
+    Json.List (List.rev !acc)
+  in
+  Json.Object [ ("services", services); ("hosts", hosts); ("links", links) ]
+
+let network_to_string ?pretty net = Json.to_string ?pretty (network_to_json net)
+
+let assignment_to_json a =
+  let net = Assignment.network a in
+  Json.Object
+    [
+      ( "assignment",
+        Json.List
+          (List.init (Network.n_hosts net) (fun h ->
+               Json.Object
+                 [
+                   ("host", Json.String (Network.host_name net h));
+                   ( "products",
+                     Json.Object
+                       (Array.to_list (Network.host_services net h)
+                       |> List.map (fun s ->
+                              ( Network.service_name net s,
+                                Json.String
+                                  (Network.product_name net ~service:s
+                                     (Assignment.get a ~host:h ~service:s))
+                              ))) );
+                 ])) );
+    ]
+
+let assignment_to_string ?pretty a = Json.to_string ?pretty (assignment_to_json a)
+
+(* ------------------------------------------------------------- reading *)
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_list what = function
+  | Json.List items -> Ok items
+  | _ -> Error (what ^ " is not an array")
+
+let as_string what = function
+  | Json.String s -> Ok s
+  | _ -> Error (what ^ " is not a string")
+
+let as_number what = function
+  | Json.Number f -> Ok f
+  | _ -> Error (what ^ " is not a number")
+
+let map_result f items =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* x = f item in
+      Ok (x :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let decode_service json =
+  let* name = Result.bind (field "name" json) (as_string "service name") in
+  let* products =
+    Result.bind (field "products" json) (as_list "products")
+  in
+  let* products = map_result (as_string "product") products in
+  let* sim = Result.bind (field "similarity" json) (as_list "similarity") in
+  let* sim = map_result (as_number "similarity entry") sim in
+  Ok
+    {
+      Network.sv_name = name;
+      sv_products = Array.of_list products;
+      sv_similarity = Array.of_list sim;
+    }
+
+let decode_network json =
+  let* services = Result.bind (field "services" json) (as_list "services") in
+  let* services = map_result decode_service services in
+  let services = Array.of_list services in
+  let service_index name =
+    let rec find i =
+      if i >= Array.length services then
+        Error (Printf.sprintf "unknown service %S" name)
+      else if String.equal services.(i).Network.sv_name name then Ok i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let product_index s name =
+    let arr = services.(s).Network.sv_products in
+    let rec find i =
+      if i >= Array.length arr then
+        Error (Printf.sprintf "unknown product %S" name)
+      else if String.equal arr.(i) name then Ok i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let* hosts = Result.bind (field "hosts" json) (as_list "hosts") in
+  let* host_specs =
+    map_result
+      (fun host ->
+        let* name = Result.bind (field "name" host) (as_string "host name") in
+        let* slots = Result.bind (field "services" host) (as_list "host services") in
+        let* slots =
+          map_result
+            (fun slot ->
+              let* sname =
+                Result.bind (field "service" slot) (as_string "slot service")
+              in
+              let* s = service_index sname in
+              match Json.member "candidates" slot with
+              | None -> Ok (s, [||])
+              | Some cands ->
+                  let* cands = as_list "candidates" cands in
+                  let* cands = map_result (as_string "candidate") cands in
+                  let* cands = map_result (product_index s) cands in
+                  Ok (s, Array.of_list cands))
+            slots
+        in
+        Ok { Network.h_name = name; h_services = slots })
+      hosts
+  in
+  let host_specs = Array.of_list host_specs in
+  let host_index name =
+    let rec find i =
+      if i >= Array.length host_specs then
+        Error (Printf.sprintf "unknown host %S" name)
+      else if String.equal host_specs.(i).Network.h_name name then Ok i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let* links = Result.bind (field "links" json) (as_list "links") in
+  let* edges =
+    map_result
+      (function
+        | Json.List [ a; b ] ->
+            let* a = as_string "link endpoint" a in
+            let* b = as_string "link endpoint" b in
+            let* u = host_index a in
+            let* v = host_index b in
+            Ok (u, v)
+        | _ -> Error "link is not a two-element array")
+      links
+  in
+  match
+    Network.create
+      ~graph:(Graph.of_edges ~n:(Array.length host_specs) edges)
+      ~services ~hosts:host_specs
+  with
+  | net -> Ok net
+  | exception Invalid_argument msg -> Error msg
+
+let network_of_json json = decode_network json
+
+let network_of_string s =
+  let* json = Json.parse s in
+  decode_network json
+
+let assignment_of_json net json =
+  let* rows = Result.bind (field "assignment" json) (as_list "assignment") in
+  let table = Hashtbl.create 64 in
+  let* () =
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        let* host = Result.bind (field "host" row) (as_string "host") in
+        let* h =
+          match Network.find_host net host with
+          | Some h -> Ok h
+          | None -> Error (Printf.sprintf "unknown host %S" host)
+        in
+        let* products = field "products" row in
+        match products with
+        | Json.Object fields ->
+            List.fold_left
+              (fun acc (sname, pvalue) ->
+                let* () = acc in
+                let* s =
+                  match Network.find_service net sname with
+                  | Some s -> Ok s
+                  | None -> Error (Printf.sprintf "unknown service %S" sname)
+                in
+                let* pname = as_string "product" pvalue in
+                let* p =
+                  match Network.find_product net ~service:s pname with
+                  | Some p -> Ok p
+                  | None -> Error (Printf.sprintf "unknown product %S" pname)
+                in
+                Hashtbl.replace table (h, s) p;
+                Ok ())
+              (Ok ()) fields
+        | _ -> Error "products is not an object")
+      (Ok ()) rows
+  in
+  match
+    Assignment.make net (fun ~host ~service ->
+        match Hashtbl.find_opt table (host, service) with
+        | Some p -> p
+        | None ->
+            invalid_arg
+              (Printf.sprintf "assignment missing %s/%s"
+                 (Network.host_name net host)
+                 (Network.service_name net service)))
+  with
+  | a -> Ok a
+  | exception Invalid_argument msg -> Error msg
+
+let assignment_of_string net s =
+  let* json = Json.parse s in
+  assignment_of_json net json

@@ -1,0 +1,34 @@
+(** JSON serialization of networks and assignments.
+
+    A stable on-disk format so diversification problems and their
+    solutions can move between the CLI, external tooling and version
+    control:
+
+    {v
+    { "services": [ { "name": "os",
+                      "products": ["WinXP", "Win7"],
+                      "similarity": [1.0, 0.278, 0.278, 1.0] } ],
+      "hosts":    [ { "name": "c1",
+                      "services": [ { "service": "os",
+                                      "candidates": ["Win7"] } ] } ],
+      "links":    [ ["c1", "c2"] ] }
+    v}
+
+    Assignments are host-name keyed:
+    [{ "assignment": [ { "host": "c1", "products": { "os": "Win7" } } ] }].
+    Candidate lists may be omitted ("all products"); hosts and products
+    are referenced by name, so files survive reordering. *)
+
+val network_to_json : Network.t -> Netdiv_vuln.Json.t
+val network_to_string : ?pretty:bool -> Network.t -> string
+
+val network_of_json : Netdiv_vuln.Json.t -> (Network.t, string) result
+val network_of_string : string -> (Network.t, string) result
+
+val assignment_to_json : Assignment.t -> Netdiv_vuln.Json.t
+val assignment_to_string : ?pretty:bool -> Assignment.t -> string
+
+val assignment_of_json :
+  Network.t -> Netdiv_vuln.Json.t -> (Assignment.t, string) result
+val assignment_of_string :
+  Network.t -> string -> (Assignment.t, string) result

@@ -1,0 +1,48 @@
+module Dot = Netdiv_graph.Dot
+
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fdbf6f"; "#cab2d6"; "#fb9a99"; "#ffff99";
+     "#1f78b4"; "#33a02c" |]
+
+let assignment_dot ?entry ?target ?(highlight_rate = 1.0) a =
+  let net = Assignment.network a in
+  let g = Network.graph net in
+  let label h =
+    let services = Network.host_services net h in
+    let products =
+      Array.to_list services
+      |> List.map (fun s ->
+             Network.product_name net ~service:s
+               (Assignment.get a ~host:h ~service:s))
+    in
+    match products with
+    | [] -> Network.host_name net h
+    | _ ->
+        Printf.sprintf "%s\n%s" (Network.host_name net h)
+          (String.concat "\n" products)
+  in
+  let color h =
+    let services = Network.host_services net h in
+    if Array.length services = 0 then Some "#eeeeee"
+    else
+      let s = services.(0) in
+      let p = Assignment.get a ~host:h ~service:s in
+      Some palette.(p mod Array.length palette)
+  in
+  let shape h =
+    if Some h = entry then Some "house"
+    else if Some h = target then Some "doubleoctagon"
+    else None
+  in
+  let worst_rate = Hashtbl.create 64 in
+  List.iter
+    (fun (pair, sims) ->
+      Hashtbl.replace worst_rate pair (Array.fold_left max 0.0 sims))
+    (Assignment.edge_infection_rates a);
+  let edge_style u v =
+    match Hashtbl.find_opt worst_rate (min u v, max u v) with
+    | Some worst when worst >= highlight_rate ->
+        Some "color=red, penwidth=2.5"
+    | Some _ | None -> None
+  in
+  Dot.to_dot ~name:"assignment" ~label ~color ~shape ~edge_style g

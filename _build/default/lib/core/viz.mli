@@ -1,0 +1,19 @@
+(** Graphviz rendering of diversified deployments.
+
+    Colors every host by its operating-system-class product (the first
+    service) so diversity — or the lack of it — is visible at a glance,
+    and annotates each node with its full product stack. *)
+
+val assignment_dot :
+  ?entry:int ->
+  ?target:int ->
+  ?highlight_rate:float ->
+  Assignment.t ->
+  string
+(** [assignment_dot a] renders the assignment's network in DOT.  Hosts
+    are labeled with their name and assigned products and filled with a
+    per-product pastel color (keyed on the host's first service).  The
+    [entry] host is drawn as a house, the [target] as a double octagon.
+    Edges whose maximum shared-service similarity reaches
+    [highlight_rate] (default 1.0, i.e. identical products) are drawn
+    red and thick — the worm highways. *)

@@ -1,0 +1,1 @@
+lib/graph/cut.ml: Array Graph Hashtbl List Queue

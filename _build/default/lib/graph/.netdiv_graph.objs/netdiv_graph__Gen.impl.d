@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Fun Graph Hashtbl List Printf Random

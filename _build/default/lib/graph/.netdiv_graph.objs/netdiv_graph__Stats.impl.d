@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Array Format Fun Graph List Random Traversal

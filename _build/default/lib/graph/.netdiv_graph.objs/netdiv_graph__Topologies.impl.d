@@ -1,0 +1,1 @@
+lib/graph/topologies.ml: Array Gen Graph Hashtbl Printf Random

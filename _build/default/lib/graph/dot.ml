@@ -1,0 +1,51 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(name = "netdiv") ?label ?color ?shape ?edge_style g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [style=filled, fillcolor=white];\n";
+  for i = 0 to Graph.n_nodes g - 1 do
+    let attrs = ref [] in
+    let node_label =
+      match label with Some f -> f i | None -> string_of_int i
+    in
+    attrs := Printf.sprintf "label=\"%s\"" (escape node_label) :: !attrs;
+    (match color with
+    | Some f -> (
+        match f i with
+        | Some c -> attrs := Printf.sprintf "fillcolor=\"%s\"" (escape c) :: !attrs
+        | None -> ())
+    | None -> ());
+    (match shape with
+    | Some f -> (
+        match f i with
+        | Some s -> attrs := Printf.sprintf "shape=%s" s :: !attrs
+        | None -> ())
+    | None -> ());
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [%s];\n" i (String.concat ", " (List.rev !attrs)))
+  done;
+  Graph.iter_edges
+    (fun u v ->
+      let attrs =
+        match edge_style with
+        | Some f -> (
+            match f u v with
+            | Some style -> Printf.sprintf " [%s]" style
+            | None -> "")
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -- n%d%s;\n" u v attrs))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

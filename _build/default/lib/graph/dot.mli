@@ -1,0 +1,18 @@
+(** Graphviz (DOT) export.
+
+    Renders host graphs for inspection with the usual Graphviz tools
+    ([dot -Tsvg ...]).  Purely textual — no external dependency. *)
+
+val to_dot :
+  ?name:string ->
+  ?label:(int -> string) ->
+  ?color:(int -> string option) ->
+  ?shape:(int -> string option) ->
+  ?edge_style:(int -> int -> string option) ->
+  Graph.t ->
+  string
+(** [to_dot g] renders an undirected graph.  [label] supplies node
+    labels (default: the node id), [color] an optional fill color per
+    node, [shape] an optional node shape, [edge_style] an optional
+    attribute string per edge (e.g. ["color=red,penwidth=2"]).
+    Identifiers and labels are quoted and escaped. *)

@@ -1,0 +1,152 @@
+let barabasi_albert ~rng ~n ~m =
+  if m < 1 || m >= n then
+    invalid_arg "Topologies.barabasi_albert: need 1 <= m < n";
+  let edges = ref [] in
+  (* endpoint multiset for preferential attachment *)
+  let endpoints = ref [] in
+  let n_endpoints = ref 0 in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    endpoints := u :: v :: !endpoints;
+    n_endpoints := !n_endpoints + 2
+  in
+  (* seed clique on nodes 0..m *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      add_edge u v
+    done
+  done;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  let refresh () = endpoint_array := Array.of_list !endpoints in
+  for v = m + 1 to n - 1 do
+    refresh ();
+    let chosen = Hashtbl.create m in
+    let arr = !endpoint_array in
+    while Hashtbl.length chosen < m do
+      let candidate = arr.(Random.State.int rng (Array.length arr)) in
+      if candidate <> v then Hashtbl.replace chosen candidate ()
+    done;
+    Hashtbl.iter (fun u () -> add_edge u v) chosen
+  done;
+  Graph.of_edges ~n !edges
+
+let watts_strogatz ~rng ~n ~k ~beta =
+  if k <= 0 || k >= n || k mod 2 <> 0 then
+    invalid_arg "Topologies.watts_strogatz: need even 0 < k < n";
+  if not (beta >= 0.0 && beta <= 1.0) then
+    invalid_arg "Topologies.watts_strogatz: beta out of [0,1]";
+  let seen = Hashtbl.create (n * k) in
+  let mem u v = Hashtbl.mem seen (min u v, max u v) in
+  let add u v = Hashtbl.replace seen (min u v, max u v) () in
+  let remove u v = Hashtbl.remove seen (min u v, max u v) in
+  (* ring lattice *)
+  for u = 0 to n - 1 do
+    for step = 1 to k / 2 do
+      add u ((u + step) mod n)
+    done
+  done;
+  (* rewire each original lattice edge with probability beta *)
+  for u = 0 to n - 1 do
+    for step = 1 to k / 2 do
+      let v = (u + step) mod n in
+      if mem u v && Random.State.float rng 1.0 < beta then begin
+        (* pick a fresh endpoint for u *)
+        let attempts = ref 0 in
+        let rewired = ref false in
+        while (not !rewired) && !attempts < 32 do
+          incr attempts;
+          let w = Random.State.int rng n in
+          if w <> u && w <> v && not (mem u w) then begin
+            remove u v;
+            add u w;
+            rewired := true
+          end
+        done
+      end
+    done
+  done;
+  let edges = Hashtbl.fold (fun (u, v) () acc -> (u, v) :: acc) seen [] in
+  Graph.of_edges ~n edges
+
+type zoned = {
+  graph : Graph.t;
+  zone_of : int array;
+  gateways : (int * int) list;
+}
+
+let zoned ~rng ~zone_sizes ?(intra_degree = 4) ?(gateway_links = 2)
+    ?(backbone = None) () =
+  let n_zones = Array.length zone_sizes in
+  if n_zones = 0 then invalid_arg "Topologies.zoned: no zones";
+  Array.iteri
+    (fun z size ->
+      if size < 1 then
+        invalid_arg (Printf.sprintf "Topologies.zoned: zone %d empty" z))
+    zone_sizes;
+  let backbone =
+    match backbone with
+    | Some parents ->
+        if Array.length parents <> n_zones then
+          invalid_arg "Topologies.zoned: backbone length mismatch";
+        Array.iteri
+          (fun z p ->
+            if p >= z || (p < 0 && z <> 0) then
+              if p <> -1 then
+                invalid_arg
+                  (Printf.sprintf
+                     "Topologies.zoned: zone %d has invalid parent %d" z p))
+          parents;
+        parents
+    | None -> Array.init n_zones (fun z -> z - 1)
+  in
+  let offsets = Array.make (n_zones + 1) 0 in
+  for z = 0 to n_zones - 1 do
+    offsets.(z + 1) <- offsets.(z) + zone_sizes.(z)
+  done;
+  let n = offsets.(n_zones) in
+  let zone_of = Array.make n 0 in
+  for z = 0 to n_zones - 1 do
+    for i = offsets.(z) to offsets.(z + 1) - 1 do
+      zone_of.(i) <- z
+    done
+  done;
+  let edges = ref [] in
+  (* intra-zone connectivity *)
+  for z = 0 to n_zones - 1 do
+    let size = zone_sizes.(z) in
+    let base = offsets.(z) in
+    if size <= intra_degree + 1 then
+      (* small zone: full mesh *)
+      for i = 0 to size - 1 do
+        for j = i + 1 to size - 1 do
+          edges := (base + i, base + j) :: !edges
+        done
+      done
+    else begin
+      let sub = Gen.connected_avg_degree ~rng ~n:size ~degree:intra_degree in
+      Graph.iter_edges (fun u v -> edges := (base + u, base + v) :: !edges) sub
+    end
+  done;
+  (* inter-zone gateways along the backbone *)
+  let gateways = ref [] in
+  for z = 1 to n_zones - 1 do
+    let parent = backbone.(z) in
+    if parent >= 0 then begin
+      let links = Hashtbl.create gateway_links in
+      let tries = ref 0 in
+      while
+        Hashtbl.length links < gateway_links && !tries < 64 * gateway_links
+      do
+        incr tries;
+        let u = offsets.(parent) + Random.State.int rng zone_sizes.(parent) in
+        let v = offsets.(z) + Random.State.int rng zone_sizes.(z) in
+        if not (Hashtbl.mem links (u, v)) then Hashtbl.replace links (u, v) ()
+      done;
+      Hashtbl.iter
+        (fun (u, v) () ->
+          edges := (u, v) :: !edges;
+          gateways := (u, v) :: !gateways)
+        links
+    end
+  done;
+  { graph = Graph.of_edges ~n !edges; zone_of; gateways = !gateways }

@@ -1,0 +1,47 @@
+(** Structured topology generators.
+
+    The scalability study uses uniform random graphs; real IT/OT networks
+    are not uniform.  These generators provide the standard structured
+    families — scale-free (Barabási–Albert), small-world
+    (Watts–Strogatz) — plus a {e zoned} generator that scales the
+    case-study's architecture (meshed zones joined by a few firewall
+    links) to arbitrary sizes, used by the topology-ablation bench. *)
+
+val barabasi_albert :
+  rng:Random.State.t -> n:int -> m:int -> Graph.t
+(** Preferential attachment: start from an [m+1]-clique, then each new
+    node attaches to [m] distinct existing nodes chosen with probability
+    proportional to degree.
+    @raise Invalid_argument unless [1 <= m < n]. *)
+
+val watts_strogatz :
+  rng:Random.State.t -> n:int -> k:int -> beta:float -> Graph.t
+(** Small-world: a ring lattice where every node links to its [k/2]
+    nearest neighbours on each side, then each edge is rewired with
+    probability [beta] to a uniform random endpoint (avoiding self-loops
+    and duplicates; rewiring is skipped when no candidate exists).
+    @raise Invalid_argument unless [k] is even, [0 < k < n], and
+    [0 <= beta <= 1]. *)
+
+type zoned = {
+  graph : Graph.t;
+  zone_of : int array;          (** zone index per node *)
+  gateways : (int * int) list;  (** the inter-zone firewall links *)
+}
+
+val zoned :
+  rng:Random.State.t ->
+  zone_sizes:int array ->
+  ?intra_degree:int ->
+  ?gateway_links:int ->
+  ?backbone:int array option ->
+  unit ->
+  zoned
+(** [zoned ~rng ~zone_sizes ()] builds an ICS-like network: each zone is
+    a random connected subgraph with average degree [intra_degree]
+    (default 4; zones smaller than that are fully meshed), and
+    consecutive zones — or the zone pairs listed by [backbone] as a
+    parent array (entry [i] is the zone that zone [i] uplinks to, [-1]
+    for the root) — are joined by [gateway_links] random cross links
+    (default 2).
+    @raise Invalid_argument on empty zones or a malformed backbone. *)

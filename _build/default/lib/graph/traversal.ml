@@ -1,0 +1,92 @@
+let bfs g src =
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n then invalid_arg "Traversal.bfs: source out of range";
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.fold_neighbors
+      (fun v () ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      g u ()
+  done;
+  dist
+
+let shortest_path g src dst =
+  let n = Graph.n_nodes g in
+  if dst < 0 || dst >= n then
+    invalid_arg "Traversal.shortest_path: destination out of range";
+  let parent = Array.make n (-1) in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.fold_neighbors
+      (fun v () ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      g u ()
+  done;
+  if dist.(dst) < 0 then None
+  else begin
+    let rec collect v acc =
+      if v = src then src :: acc else collect parent.(v) (v :: acc)
+    in
+    Some (collect dst [])
+  end
+
+let components g =
+  let n = Graph.n_nodes g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for src = 0 to n - 1 do
+    if comp.(src) < 0 then begin
+      let id = !next in
+      incr next;
+      let queue = Queue.create () in
+      comp.(src) <- id;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.fold_neighbors
+          (fun v () ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+          g u ()
+      done
+    end
+  done;
+  comp
+
+let n_components g =
+  let comp = components g in
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp
+
+let is_connected g = Graph.n_nodes g <= 1 || n_components g = 1
+
+let bfs_dag g src =
+  let dist = bfs g src in
+  let directed = ref [] in
+  Graph.iter_edges
+    (fun u v ->
+      match (dist.(u), dist.(v)) with
+      | -1, _ | _, -1 -> ()
+      | du, dv ->
+          if du < dv then directed := (u, v) :: !directed
+          else if dv < du then directed := (v, u) :: !directed
+          else if u < v then directed := (u, v) :: !directed
+          else directed := (v, u) :: !directed)
+    g;
+  List.rev !directed

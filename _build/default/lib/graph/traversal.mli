@@ -1,0 +1,25 @@
+(** Graph traversal: BFS, connectivity, and BFS-layered orientation.
+
+    The attack Bayesian network (Section VI) needs the undirected host
+    graph oriented into a DAG rooted at the attacker's entry host;
+    {!bfs_dag} provides that orientation. *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g src] returns hop distances from [src]; unreachable nodes get
+    [-1]. *)
+
+val shortest_path : Graph.t -> int -> int -> int list option
+(** [shortest_path g src dst] is a minimum-hop path [src; ...; dst]. *)
+
+val components : Graph.t -> int array
+(** Component id per node, ids numbered from 0 in discovery order. *)
+
+val n_components : Graph.t -> int
+val is_connected : Graph.t -> bool
+
+val bfs_dag : Graph.t -> int -> (int * int) list
+(** [bfs_dag g src] orients the edges reachable from [src] into an acyclic
+    set: each edge points from the endpoint closer to [src] to the farther
+    one; edges within a BFS layer point from the smaller node id to the
+    larger.  Edges between unreachable nodes are dropped.  The result is a
+    DAG rooted at [src] that preserves every reachable undirected edge. *)

@@ -1,0 +1,1 @@
+lib/metrics/metrics.ml: Array Format Hashtbl List Netdiv_bayes Netdiv_core Netdiv_graph Queue

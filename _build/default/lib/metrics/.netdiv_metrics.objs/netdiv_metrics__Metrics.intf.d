@@ -1,0 +1,1 @@
+lib/metrics/metrics.mli: Format Netdiv_core

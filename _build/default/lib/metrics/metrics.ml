@@ -1,0 +1,274 @@
+module Graph = Netdiv_graph.Graph
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+module Attack_bn = Netdiv_bayes.Attack_bn
+
+let product_frequencies a ~service =
+  let net = Assignment.network a in
+  let counts = Array.make (Network.n_products net service) 0 in
+  let total = ref 0 in
+  for h = 0 to Network.n_hosts net - 1 do
+    if Network.runs_service net ~host:h ~service then begin
+      counts.(Assignment.get a ~host:h ~service)
+      <- counts.(Assignment.get a ~host:h ~service) + 1;
+      incr total
+    end
+  done;
+  if !total = 0 then Array.map (fun _ -> 0.0) counts
+  else Array.map (fun c -> float_of_int c /. float_of_int !total) counts
+
+let effective_richness a ~service =
+  let freqs = product_frequencies a ~service in
+  let entropy =
+    Array.fold_left
+      (fun acc p -> if p > 0.0 then acc -. (p *. log p) else acc)
+      0.0 freqs
+  in
+  if Array.for_all (fun p -> p = 0.0) freqs then 0.0 else exp entropy
+
+let deployed_instances a ~service =
+  let net = Assignment.network a in
+  let total = ref 0 in
+  for h = 0 to Network.n_hosts net - 1 do
+    if Network.runs_service net ~host:h ~service then incr total
+  done;
+  !total
+
+let d1 a =
+  let net = Assignment.network a in
+  let richness = ref 0.0 and instances = ref 0 in
+  for s = 0 to Network.n_services net - 1 do
+    richness := !richness +. effective_richness a ~service:s;
+    instances := !instances + deployed_instances a ~service:s
+  done;
+  if !instances = 0 then 0.0 else !richness /. float_of_int !instances
+
+(* --------------------------------------------- least attacking effort *)
+
+type exploit = { service : int; product : int }
+
+let shared_services net u v =
+  let su = Network.host_services net u in
+  let sv = Network.host_services net v in
+  let acc = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length su && !j < Array.length sv do
+    if su.(!i) = sv.(!j) then begin
+      acc := su.(!i) :: !acc;
+      incr i;
+      incr j
+    end
+    else if su.(!i) < sv.(!j) then incr i
+    else incr j
+  done;
+  !acc
+
+(* every (service, product) pair actually deployed somewhere *)
+let deployed_exploits a =
+  let net = Assignment.network a in
+  let seen = Hashtbl.create 32 in
+  for h = 0 to Network.n_hosts net - 1 do
+    Array.iter
+      (fun s ->
+        Hashtbl.replace seen (s, Assignment.get a ~host:h ~service:s) ())
+      (Network.host_services net h)
+  done;
+  Hashtbl.fold
+    (fun (service, product) () acc -> { service; product } :: acc)
+    seen []
+  |> List.sort compare
+
+(* hosts reachable from [entry] holding exploit set [e] (as a predicate) *)
+let reaches a ~entry ~target has_exploit =
+  let net = Assignment.network a in
+  let g = Network.graph net in
+  let n = Graph.n_nodes g in
+  let infected = Array.make n false in
+  infected.(entry) <- true;
+  if entry = target then true
+  else begin
+    let queue = Queue.create () in
+    Queue.add entry queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Graph.fold_neighbors
+        (fun v () ->
+          if not infected.(v) then begin
+            let usable =
+              List.exists
+                (fun s ->
+                  has_exploit
+                    { service = s;
+                      product = Assignment.get a ~host:v ~service:s })
+                (shared_services net u v)
+            in
+            if usable then begin
+              infected.(v) <- true;
+              if v = target then found := true else Queue.add v queue
+            end
+          end)
+        g u ()
+    done;
+    !found
+  end
+
+let least_effort ?(limit = 6) a ~entry ~target =
+  let universe = Array.of_list (deployed_exploits a) in
+  let n = Array.length universe in
+  let member chosen e = List.mem e chosen in
+  if not (reaches a ~entry ~target (fun _ -> true)) then Error `Unreachable
+  else begin
+    (* subsets in increasing cardinality *)
+    let result = ref None in
+    let rec combos k start chosen =
+      if !result <> None then ()
+      else if k = 0 then begin
+        if reaches a ~entry ~target (member chosen) then
+          result := Some (List.rev chosen)
+      end
+      else
+        for i = start to n - k do
+          if !result = None then
+            combos (k - 1) (i + 1) (universe.(i) :: chosen)
+        done
+    in
+    let rec try_size k =
+      if k > min limit n then Error `Above_limit
+      else begin
+        combos k 0 [];
+        match !result with Some e -> Ok e | None -> try_size (k + 1)
+      end
+    in
+    (* k = 0 handles entry = target *)
+    try_size 0
+  end
+
+let least_effort_greedy a ~entry ~target =
+  if not (reaches a ~entry ~target (fun _ -> true)) then None
+  else begin
+    let net = Assignment.network a in
+    let g = Network.graph net in
+    (* score a set by the hop distance from the reachable region to the
+       target in the full graph (smaller is better), tie-broken by
+       reachable-region size (larger is better) *)
+    let dist_to_target = Netdiv_graph.Traversal.bfs g target in
+    let score chosen =
+      let reachable = Array.make (Graph.n_nodes g) false in
+      reachable.(entry) <- true;
+      let queue = Queue.create () in
+      Queue.add entry queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.fold_neighbors
+          (fun v () ->
+            if not reachable.(v) then begin
+              let usable =
+                List.exists
+                  (fun s ->
+                    List.mem
+                      { service = s;
+                        product = Assignment.get a ~host:v ~service:s }
+                      chosen)
+                  (shared_services net u v)
+              in
+              if usable then begin
+                reachable.(v) <- true;
+                Queue.add v queue
+              end
+            end)
+          g u ()
+      done;
+      let best_dist = ref max_int and size = ref 0 in
+      Array.iteri
+        (fun h r ->
+          if r then begin
+            incr size;
+            if dist_to_target.(h) >= 0 && dist_to_target.(h) < !best_dist
+            then best_dist := dist_to_target.(h)
+          end)
+        reachable;
+      (!best_dist, - !size)
+    in
+    let universe = deployed_exploits a in
+    let rec grow chosen =
+      if reaches a ~entry ~target (fun e -> List.mem e chosen) then
+        Some (List.rev chosen)
+      else begin
+        let candidates =
+          List.filter (fun e -> not (List.mem e chosen)) universe
+        in
+        match candidates with
+        | [] -> None
+        | first :: _ ->
+            let best =
+              List.fold_left
+                (fun (be, bs) e ->
+                  let s = score (e :: chosen) in
+                  if s < bs then (e, s) else (be, bs))
+                (first, score (first :: chosen))
+                candidates
+            in
+            grow (fst best :: chosen)
+      end
+    in
+    grow []
+  end
+
+(* hop distance entry->target using only edges traversable with the
+   exploit set, or -1 *)
+let restricted_distance a ~entry ~target exploits =
+  let net = Assignment.network a in
+  let g = Network.graph net in
+  let n = Graph.n_nodes g in
+  let dist = Array.make n (-1) in
+  dist.(entry) <- 0;
+  let queue = Queue.create () in
+  Queue.add entry queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.fold_neighbors
+      (fun v () ->
+        if dist.(v) < 0 then begin
+          let usable =
+            List.exists
+              (fun s ->
+                List.mem
+                  { service = s;
+                    product = Assignment.get a ~host:v ~service:s }
+                  exploits)
+              (shared_services net u v)
+          in
+          if usable then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v queue
+          end
+        end)
+      g u ()
+  done;
+  dist.(target)
+
+let d2 ?limit a ~entry ~target =
+  if entry = target then 0.0
+  else
+    let exploits =
+      match least_effort ?limit a ~entry ~target with
+      | Ok exploits -> Some exploits
+      | Error `Unreachable -> None
+      | Error `Above_limit -> least_effort_greedy a ~entry ~target
+    in
+    match exploits with
+    | None -> 0.0
+    | Some exploits -> (
+        match restricted_distance a ~entry ~target exploits with
+        | -1 -> 0.0
+        | steps ->
+            float_of_int (List.length exploits) /. float_of_int steps)
+
+let d3 ?base_rate ?sim_floor ?p_avg a ~entry ~target =
+  Attack_bn.diversity ?base_rate ?sim_floor ?p_avg a ~entry ~target
+
+let pp_exploit net ppf { service; product } =
+  Format.fprintf ppf "%s:%s"
+    (Network.service_name net service)
+    (Network.product_name net ~service product)

@@ -1,0 +1,81 @@
+(** Network diversity metrics.
+
+    The paper adapts the third of Zhang et al.'s three diversity metrics
+    ("Network diversity: a security metric for evaluating the resilience
+    of networks against zero-day attacks", IEEE TIFS 2016); this module
+    implements all three, plus Wang et al.'s closely related k-zero-day
+    safety, so diversified deployments can be scored from several angles:
+
+    - {!d1}: {e effective richness} — how evenly distinct products are
+      spread over the deployment, measured by the exponential of the
+      Shannon entropy of product frequencies, normalized by the number of
+      deployed instances.  1.0 means every instance runs a distinct
+      product; 1/n means a mono-culture of n instances.
+    - {!least_effort} / {!d2}: {e least attacking effort} — the minimum
+      number of distinct zero-day exploits (one per (service, product)
+      pair) an attacker must hold to reach a target host from an entry
+      host.  This is also the k of k-zero-day safety.
+    - {!d3}: {e average attacking effort} — the Bayesian-network metric
+      [d_bn] of the paper's Definition 6 (re-exported from
+      {!Netdiv_bayes.Attack_bn} for completeness). *)
+
+val product_frequencies :
+  Netdiv_core.Assignment.t -> service:int -> float array
+(** Fraction of the service's deployed instances running each product
+    (sums to 1 when the service is deployed at all). *)
+
+val effective_richness : Netdiv_core.Assignment.t -> service:int -> float
+(** [exp (Shannon entropy)] of the service's product distribution: the
+    "effective number" of distinct products in use.  0 when the service
+    is deployed nowhere. *)
+
+val d1 : Netdiv_core.Assignment.t -> float
+(** Effective richness summed over services, divided by the total number
+    of deployed instances; in (0, 1] for non-empty deployments. *)
+
+(** {1 Least attacking effort (d2, k-zero-day safety)} *)
+
+type exploit = { service : int; product : int }
+(** A zero-day exploit for one product (the attacker can compromise any
+    host running that product for that service, when attacking from a
+    connected host that shares the service). *)
+
+val least_effort :
+  ?limit:int ->
+  Netdiv_core.Assignment.t ->
+  entry:int ->
+  target:int ->
+  (exploit list, [ `Unreachable | `Above_limit ]) result
+(** [least_effort a ~entry ~target] is a minimum-cardinality exploit set
+    whose possession lets the attacker walk from [entry] (assumed already
+    compromised) to [target]: an edge u→v is traversable with exploit set
+    E iff some service shared by u and v has [(s, α(v, s)) ∈ E].  Exact,
+    by enumeration of exploit subsets in increasing cardinality; subsets
+    larger than [limit] (default 6) are not explored. *)
+
+val least_effort_greedy :
+  Netdiv_core.Assignment.t -> entry:int -> target:int -> exploit list option
+(** Greedy upper bound on {!least_effort}: repeatedly adds the exploit
+    that brings the frontier closest to the target.  [None] when the
+    target is unreachable even with every exploit. *)
+
+val d2 :
+  ?limit:int -> Netdiv_core.Assignment.t -> entry:int -> target:int -> float
+(** Least-attacking-effort diversity: [k / L], where [k] is the size of
+    the minimal exploit set (greedy bound beyond [limit]) and [L] the
+    number of compromise steps of the shortest attack path usable with
+    that set.  1 when every step needs a fresh zero-day, [1/L] for a
+    mono-culture corridor; 0 when the target is unreachable (nothing to
+    attack) or equals the entry (nothing protects it). *)
+
+val d3 :
+  ?base_rate:float ->
+  ?sim_floor:float ->
+  ?p_avg:float ->
+  Netdiv_core.Assignment.t ->
+  entry:int ->
+  target:int ->
+  float
+(** The paper's [d_bn] (Definition 6); see {!Netdiv_bayes.Attack_bn.diversity}. *)
+
+val pp_exploit : Netdiv_core.Network.t -> Format.formatter -> exploit -> unit

@@ -1,0 +1,1 @@
+lib/mrf/bnb.ml: Array Icm Mrf Solver Trws

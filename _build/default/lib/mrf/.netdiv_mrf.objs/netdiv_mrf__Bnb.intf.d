@@ -1,0 +1,1 @@
+lib/mrf/bnb.mli: Mrf Solver

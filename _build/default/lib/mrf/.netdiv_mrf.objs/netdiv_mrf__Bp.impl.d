@@ -1,0 +1,1 @@
+lib/mrf/bp.ml: Array Mrf Random Solver

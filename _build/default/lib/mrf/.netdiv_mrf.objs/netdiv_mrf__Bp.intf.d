@@ -1,0 +1,1 @@
+lib/mrf/bp.mli: Mrf Solver

@@ -1,0 +1,1 @@
+lib/mrf/brute.ml: Array Mrf Solver

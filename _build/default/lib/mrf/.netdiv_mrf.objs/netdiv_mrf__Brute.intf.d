@@ -1,0 +1,1 @@
+lib/mrf/brute.mli: Mrf Solver

@@ -1,0 +1,1 @@
+lib/mrf/icm.ml: Array Mrf Solver

@@ -1,0 +1,1 @@
+lib/mrf/icm.mli: Mrf Solver

@@ -1,0 +1,1 @@
+lib/mrf/mrf.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/mrf/mrf.mli: Format

@@ -1,0 +1,1 @@
+lib/mrf/sa.ml: Array Domain Fun List Mrf Random Solver

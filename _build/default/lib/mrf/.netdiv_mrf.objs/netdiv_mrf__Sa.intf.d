@@ -1,0 +1,1 @@
+lib/mrf/sa.mli: Mrf Solver

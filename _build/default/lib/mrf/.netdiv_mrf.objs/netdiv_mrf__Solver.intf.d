@@ -1,0 +1,1 @@
+lib/mrf/solver.mli: Format

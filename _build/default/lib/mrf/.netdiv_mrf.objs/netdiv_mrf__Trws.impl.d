@@ -1,0 +1,1 @@
+lib/mrf/trws.ml: Array List Mrf Solver

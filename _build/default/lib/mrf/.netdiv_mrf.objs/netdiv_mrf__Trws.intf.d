@@ -1,0 +1,1 @@
+lib/mrf/trws.mli: Mrf Solver

@@ -1,0 +1,154 @@
+type config = { node_limit : int }
+
+let default_config = { node_limit = 2_000_000 }
+
+(* variable order: greedy max-connectivity into the already-ordered set,
+   seeded by the highest-degree node *)
+let connectivity_order mrf =
+  let n = Mrf.n_nodes mrf in
+  let order = Array.make n 0 in
+  let placed = Array.make n false in
+  let links_to_placed = Array.make n 0 in
+  let degree i = Array.length (Mrf.incident mrf i) in
+  let pick k =
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if not placed.(i) then
+        match !best with
+        | -1 -> best := i
+        | b ->
+            let key i = (links_to_placed.(i), degree i) in
+            if key i > key b then best := i
+    done;
+    let i = !best in
+    placed.(i) <- true;
+    order.(k) <- i;
+    Array.iter
+      (fun (e, _) ->
+        let j = Mrf.opposite mrf ~edge:e i in
+        links_to_placed.(j) <- links_to_placed.(j) + 1)
+      (Mrf.incident mrf i)
+  in
+  for k = 0 to n - 1 do
+    pick k
+  done;
+  order
+
+let solve ?(config = default_config) mrf =
+  let run () =
+    let n = Mrf.n_nodes mrf in
+    let order = connectivity_order mrf in
+    let rank = Array.make n 0 in
+    Array.iteri (fun k i -> rank.(i) <- k) order;
+    (* incumbent from the approximate pipeline *)
+    let warm = Trws.solve mrf in
+    let polished = Icm.solve ~init:warm.Solver.labeling mrf in
+    let best_x = Array.copy polished.Solver.labeling in
+    let best = ref polished.Solver.energy in
+    let warm_bound = warm.Solver.lower_bound in
+    (* per-edge minimum over all label pairs (for fully-unassigned edges) *)
+    let edge_min =
+      Array.init (Mrf.n_edges mrf) (fun e ->
+          Array.fold_left min infinity (Mrf.edge_cost mrf e))
+    in
+    let x = Array.make n 0 in
+    let assigned = Array.make n false in
+    let nodes = ref 0 in
+    let complete = ref true in
+    (* admissible completion bound given the current partial assignment *)
+    let remainder_bound () =
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        if not assigned.(i) then begin
+          (* best label of i against assigned neighbours *)
+          let k = Mrf.label_count mrf i in
+          let best_label = ref infinity in
+          for l = 0 to k - 1 do
+            let c = ref (Mrf.unary mrf ~node:i ~label:l) in
+            Array.iter
+              (fun (e, i_is_u) ->
+                let j = Mrf.opposite mrf ~edge:e i in
+                if assigned.(j) then begin
+                  let pot = Mrf.edge_cost mrf e in
+                  let kj = Mrf.label_count mrf j in
+                  let pair =
+                    if i_is_u then pot.((l * kj) + x.(j))
+                    else pot.((x.(j) * k) + l)
+                  in
+                  c := !c +. pair
+                end)
+              (Mrf.incident mrf i);
+            if !c < !best_label then best_label := !c
+          done;
+          acc := !acc +. !best_label
+        end
+      done;
+      (* fully-unassigned edges, counted once via their u endpoint *)
+      for e = 0 to Mrf.n_edges mrf - 1 do
+        let u, v = Mrf.edge_endpoints mrf e in
+        if (not assigned.(u)) && not assigned.(v) then
+          acc := !acc +. edge_min.(e)
+      done;
+      !acc
+    in
+    let rec branch depth g =
+      if !nodes >= config.node_limit then complete := false
+      else begin
+        incr nodes;
+        if depth = n then begin
+          if g < !best then begin
+            best := g;
+            Array.blit x 0 best_x 0 n
+          end
+        end
+        else begin
+          let i = order.(depth) in
+          let k = Mrf.label_count mrf i in
+          (* try labels in increasing local-cost order *)
+          let local l =
+            let c = ref (Mrf.unary mrf ~node:i ~label:l) in
+            Array.iter
+              (fun (e, i_is_u) ->
+                let j = Mrf.opposite mrf ~edge:e i in
+                if assigned.(j) then begin
+                  let pot = Mrf.edge_cost mrf e in
+                  let kj = Mrf.label_count mrf j in
+                  let pair =
+                    if i_is_u then pot.((l * kj) + x.(j))
+                    else pot.((x.(j) * k) + l)
+                  in
+                  c := !c +. pair
+                end)
+              (Mrf.incident mrf i);
+            !c
+          in
+          let costs = Array.init k (fun l -> (local l, l)) in
+          Array.sort compare costs;
+          Array.iter
+            (fun (cost, l) ->
+              let g' = g +. cost in
+              if g' < !best -. 1e-12 then begin
+                x.(i) <- l;
+                assigned.(i) <- true;
+                let bound = g' +. remainder_bound () in
+                if bound < !best -. 1e-12 then branch (depth + 1) g';
+                assigned.(i) <- false
+              end)
+            costs
+        end
+      end
+    in
+    branch 0 0.0;
+    (best_x, !best, !nodes, !complete, warm_bound)
+  in
+  let (labeling, energy, iterations, complete, warm_bound), runtime_s =
+    Solver.timed run
+  in
+  {
+    Solver.labeling;
+    energy;
+    lower_bound = (if complete then energy else warm_bound);
+    iterations;
+    converged = complete;
+    runtime_s;
+  }

@@ -1,0 +1,176 @@
+type config = {
+  max_iters : int;
+  tolerance : float;
+  damping : float;
+  init_noise : float;
+}
+
+let default_config =
+  { max_iters = 100; tolerance = 1e-7; damping = 0.3; init_noise = 1e-4 }
+
+type state = {
+  labels : int array;
+  unary_off : int array;
+  unary : float array;
+  eu : int array;
+  ev : int array;
+  epot : float array array;
+  inc_off : int array;
+  inc : int array;
+  fw_off : int array;
+  bw_off : int array;
+  fw : float array;  (* message into v of each edge *)
+  bw : float array;  (* message into u of each edge *)
+}
+
+let make_state mrf =
+  let labels, unary_off, unary, eu, ev, epot, inc_off, inc =
+    Mrf.internal_arrays mrf
+  in
+  let m = Array.length eu in
+  let fw_off = Array.make (m + 1) 0 and bw_off = Array.make (m + 1) 0 in
+  for e = 0 to m - 1 do
+    fw_off.(e + 1) <- fw_off.(e) + labels.(ev.(e));
+    bw_off.(e + 1) <- bw_off.(e) + labels.(eu.(e))
+  done;
+  {
+    labels;
+    unary_off;
+    unary;
+    eu;
+    ev;
+    epot;
+    inc_off;
+    inc;
+    fw_off;
+    bw_off;
+    fw = Array.make fw_off.(m) 0.0;
+    bw = Array.make bw_off.(m) 0.0;
+  }
+
+let aggregate st i theta =
+  let k = st.labels.(i) in
+  let u0 = st.unary_off.(i) in
+  for x = 0 to k - 1 do
+    theta.(x) <- st.unary.(u0 + x)
+  done;
+  for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+    let code = st.inc.(p) in
+    let e = code / 2 in
+    let off, msg =
+      if code land 1 = 1 then (st.bw_off.(e), st.bw)
+      else (st.fw_off.(e), st.fw)
+    in
+    for x = 0 to k - 1 do
+      theta.(x) <- theta.(x) +. msg.(off + x)
+    done
+  done
+
+(* One sequential sweep updating every directed message once; returns the
+   largest absolute message change. *)
+let sweep st n theta damping =
+  let delta = ref 0.0 in
+  for i = 0 to n - 1 do
+    aggregate st i theta;
+    let k = st.labels.(i) in
+    for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+      let code = st.inc.(p) in
+      let e = code / 2 in
+      let i_is_u = code land 1 = 1 in
+      let j = if i_is_u then st.ev.(e) else st.eu.(e) in
+      let kj = st.labels.(j) in
+      let pot = st.epot.(e) in
+      let in_off, in_msg =
+        if i_is_u then (st.bw_off.(e), st.bw) else (st.fw_off.(e), st.fw)
+      in
+      let out_off, out_msg =
+        if i_is_u then (st.fw_off.(e), st.fw) else (st.bw_off.(e), st.bw)
+      in
+      let vmin = ref infinity in
+      let fresh = Array.make kj 0.0 in
+      for xj = 0 to kj - 1 do
+        let best = ref infinity in
+        for xi = 0 to k - 1 do
+          let pair =
+            if i_is_u then pot.((xi * kj) + xj) else pot.((xj * k) + xi)
+          in
+          let c = theta.(xi) -. in_msg.(in_off + xi) +. pair in
+          if c < !best then best := c
+        done;
+        fresh.(xj) <- !best;
+        if !best < !vmin then vmin := !best
+      done;
+      for xj = 0 to kj - 1 do
+        let updated =
+          ((1.0 -. damping) *. (fresh.(xj) -. !vmin))
+          +. (damping *. out_msg.(out_off + xj))
+        in
+        let change = abs_float (updated -. out_msg.(out_off + xj)) in
+        if change > !delta then delta := change;
+        out_msg.(out_off + xj) <- updated
+      done
+    done
+  done;
+  !delta
+
+let decode st n theta x =
+  for i = 0 to n - 1 do
+    aggregate st i theta;
+    let best = ref 0 in
+    for xi = 1 to st.labels.(i) - 1 do
+      if theta.(xi) < theta.(!best) then best := xi
+    done;
+    x.(i) <- !best
+  done
+
+let solve ?(config = default_config) mrf =
+  let run () =
+    let st = make_state mrf in
+    (* break ties deterministically: symmetric models otherwise sit on the
+       all-zero-message fixed point and decode to a mono labeling *)
+    if config.init_noise > 0.0 then begin
+      let rng = Random.State.make [| 0x5bf0 |] in
+      for i = 0 to Array.length st.fw - 1 do
+        st.fw.(i) <- Random.State.float rng config.init_noise
+      done;
+      for i = 0 to Array.length st.bw - 1 do
+        st.bw.(i) <- Random.State.float rng config.init_noise
+      done
+    end;
+    let n = Mrf.n_nodes mrf in
+    let theta = Array.make (Mrf.max_label_count mrf) 0.0 in
+    let x = Array.make n 0 in
+    let best_x = Array.make n 0 in
+    decode st n theta best_x;
+    let best_energy = ref (Mrf.energy mrf best_x) in
+    let iters = ref 0 in
+    let converged = ref false in
+    (try
+       for it = 1 to config.max_iters do
+         iters := it;
+         let delta = sweep st n theta config.damping in
+         decode st n theta x;
+         let e = Mrf.energy mrf x in
+         if e < !best_energy then begin
+           best_energy := e;
+           Array.blit x 0 best_x 0 n
+         end;
+         if delta < config.tolerance then begin
+           converged := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (best_x, !best_energy, !iters, !converged)
+  in
+  let (labeling, energy, iterations, converged), runtime_s =
+    Solver.timed run
+  in
+  {
+    Solver.labeling;
+    energy;
+    lower_bound = neg_infinity;
+    iterations;
+    converged;
+    runtime_s;
+  }

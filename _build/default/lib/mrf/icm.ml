@@ -1,0 +1,83 @@
+type config = { max_sweeps : int }
+
+let default_config = { max_sweeps = 100 }
+
+let greedy_unary_init mrf =
+  Array.init (Mrf.n_nodes mrf) (fun i ->
+      let k = Mrf.label_count mrf i in
+      let best = ref 0 in
+      for l = 1 to k - 1 do
+        if
+          Mrf.unary mrf ~node:i ~label:l
+          < Mrf.unary mrf ~node:i ~label:!best
+        then best := l
+      done;
+      !best)
+
+(* Cost of node i taking label xi given the rest of the labeling. *)
+let local_cost mrf x i xi =
+  let acc = ref (Mrf.unary mrf ~node:i ~label:xi) in
+  Array.iter
+    (fun (e, i_is_u) ->
+      let j = Mrf.opposite mrf ~edge:e i in
+      let pot = Mrf.edge_cost mrf e in
+      let kj = Mrf.label_count mrf j in
+      let ki = Mrf.label_count mrf i in
+      let c =
+        if i_is_u then pot.((xi * kj) + x.(j)) else pot.((x.(j) * ki) + xi)
+      in
+      acc := !acc +. c)
+    (Mrf.incident mrf i);
+  !acc
+
+let solve ?(config = default_config) ?init mrf =
+  let run () =
+    let n = Mrf.n_nodes mrf in
+    let x =
+      match init with
+      | Some x0 ->
+          Mrf.validate_labeling mrf x0;
+          Array.copy x0
+      | None -> greedy_unary_init mrf
+    in
+    let sweeps = ref 0 in
+    let converged = ref false in
+    (try
+       for s = 1 to config.max_sweeps do
+         sweeps := s;
+         let changed = ref false in
+         for i = 0 to n - 1 do
+           let k = Mrf.label_count mrf i in
+           let best = ref x.(i) in
+           let best_cost = ref (local_cost mrf x i x.(i)) in
+           for xi = 0 to k - 1 do
+             if xi <> x.(i) then begin
+               let c = local_cost mrf x i xi in
+               if c < !best_cost then begin
+                 best_cost := c;
+                 best := xi
+               end
+             end
+           done;
+           if !best <> x.(i) then begin
+             x.(i) <- !best;
+             changed := true
+           end
+         done;
+         if not !changed then begin
+           converged := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (x, !sweeps, !converged)
+  in
+  let (labeling, iterations, converged), runtime_s = Solver.timed run in
+  {
+    Solver.labeling;
+    energy = Mrf.energy mrf labeling;
+    lower_bound = neg_infinity;
+    iterations;
+    converged;
+    runtime_s;
+  }

@@ -1,0 +1,13 @@
+(** Iterated conditional modes (greedy local search baseline).
+
+    Starting from a unary-greedy labeling (or a supplied one), repeatedly
+    move each node to the label minimizing its local energy until a full
+    sweep makes no change.  Fast, bound-free, and easily stuck in local
+    minima — a natural lower baseline for the solver ablation. *)
+
+type config = { max_sweeps : int }
+
+val default_config : config
+(** 100 sweeps. *)
+
+val solve : ?config:config -> ?init:int array -> Mrf.t -> Solver.result

@@ -1,0 +1,185 @@
+type t = {
+  n : int;
+  labels : int array;          (* label count per node *)
+  unary_off : int array;       (* n+1 prefix sums over labels *)
+  unary : float array;         (* flat unary costs *)
+  m : int;
+  eu : int array;              (* edge endpoints, u side *)
+  ev : int array;              (* edge endpoints, v side *)
+  epot : float array array;    (* shared pairwise matrices, k_u * k_v *)
+  inc_off : int array;         (* n+1 CSR offsets into inc *)
+  inc : int array;             (* encoded incidences: edge*2 + (1 if node=u) *)
+}
+
+module Builder = struct
+  type b = {
+    b_labels : int array;
+    b_unary_off : int array;
+    b_unary : float array;
+    mutable b_edges : (int * int * float array) list;
+    mutable b_m : int;
+    mutable built : bool;
+  }
+
+  let create ~label_counts =
+    let n = Array.length label_counts in
+    Array.iteri
+      (fun i k ->
+        if k < 1 then
+          invalid_arg
+            (Printf.sprintf "Mrf.Builder.create: node %d has %d labels" i k))
+      label_counts;
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + label_counts.(i)
+    done;
+    {
+      b_labels = Array.copy label_counts;
+      b_unary_off = off;
+      b_unary = Array.make off.(n) 0.0;
+      b_edges = [];
+      b_m = 0;
+      built = false;
+    }
+
+  let check_node b node =
+    if node < 0 || node >= Array.length b.b_labels then
+      invalid_arg (Printf.sprintf "Mrf.Builder: node %d out of range" node)
+
+  let add_unary b ~node ~label cost =
+    check_node b node;
+    if label < 0 || label >= b.b_labels.(node) then
+      invalid_arg
+        (Printf.sprintf "Mrf.Builder.add_unary: label %d out of range" label);
+    let k = b.b_unary_off.(node) + label in
+    b.b_unary.(k) <- b.b_unary.(k) +. cost
+
+  let set_unary b ~node costs =
+    check_node b node;
+    if Array.length costs <> b.b_labels.(node) then
+      invalid_arg "Mrf.Builder.set_unary: wrong vector length";
+    Array.blit costs 0 b.b_unary b.b_unary_off.(node) (Array.length costs)
+
+  let add_edge b u v cost =
+    check_node b u;
+    check_node b v;
+    if u = v then invalid_arg "Mrf.Builder.add_edge: self-edge";
+    if Array.length cost <> b.b_labels.(u) * b.b_labels.(v) then
+      invalid_arg "Mrf.Builder.add_edge: cost matrix size mismatch";
+    b.b_edges <- (u, v, cost) :: b.b_edges;
+    b.b_m <- b.b_m + 1
+
+  let build b =
+    if b.built then invalid_arg "Mrf.Builder.build: builder already used";
+    b.built <- true;
+    let n = Array.length b.b_labels in
+    let m = b.b_m in
+    let eu = Array.make m 0 and ev = Array.make m 0 in
+    let epot = Array.make m [||] in
+    List.iteri
+      (fun idx (u, v, cost) ->
+        let e = m - 1 - idx in
+        eu.(e) <- u;
+        ev.(e) <- v;
+        epot.(e) <- cost)
+      b.b_edges;
+    (* incidence CSR, sorted per node by opposite endpoint id *)
+    let deg = Array.make n 0 in
+    for e = 0 to m - 1 do
+      deg.(eu.(e)) <- deg.(eu.(e)) + 1;
+      deg.(ev.(e)) <- deg.(ev.(e)) + 1
+    done;
+    let inc_off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      inc_off.(i + 1) <- inc_off.(i) + deg.(i)
+    done;
+    let inc = Array.make inc_off.(n) 0 in
+    let cursor = Array.copy inc_off in
+    for e = 0 to m - 1 do
+      inc.(cursor.(eu.(e))) <- (e * 2) + 1;
+      cursor.(eu.(e)) <- cursor.(eu.(e)) + 1;
+      inc.(cursor.(ev.(e))) <- e * 2;
+      cursor.(ev.(e)) <- cursor.(ev.(e)) + 1
+    done;
+    (* sort each node's slice by opposite endpoint, then edge id *)
+    let opposite_of code =
+      let e = code / 2 in
+      if code land 1 = 1 then ev.(e) else eu.(e)
+    in
+    for i = 0 to n - 1 do
+      let lo = inc_off.(i) and hi = inc_off.(i + 1) in
+      let slice = Array.sub inc lo (hi - lo) in
+      Array.sort
+        (fun a b ->
+          let c = compare (opposite_of a) (opposite_of b) in
+          if c <> 0 then c else compare a b)
+        slice;
+      Array.blit slice 0 inc lo (hi - lo)
+    done;
+    {
+      n;
+      labels = b.b_labels;
+      unary_off = b.b_unary_off;
+      unary = b.b_unary;
+      m;
+      eu;
+      ev;
+      epot;
+      inc_off;
+      inc;
+    }
+end
+
+let n_nodes t = t.n
+let n_edges t = t.m
+let label_count t i = t.labels.(i)
+
+let max_label_count t = Array.fold_left max 1 t.labels
+
+let unary t ~node ~label = t.unary.(t.unary_off.(node) + label)
+
+let edge_endpoints t e = (t.eu.(e), t.ev.(e))
+let edge_cost t e = t.epot.(e)
+
+let validate_labeling t x =
+  if Array.length x <> t.n then
+    invalid_arg "Mrf.validate_labeling: wrong length";
+  Array.iteri
+    (fun i xi ->
+      if xi < 0 || xi >= t.labels.(i) then
+        invalid_arg
+          (Printf.sprintf "Mrf.validate_labeling: label %d at node %d" xi i))
+    x
+
+let energy t x =
+  validate_labeling t x;
+  let acc = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    acc := !acc +. t.unary.(t.unary_off.(i) + x.(i))
+  done;
+  for e = 0 to t.m - 1 do
+    let u = t.eu.(e) and v = t.ev.(e) in
+    acc := !acc +. t.epot.(e).((x.(u) * t.labels.(v)) + x.(v))
+  done;
+  !acc
+
+let incident t i =
+  Array.map
+    (fun code -> (code / 2, code land 1 = 1))
+    (Array.sub t.inc t.inc_off.(i) (t.inc_off.(i + 1) - t.inc_off.(i)))
+
+let opposite t ~edge i =
+  if t.eu.(edge) = i then t.ev.(edge)
+  else if t.ev.(edge) = i then t.eu.(edge)
+  else invalid_arg "Mrf.opposite: node not on edge"
+
+(* Internal accessors used by the solvers in this library; exposed through
+   a semi-private interface. *)
+let internal_arrays t =
+  (t.labels, t.unary_off, t.unary, t.eu, t.ev, t.epot, t.inc_off, t.inc)
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "mrf: %d nodes, %d edges, labels max %d, unary entries %d" t.n t.m
+    (max_label_count t)
+    t.unary_off.(t.n)

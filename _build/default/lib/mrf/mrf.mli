@@ -1,0 +1,87 @@
+(** Discrete pairwise Markov Random Fields (energy form).
+
+    A model over nodes [0..n-1]; node [i] takes a label in
+    [0 .. label_count i - 1].  The energy of a labeling [x] is
+
+    {v E(x) = sum_i unary_i(x_i) + sum_{e=(u,v)} pairwise_e(x_u, x_v) v}
+
+    which is the optimization function (1) of the paper.  MAP inference
+    minimizes [E].  Models are assembled with {!Builder} and frozen; solvers
+    ({!Trws}, {!Bp}, {!Icm}, {!Brute}) operate on the frozen form.
+
+    Pairwise cost arrays are row-major by the {e first} endpoint's label:
+    entry [x_u * k_v + x_v].  The arrays are {e not} copied, so a single
+    matrix (e.g. one similarity table per service) can be physically shared
+    across thousands of edges. *)
+
+type t
+
+module Builder : sig
+  type b
+
+  val create : label_counts:int array -> b
+  (** One entry per node; every count must be at least 1. *)
+
+  val add_unary : b -> node:int -> label:int -> float -> unit
+  (** Adds (accumulates) a cost onto one unary entry. *)
+
+  val set_unary : b -> node:int -> float array -> unit
+  (** Replaces the whole unary vector of [node]; length must equal the
+      node's label count. *)
+
+  val add_edge : b -> int -> int -> float array -> unit
+  (** [add_edge b u v cost] adds an edge with pairwise cost matrix [cost]
+      of size [k_u * k_v], row-major by [u]'s label.  The matrix is shared,
+      not copied.  Parallel edges are allowed (their costs add).
+      @raise Invalid_argument on self-edges or size mismatch. *)
+
+  val build : b -> t
+  (** Freezes the model.  The builder must not be reused afterwards. *)
+end
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val label_count : t -> int -> int
+
+val max_label_count : t -> int
+
+val unary : t -> node:int -> label:int -> float
+
+val edge_endpoints : t -> int -> int * int
+val edge_cost : t -> int -> float array
+(** The shared pairwise matrix of an edge — do not mutate. *)
+
+val energy : t -> int array -> float
+(** [energy t x] evaluates E(x).
+    @raise Invalid_argument if [x] has wrong length or out-of-range labels. *)
+
+val incident : t -> int -> (int * bool) array
+(** [incident t i] lists the edges touching node [i] as [(edge, i_is_u)]
+    pairs, sorted by the id of the opposite endpoint.  Owned by the model;
+    do not mutate. *)
+
+val opposite : t -> edge:int -> int -> int
+(** [opposite t ~edge i] is the other endpoint of [edge]. *)
+
+val validate_labeling : t -> int array -> unit
+(** @raise Invalid_argument when the labeling is malformed. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+(**/**)
+
+val internal_arrays :
+  t ->
+  int array
+  * int array
+  * float array
+  * int array
+  * int array
+  * float array array
+  * int array
+  * int array
+(** Flat internal storage [(labels, unary_off, unary, eu, ev, epot, inc_off,
+    inc)] for the solvers in this library.  [inc] encodes incidences as
+    [edge*2 + (1 if the node is the edge's u endpoint)]. *)
+
+(**/**)

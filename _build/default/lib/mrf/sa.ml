@@ -1,0 +1,149 @@
+type config = {
+  initial_temp : float;
+  cooling : float;
+  min_temp : float;
+  sweeps_per_temp : int;
+  restarts : int;
+  seed : int;
+  domains : int;
+}
+
+let default_config =
+  {
+    initial_temp = 2.0;
+    cooling = 0.9;
+    min_temp = 1e-3;
+    sweeps_per_temp = 4;
+    restarts = 2;
+    seed = 0x5ead;
+    domains = 1;
+  }
+
+(* energy delta of moving node i to label [fresh], given labeling x *)
+let move_delta mrf x i fresh =
+  let current = x.(i) in
+  if fresh = current then 0.0
+  else begin
+    let delta =
+      ref
+        (Mrf.unary mrf ~node:i ~label:fresh
+        -. Mrf.unary mrf ~node:i ~label:current)
+    in
+    Array.iter
+      (fun (e, i_is_u) ->
+        let j = Mrf.opposite mrf ~edge:e i in
+        let pot = Mrf.edge_cost mrf e in
+        let ki = Mrf.label_count mrf i and kj = Mrf.label_count mrf j in
+        let cost xi =
+          if i_is_u then pot.((xi * kj) + x.(j)) else pot.((x.(j) * ki) + xi)
+        in
+        delta := !delta +. cost fresh -. cost current)
+      (Mrf.incident mrf i);
+    !delta
+  end
+
+let greedy_unary_init mrf =
+  Array.init (Mrf.n_nodes mrf) (fun i ->
+      let k = Mrf.label_count mrf i in
+      let best = ref 0 in
+      for l = 1 to k - 1 do
+        if
+          Mrf.unary mrf ~node:i ~label:l < Mrf.unary mrf ~node:i ~label:!best
+        then best := l
+      done;
+      !best)
+
+let solve ?(config = default_config) ?init mrf =
+  if not (config.cooling > 0.0 && config.cooling < 1.0) then
+    invalid_arg "Sa.solve: cooling must lie in (0,1)";
+  let run () =
+    let n = Mrf.n_nodes mrf in
+    let start =
+      match init with
+      | Some x0 ->
+          Mrf.validate_labeling mrf x0;
+          Array.copy x0
+      | None -> greedy_unary_init mrf
+    in
+    (* one independent annealing run; deterministic in its restart index *)
+    let one_restart restart =
+      let rng = Random.State.make [| config.seed; restart |] in
+      let x = Array.copy start in
+      let energy = ref (Mrf.energy mrf x) in
+      let local_best = Array.copy start in
+      let local_best_energy = ref !energy in
+      let sweeps = ref 0 in
+      let temp = ref config.initial_temp in
+      while !temp > config.min_temp do
+        for _ = 1 to config.sweeps_per_temp do
+          incr sweeps;
+          for i = 0 to n - 1 do
+            let k = Mrf.label_count mrf i in
+            if k > 1 then begin
+              let fresh = Random.State.int rng k in
+              let delta = move_delta mrf x i fresh in
+              if
+                delta <= 0.0
+                || Random.State.float rng 1.0 < exp (-.delta /. !temp)
+              then begin
+                x.(i) <- fresh;
+                energy := !energy +. delta;
+                if !energy < !local_best_energy then begin
+                  local_best_energy := !energy;
+                  Array.blit x 0 local_best 0 n
+                end
+              end
+            end
+          done
+        done;
+        temp := !temp *. config.cooling
+      done;
+      (local_best, !local_best_energy, !sweeps)
+    in
+    let results =
+      if config.domains <= 1 || config.restarts <= 1 then
+        List.init config.restarts one_restart
+      else begin
+        (* split restart indices across domains; same results for any
+           domain count since each restart owns its rng *)
+        let workers = min config.domains config.restarts in
+        let slice w =
+          let rec collect r acc =
+            if r >= config.restarts then List.rev acc
+            else collect (r + workers) (one_restart r :: acc)
+          in
+          collect w []
+        in
+        match List.init workers Fun.id with
+        | [] -> []
+        | first :: rest ->
+            let handles =
+              List.map (fun w -> Domain.spawn (fun () -> slice w)) rest
+            in
+            slice first @ List.concat_map Domain.join handles
+      end
+    in
+    let best = Array.copy start in
+    let best_energy = ref (Mrf.energy mrf start) in
+    let sweeps = ref 0 in
+    List.iter
+      (fun (x, e, s) ->
+        sweeps := !sweeps + s;
+        if e < !best_energy then begin
+          best_energy := e;
+          Array.blit x 0 best 0 n
+        end)
+      results;
+    (* guard against float drift in the incremental energy *)
+    let true_best = Mrf.energy mrf best in
+    (best, true_best, !sweeps)
+  in
+  let (labeling, energy, iterations), runtime_s = Solver.timed run in
+  {
+    Solver.labeling;
+    energy;
+    lower_bound = neg_infinity;
+    iterations;
+    converged = true;
+    runtime_s;
+  }

@@ -1,0 +1,24 @@
+type result = {
+  labeling : int array;
+  energy : float;
+  lower_bound : float;
+  iterations : int;
+  converged : bool;
+  runtime_s : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let optimality_gap r =
+  if r.lower_bound = neg_infinity then infinity
+  else r.energy -. r.lower_bound
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "energy %.6f, bound %.6f, %d iters, %s, %.3fs" r.energy r.lower_bound
+    r.iterations
+    (if r.converged then "converged" else "iteration cap")
+    r.runtime_s

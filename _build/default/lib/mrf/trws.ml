@@ -1,0 +1,360 @@
+type config = {
+  max_iters : int;
+  tolerance : float;
+  patience : int;
+  bound_every : int;
+}
+
+let default_config =
+  { max_iters = 100; tolerance = 1e-7; patience = 3; bound_every = 1 }
+
+(* Message state: for edge e = (u,v), [fw] holds the message into v
+   (length labels.(v)) and [bw] the message into u (length labels.(u)),
+   stored flat with per-edge offsets. *)
+type state = {
+  labels : int array;
+  unary_off : int array;
+  unary : float array;
+  eu : int array;
+  ev : int array;
+  epot : float array array;
+  inc_off : int array;
+  inc : int array;
+  fw_off : int array;
+  bw_off : int array;
+  fw : float array;
+  bw : float array;
+  gamma : float array;
+  chains : int array array;
+      (* monotonic chain decomposition: each chain is the sequence of its
+         edge ids, traversed from lower to higher node order.  Every edge
+         belongs to exactly one chain; node [i] lies on
+         [max(#lower, #higher)] chains. *)
+  isolated : int list;  (* nodes with no incident edges *)
+}
+
+let make_state mrf =
+  let labels, unary_off, unary, eu, ev, epot, inc_off, inc =
+    Mrf.internal_arrays mrf
+  in
+  let n = Array.length labels and m = Array.length eu in
+  let fw_off = Array.make (m + 1) 0 and bw_off = Array.make (m + 1) 0 in
+  for e = 0 to m - 1 do
+    fw_off.(e + 1) <- fw_off.(e) + labels.(ev.(e));
+    bw_off.(e + 1) <- bw_off.(e) + labels.(eu.(e))
+  done;
+  let gamma = Array.make n 1.0 in
+  let backward = Array.make n [] and forward = Array.make n [] in
+  for i = 0 to n - 1 do
+    let lower = ref 0 and higher = ref 0 in
+    (* walk the incidence slice backwards so the per-node edge lists come
+       out sorted by opposite endpoint *)
+    for k = inc_off.(i + 1) - 1 downto inc_off.(i) do
+      let code = inc.(k) in
+      let e = code / 2 in
+      let j = if code land 1 = 1 then ev.(e) else eu.(e) in
+      if j < i then begin
+        incr lower;
+        backward.(i) <- e :: backward.(i)
+      end
+      else begin
+        incr higher;
+        forward.(i) <- e :: forward.(i)
+      end
+    done;
+    gamma.(i) <- 1.0 /. float_of_int (max 1 (max !lower !higher))
+  done;
+  (* Monotonic chain decomposition (Kolmogorov): at each node, pair its k-th
+     lower edge with its k-th higher edge; unpaired higher edges start
+     chains, unpaired lower edges end them. *)
+  let succ = Array.make m (-1) in
+  let has_pred = Array.make m false in
+  for i = 0 to n - 1 do
+    let rec pair lows highs =
+      match (lows, highs) with
+      | e :: lows', e' :: highs' ->
+          succ.(e) <- e';
+          has_pred.(e') <- true;
+          pair lows' highs'
+      | _ -> ()
+    in
+    pair backward.(i) forward.(i)
+  done;
+  let chains = ref [] in
+  for e = 0 to m - 1 do
+    if not has_pred.(e) then begin
+      let rec walk e acc =
+        let acc = e :: acc in
+        if succ.(e) >= 0 then walk succ.(e) acc else acc
+      in
+      chains := Array.of_list (List.rev (walk e [])) :: !chains
+    end
+  done;
+  let isolated = ref [] in
+  for i = 0 to n - 1 do
+    if inc_off.(i + 1) = inc_off.(i) then isolated := i :: !isolated
+  done;
+  {
+    labels;
+    unary_off;
+    unary;
+    eu;
+    ev;
+    epot;
+    inc_off;
+    inc;
+    fw_off;
+    bw_off;
+    fw = Array.make fw_off.(m) 0.0;
+    bw = Array.make bw_off.(m) 0.0;
+    gamma;
+    chains = Array.of_list !chains;
+    isolated = !isolated;
+  }
+
+(* Aggregate node i's unary plus all incoming messages into [theta]. *)
+let aggregate st i theta =
+  let k = st.labels.(i) in
+  let u0 = st.unary_off.(i) in
+  for x = 0 to k - 1 do
+    theta.(x) <- st.unary.(u0 + x)
+  done;
+  for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+    let code = st.inc.(p) in
+    let e = code / 2 in
+    let off, msg =
+      if code land 1 = 1 then (st.bw_off.(e), st.bw)
+      else (st.fw_off.(e), st.fw)
+    in
+    for x = 0 to k - 1 do
+      theta.(x) <- theta.(x) +. msg.(off + x)
+    done
+  done
+
+(* One sweep.  [forward] selects direction: process nodes in increasing
+   order updating messages to higher neighbours, or the mirror image. *)
+let sweep st n theta forward =
+  let process i =
+    aggregate st i theta;
+    let k = st.labels.(i) in
+    let g = st.gamma.(i) in
+    for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+      let code = st.inc.(p) in
+      let e = code / 2 in
+      let i_is_u = code land 1 = 1 in
+      let j = if i_is_u then st.ev.(e) else st.eu.(e) in
+      if (forward && j > i) || ((not forward) && j < i) then begin
+        let kj = st.labels.(j) in
+        let pot = st.epot.(e) in
+        (* message into i along e (to be subtracted) *)
+        let in_off, in_msg =
+          if i_is_u then (st.bw_off.(e), st.bw)
+          else (st.fw_off.(e), st.fw)
+        in
+        (* message out of i along e (to be written) *)
+        let out_off, out_msg =
+          if i_is_u then (st.fw_off.(e), st.fw)
+          else (st.bw_off.(e), st.bw)
+        in
+        let vmin = ref infinity in
+        for xj = 0 to kj - 1 do
+          let best = ref infinity in
+          for xi = 0 to k - 1 do
+            let pair =
+              if i_is_u then pot.((xi * kj) + xj) else pot.((xj * k) + xi)
+            in
+            let c = (g *. theta.(xi)) -. in_msg.(in_off + xi) +. pair in
+            if c < !best then best := c
+          done;
+          out_msg.(out_off + xj) <- !best;
+          if !best < !vmin then vmin := !best
+        done;
+        (* normalize so the smallest entry is zero *)
+        for xj = 0 to kj - 1 do
+          out_msg.(out_off + xj) <- out_msg.(out_off + xj) -. !vmin
+        done
+      end
+    done
+  in
+  if forward then
+    for i = 0 to n - 1 do
+      process i
+    done
+  else
+    for i = n - 1 downto 0 do
+      process i
+    done
+
+(* TRW dual bound for the monotonic-chain decomposition: the energy is
+   split as E(x) = sum_C E_C(x_C) with per-chain node costs gamma_i *
+   theta_hat_i and reparameterized edge costs; the bound is the sum of the
+   chains' independent minima, computed by dynamic programming along each
+   chain.  Valid for any message state (each chain min <= the chain's value
+   at the true optimum), and tight at TRW-S fixed points on trees. *)
+let lower_bound st n _m theta =
+  (* cache gamma-weighted aggregated unaries *)
+  let agg = Array.make st.unary_off.(n) 0.0 in
+  for i = 0 to n - 1 do
+    aggregate st i theta;
+    let off = st.unary_off.(i) in
+    for x = 0 to st.labels.(i) - 1 do
+      agg.(off + x) <- st.gamma.(i) *. theta.(x)
+    done
+  done;
+  (* reparameterized edge cost, oriented low node -> high node *)
+  let edge_cost e xlo xhi =
+    let u = st.eu.(e) and v = st.ev.(e) in
+    let kv = st.labels.(v) in
+    let xu, xv = if u < v then (xlo, xhi) else (xhi, xlo) in
+    st.epot.(e).((xu * kv) + xv)
+    -. st.fw.(st.fw_off.(e) + xv)
+    -. st.bw.(st.bw_off.(e) + xu)
+  in
+  let endpoints_ordered e =
+    let u = st.eu.(e) and v = st.ev.(e) in
+    if u < v then (u, v) else (v, u)
+  in
+  let acc = ref 0.0 in
+  let dp = Array.make (Array.fold_left max 1 st.labels) 0.0 in
+  let dp' = Array.make (Array.length dp) 0.0 in
+  Array.iter
+    (fun chain ->
+      let first, _ = endpoints_ordered chain.(0) in
+      let k0 = st.labels.(first) in
+      for x = 0 to k0 - 1 do
+        dp.(x) <- agg.(st.unary_off.(first) + x)
+      done;
+      let prev_k = ref k0 in
+      Array.iter
+        (fun e ->
+          let _, hi = endpoints_ordered e in
+          let kh = st.labels.(hi) in
+          for y = 0 to kh - 1 do
+            let best = ref infinity in
+            for x = 0 to !prev_k - 1 do
+              let c = dp.(x) +. edge_cost e x y in
+              if c < !best then best := c
+            done;
+            dp'.(y) <- !best +. agg.(st.unary_off.(hi) + y)
+          done;
+          Array.blit dp' 0 dp 0 kh;
+          prev_k := kh)
+        chain;
+      let best = ref infinity in
+      for x = 0 to !prev_k - 1 do
+        if dp.(x) < !best then best := dp.(x)
+      done;
+      acc := !acc +. !best)
+    st.chains;
+  List.iter
+    (fun i ->
+      let best = ref infinity in
+      for x = 0 to st.labels.(i) - 1 do
+        let c = st.unary.(st.unary_off.(i) + x) in
+        if c < !best then best := c
+      done;
+      acc := !acc +. !best)
+    st.isolated;
+  !acc
+
+(* Greedy decoding in node order: condition on already decoded lower
+   neighbours, use incoming messages from undecoded higher ones. *)
+let decode st n theta x =
+  for i = 0 to n - 1 do
+    let k = st.labels.(i) in
+    let u0 = st.unary_off.(i) in
+    for xi = 0 to k - 1 do
+      theta.(xi) <- st.unary.(u0 + xi)
+    done;
+    for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+      let code = st.inc.(p) in
+      let e = code / 2 in
+      let i_is_u = code land 1 = 1 in
+      let j = if i_is_u then st.ev.(e) else st.eu.(e) in
+      if j < i then begin
+        let pot = st.epot.(e) in
+        let kj = st.labels.(j) in
+        for xi = 0 to k - 1 do
+          let pair =
+            if i_is_u then pot.((xi * kj) + x.(j))
+            else pot.((x.(j) * k) + xi)
+          in
+          theta.(xi) <- theta.(xi) +. pair
+        done
+      end
+      else begin
+        let off, msg =
+          if i_is_u then (st.bw_off.(e), st.bw)
+          else (st.fw_off.(e), st.fw)
+        in
+        for xi = 0 to k - 1 do
+          theta.(xi) <- theta.(xi) +. msg.(off + xi)
+        done
+      end
+    done;
+    let best = ref 0 in
+    for xi = 1 to k - 1 do
+      if theta.(xi) < theta.(!best) then best := xi
+    done;
+    x.(i) <- !best
+  done
+
+let solve ?(config = default_config) mrf =
+  let run () =
+    let st = make_state mrf in
+    let n = Mrf.n_nodes mrf and m = Mrf.n_edges mrf in
+    let theta = Array.make (Mrf.max_label_count mrf) 0.0 in
+    let x = Array.make n 0 in
+    let best_x = Array.make n 0 in
+    decode st n theta best_x;
+    let best_energy = ref (Mrf.energy mrf best_x) in
+    let prev_energy = ref !best_energy in
+    let best_bound = ref neg_infinity in
+    let stall = ref 0 in
+    let iters = ref 0 in
+    let converged = ref false in
+    (try
+       for it = 1 to config.max_iters do
+         iters := it;
+         sweep st n theta true;
+         sweep st n theta false;
+         if it mod config.bound_every = 0 || it = config.max_iters then begin
+           let lb = lower_bound st n m theta in
+           decode st n theta x;
+           let e = Mrf.energy mrf x in
+           if e < !best_energy then begin
+             best_energy := e;
+             Array.blit x 0 best_x 0 n
+           end;
+           let bound_progress = lb -. !best_bound in
+           if lb > !best_bound then best_bound := lb;
+           let energy_progress = !prev_energy -. !best_energy in
+           prev_energy := !best_energy;
+           if
+             bound_progress < config.tolerance
+             && energy_progress < config.tolerance
+           then incr stall
+           else stall := 0;
+           if
+             !stall >= config.patience
+             || !best_energy -. !best_bound < config.tolerance
+           then begin
+             converged := true;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    (best_x, !best_energy, !best_bound, !iters, !converged)
+  in
+  let (labeling, energy, lb, iterations, converged), runtime_s =
+    Solver.timed run
+  in
+  {
+    Solver.labeling;
+    energy;
+    lower_bound = lb;
+    iterations;
+    converged;
+    runtime_s;
+  }

@@ -1,0 +1,27 @@
+(** Sequential tree-reweighted message passing (TRW-S).
+
+    The solver the paper uses for optimal diversification (Section V-C),
+    after Kolmogorov's convergent TRW-S with monotonic-chain weights: nodes
+    are processed in index order; a forward sweep updates messages toward
+    higher-indexed neighbours, a backward sweep mirrors it.  Each node's
+    aggregated cost is weighted by [1 / max(#lower neighbours, #higher
+    neighbours)], which makes the dual bound non-decreasing.
+
+    The reported lower bound is the reparameterization bound
+    [sum_i min θ̂_i + sum_e min θ̂_e], valid for any message state and tight
+    on trees.  Labelings are decoded greedily in node order, conditioning on
+    already-decoded lower neighbours (Kolmogorov's scheme). *)
+
+type config = {
+  max_iters : int;       (** cap on forward+backward sweep pairs *)
+  tolerance : float;     (** stop when the bound improves less than this *)
+  patience : int;        (** ... for this many consecutive iterations *)
+  bound_every : int;     (** compute bound/decode every k iterations *)
+}
+
+val default_config : config
+(** 100 iterations, tolerance 1e-7, patience 3, bound every iteration. *)
+
+val solve : ?config:config -> Mrf.t -> Solver.result
+(** Runs TRW-S and returns the best decoded labeling encountered, its
+    energy, and the final lower bound. *)

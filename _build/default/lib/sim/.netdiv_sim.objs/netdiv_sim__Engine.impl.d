@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Domain Format Fun List Netdiv_core Netdiv_graph Random Stat

@@ -1,0 +1,414 @@
+module Graph = Netdiv_graph.Graph
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+
+type strategy = Best_exploit | Uniform_exploit | Arsenal_exploit
+
+let default_attempt_scale = 0.15
+let default_sim_floor = 0.05
+
+type mttc_stats = {
+  runs : int;
+  successes : int;
+  mean_ticks : float;
+  max_ticks : int;
+}
+
+let shared_similarities a u v =
+  let net = Assignment.network a in
+  let su = Network.host_services net u in
+  let sv = Network.host_services net v in
+  let acc = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length su && !j < Array.length sv do
+    if su.(!i) = sv.(!j) then begin
+      let s = su.(!i) in
+      acc :=
+        Network.similarity net ~service:s
+          (Assignment.get a ~host:u ~service:s)
+          (Assignment.get a ~host:v ~service:s)
+        :: !acc;
+      incr i;
+      incr j
+    end
+    else if su.(!i) < sv.(!j) then incr i
+    else incr j
+  done;
+  !acc
+
+let shared_service_ids a u v =
+  let net = Assignment.network a in
+  let su = Network.host_services net u in
+  let sv = Network.host_services net v in
+  let acc = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length su && !j < Array.length sv do
+    if su.(!i) = sv.(!j) then begin
+      acc := su.(!i) :: !acc;
+      incr i;
+      incr j
+    end
+    else if su.(!i) < sv.(!j) then incr i
+    else incr j
+  done;
+  !acc
+
+(* Success probability of one attack attempt along an edge (strategies
+   whose rates depend on the rng; Best and Arsenal are precomputed). *)
+let attempt_rate ~rng ~strategy ~attempt_scale ~sim_floor a u v =
+  match strategy with
+  | Uniform_exploit -> (
+      match shared_similarities a u v with
+      | [] -> 0.0
+      | sims ->
+          let sims = List.map (max sim_floor) sims in
+          attempt_scale
+          *. List.nth sims (Random.State.int rng (List.length sims)))
+  | Best_exploit | Arsenal_exploit -> assert false
+
+(* Precomputed attack rates per directed edge for the rng-independent
+   strategies. *)
+type prepared = {
+  graph : Graph.t;
+  neighbor_rates : (int * float) array array;  (* per host: (nbr, rate) *)
+}
+
+let prepare ~attempt_scale ~sim_floor ~entry a strategy =
+  let net = Assignment.network a in
+  let g = Network.graph net in
+  let tabulate rate_of =
+    Some
+      {
+        graph = g;
+        neighbor_rates =
+          Array.init (Graph.n_nodes g) (fun u ->
+              Array.map (fun v -> (v, rate_of u v)) (Graph.neighbors g u));
+      }
+  in
+  match strategy with
+  | Uniform_exploit -> None
+  | Best_exploit ->
+      tabulate (fun u v ->
+          match shared_similarities a u v with
+          | [] -> 0.0
+          | sims ->
+              attempt_scale
+              *. List.fold_left
+                   (fun acc s -> max acc (max sim_floor s))
+                   0.0 sims)
+  | Arsenal_exploit ->
+      (* the worm carries one zero-day per service, forged for the entry
+         host's products (the paper's "three unique zero-day exploits"),
+         and cannot adapt: a hop succeeds with the similarity between the
+         arsenal's product and the victim's *)
+      let arsenal_services = Network.host_services net entry in
+      let arsenal s = Assignment.get a ~host:entry ~service:s in
+      tabulate (fun u v ->
+          let rate = ref 0.0 in
+          List.iter
+            (fun s ->
+              if Array.exists (fun x -> x = s) arsenal_services then begin
+                let victim = Assignment.get a ~host:v ~service:s in
+                let sim =
+                  max sim_floor
+                    (Network.similarity net ~service:s (arsenal s) victim)
+                in
+                if attempt_scale *. sim > !rate then
+                  rate := attempt_scale *. sim
+              end)
+            (shared_service_ids a u v);
+          !rate)
+
+let simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
+    ~entry ~on_tick ~stop =
+  let net = Assignment.network a in
+  let g = Network.graph net in
+  let n = Graph.n_nodes g in
+  if entry < 0 || entry >= n then invalid_arg "Engine: entry out of range";
+  let infected = Array.make n false in
+  infected.(entry) <- true;
+  if stop entry then Some 0
+  else begin
+    let infected_list = ref [ entry ] in
+    let result = ref None in
+    let alive = ref true in
+    let tick = ref 0 in
+    while !result = None && !alive && !tick < max_ticks do
+      incr tick;
+      let newly = ref [] in
+      let progress_possible = ref false in
+      (* [potential] is the edge's best-case rate: it decides worm
+         liveness.  [rate] is this tick's sampled attempt. *)
+      let attack v ~potential rate =
+        if not infected.(v) then begin
+          if potential > 0.0 then progress_possible := true;
+          if rate > 0.0 && Random.State.float rng 1.0 < rate then
+            newly := v :: !newly
+        end
+      in
+      List.iter
+        (fun u ->
+          match prepared with
+          | Some p ->
+              Array.iter
+                (fun (v, rate) -> attack v ~potential:rate rate)
+                p.neighbor_rates.(u)
+          | None ->
+              Array.iter
+                (fun v ->
+                  if not infected.(v) then begin
+                    let potential =
+                      match shared_similarities a u v with
+                      | [] -> 0.0
+                      | sims ->
+                          attempt_scale
+                          *. List.fold_left
+                               (fun acc s -> max acc (max sim_floor s))
+                               0.0 sims
+                    in
+                    attack v ~potential
+                      (attempt_rate ~rng ~strategy ~attempt_scale ~sim_floor
+                         a u v)
+                  end)
+                (Graph.neighbors g u))
+        !infected_list;
+      List.iter
+        (fun v ->
+          if not infected.(v) then begin
+            infected.(v) <- true;
+            infected_list := v :: !infected_list;
+            if !result = None && stop v then result := Some !tick
+          end)
+        !newly;
+      on_tick !tick infected;
+      (* the worm is dead when every remaining attack edge has rate zero *)
+      if not !progress_possible then alive := false
+    done;
+    !result
+  end
+
+let run ~rng ?(strategy = Best_exploit)
+    ?(attempt_scale = default_attempt_scale)
+    ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) a ~entry ~target =
+  let net = Assignment.network a in
+  if target < 0 || target >= Network.n_hosts net then
+    invalid_arg "Engine.run: target out of range";
+  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
+    ~entry
+    ~on_tick:(fun _ _ -> ())
+    ~stop:(fun h -> h = target)
+
+let mttc_samples ~rng ?(strategy = Best_exploit)
+    ?(attempt_scale = default_attempt_scale)
+    ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~runs a ~entry
+    ~target =
+  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  let samples = ref [] in
+  for _ = 1 to runs do
+    match
+      simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared
+        a ~entry
+        ~on_tick:(fun _ _ -> ())
+        ~stop:(fun h -> h = target)
+    with
+    | Some t -> samples := t :: !samples
+    | None -> ()
+  done;
+  Array.of_list (List.rev !samples)
+
+let stats_of_samples ~runs ~max_ticks samples =
+  let successes = Array.length samples in
+  {
+    runs;
+    successes;
+    mean_ticks =
+      (if successes = 0 then nan
+       else
+         float_of_int (Array.fold_left ( + ) 0 samples)
+         /. float_of_int successes);
+    max_ticks;
+  }
+
+let mttc ~rng ?strategy ?attempt_scale ?sim_floor ?(max_ticks = 10_000) ~runs
+    a ~entry ~target =
+  let samples =
+    mttc_samples ~rng ?strategy ?attempt_scale ?sim_floor ~max_ticks ~runs a
+      ~entry ~target
+  in
+  stats_of_samples ~runs ~max_ticks samples
+
+let mttc_summary ~rng ?strategy ?attempt_scale ?sim_floor
+    ?(max_ticks = 10_000) ~runs a ~entry ~target =
+  let samples =
+    mttc_samples ~rng ?strategy ?attempt_scale ?sim_floor ~max_ticks ~runs a
+      ~entry ~target
+  in
+  let stats = stats_of_samples ~runs ~max_ticks samples in
+  let summary =
+    if Array.length samples = 0 then None
+    else Some (Stat.summarize (Stat.of_ints samples))
+  in
+  (stats, summary)
+
+(* Parallel MTTC: run indices are split over domains; every run draws its
+   own rng from (seed, index), so results are identical for any domain
+   count. *)
+let mttc_parallel ?(domains = 4) ~seed ?(strategy = Best_exploit)
+    ?(attempt_scale = default_attempt_scale)
+    ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~runs a ~entry
+    ~target () =
+  if domains < 1 then invalid_arg "Engine.mttc_parallel: domains < 1";
+  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  let one_run idx =
+    let rng = Random.State.make [| seed; idx |] in
+    simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
+      ~entry
+      ~on_tick:(fun _ _ -> ())
+      ~stop:(fun h -> h = target)
+  in
+  let chunk lo hi = Array.init (hi - lo) (fun k -> one_run (lo + k)) in
+  let bounds =
+    List.init domains (fun d ->
+        (d * runs / domains, (d + 1) * runs / domains))
+  in
+  let results =
+    match bounds with
+    | [] -> [||]
+    | (lo0, hi0) :: rest ->
+        let handles =
+          List.map
+            (fun (lo, hi) -> Domain.spawn (fun () -> chunk lo hi))
+            rest
+        in
+        let first = chunk lo0 hi0 in
+        Array.concat (first :: List.map Domain.join handles)
+  in
+  let samples =
+    Array.of_list
+      (List.filter_map Fun.id (Array.to_list results))
+  in
+  stats_of_samples ~runs ~max_ticks samples
+
+let epidemic_curve ~rng ?(strategy = Best_exploit)
+    ?(attempt_scale = default_attempt_scale)
+    ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) a ~entry =
+  let counts = ref [] in
+  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  ignore
+    (simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
+       ~entry
+       ~on_tick:(fun _ infected ->
+         let c =
+           Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+             infected
+         in
+         counts := c :: !counts)
+       ~stop:(fun _ -> false));
+  (* trim the trailing plateau the cap produced *)
+  let arr = Array.of_list (List.rev !counts) in
+  let n = Array.length arr in
+  let last_growth = ref 0 in
+  for i = 1 to n - 1 do
+    if arr.(i) > arr.(i - 1) then last_growth := i
+  done;
+  Array.sub arr 0 (min n (!last_growth + 2))
+
+(* ----------------------------------------------------- defended runs *)
+
+type defense = { detect_rate : float; immunize : bool }
+
+type host_status = Susceptible | Infected | Immune
+
+(* Like [simulate], but a defender detects and reimages infected hosts;
+   the worm loses when no infected host remains. *)
+let simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
+    ~defense a ~entry ~target =
+  if not (defense.detect_rate >= 0.0 && defense.detect_rate <= 1.0) then
+    invalid_arg "Engine: detect_rate outside [0,1]";
+  let net = Assignment.network a in
+  let g = Network.graph net in
+  let n = Graph.n_nodes g in
+  if entry < 0 || entry >= n then invalid_arg "Engine: entry out of range";
+  if target < 0 || target >= n then invalid_arg "Engine: target out of range";
+  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  let status = Array.make n Susceptible in
+  status.(entry) <- Infected;
+  if entry = target then Some 0
+  else begin
+    let result = ref None in
+    let extinct = ref false in
+    let tick = ref 0 in
+    while !result = None && (not !extinct) && !tick < max_ticks do
+      incr tick;
+      let newly = ref [] in
+      let any_infected = ref false in
+      for u = 0 to n - 1 do
+        if status.(u) = Infected then begin
+          any_infected := true;
+          let attack v rate =
+            if
+              status.(v) = Susceptible && rate > 0.0
+              && Random.State.float rng 1.0 < rate
+            then newly := v :: !newly
+          in
+          match prepared with
+          | Some p ->
+              Array.iter
+                (fun (v, rate) -> attack v rate)
+                p.neighbor_rates.(u)
+          | None ->
+              Array.iter
+                (fun v ->
+                  if status.(v) = Susceptible then
+                    attack v
+                      (attempt_rate ~rng ~strategy ~attempt_scale ~sim_floor
+                         a u v))
+                (Graph.neighbors g u)
+        end
+      done;
+      if not !any_infected then extinct := true;
+      List.iter
+        (fun v ->
+          if status.(v) = Susceptible then begin
+            status.(v) <- Infected;
+            if !result = None && v = target then result := Some !tick
+          end)
+        !newly;
+      (* detection & response *)
+      if !result = None && defense.detect_rate > 0.0 then
+        for h = 0 to n - 1 do
+          if
+            status.(h) = Infected
+            && Random.State.float rng 1.0 < defense.detect_rate
+          then status.(h) <- (if defense.immunize then Immune else Susceptible)
+        done
+    done;
+    !result
+  end
+
+let run_defended ~rng ?(strategy = Best_exploit)
+    ?(attempt_scale = default_attempt_scale)
+    ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~defense a ~entry
+    ~target =
+  simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
+    ~defense a ~entry ~target
+
+let mttc_defended ~rng ?(strategy = Best_exploit)
+    ?(attempt_scale = default_attempt_scale)
+    ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~defense ~runs a
+    ~entry ~target =
+  let samples = ref [] in
+  for _ = 1 to runs do
+    match
+      simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
+        ~defense a ~entry ~target
+    with
+    | Some t -> samples := t :: !samples
+    | None -> ()
+  done;
+  stats_of_samples ~runs ~max_ticks (Array.of_list (List.rev !samples))
+
+let pp_mttc ppf s =
+  Format.fprintf ppf "MTTC %.3f ticks (%d/%d runs reached the target)"
+    s.mean_ticks s.successes s.runs

@@ -1,0 +1,1 @@
+lib/vuln/corpus.ml: Array Cpe Cve Hashtbl List Nvd Printf Similarity String

@@ -1,0 +1,1 @@
+lib/vuln/corpus.mli: Cpe Nvd Similarity

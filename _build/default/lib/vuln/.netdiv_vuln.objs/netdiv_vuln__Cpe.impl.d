@@ -1,0 +1,1 @@
+lib/vuln/cpe.ml: Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/vuln/cpe.mli: Format

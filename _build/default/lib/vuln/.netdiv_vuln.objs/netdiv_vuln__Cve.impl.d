@@ -1,0 +1,1 @@
+lib/vuln/cve.ml: Cpe Format List Printf Stdlib String

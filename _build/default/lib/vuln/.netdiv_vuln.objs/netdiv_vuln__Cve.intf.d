@@ -1,0 +1,1 @@
+lib/vuln/cve.mli: Cpe Format

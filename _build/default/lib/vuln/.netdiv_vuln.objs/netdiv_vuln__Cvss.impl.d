@@ -1,0 +1,1 @@
+lib/vuln/cvss.ml: Float Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/vuln/feed.ml: Cpe Cve Json List Nvd Printf String

@@ -1,0 +1,1 @@
+lib/vuln/feed.mli: Cpe Cve Json Nvd

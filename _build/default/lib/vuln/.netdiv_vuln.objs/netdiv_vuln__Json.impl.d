@@ -1,0 +1,1 @@
+lib/vuln/json.ml: Buffer Char Float List Option Printf String

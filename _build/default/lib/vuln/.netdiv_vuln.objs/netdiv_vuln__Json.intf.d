@@ -1,0 +1,1 @@
+lib/vuln/json.mli:

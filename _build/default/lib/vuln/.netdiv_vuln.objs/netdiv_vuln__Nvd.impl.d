@@ -1,0 +1,1 @@
+lib/vuln/nvd.ml: Cve Hashtbl List Set String

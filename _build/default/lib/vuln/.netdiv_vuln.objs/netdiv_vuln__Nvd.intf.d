@@ -1,0 +1,1 @@
+lib/vuln/nvd.mli: Cpe Cve Set

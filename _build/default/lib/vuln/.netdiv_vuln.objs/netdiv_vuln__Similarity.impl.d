@@ -1,0 +1,1 @@
+lib/vuln/similarity.ml: Array Format List Nvd Printf String

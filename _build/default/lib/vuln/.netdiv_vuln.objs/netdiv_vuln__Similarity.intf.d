@@ -1,0 +1,1 @@
+lib/vuln/similarity.mli: Cpe Format Nvd

@@ -1,0 +1,1 @@
+lib/vuln/weighted.ml: Array Cve Hashtbl List Nvd Printf Similarity

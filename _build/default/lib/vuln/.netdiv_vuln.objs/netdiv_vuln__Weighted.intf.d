@@ -1,0 +1,1 @@
+lib/vuln/weighted.mli: Cpe Cve Nvd Similarity

@@ -1,0 +1,51 @@
+(** Curated vulnerability corpora and synthetic NVD generation.
+
+    The paper computes its similarity tables from the live NVD (CVEs
+    published 1999-2016).  This repository runs offline, so we embed the
+    statistics the paper itself publishes — per-product vulnerability totals
+    and pairwise shared-CVE counts of Tables II (operating systems) and III
+    (web browsers), plus an analogously curated table for database products —
+    and provide {!synthesize}, which fabricates a CVE corpus whose pairwise
+    Jaccard similarities reproduce those counts exactly.  Downstream code
+    consumes only similarity tables, so the substitution is behaviour
+    preserving (see DESIGN.md). *)
+
+type spec = {
+  label : string;  (** e.g. ["os"], ["browser"], ["database"] *)
+  products : (string * Cpe.t) array;  (** display name and CPE pattern *)
+  totals : int array;  (** per-product vulnerability totals, [|V_i|] *)
+  shared : (int * int * int) list;
+      (** [(i, j, n)]: products [i] and [j] share [n] CVEs; unlisted pairs
+          share none *)
+}
+
+val os_spec : spec
+(** Table II: 9 common OS products, CVEs 1999-2016. *)
+
+val browser_spec : spec
+(** Table III: 8 common web browsers.  The paper's SeaMonkey/Opera cell is a
+    printing error (it repeats SeaMonkey's total); we curate a small overlap
+    consistent with the neighbouring cells. *)
+
+val database_spec : spec
+(** Database servers used in the case study (Table IV).  The paper states
+    these were "obtained in the same way" but does not print the table; the
+    counts here are curated (MySQL/MariaDB share a large fork heritage,
+    cross-vendor pairs share nothing). *)
+
+val all_specs : spec list
+
+val table : spec -> Similarity.table
+(** Similarity table straight from the curated counts. *)
+
+val synthesize : spec -> Nvd.t
+(** [synthesize spec] builds an NVD instance containing synthetic CVE
+    entries (ids, years spread over 1999-2016, affected CPE lists) whose
+    per-product totals and pairwise intersections match [spec] exactly.
+    Works by greedily emitting CVEs that affect {e groups} of products,
+    since pairwise overlaps alone are unrealizable when a product's
+    pairwise counts sum past its total (e.g. Windows 8.1 in Table II).
+    @raise Failure if the spec is not realizable by the greedy construction. *)
+
+val find_spec : string -> spec option
+(** Look a built-in spec up by label. *)

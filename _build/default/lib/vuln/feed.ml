@@ -1,0 +1,188 @@
+let cpe23_of_string s =
+  (* cpe:2.3:part:vendor:product:version:update:... (unescaped split;
+     the similarity analysis only needs part/vendor/product/version) *)
+  match String.split_on_char ':' s with
+  | "cpe" :: "2.3" :: part :: vendor :: product :: rest
+    when String.length part = 1 ->
+      let part =
+        match part.[0] with
+        | 'a' -> Some Cpe.Application
+        | 'o' -> Some Cpe.Operating_system
+        | 'h' -> Some Cpe.Hardware
+        | _ -> None
+      in
+      (match part with
+      | None -> Error (Printf.sprintf "bad CPE 2.3 part in %S" s)
+      | Some part ->
+          if vendor = "" || product = "" then
+            Error (Printf.sprintf "empty vendor/product in %S" s)
+          else
+            let version =
+              match rest with
+              | ("*" | "-" | "") :: _ | [] -> None
+              | v :: _ -> Some v
+            in
+            Ok (Cpe.make ?version ~part ~vendor product))
+  | _ -> Error (Printf.sprintf "not a CPE 2.3 formatted string: %S" s)
+
+let any_cpe_of_string s =
+  if String.length s >= 8 && String.sub s 0 8 = "cpe:2.3:" then
+    cpe23_of_string s
+  else Cpe.of_string s
+
+(* collect CPE uris from a configurations node tree *)
+let rec cpes_of_node node acc =
+  let matches =
+    match Json.member "cpe_match" node with
+    | Some (Json.List items) -> items
+    | _ -> []
+  in
+  let acc =
+    List.fold_left
+      (fun acc m ->
+        let uri =
+          match Json.member "cpe23Uri" m with
+          | Some (Json.String s) -> Some s
+          | _ -> (
+              match Json.member "cpe22Uri" m with
+              | Some (Json.String s) -> Some s
+              | _ -> None)
+        in
+        match uri with
+        | Some s -> (
+            match any_cpe_of_string s with
+            | Ok cpe -> cpe :: acc
+            | Error _ -> acc)
+        | None -> acc)
+      acc matches
+  in
+  match Json.member "children" node with
+  | Some (Json.List children) ->
+      List.fold_left (fun acc child -> cpes_of_node child acc) acc children
+  | _ -> acc
+
+let decode_item item =
+  match Json.path [ "cve"; "CVE_data_meta"; "ID" ] item with
+  | Some (Json.String id) -> (
+      let summary =
+        match Json.path [ "cve"; "description"; "description_data" ] item with
+        | Some (Json.List (first :: _)) -> (
+            match Json.member "value" first with
+            | Some (Json.String s) -> s
+            | _ -> "")
+        | _ -> ""
+      in
+      let affected =
+        match Json.path [ "configurations"; "nodes" ] item with
+        | Some (Json.List nodes) ->
+            List.fold_left (fun acc node -> cpes_of_node node acc) [] nodes
+            |> List.sort_uniq Cpe.compare
+        | _ -> []
+      in
+      let cvss =
+        match
+          Json.path [ "impact"; "baseMetricV3"; "cvssV3"; "baseScore" ] item
+        with
+        | Some (Json.Number f) -> Some f
+        | _ -> (
+            match
+              Json.path
+                [ "impact"; "baseMetricV2"; "cvssV2"; "baseScore" ]
+                item
+            with
+            | Some (Json.Number f) -> Some f
+            | _ -> None)
+      in
+      match Cve.make ?cvss ~summary ~id affected with
+      | Ok cve -> Ok cve
+      | Error msg -> Error msg)
+  | _ -> Error "item without cve.CVE_data_meta.ID"
+
+let decode json =
+  match Json.member "CVE_Items" json with
+  | Some (Json.List items) ->
+      let entries, warnings =
+        List.fold_left
+          (fun (entries, warnings) item ->
+            match decode_item item with
+            | Ok cve -> (cve :: entries, warnings)
+            | Error msg -> (entries, msg :: warnings))
+          ([], []) items
+      in
+      Ok (List.rev entries, List.rev warnings)
+  | Some _ -> Error "CVE_Items is not an array"
+  | None -> Error "document has no CVE_Items"
+
+let of_string contents =
+  match Json.parse contents with
+  | Error msg -> Error msg
+  | Ok json -> decode json
+
+let load_into db contents =
+  match of_string contents with
+  | Error msg -> Error msg
+  | Ok (entries, warnings) ->
+      List.iter (Nvd.add db) entries;
+      Ok (List.length entries, warnings)
+
+let encode_entry (cve : Cve.t) =
+  let open Json in
+  let description =
+    Object
+      [
+        ( "description_data",
+          List
+            [ Object [ ("lang", String "en"); ("value", String cve.summary) ]
+            ] );
+      ]
+  in
+  let cpe_match =
+    List
+      (List.map
+         (fun cpe ->
+           Object
+             [
+               ("vulnerable", Bool true);
+               ("cpe22Uri", String (Cpe.to_string cpe));
+             ])
+         cve.affected)
+  in
+  let impact =
+    match cve.cvss with
+    | None -> Object []
+    | Some score ->
+        Object
+          [
+            ( "baseMetricV2",
+              Object [ ("cvssV2", Object [ ("baseScore", Number score) ]) ]
+            );
+          ]
+  in
+  Object
+    [
+      ( "cve",
+        Object
+          [
+            ("CVE_data_meta", Object [ ("ID", String cve.id) ]);
+            ("description", description);
+          ] );
+      ( "configurations",
+        Object [ ("nodes", List [ Object [ ("cpe_match", cpe_match) ] ]) ] );
+      ("impact", impact);
+      ( "publishedDate",
+        String (Printf.sprintf "%04d-01-01T00:00Z" cve.year) );
+    ]
+
+let encode db =
+  let entries = List.sort Cve.compare (Nvd.entries db) in
+  Json.Object
+    [
+      ("CVE_data_type", Json.String "CVE");
+      ("CVE_data_format", Json.String "MITRE");
+      ("CVE_data_version", Json.String "4.0");
+      ( "CVE_data_numberOfCVEs",
+        Json.String (string_of_int (List.length entries)) );
+      ("CVE_Items", Json.List (List.map encode_entry entries));
+    ]
+
+let to_string ?pretty db = Json.to_string ?pretty (encode db)

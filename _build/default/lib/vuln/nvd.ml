@@ -1,0 +1,26 @@
+module String_set = Set.Make (String)
+
+type t = { entries : (string, Cve.t) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 1024 }
+
+let add t (cve : Cve.t) = Hashtbl.replace t.entries cve.id cve
+let size t = Hashtbl.length t.entries
+let find t id = Hashtbl.find_opt t.entries id
+let fold f t init = Hashtbl.fold (fun _ cve acc -> f cve acc) t.entries init
+let entries t = fold List.cons t []
+
+let in_window ?since ?until (cve : Cve.t) =
+  (match since with None -> true | Some y -> cve.year >= y)
+  && match until with None -> true | Some y -> cve.year <= y
+
+let vulns_of ?since ?until t pattern =
+  fold
+    (fun cve acc ->
+      if in_window ?since ?until cve && Cve.affects cve ~pattern then
+        String_set.add cve.id acc
+      else acc)
+    t String_set.empty
+
+let count_of ?since ?until t pattern =
+  String_set.cardinal (vulns_of ?since ?until t pattern)

@@ -1,0 +1,35 @@
+(** In-memory National Vulnerability Database substrate.
+
+    The paper fetches CVE records from the live NVD via CVE-SEARCH and
+    filters them per product with CPE queries.  This module provides the
+    same query surface over an in-memory store: add entries, look them up
+    by id, and collect the vulnerability-id set of a product given a CPE
+    pattern and a year window (the paper uses 1999-2016). *)
+
+type t
+
+module String_set : Set.S with type elt = string
+
+val create : unit -> t
+
+val add : t -> Cve.t -> unit
+(** [add db cve] inserts [cve].  Re-adding an id replaces the old entry. *)
+
+val size : t -> int
+(** Number of distinct CVE ids stored. *)
+
+val find : t -> string -> Cve.t option
+(** [find db id] looks an entry up by CVE id. *)
+
+val entries : t -> Cve.t list
+(** All entries, in unspecified order. *)
+
+val vulns_of : ?since:int -> ?until:int -> t -> Cpe.t -> String_set.t
+(** [vulns_of db pattern] is the set of CVE ids affecting any product
+    matched by [pattern], restricted to publication years in
+    [[since, until]] when given.  This is the [V_x] of Definition 1. *)
+
+val count_of : ?since:int -> ?until:int -> t -> Cpe.t -> int
+(** [count_of db pattern] = cardinality of {!vulns_of}. *)
+
+val fold : (Cve.t -> 'a -> 'a) -> t -> 'a -> 'a

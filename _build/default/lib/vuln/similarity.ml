@@ -1,0 +1,141 @@
+module Ss = Nvd.String_set
+
+let jaccard a b =
+  let inter = Ss.cardinal (Ss.inter a b) in
+  let union = Ss.cardinal (Ss.union a b) in
+  if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+
+type table = {
+  products : string array;
+  totals : int array;         (* |V_i| *)
+  shared : int array;         (* |V_i ∩ V_j|, flat n*n, symmetric *)
+  sim : float array;          (* Jaccard, flat n*n, symmetric, 1 on diag *)
+}
+
+let size t = Array.length t.products
+
+let product_name t i = t.products.(i)
+
+let index t name =
+  let n = size t in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal t.products.(i) name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let get t i j = t.sim.((i * size t) + j)
+let shared_count t i j = t.shared.((i * size t) + j)
+
+let find t a b =
+  match (index t a, index t b) with
+  | Some i, Some j -> Some (get t i j)
+  | _ -> None
+
+let build products totals shared_counts =
+  let n = Array.length products in
+  let sim = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let inter = shared_counts.((i * n) + j) in
+      let union = totals.(i) + totals.(j) - inter in
+      sim.((i * n) + j) <-
+        (if i = j then 1.0
+         else if union = 0 then 0.0
+         else float_of_int inter /. float_of_int union)
+    done
+  done;
+  { products; totals; shared = shared_counts; sim }
+
+let of_nvd ?since ?until db products =
+  let names = Array.of_list (List.map fst products) in
+  let sets =
+    Array.of_list
+      (List.map (fun (_, cpe) -> Nvd.vulns_of ?since ?until db cpe) products)
+  in
+  let n = Array.length names in
+  let totals = Array.map Ss.cardinal sets in
+  let shared = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      shared.((i * n) + j) <-
+        (if i = j then totals.(i)
+         else Ss.cardinal (Ss.inter sets.(i) sets.(j)))
+    done
+  done;
+  build names totals shared
+
+let of_counts ~products ~totals ~shared =
+  let n = Array.length products in
+  if Array.length totals <> n then
+    invalid_arg "Similarity.of_counts: totals length mismatch";
+  Array.iteri
+    (fun i total ->
+      if total < 0 then
+        invalid_arg
+          (Printf.sprintf "Similarity.of_counts: negative total for %s"
+             products.(i)))
+    totals;
+  let table = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    table.((i * n) + i) <- totals.(i)
+  done;
+  List.iter
+    (fun (i, j, count) ->
+      if i < 0 || i >= n || j < 0 || j >= n || i = j then
+        invalid_arg "Similarity.of_counts: bad pair index";
+      if count < 0 || count > totals.(i) || count > totals.(j) then
+        invalid_arg
+          (Printf.sprintf
+             "Similarity.of_counts: shared count %d exceeds totals of %s/%s"
+             count products.(i) products.(j));
+      if table.((i * n) + j) <> 0 then
+        invalid_arg "Similarity.of_counts: duplicate pair";
+      table.((i * n) + j) <- count;
+      table.((j * n) + i) <- count)
+    shared;
+  build products totals table
+
+let with_values t values =
+  let n = size t in
+  if Array.length values <> n * n then
+    invalid_arg "Similarity.with_values: size mismatch";
+  let sim = Array.copy values in
+  for i = 0 to n - 1 do
+    sim.((i * n) + i) <- 1.0;
+    for j = 0 to n - 1 do
+      let v = sim.((i * n) + j) in
+      if not (v >= 0.0 && v <= 1.0) then
+        invalid_arg "Similarity.with_values: value out of [0,1]";
+      if abs_float (v -. sim.((j * n) + i)) > 1e-9 && i <> j then
+        invalid_arg "Similarity.with_values: not symmetric"
+    done
+  done;
+  { t with sim }
+
+let pp ppf t =
+  let n = size t in
+  let open Format in
+  let name_width =
+    Array.fold_left (fun acc p -> max acc (String.length p)) 8 t.products + 2
+  in
+  let cell_width = max 16 (name_width + 1) in
+  fprintf ppf "@[<v>";
+  fprintf ppf "%-*s" name_width "";
+  for j = 0 to n - 1 do
+    fprintf ppf "%-*s" cell_width t.products.(j)
+  done;
+  pp_print_cut ppf ();
+  for i = 0 to n - 1 do
+    fprintf ppf "%-*s" name_width t.products.(i);
+    for j = 0 to i do
+      let cell =
+        if i = j then sprintf "1.00 (%d)" t.totals.(i)
+        else sprintf "%.3f (%d)" (get t i j) (shared_count t i j)
+      in
+      fprintf ppf "%-*s" cell_width cell
+    done;
+    pp_print_cut ppf ()
+  done;
+  fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Vulnerability similarity of products (Definition 1).
+
+    The similarity of two products is the Jaccard coefficient of their
+    vulnerability sets, [sim(x,y) = |Vx ∩ Vy| / |Vx ∪ Vy|].  Pairwise
+    similarities over a product list are stored as a {e similarity table}
+    (the paper's Tables II and III). *)
+
+val jaccard : Nvd.String_set.t -> Nvd.String_set.t -> float
+(** Jaccard similarity coefficient of two id sets.  Two empty sets have
+    similarity 0 (no statistical evidence of overlap). *)
+
+type table
+(** A symmetric table of pairwise similarities over named products, also
+    recording vulnerability totals and shared-vulnerability counts. *)
+
+val of_nvd :
+  ?since:int -> ?until:int -> Nvd.t -> (string * Cpe.t) list -> table
+(** [of_nvd db products] computes the full pairwise table for the named CPE
+    patterns by querying [db] (Section III of the paper). *)
+
+val of_counts :
+  products:string array -> totals:int array -> shared:(int * int * int) list ->
+  table
+(** [of_counts ~products ~totals ~shared] builds a table directly from
+    curated counts: [totals.(i)] is [|V_i|] and [(i, j, n)] in [shared] sets
+    [|V_i ∩ V_j| = n].  Unlisted pairs share nothing.
+    @raise Invalid_argument on inconsistent data (e.g. [n] larger than
+    either total, out-of-range indices, duplicate pairs). *)
+
+val size : table -> int
+val product_name : table -> int -> string
+
+val index : table -> string -> int option
+(** Index of a product by name. *)
+
+val get : table -> int -> int -> float
+(** [get t i j] is [sim(i,j)]; symmetric; [get t i i = 1]. *)
+
+val shared_count : table -> int -> int -> int
+(** Number of shared vulnerabilities; on the diagonal, the product's total. *)
+
+val find : table -> string -> string -> float option
+(** Similarity by product names. *)
+
+val with_values : table -> float array -> table
+(** [with_values t sims] returns a table with the same products and
+    shared counts but similarity values taken from the [n*n] row-major
+    array [sims] (diagonal entries are forced to 1).  Used by weighted
+    similarity variants.
+    @raise Invalid_argument on size mismatch, asymmetry or out-of-range
+    values. *)
+
+val pp : Format.formatter -> table -> unit
+(** Renders the lower-triangular table in the style of the paper's
+    Tables II/III: similarity with shared counts in brackets. *)

@@ -1,0 +1,51 @@
+module Ss = Nvd.String_set
+
+let default_weight (cve : Cve.t) =
+  match cve.cvss with Some s -> s /. 10.0 | None -> 0.5
+
+let weighted_jaccard ~weight a b =
+  let sum set = Ss.fold (fun id acc -> acc +. weight id) set 0.0 in
+  let inter = sum (Ss.inter a b) in
+  let union = sum (Ss.union a b) in
+  if union <= 0.0 then 0.0 else inter /. union
+
+let of_nvd ?since ?until ?(weight = default_weight) db products =
+  let weight_of_id =
+    let cache = Hashtbl.create 256 in
+    fun id ->
+      match Hashtbl.find_opt cache id with
+      | Some w -> w
+      | None ->
+          let w =
+            match Nvd.find db id with Some cve -> weight cve | None -> 0.5
+          in
+          if w < 0.0 then
+            invalid_arg
+              (Printf.sprintf "Weighted.of_nvd: negative weight for %s" id);
+          Hashtbl.add cache id w;
+          w
+  in
+  let names = Array.of_list (List.map fst products) in
+  let sets =
+    Array.of_list
+      (List.map (fun (_, cpe) -> Nvd.vulns_of ?since ?until db cpe) products)
+  in
+  let n = Array.length names in
+  let totals = Array.map Ss.cardinal sets in
+  let shared = ref [] in
+  let sims = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      let count = Ss.cardinal (Ss.inter sets.(i) sets.(j)) in
+      if count > 0 then shared := (i, j, count) :: !shared;
+      let s = weighted_jaccard ~weight:weight_of_id sets.(i) sets.(j) in
+      sims.((i * n) + j) <- s;
+      sims.((j * n) + i) <- s
+    done
+  done;
+  (* build via of_counts for the counts, then overwrite the similarity
+     values through the weighted variant *)
+  let table =
+    Similarity.of_counts ~products:names ~totals ~shared:!shared
+  in
+  Similarity.with_values table sims

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Format List Netdiv_core Netdiv_graph Printf Random

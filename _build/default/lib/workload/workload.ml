@@ -1,0 +1,65 @@
+module Gen = Netdiv_graph.Gen
+module Network = Netdiv_core.Network
+
+type params = {
+  hosts : int;
+  degree : int;
+  services : int;
+  products_per_service : int;
+  seed : int;
+}
+
+let default =
+  { hosts = 1000; degree = 20; services = 15; products_per_service = 4;
+    seed = 1 }
+
+let synthetic_similarity ~rng ~products =
+  if products < 1 then invalid_arg "Workload.synthetic_similarity";
+  let split = max 1 (products / 2) in
+  let m = Array.make (products * products) 0.0 in
+  for i = 0 to products - 1 do
+    m.((i * products) + i) <- 1.0;
+    for j = i + 1 to products - 1 do
+      let same_family = (i < split) = (j < split) in
+      let v =
+        if same_family then 0.05 +. Random.State.float rng 0.65 else 0.0
+      in
+      m.((i * products) + j) <- v;
+      m.((j * products) + i) <- v
+    done
+  done;
+  m
+
+let instance p =
+  if p.hosts < 1 || p.degree < 0 || p.services < 1
+     || p.products_per_service < 1
+  then invalid_arg "Workload.instance: non-positive parameter";
+  let rng = Random.State.make [| p.seed; p.hosts; p.degree; p.services |] in
+  let graph =
+    if p.degree >= 2 && p.hosts > 2 then
+      Gen.connected_avg_degree ~rng ~n:p.hosts ~degree:p.degree
+    else Gen.avg_degree ~rng ~n:p.hosts ~degree:p.degree
+  in
+  let services =
+    Array.init p.services (fun s ->
+        {
+          Network.sv_name = Printf.sprintf "svc%d" s;
+          sv_products =
+            Array.init p.products_per_service (fun k ->
+                Printf.sprintf "s%d_p%d" s k);
+          sv_similarity =
+            synthetic_similarity ~rng ~products:p.products_per_service;
+        })
+  in
+  let all_services = List.init p.services (fun s -> (s, [||])) in
+  let hosts =
+    Array.init p.hosts (fun h ->
+        { Network.h_name = Printf.sprintf "h%d" h;
+          h_services = all_services })
+  in
+  Network.create ~graph ~services ~hosts
+
+let pp_params ppf p =
+  Format.fprintf ppf
+    "%d hosts, degree %d, %d services x %d products (seed %d)" p.hosts
+    p.degree p.services p.products_per_service p.seed

@@ -1,0 +1,35 @@
+(** Random diversification instances for the scalability study (Section
+    VIII).
+
+    The paper times its optimizer on randomly generated networks
+    parameterized by host count, average degree and services per host.
+    Instances here follow that recipe: a uniform random connected host
+    graph; a catalog of [services] services, each offered by
+    [products_per_service] products with a synthetic similarity matrix
+    (zero across "vendor families", Jaccard-like within — mimicking the
+    block structure of the real CVE tables); every host runs every
+    service.  Everything is deterministic in [seed]. *)
+
+type params = {
+  hosts : int;
+  degree : int;              (** average degree; paper sweeps 5-50 *)
+  services : int;            (** services per host; paper sweeps 5-30 *)
+  products_per_service : int;  (** paper's case study uses 3-4 *)
+  seed : int;
+}
+
+val default : params
+(** 1000 hosts, degree 20, 15 services, 4 products — the paper's
+    mid-density configuration. *)
+
+val instance : params -> Netdiv_core.Network.t
+(** Builds the network for [params].
+    @raise Invalid_argument for non-positive sizes. *)
+
+val synthetic_similarity :
+  rng:Random.State.t -> products:int -> float array
+(** One synthetic similarity matrix: products are split into two vendor
+    families; cross-family similarity is 0, within-family pairs get a
+    Jaccard-like draw in (0, 0.7]. *)
+
+val pp_params : Format.formatter -> params -> unit

@@ -1,0 +1,7 @@
+  $ netdiv similarity --corpus os
+  $ netdiv similarity --corpus database --synthesize
+  $ netdiv similarity --corpus nope
+  $ netdiv metrics
+  $ netdiv rank --samples 4000 --top 5
+  $ netdiv export --network n.json --assignment a.json
+  $ netdiv verify --network n.json --assignment a.json

@@ -1,0 +1,1 @@
+test/test_bayes.ml: Alcotest Array Attack_bn Bn Dbn Factor Fun Hashtbl Infer List Mfactor Netdiv_bayes Netdiv_casestudy Netdiv_core Netdiv_graph Option Printf QCheck2 QCheck_alcotest Random

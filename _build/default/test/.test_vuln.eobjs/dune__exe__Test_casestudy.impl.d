@@ -1,0 +1,1 @@
+test/test_casestudy.ml: Alcotest Array Experiments List Netdiv_casestudy Netdiv_core Netdiv_graph Netdiv_sim Printf Products Scaled Topology

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cut Dot Gen Graph List Netdiv_graph Printf QCheck2 QCheck_alcotest Random Stats String Topologies Traversal

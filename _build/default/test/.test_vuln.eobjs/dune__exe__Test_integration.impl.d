@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Netdiv_bayes Netdiv_casestudy Netdiv_core Netdiv_graph Netdiv_sim Random

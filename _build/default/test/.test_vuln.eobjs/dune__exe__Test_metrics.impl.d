@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array List Netdiv_casestudy Netdiv_core Netdiv_graph Netdiv_metrics Printf

@@ -1,0 +1,1 @@
+test/test_mrf.ml: Alcotest Array Bnb Bp Brute Icm List Mrf Netdiv_mrf Printf QCheck2 QCheck_alcotest Random Sa Solver Trws

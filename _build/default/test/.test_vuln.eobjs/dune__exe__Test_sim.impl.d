@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Netdiv_core Netdiv_graph Netdiv_sim Printf QCheck2 QCheck_alcotest Random Unix

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Netdiv_core Netdiv_graph Netdiv_workload Random

@@ -1,0 +1,320 @@
+(* Tests for the Stuxnet-inspired case study: the Fig. 3 topology, Table IV
+   candidate catalogs, and the Section VII experiments (Tables V and VI
+   orderings). *)
+
+open Netdiv_casestudy
+module Graph = Netdiv_graph.Graph
+module Traversal = Netdiv_graph.Traversal
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+module Constr = Netdiv_core.Constr
+
+let net = Products.network ()
+let assignments = Experiments.compute_assignments net
+
+(* --------------------------------------------------------------- topology *)
+
+let test_host_numbering () =
+  Alcotest.(check int) "32 hosts" 32 (Array.length Topology.host_names);
+  Alcotest.(check int) "c1 first" 0 (Topology.host "c1");
+  Alcotest.(check string) "t5 target" "t5" Topology.target;
+  match Topology.host "nope" with
+  | _ -> Alcotest.fail "accepted unknown host"
+  | exception Invalid_argument _ -> ()
+
+let test_graph_shape () =
+  let g = Topology.graph () in
+  Alcotest.(check int) "node count" 32 (Graph.n_nodes g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  (* zone meshes *)
+  Alcotest.(check bool) "corporate mesh" true
+    (Graph.mem_edge g (Topology.host "c1") (Topology.host "c3"));
+  (* firewall white-list links *)
+  Alcotest.(check bool) "c4-z4" true
+    (Graph.mem_edge g (Topology.host "c4") (Topology.host "z4"));
+  Alcotest.(check bool) "z4-t1" true
+    (Graph.mem_edge g (Topology.host "z4") (Topology.host "t1"));
+  Alcotest.(check bool) "p1-v1" true
+    (Graph.mem_edge g (Topology.host "p1") (Topology.host "v1"));
+  (* and the absence of non-whitelisted links *)
+  Alcotest.(check bool) "no c1-t5" false
+    (Graph.mem_edge g (Topology.host "c1") (Topology.host "t5"));
+  Alcotest.(check bool) "no c1-z4" false
+    (Graph.mem_edge g (Topology.host "c1") (Topology.host "z4"))
+
+let test_attack_path_exists () =
+  let g = Topology.graph () in
+  (* Stuxnet's route: corporate entry to the WinCC server *)
+  match
+    Traversal.shortest_path g (Topology.host "c4") (Topology.host "t5")
+  with
+  | Some path -> Alcotest.(check int) "3 hops via z4" 4 (List.length path)
+  | None -> Alcotest.fail "target unreachable"
+
+let test_field_devices_behind_control () =
+  let g = Topology.graph () in
+  let dist = Traversal.bfs g (Topology.host "c4") in
+  Alcotest.(check bool) "PLCs farther than servers" true
+    (dist.(Topology.host "f1") > dist.(Topology.host "t5"))
+
+(* --------------------------------------------------------------- products *)
+
+let test_network_catalog () =
+  Alcotest.(check int) "3 services" 3 (Network.n_services net);
+  Alcotest.(check int) "4 OS products" 4 (Network.n_products net 0);
+  Alcotest.(check int) "3 browsers" 3 (Network.n_products net 1);
+  Alcotest.(check int) "4 databases" 4 (Network.n_products net 2)
+
+let test_similarities_from_paper () =
+  (* Win XP / Win 7 similarity survives the restriction: 328 shared *)
+  Alcotest.(check (float 1e-3)) "XP/7" 0.278
+    (Network.similarity net ~service:0 0 1);
+  Alcotest.(check (float 1e-3)) "IE8/IE10" 0.386
+    (Network.similarity net ~service:1 0 1);
+  Alcotest.(check (float 1e-9)) "XP/Ubuntu zero"
+    0.0
+    (Network.similarity net ~service:0 0 2)
+
+let test_legacy_hosts_frozen () =
+  List.iter
+    (fun h ->
+      let host = Topology.host h in
+      Alcotest.(check int) (h ^ " OS frozen") 1
+        (Array.length (Network.candidates net ~host ~service:0)))
+    [ "p2"; "p3"; "t3"; "t5"; "t6" ];
+  (* and the WinCC compatibility constraint: only Windows on c1 *)
+  Alcotest.(check (array int)) "c1 windows only" [| 0; 1 |]
+    (Network.candidates net ~host:(Topology.host "c1") ~service:0)
+
+let test_plcs_have_no_services () =
+  List.iter
+    (fun h ->
+      Alcotest.(check int) (h ^ " no services") 0
+        (Array.length (Network.host_services net (Topology.host h))))
+    [ "f1"; "f2"; "f3" ]
+
+let test_constraints_valid () =
+  Alcotest.(check bool) "C1 valid" true
+    (Constr.validate_all net (Products.host_constraints net) = Ok ());
+  Alcotest.(check bool) "C2 valid" true
+    (Constr.validate_all net (Products.product_constraints net) = Ok ())
+
+(* ------------------------------------------------------------ experiments *)
+
+let test_assignments_respect_constraints () =
+  let c1 = Products.host_constraints net in
+  let c2 = Products.product_constraints net in
+  Alcotest.(check int) "optimal valid under none" 0
+    (List.length (Constr.violations net assignments.Experiments.optimal []));
+  Alcotest.(check int) "host-constrained valid" 0
+    (List.length
+       (Constr.violations net assignments.Experiments.host_constrained c1));
+  Alcotest.(check int) "product-constrained valid" 0
+    (List.length
+       (Constr.violations net assignments.Experiments.product_constrained c2))
+
+let test_c2_fixes_ie_on_linux () =
+  (* under C2 no host may combine a Linux OS with Internet Explorer *)
+  let a = assignments.Experiments.product_constrained in
+  for h = 0 to Network.n_hosts net - 1 do
+    match
+      ( Assignment.get_opt a ~host:h ~service:0,
+        Assignment.get_opt a ~host:h ~service:1 )
+    with
+    | Some os, Some wb when os >= 2 ->
+        Alcotest.(check bool)
+          (Network.host_name net h ^ " browser on linux")
+          true (wb = 2)
+    | _ -> ()
+  done
+
+let test_optimal_diversity_dominates () =
+  let e = Netdiv_core.Encode.encode net [] in
+  let energy a = Netdiv_core.Encode.assignment_energy e a in
+  Alcotest.(check bool) "optimal <= host-constrained" true
+    (energy assignments.Experiments.optimal
+     <= energy assignments.Experiments.host_constrained +. 1e-9);
+  Alcotest.(check bool) "host-constrained <= mono" true
+    (energy assignments.Experiments.host_constrained
+     <= energy assignments.Experiments.mono +. 1e-9);
+  Alcotest.(check bool) "optimal <= random" true
+    (energy assignments.Experiments.optimal
+     <= energy assignments.Experiments.random +. 1e-9)
+
+let test_diversity_table_ordering () =
+  (* Table V: d_bn(optimal) > d_bn(constrained) > d_bn(random) > d_bn(mono) *)
+  let rows = Experiments.diversity_table assignments in
+  let get label =
+    (List.find (fun (r : Experiments.diversity_row) -> r.label = label) rows)
+      .d_bn
+  in
+  let optimal = get "optimal" in
+  let host_c = get "host-constr" in
+  let product_c = get "product-constr" in
+  let random = get "random" in
+  let mono = get "mono" in
+  Alcotest.(check bool) "optimal best" true
+    (optimal > host_c && optimal > product_c);
+  Alcotest.(check bool) "constrained beat random" true
+    (host_c > random && product_c > random);
+  Alcotest.(check bool) "random beats mono" true (random > mono);
+  Alcotest.(check bool) "metric below 1" true (optimal <= 1.0);
+  (* P' is an assignment-independent reference (same first column in
+     Table V) *)
+  List.iter
+    (fun (r : Experiments.diversity_row) ->
+      Alcotest.(check (float 1e-9)) "constant reference"
+        (List.hd rows).log_p_ref r.log_p_ref)
+    rows
+
+let test_mttc_table_ordering () =
+  (* Table VI with a reduced run count: the optimal deployment resists
+     longest, the mono deployment falls fastest, from every entry *)
+  let rows = Experiments.mttc_table ~runs:150 assignments in
+  let find label =
+    (List.find (fun (r : Experiments.mttc_row) -> r.label = label) rows)
+      .per_entry
+  in
+  let optimal = find "optimal" and mono = find "mono" in
+  List.iter
+    (fun (entry, (stats : Netdiv_sim.Engine.mttc_stats)) ->
+      let mono_stats = List.assoc entry mono in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimal outlasts mono from %s" entry)
+        true
+        (stats.mean_ticks > mono_stats.Netdiv_sim.Engine.mean_ticks);
+      Alcotest.(check bool) "every run reaches the target" true
+        (stats.successes = stats.runs))
+    optimal
+
+let test_deterministic_experiments () =
+  let a1 = Experiments.compute_assignments ~seed:5 net in
+  let a2 = Experiments.compute_assignments ~seed:5 net in
+  Alcotest.(check bool) "same random baseline" true
+    (Assignment.equal a1.Experiments.random a2.Experiments.random);
+  Alcotest.(check bool) "same optimal" true
+    (Assignment.equal a1.Experiments.optimal a2.Experiments.optimal)
+
+let test_weighted_network () =
+  let weighted = Products.network_weighted () in
+  Alcotest.(check int) "same hosts" (Network.n_hosts net)
+    (Network.n_hosts weighted);
+  Alcotest.(check int) "same services" 3 (Network.n_services weighted);
+  (* weighted similarities stay within bounds and zeros stay zero *)
+  let differs = ref false in
+  for s = 0 to 2 do
+    let p = Network.n_products net s in
+    for i = 0 to p - 1 do
+      for j = 0 to p - 1 do
+        let plain = Network.similarity net ~service:s i j in
+        let w = Network.similarity weighted ~service:s i j in
+        Alcotest.(check bool) "bounds" true (w >= 0.0 && w <= 1.0);
+        if plain = 0.0 then
+          Alcotest.(check (float 1e-12)) "zero stays zero" 0.0 w
+        else if abs_float (plain -. w) > 1e-6 then differs := true
+      done
+    done
+  done;
+  Alcotest.(check bool) "severity weighting moves some cells" true !differs;
+  (* the weighted network still optimizes cleanly *)
+  let r = Netdiv_core.Optimize.run weighted [] in
+  Alcotest.(check bool) "optimizes" true r.Netdiv_core.Optimize.constraints_ok
+
+(* --------------------------------------------------------------- scaled *)
+
+let test_scaled_structure () =
+  let s = Scaled.generate ~scale:3 () in
+  let net = s.Scaled.network in
+  Alcotest.(check int) "3x hosts" 96 (Network.n_hosts net);
+  Alcotest.(check bool) "connected" true
+    (Netdiv_graph.Traversal.is_connected (Network.graph net));
+  (* the target is a WinCC-server role: frozen Win7 + MSSQL14 *)
+  Alcotest.(check (array int)) "target os frozen" [| 1 |]
+    (Network.candidates net ~host:s.Scaled.target ~service:0);
+  (* zone map covers all hosts *)
+  Alcotest.(check int) "zones" 8 (Array.length s.Scaled.zone_names);
+  Array.iter
+    (fun z -> Alcotest.(check bool) "zone in range" true (z >= 0 && z < 8))
+    s.Scaled.zone_of;
+  (* entries live in their zones *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "entry valid" true
+        (e >= 0 && e < Network.n_hosts net))
+    s.Scaled.entries
+
+let test_scaled_deterministic () =
+  let a = Scaled.generate ~seed:9 ~scale:2 () in
+  let b = Scaled.generate ~seed:9 ~scale:2 () in
+  Alcotest.(check bool) "same graphs" true
+    (Netdiv_graph.Graph.edges (Network.graph a.Scaled.network)
+    = Netdiv_graph.Graph.edges (Network.graph b.Scaled.network))
+
+let test_scaled_optimizes () =
+  let s = Scaled.generate ~scale:4 () in
+  let r = Netdiv_core.Optimize.run s.Scaled.network [] in
+  Alcotest.(check bool) "constraints ok" true
+    r.Netdiv_core.Optimize.constraints_ok;
+  (* realistic instances have tight duality gaps *)
+  Alcotest.(check bool) "gap below 20%" true
+    (r.Netdiv_core.Optimize.energy
+    < 1.2 *. r.Netdiv_core.Optimize.lower_bound);
+  let mono = Assignment.mono s.Scaled.network in
+  let e = Netdiv_core.Encode.encode s.Scaled.network [] in
+  Alcotest.(check bool) "beats mono" true
+    (r.Netdiv_core.Optimize.energy
+    < Netdiv_core.Encode.assignment_energy e mono)
+
+let test_scaled_invalid () =
+  match Scaled.generate ~scale:0 () with
+  | _ -> Alcotest.fail "accepted scale 0"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "casestudy"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "host numbering" `Quick test_host_numbering;
+          Alcotest.test_case "graph shape" `Quick test_graph_shape;
+          Alcotest.test_case "attack path c4->t5" `Quick
+            test_attack_path_exists;
+          Alcotest.test_case "field devices behind control" `Quick
+            test_field_devices_behind_control;
+        ] );
+      ( "products",
+        [
+          Alcotest.test_case "catalog" `Quick test_network_catalog;
+          Alcotest.test_case "similarities from the paper" `Quick
+            test_similarities_from_paper;
+          Alcotest.test_case "legacy hosts frozen" `Quick
+            test_legacy_hosts_frozen;
+          Alcotest.test_case "PLCs inert" `Quick test_plcs_have_no_services;
+          Alcotest.test_case "constraint sets valid" `Quick
+            test_constraints_valid;
+          Alcotest.test_case "weighted similarity variant" `Quick
+            test_weighted_network;
+        ] );
+      ( "scaled",
+        [
+          Alcotest.test_case "structure" `Quick test_scaled_structure;
+          Alcotest.test_case "deterministic" `Quick test_scaled_deterministic;
+          Alcotest.test_case "optimizes" `Quick test_scaled_optimizes;
+          Alcotest.test_case "invalid scale" `Quick test_scaled_invalid;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "assignments respect constraints" `Quick
+            test_assignments_respect_constraints;
+          Alcotest.test_case "C2 removes IE-on-Linux" `Quick
+            test_c2_fixes_ie_on_linux;
+          Alcotest.test_case "optimal energy dominates" `Quick
+            test_optimal_diversity_dominates;
+          Alcotest.test_case "Table V ordering" `Quick
+            test_diversity_table_ordering;
+          Alcotest.test_case "Table VI ordering" `Slow
+            test_mttc_table_ordering;
+          Alcotest.test_case "deterministic" `Quick
+            test_deterministic_experiments;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* Cross-library integration tests: each locks in one of the headline
+   experimental claims end-to-end (optimizer -> evaluation), so a
+   regression in any layer breaks a visible property, not just a unit. *)
+
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+module Optimize = Netdiv_core.Optimize
+module Encode = Netdiv_core.Encode
+module Cost = Netdiv_core.Cost
+module Serial = Netdiv_core.Serial
+module Attack_bn = Netdiv_bayes.Attack_bn
+module Engine = Netdiv_sim.Engine
+module Topology = Netdiv_casestudy.Topology
+module Products = Netdiv_casestudy.Products
+module Scaled = Netdiv_casestudy.Scaled
+
+let net = Products.network ()
+let entry = Topology.host "c4"
+let target = Topology.host Topology.target
+
+(* diversity buys containment: under the same detector, the optimal
+   deployment is compromised far less often than the homogeneous one *)
+let test_defense_compounds_with_diversity () =
+  let optimal = (Optimize.run net []).Optimize.assignment in
+  let mono = Assignment.mono net in
+  let compromised a seed =
+    let stats =
+      Engine.mttc_defended
+        ~rng:(Random.State.make [| seed |])
+        ~defense:{ Engine.detect_rate = 0.03; immunize = true }
+        ~max_ticks:2000 ~runs:300 a ~entry ~target
+    in
+    float_of_int stats.Engine.successes /. float_of_int stats.Engine.runs
+  in
+  let p_optimal = compromised optimal 1 in
+  let p_mono = compromised mono 2 in
+  Alcotest.(check bool) "mono leaks badly" true (p_mono > 0.7);
+  Alcotest.(check bool) "diversity contains" true (p_optimal < 0.5);
+  Alcotest.(check bool) "at least 2x better" true
+    (p_optimal *. 2.0 < p_mono)
+
+(* the static-arsenal worm is the one diversity hurts the most *)
+let test_attacker_capability_ordering () =
+  let optimal = (Optimize.run net []).Optimize.assignment in
+  let mttc strategy seed =
+    (Engine.mttc
+       ~rng:(Random.State.make [| seed |])
+       ~strategy ~runs:400 optimal ~entry ~target)
+      .Engine.mean_ticks
+  in
+  let recon = mttc Engine.Best_exploit 3 in
+  let uniform = mttc Engine.Uniform_exploit 4 in
+  let arsenal = mttc Engine.Arsenal_exploit 5 in
+  (* recon <= uniform holds per-edge in expectation; end-to-end MTTC
+     differs only within sampling noise, so allow 10% slack *)
+  Alcotest.(check bool) "recon not slower than uniform" true
+    (recon <= uniform *. 1.1);
+  Alcotest.(check bool) "static worm far slower" true
+    (arsenal > 1.5 *. uniform)
+
+(* hardening the approaches to the target costs global diversity but
+   keeps the reconnaissance worm at least as slow *)
+let test_defense_in_depth () =
+  let dist = Netdiv_graph.Traversal.bfs (Network.graph net) target in
+  let weight u v =
+    if dist.(u) >= 0 && dist.(v) >= 0 && min dist.(u) dist.(v) <= 1 then 5.0
+    else 1.0
+  in
+  let plain = Optimize.run net [] in
+  let hardened = Optimize.run ~edge_weight:weight net [] in
+  let e = Encode.encode net [] in
+  Alcotest.(check bool) "global diversity paid" true
+    (Encode.assignment_energy e hardened.Optimize.assignment
+    >= Encode.assignment_energy e plain.Optimize.assignment -. 1e-9);
+  (* the payoff is against the reconnaissance attacker: the hardened
+     perimeter slows the worm down (cf. the [Ablation] bench, where MTTC
+     improves from every entry) *)
+  let mttc a seed =
+    (Engine.mttc
+       ~rng:(Random.State.make [| seed |])
+       ~runs:400 a ~entry ~target)
+      .Engine.mean_ticks
+  in
+  Alcotest.(check bool) "worm not faster against the hardened net" true
+    (mttc hardened.Optimize.assignment 11
+    >= 0.95 *. mttc plain.Optimize.assignment 12)
+
+(* frozen legacy hosts put a hard floor under any license budget *)
+let test_cost_floor_from_legacy () =
+  let license ~host:_ ~service ~product =
+    match (service, product) with
+    | 0, (0 | 1) -> 2.0
+    | 1, (0 | 1) -> 0.5
+    | 2, (0 | 1) -> 4.0
+    | _ -> 0.0
+  in
+  (* the frozen hosts alone cost more than 50 units *)
+  (match Cost.cheapest_under ~cost:license ~budget:50.0 net [] with
+  | None -> ()
+  | Some p ->
+      Alcotest.failf "budget 50 should be infeasible, got cost %.1f"
+        p.Cost.cost);
+  match Cost.cheapest_under ~cost:license ~budget:85.0 net [] with
+  | Some p -> Alcotest.(check bool) "within budget" true (p.Cost.cost <= 85.0)
+  | None -> Alcotest.fail "budget 85 is feasible"
+
+(* a scaled instance survives serialization and re-optimizes identically *)
+let test_scaled_serial_roundtrip () =
+  let s = Scaled.generate ~scale:3 () in
+  let dumped = Serial.network_to_string s.Scaled.network in
+  match Serial.network_of_string dumped with
+  | Error e -> Alcotest.fail e
+  | Ok net' ->
+      let a = Optimize.run s.Scaled.network [] in
+      let b = Optimize.run net' [] in
+      Alcotest.(check (float 1e-9)) "same optimum" a.Optimize.energy
+        b.Optimize.energy
+
+(* the d_bn metric and the simulator agree on who is safest *)
+let test_metric_and_simulator_agree () =
+  let optimal = (Optimize.run net []).Optimize.assignment in
+  let mono = Assignment.mono net in
+  let dbn a = Attack_bn.diversity a ~entry ~target in
+  let mttc a seed =
+    (Engine.mttc
+       ~rng:(Random.State.make [| seed |])
+       ~runs:300 a ~entry ~target)
+      .Engine.mean_ticks
+  in
+  Alcotest.(check bool) "metric prefers optimal" true
+    (dbn optimal > dbn mono);
+  Alcotest.(check bool) "simulator prefers optimal" true
+    (mttc optimal 7 > mttc mono 8)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "claims",
+        [
+          Alcotest.test_case "defense compounds with diversity" `Slow
+            test_defense_compounds_with_diversity;
+          Alcotest.test_case "attacker capability ordering" `Slow
+            test_attacker_capability_ordering;
+          Alcotest.test_case "defense in depth" `Quick test_defense_in_depth;
+          Alcotest.test_case "legacy cost floor" `Quick
+            test_cost_floor_from_legacy;
+          Alcotest.test_case "scaled serialization round-trip" `Quick
+            test_scaled_serial_roundtrip;
+          Alcotest.test_case "metric and simulator agree" `Quick
+            test_metric_and_simulator_agree;
+        ] );
+    ]

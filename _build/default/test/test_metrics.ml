@@ -1,0 +1,207 @@
+(* Tests for the diversity metrics d1 (effective richness), d2 / least
+   attacking effort (k-zero-day safety) and the d3 re-export. *)
+
+module Metrics = Netdiv_metrics.Metrics
+module Gen = Netdiv_graph.Gen
+module Network = Netdiv_core.Network
+module Assignment = Netdiv_core.Assignment
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* one-service network over a line, [products] available everywhere *)
+let line_net ?(n = 4) ?(products = [| "A"; "B" |]) ?similarity () =
+  let p = Array.length products in
+  let sim =
+    match similarity with
+    | Some s -> s
+    | None ->
+        Array.init (p * p) (fun idx ->
+            if idx / p = idx mod p then 1.0 else 0.5)
+  in
+  Network.create ~graph:(Gen.line n)
+    ~services:
+      [| { Network.sv_name = "os"; sv_products = products;
+           sv_similarity = sim } |]
+    ~hosts:
+      (Array.init n (fun h ->
+           { Network.h_name = Printf.sprintf "h%d" h;
+             h_services = [ (0, [||]) ] }))
+
+let mono net = Assignment.make net (fun ~host:_ ~service:_ -> 0)
+let alternating net = Assignment.make net (fun ~host ~service:_ -> host mod 2)
+
+(* ------------------------------------------------------------------- d1 *)
+
+let test_frequencies () =
+  let net = line_net () in
+  Alcotest.(check (array (float 1e-9))) "mono" [| 1.0; 0.0 |]
+    (Metrics.product_frequencies (mono net) ~service:0);
+  Alcotest.(check (array (float 1e-9))) "alternating" [| 0.5; 0.5 |]
+    (Metrics.product_frequencies (alternating net) ~service:0)
+
+let test_effective_richness () =
+  let net = line_net () in
+  check_float "mono richness 1" 1.0
+    (Metrics.effective_richness (mono net) ~service:0);
+  check_float "even split richness 2" 2.0
+    (Metrics.effective_richness (alternating net) ~service:0)
+
+let test_d1_bounds_and_order () =
+  let net = line_net ~n:6 () in
+  let d_mono = Metrics.d1 (mono net) in
+  let d_alt = Metrics.d1 (alternating net) in
+  check_float "mono = 1/n" (1.0 /. 6.0) d_mono;
+  Alcotest.(check bool) "alternating more diverse" true (d_alt > d_mono);
+  (* all distinct -> d1 = 1 *)
+  let net4 = line_net ~n:4 ~products:[| "A"; "B"; "C"; "D" |] () in
+  let distinct = Assignment.make net4 (fun ~host ~service:_ -> host) in
+  check_float "all distinct" 1.0 (Metrics.d1 distinct)
+
+(* ------------------------------------------------------------------- d2 *)
+
+let exploits_of = List.map (fun (e : Metrics.exploit) -> (e.service, e.product))
+
+let test_least_effort_mono () =
+  let net = line_net ~n:5 () in
+  match Metrics.least_effort (mono net) ~entry:0 ~target:4 with
+  | Ok exploits ->
+      Alcotest.(check (list (pair int int))) "one exploit suffices"
+        [ (0, 0) ] (exploits_of exploits)
+  | Error _ -> Alcotest.fail "expected a solution"
+
+let test_least_effort_alternating () =
+  let net = line_net ~n:5 () in
+  match Metrics.least_effort (alternating net) ~entry:0 ~target:4 with
+  | Ok exploits ->
+      Alcotest.(check int) "two exploits needed" 2 (List.length exploits)
+  | Error _ -> Alcotest.fail "expected a solution"
+
+let test_least_effort_entry_is_target () =
+  let net = line_net () in
+  match Metrics.least_effort (mono net) ~entry:2 ~target:2 with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty exploit set"
+  | Error _ -> Alcotest.fail "expected a solution"
+
+let test_least_effort_unreachable () =
+  let graph = Netdiv_graph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let net =
+    Network.create ~graph
+      ~services:
+        [| { Network.sv_name = "os"; sv_products = [| "A" |];
+             sv_similarity = [| 1.0 |] } |]
+      ~hosts:
+        (Array.init 4 (fun h ->
+             { Network.h_name = Printf.sprintf "h%d" h;
+               h_services = [ (0, [||]) ] }))
+  in
+  match Metrics.least_effort (mono net) ~entry:0 ~target:3 with
+  | Error `Unreachable -> ()
+  | Ok _ | Error `Above_limit -> Alcotest.fail "expected Unreachable"
+
+let test_least_effort_limit () =
+  (* a 7-product rainbow path needs 6 exploits; limit 3 gives up *)
+  let products = Array.init 7 (fun i -> Printf.sprintf "P%d" i) in
+  let net = line_net ~n:7 ~products () in
+  let rainbow = Assignment.make net (fun ~host ~service:_ -> host) in
+  (match Metrics.least_effort ~limit:3 rainbow ~entry:0 ~target:6 with
+  | Error `Above_limit -> ()
+  | Ok _ | Error `Unreachable -> Alcotest.fail "expected Above_limit");
+  match Metrics.least_effort ~limit:6 rainbow ~entry:0 ~target:6 with
+  | Ok exploits -> Alcotest.(check int) "six exploits" 6 (List.length exploits)
+  | Error _ -> Alcotest.fail "expected a solution"
+
+let test_greedy_sound () =
+  (* the greedy bound always yields a working exploit set >= the optimum *)
+  let net = line_net ~n:6 ~products:[| "A"; "B"; "C" |] () in
+  let a = Assignment.make net (fun ~host ~service:_ -> host mod 3) in
+  match
+    ( Metrics.least_effort a ~entry:0 ~target:5,
+      Metrics.least_effort_greedy a ~entry:0 ~target:5 )
+  with
+  | Ok exact, Some greedy ->
+      Alcotest.(check bool) "greedy >= exact" true
+        (List.length greedy >= List.length exact);
+      Alcotest.(check int) "exact is 3 here" 3 (List.length exact)
+  | _ -> Alcotest.fail "expected solutions from both"
+
+let test_d2_orders () =
+  let net = line_net ~n:5 () in
+  let d_mono = Metrics.d2 (mono net) ~entry:0 ~target:4 in
+  let d_alt = Metrics.d2 (alternating net) ~entry:0 ~target:4 in
+  Alcotest.(check bool) "diversified needs more effort" true (d_alt > d_mono);
+  check_float "mono corridor: 1 exploit / 4 steps" 0.25 d_mono;
+  check_float "alternating: 2 exploits / 4 steps" 0.5 d_alt;
+  (* fully distinct corridor maximizes the ratio *)
+  let net4 = line_net ~n:4 ~products:[| "A"; "B"; "C"; "D" |] () in
+  let rainbow = Assignment.make net4 (fun ~host ~service:_ -> host) in
+  check_float "rainbow = 1" 1.0 (Metrics.d2 rainbow ~entry:0 ~target:3);
+  check_float "entry = target" 0.0 (Metrics.d2 (mono net) ~entry:2 ~target:2)
+
+(* ---------------------------------------------------------- case study *)
+
+let test_case_study_metrics () =
+  let net = Netdiv_casestudy.Products.network () in
+  let a = Netdiv_casestudy.Experiments.compute_assignments net in
+  let entry = Netdiv_casestudy.Topology.host "c4" in
+  let target = Netdiv_casestudy.Topology.host "t5" in
+  let open Netdiv_casestudy.Experiments in
+  (* richness: optimal deployment uses more effective products *)
+  Alcotest.(check bool) "d1 optimal > mono" true
+    (Metrics.d1 a.optimal > Metrics.d1 a.mono);
+  (* least effort: the frozen Windows corridor (z4 -> t1 -> t5, all
+     capable of running Win7) keeps k small for every assignment — the
+     MRF objective minimizes total similarity, not path-wise exploit
+     counts, so k-zero-day safety is a complementary lens, not a
+     consequence *)
+  let effort assignment =
+    match Metrics.least_effort ~limit:6 assignment ~entry ~target with
+    | Ok e -> List.length e
+    | Error `Above_limit -> max_int
+    | Error `Unreachable -> Alcotest.fail "t5 should be reachable"
+  in
+  Alcotest.(check int) "mono (with C1 fixes) needs two zero-days" 2
+    (effort a.mono);
+  Alcotest.(check bool) "every assignment falls within a few exploits" true
+    (List.for_all
+       (fun (_, assignment) -> effort assignment <= 3)
+       (labelled a));
+  (* d2 values are well-formed *)
+  List.iter
+    (fun (label, assignment) ->
+      let d = Metrics.d2 assignment ~entry ~target in
+      Alcotest.(check bool) (label ^ " d2 in range") true
+        (d > 0.0 && d <= 1.0))
+    (labelled a)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "d1",
+        [
+          Alcotest.test_case "frequencies" `Quick test_frequencies;
+          Alcotest.test_case "effective richness" `Quick
+            test_effective_richness;
+          Alcotest.test_case "bounds and ordering" `Quick
+            test_d1_bounds_and_order;
+        ] );
+      ( "d2",
+        [
+          Alcotest.test_case "mono needs one exploit" `Quick
+            test_least_effort_mono;
+          Alcotest.test_case "alternating needs two" `Quick
+            test_least_effort_alternating;
+          Alcotest.test_case "entry is target" `Quick
+            test_least_effort_entry_is_target;
+          Alcotest.test_case "unreachable" `Quick
+            test_least_effort_unreachable;
+          Alcotest.test_case "limit honored" `Quick test_least_effort_limit;
+          Alcotest.test_case "greedy bound sound" `Quick test_greedy_sound;
+          Alcotest.test_case "d2 ordering" `Quick test_d2_orders;
+        ] );
+      ( "casestudy",
+        [
+          Alcotest.test_case "metrics on the ICS" `Quick
+            test_case_study_metrics;
+        ] );
+    ]

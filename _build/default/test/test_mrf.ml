@@ -1,0 +1,366 @@
+(* Tests for the MRF library: model construction, energy evaluation, and
+   the four solvers (TRW-S, BP, ICM, exhaustive).  The key invariants:
+   TRW-S's dual bound never exceeds any labeling's energy, is exact and
+   tight on trees, and on tiny loopy models all solvers stay above the
+   exhaustive optimum. *)
+
+open Netdiv_mrf
+
+let rng seed = Random.State.make [| seed |]
+
+(* random MRF with n nodes, k labels each, edge probability p *)
+let random_mrf rng n k p =
+  let b = Mrf.Builder.create ~label_counts:(Array.make n k) in
+  for i = 0 to n - 1 do
+    Mrf.Builder.set_unary b ~node:i
+      (Array.init k (fun _ -> Random.State.float rng 1.0))
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then
+        Mrf.Builder.add_edge b u v
+          (Array.init (k * k) (fun _ -> Random.State.float rng 1.0))
+    done
+  done;
+  Mrf.Builder.build b
+
+let random_tree_mrf rng n k =
+  let b = Mrf.Builder.create ~label_counts:(Array.make n k) in
+  for i = 0 to n - 1 do
+    Mrf.Builder.set_unary b ~node:i
+      (Array.init k (fun _ -> Random.State.float rng 1.0))
+  done;
+  for i = 1 to n - 1 do
+    let parent = Random.State.int rng i in
+    Mrf.Builder.add_edge b parent i
+      (Array.init (k * k) (fun _ -> Random.State.float rng 1.0))
+  done;
+  Mrf.Builder.build b
+
+(* ---------------------------------------------------------------- model *)
+
+let test_builder_basic () =
+  let b = Mrf.Builder.create ~label_counts:[| 2; 3 |] in
+  Mrf.Builder.set_unary b ~node:0 [| 1.0; 2.0 |];
+  Mrf.Builder.add_unary b ~node:0 ~label:1 0.5;
+  Mrf.Builder.add_edge b 0 1 (Array.init 6 float_of_int);
+  let m = Mrf.Builder.build b in
+  Alcotest.(check int) "nodes" 2 (Mrf.n_nodes m);
+  Alcotest.(check int) "edges" 1 (Mrf.n_edges m);
+  Alcotest.(check int) "labels" 3 (Mrf.label_count m 1);
+  Alcotest.(check (float 1e-9)) "unary accumulates" 2.5
+    (Mrf.unary m ~node:0 ~label:1);
+  Alcotest.(check (float 1e-9)) "energy" (1.0 +. 0.0 +. 2.0)
+    (Mrf.energy m [| 0; 2 |])
+
+let test_builder_validation () =
+  (match Mrf.Builder.create ~label_counts:[| 0 |] with
+  | _ -> Alcotest.fail "accepted zero labels"
+  | exception Invalid_argument _ -> ());
+  let b = Mrf.Builder.create ~label_counts:[| 2; 2 |] in
+  (match Mrf.Builder.add_edge b 0 0 (Array.make 4 0.0) with
+  | () -> Alcotest.fail "accepted self-edge"
+  | exception Invalid_argument _ -> ());
+  (match Mrf.Builder.add_edge b 0 1 (Array.make 3 0.0) with
+  | () -> Alcotest.fail "accepted wrong matrix size"
+  | exception Invalid_argument _ -> ());
+  match Mrf.Builder.set_unary b ~node:0 [| 1.0 |] with
+  | () -> Alcotest.fail "accepted short unary"
+  | exception Invalid_argument _ -> ()
+
+let test_energy_validation () =
+  let m = random_mrf (rng 1) 4 3 0.5 in
+  (match Mrf.energy m [| 0; 0; 0 |] with
+  | _ -> Alcotest.fail "accepted wrong length"
+  | exception Invalid_argument _ -> ());
+  match Mrf.energy m [| 0; 0; 3; 0 |] with
+  | _ -> Alcotest.fail "accepted out-of-range label"
+  | exception Invalid_argument _ -> ()
+
+let test_incident () =
+  let b = Mrf.Builder.create ~label_counts:[| 2; 2; 2 |] in
+  Mrf.Builder.add_edge b 1 0 (Array.make 4 0.0);
+  Mrf.Builder.add_edge b 1 2 (Array.make 4 0.0);
+  let m = Mrf.Builder.build b in
+  let inc = Mrf.incident m 1 in
+  Alcotest.(check int) "two incidences" 2 (Array.length inc);
+  (* sorted by opposite endpoint: 0 first, then 2 *)
+  let e0, _ = inc.(0) and e1, _ = inc.(1) in
+  Alcotest.(check int) "opposite of first" 0 (Mrf.opposite m ~edge:e0 1);
+  Alcotest.(check int) "opposite of second" 2 (Mrf.opposite m ~edge:e1 1)
+
+let test_shared_matrix () =
+  let shared = Array.make 4 0.5 in
+  let b = Mrf.Builder.create ~label_counts:[| 2; 2; 2 |] in
+  Mrf.Builder.add_edge b 0 1 shared;
+  Mrf.Builder.add_edge b 1 2 shared;
+  let m = Mrf.Builder.build b in
+  Alcotest.(check bool) "physically shared" true
+    (Mrf.edge_cost m 0 == Mrf.edge_cost m 1)
+
+(* -------------------------------------------------------------- solvers *)
+
+let test_trws_tiny_exact () =
+  (* two nodes, pull apart: optimum must be the anti-diagonal *)
+  let b = Mrf.Builder.create ~label_counts:[| 2; 2 |] in
+  Mrf.Builder.add_edge b 0 1 [| 1.0; 0.0; 0.0; 1.0 |];
+  let m = Mrf.Builder.build b in
+  let r = Trws.solve m in
+  Alcotest.(check (float 1e-9)) "energy 0" 0.0 r.Solver.energy;
+  Alcotest.(check (float 1e-6)) "bound tight" 0.0 r.Solver.lower_bound;
+  Alcotest.(check bool) "anti-diagonal" true
+    (r.Solver.labeling.(0) <> r.Solver.labeling.(1))
+
+let test_trws_trees_exact () =
+  for seed = 1 to 10 do
+    let m = random_tree_mrf (rng seed) (5 + (seed mod 6)) 3 in
+    let exact = Brute.solve m in
+    let r = Trws.solve m in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "tree %d energy optimal" seed)
+      exact.Solver.energy r.Solver.energy;
+    Alcotest.(check (float 1e-5))
+      (Printf.sprintf "tree %d bound tight" seed)
+      exact.Solver.energy r.Solver.lower_bound
+  done
+
+let test_solvers_vs_brute_loopy () =
+  let exact_hits = ref 0 in
+  for seed = 1 to 15 do
+    let m = random_mrf (rng (100 + seed)) 6 3 0.5 in
+    let exact = Brute.solve m in
+    let tr = Trws.solve m in
+    let bp = Bp.solve m in
+    let icm = Icm.solve m in
+    Alcotest.(check bool) "trws >= optimum" true
+      (tr.Solver.energy >= exact.Solver.energy -. 1e-9);
+    Alcotest.(check bool) "trws bound <= optimum" true
+      (tr.Solver.lower_bound <= exact.Solver.energy +. 1e-9);
+    Alcotest.(check bool) "bp >= optimum" true
+      (bp.Solver.energy >= exact.Solver.energy -. 1e-9);
+    Alcotest.(check bool) "icm >= optimum" true
+      (icm.Solver.energy >= exact.Solver.energy -. 1e-9);
+    if tr.Solver.energy -. exact.Solver.energy < 1e-6 then incr exact_hits
+  done;
+  Alcotest.(check bool) "trws exact on most loopy instances" true
+    (!exact_hits >= 10)
+
+let test_trws_bound_below_decoded () =
+  for seed = 1 to 8 do
+    let m = random_mrf (rng (200 + seed)) 20 4 0.2 in
+    let r = Trws.solve m in
+    Alcotest.(check bool) "bound <= energy" true
+      (r.Solver.lower_bound <= r.Solver.energy +. 1e-9)
+  done
+
+let test_icm_local_optimum () =
+  let m = random_mrf (rng 3) 12 3 0.4 in
+  let r = Icm.solve m in
+  (* no single-node move may improve an ICM fixed point *)
+  let x = Array.copy r.Solver.labeling in
+  let base = Mrf.energy m x in
+  for i = 0 to Mrf.n_nodes m - 1 do
+    let keep = x.(i) in
+    for l = 0 to Mrf.label_count m i - 1 do
+      x.(i) <- l;
+      Alcotest.(check bool) "no improving move" true
+        (Mrf.energy m x >= base -. 1e-9)
+    done;
+    x.(i) <- keep
+  done
+
+let test_icm_respects_init () =
+  let m = random_mrf (rng 4) 8 3 0.4 in
+  let init = Array.make 8 2 in
+  let r = Icm.solve ~init m in
+  Alcotest.(check bool) "improves init" true
+    (r.Solver.energy <= Mrf.energy m init +. 1e-9)
+
+let test_brute_counts () =
+  let m = random_mrf (rng 5) 4 3 0.5 in
+  let r = Brute.solve m in
+  Alcotest.(check int) "enumerates 3^4" 81 r.Solver.iterations;
+  Alcotest.(check (float 1e-9)) "search space" 81.0 (Brute.search_space m)
+
+let test_brute_limit () =
+  let m = random_mrf (rng 6) 30 4 0.1 in
+  match Brute.solve ~limit:1000 m with
+  | _ -> Alcotest.fail "accepted huge search space"
+  | exception Invalid_argument _ -> ()
+
+let test_isolated_nodes () =
+  (* solver must handle nodes with no edges *)
+  let b = Mrf.Builder.create ~label_counts:[| 3; 3; 2 |] in
+  Mrf.Builder.set_unary b ~node:0 [| 2.0; 1.0; 3.0 |];
+  Mrf.Builder.set_unary b ~node:2 [| 0.5; 0.1 |];
+  Mrf.Builder.add_edge b 0 1 (Array.make 9 0.0);
+  let m = Mrf.Builder.build b in
+  let r = Trws.solve m in
+  Alcotest.(check (float 1e-9)) "isolated picks min unary" 1.1
+    r.Solver.energy;
+  Alcotest.(check (float 1e-6)) "bound tight" 1.1 r.Solver.lower_bound
+
+let test_sa_vs_brute () =
+  for seed = 1 to 8 do
+    let m = random_mrf (rng (300 + seed)) 6 3 0.5 in
+    let exact = Brute.solve m in
+    let sa = Sa.solve m in
+    Alcotest.(check bool) "sa >= optimum" true
+      (sa.Solver.energy >= exact.Solver.energy -. 1e-9);
+    (* on instances this small, annealing should find the optimum *)
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "sa exact on seed %d" seed)
+      exact.Solver.energy sa.Solver.energy
+  done
+
+let test_sa_deterministic () =
+  let m = random_mrf (rng 9) 15 3 0.3 in
+  let a = Sa.solve m and b = Sa.solve m in
+  Alcotest.(check bool) "same labeling" true
+    (a.Solver.labeling = b.Solver.labeling)
+
+let test_sa_improves_init () =
+  let m = random_mrf (rng 10) 12 4 0.4 in
+  let init = Array.make 12 3 in
+  let r = Sa.solve ~init m in
+  Alcotest.(check bool) "improves" true
+    (r.Solver.energy <= Mrf.energy m init +. 1e-9)
+
+let test_sa_parallel_matches_sequential () =
+  let m = random_mrf (rng 15) 20 3 0.3 in
+  let base = { Sa.default_config with restarts = 4 } in
+  let seq = Sa.solve ~config:base m in
+  let par = Sa.solve ~config:{ base with domains = 4 } m in
+  Alcotest.(check (float 1e-9)) "same energy" seq.Solver.energy
+    par.Solver.energy;
+  Alcotest.(check bool) "same labeling" true
+    (seq.Solver.labeling = par.Solver.labeling)
+
+let test_sa_config_validation () =
+  let m = random_mrf (rng 11) 3 2 0.5 in
+  match Sa.solve ~config:{ Sa.default_config with cooling = 1.5 } m with
+  | _ -> Alcotest.fail "accepted cooling > 1"
+  | exception Invalid_argument _ -> ()
+
+let test_bnb_exact () =
+  for seed = 1 to 12 do
+    let m = random_mrf (rng (700 + seed)) 8 3 0.4 in
+    let exact = Brute.solve m in
+    let bb = Bnb.solve m in
+    Alcotest.(check bool)
+      (Printf.sprintf "certified on seed %d" seed)
+      true bb.Solver.converged;
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "optimal on seed %d" seed)
+      exact.Solver.energy bb.Solver.energy;
+    Alcotest.(check (float 1e-9)) "bound equals energy when certified"
+      bb.Solver.energy bb.Solver.lower_bound
+  done
+
+let test_bnb_node_limit () =
+  let m = random_mrf (rng 13) 25 4 0.4 in
+  let bb = Bnb.solve ~config:{ Bnb.node_limit = 10 } m in
+  Alcotest.(check bool) "gave up" false bb.Solver.converged;
+  (* the incumbent is still at least as good as the warm start *)
+  let warm = Trws.solve m in
+  let polished = Icm.solve ~init:warm.Solver.labeling m in
+  Alcotest.(check bool) "incumbent sane" true
+    (bb.Solver.energy <= polished.Solver.energy +. 1e-9);
+  Alcotest.(check bool) "bound still valid" true
+    (bb.Solver.lower_bound <= bb.Solver.energy +. 1e-9)
+
+let test_bnb_tree_fast () =
+  let m = random_tree_mrf (rng 14) 30 4 in
+  let bb = Bnb.solve ~config:{ Bnb.node_limit = 100_000 } m in
+  Alcotest.(check bool) "trees certify" true bb.Solver.converged;
+  let tr = Trws.solve m in
+  Alcotest.(check (float 1e-6)) "agrees with trws on trees"
+    tr.Solver.energy bb.Solver.energy
+
+let test_parallel_edges () =
+  (* duplicate edges accumulate cost *)
+  let b = Mrf.Builder.create ~label_counts:[| 2; 2 |] in
+  Mrf.Builder.add_edge b 0 1 [| 1.0; 0.0; 0.0; 1.0 |];
+  Mrf.Builder.add_edge b 0 1 [| 0.3; 0.0; 0.0; 0.3 |];
+  let m = Mrf.Builder.build b in
+  Alcotest.(check (float 1e-9)) "parallel sum" 1.3 (Mrf.energy m [| 0; 0 |]);
+  let r = Trws.solve m in
+  Alcotest.(check (float 1e-9)) "optimum avoids both" 0.0 r.Solver.energy
+
+(* ------------------------------------------------------------- property *)
+
+let mrf_gen =
+  QCheck2.Gen.(
+    let* seed = 0 -- 100_000 in
+    let* n = 2 -- 7 in
+    let* k = 2 -- 4 in
+    return (random_mrf (Random.State.make [| seed |]) n k 0.5))
+
+let prop_trws_sandwich =
+  QCheck2.Test.make ~count:60
+    ~name:"TRW-S: bound <= optimum <= decoded energy" mrf_gen (fun m ->
+      let exact = Brute.solve m in
+      let r = Trws.solve m in
+      r.Solver.lower_bound <= exact.Solver.energy +. 1e-7
+      && r.Solver.energy >= exact.Solver.energy -. 1e-9)
+
+let prop_decode_valid =
+  QCheck2.Test.make ~count:60 ~name:"solvers return valid labelings"
+    mrf_gen (fun m ->
+      List.for_all
+        (fun (r : Solver.result) ->
+          match Mrf.validate_labeling m r.Solver.labeling with
+          | () -> abs_float (Mrf.energy m r.labeling -. r.energy) < 1e-9
+          | exception Invalid_argument _ -> false)
+        [ Trws.solve m; Bp.solve m; Icm.solve m ])
+
+let () =
+  Alcotest.run "mrf"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "builder basics" `Quick test_builder_basic;
+          Alcotest.test_case "builder validation" `Quick
+            test_builder_validation;
+          Alcotest.test_case "energy validation" `Quick
+            test_energy_validation;
+          Alcotest.test_case "incidence ordering" `Quick test_incident;
+          Alcotest.test_case "shared pairwise matrices" `Quick
+            test_shared_matrix;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "trws tiny exact" `Quick test_trws_tiny_exact;
+          Alcotest.test_case "trws exact and tight on trees" `Quick
+            test_trws_trees_exact;
+          Alcotest.test_case "all solvers vs brute force" `Quick
+            test_solvers_vs_brute_loopy;
+          Alcotest.test_case "bound below decoded energy" `Quick
+            test_trws_bound_below_decoded;
+          Alcotest.test_case "icm reaches a local optimum" `Quick
+            test_icm_local_optimum;
+          Alcotest.test_case "icm improves its init" `Quick
+            test_icm_respects_init;
+          Alcotest.test_case "brute enumerates fully" `Quick
+            test_brute_counts;
+          Alcotest.test_case "brute respects limit" `Quick test_brute_limit;
+          Alcotest.test_case "isolated nodes" `Quick test_isolated_nodes;
+          Alcotest.test_case "sa vs brute force" `Quick test_sa_vs_brute;
+          Alcotest.test_case "sa deterministic" `Quick test_sa_deterministic;
+          Alcotest.test_case "sa improves init" `Quick test_sa_improves_init;
+          Alcotest.test_case "sa config validation" `Quick
+            test_sa_config_validation;
+          Alcotest.test_case "sa parallel = sequential" `Quick
+            test_sa_parallel_matches_sequential;
+          Alcotest.test_case "bnb certifies small instances" `Quick
+            test_bnb_exact;
+          Alcotest.test_case "bnb node limit" `Quick test_bnb_node_limit;
+          Alcotest.test_case "bnb certifies trees" `Quick test_bnb_tree_fast;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_trws_sandwich;
+          QCheck_alcotest.to_alcotest prop_decode_valid;
+        ] );
+    ]

@@ -1,0 +1,681 @@
+(* Tests for the vulnerability-database substrate: CPE naming, CVE entries,
+   the in-memory NVD, Jaccard similarity tables, and the curated corpora. *)
+
+open Netdiv_vuln
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ CPE *)
+
+let test_cpe_make () =
+  let c = Cpe.make ~part:Cpe.Operating_system ~vendor:"Microsoft" "Windows 7" in
+  Alcotest.(check string) "normalized" "cpe:/o:microsoft:windows_7"
+    (Cpe.to_string c);
+  let v = Cpe.make ~version:"8.1" ~part:Cpe.Application ~vendor:"x" "y" in
+  Alcotest.(check string) "with version" "cpe:/a:x:y:8.1" (Cpe.to_string v)
+
+let test_cpe_make_invalid () =
+  Alcotest.check_raises "empty vendor"
+    (Invalid_argument "Cpe.make: empty vendor") (fun () ->
+      ignore (Cpe.make ~part:Cpe.Application ~vendor:"" "p"))
+
+let test_cpe_parse () =
+  (match Cpe.of_string "cpe:/o:microsoft:windows_7" with
+  | Ok c ->
+      Alcotest.(check string) "vendor" "microsoft" c.Cpe.vendor;
+      Alcotest.(check string) "product" "windows_7" c.Cpe.product;
+      Alcotest.(check bool) "no version" true (c.Cpe.version = None)
+  | Error e -> Alcotest.fail e);
+  match Cpe.of_string "cpe:/a:google:chrome:50.0" with
+  | Ok c -> Alcotest.(check bool) "version" true (c.Cpe.version = Some "50.0")
+  | Error e -> Alcotest.fail e
+
+let test_cpe_parse_dash_version () =
+  match Cpe.of_string "cpe:/a:microsoft:edge:-" with
+  | Ok c -> Alcotest.(check bool) "dash is none" true (c.Cpe.version = None)
+  | Error e -> Alcotest.fail e
+
+let test_cpe_parse_invalid () =
+  let bad = [ "windows"; "cpe:/x:a:b"; "cpe:/o::p"; "cpe:/o:v:"; "cpe:/" ] in
+  List.iter
+    (fun s ->
+      match Cpe.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+let test_cpe_roundtrip () =
+  let inputs =
+    [ "cpe:/o:debian:debian_linux:8.0"; "cpe:/a:oracle:mysql";
+      "cpe:/h:siemens:s7-300" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Cpe.to_string (Cpe.of_string_exn s)))
+    inputs
+
+let test_cpe_matches () =
+  let versionless = Cpe.of_string_exn "cpe:/a:mozilla:firefox" in
+  let versioned = Cpe.of_string_exn "cpe:/a:mozilla:firefox:45" in
+  Alcotest.(check bool) "versionless matches versioned" true
+    (Cpe.matches ~pattern:versionless versioned);
+  Alcotest.(check bool) "versioned does not match versionless" false
+    (Cpe.matches ~pattern:versioned versionless);
+  Alcotest.(check bool) "same matches" true
+    (Cpe.matches ~pattern:versioned versioned);
+  let other = Cpe.of_string_exn "cpe:/a:mozilla:seamonkey" in
+  Alcotest.(check bool) "different product" false
+    (Cpe.matches ~pattern:versionless other)
+
+(* ------------------------------------------------------------------ CVE *)
+
+let ff = Cpe.of_string_exn "cpe:/a:mozilla:firefox"
+
+let test_cve_make () =
+  match Cve.make ~id:"CVE-2016-7153" [ ff ] with
+  | Ok c ->
+      Alcotest.(check int) "year" 2016 c.Cve.year;
+      Alcotest.(check bool) "affects" true (Cve.affects c ~pattern:ff)
+  | Error e -> Alcotest.fail e
+
+let test_cve_bad_ids () =
+  List.iter
+    (fun id ->
+      match Cve.make ~id [] with
+      | Ok _ -> Alcotest.failf "accepted %S" id
+      | Error _ -> ())
+    [ "CVE-16-7153"; "cve-2016-7153"; "CVE-2016-1"; "CVE-2016"; "2016-7153";
+      "CVE-20x6-7153" ]
+
+let test_cve_cvss_range () =
+  (match Cve.make ~cvss:11.0 ~id:"CVE-2016-0001" [] with
+  | Ok _ -> Alcotest.fail "accepted cvss 11"
+  | Error _ -> ());
+  match Cve.make ~cvss:9.8 ~id:"CVE-2016-0001" [] with
+  | Ok c -> Alcotest.(check bool) "stored" true (c.Cve.cvss = Some 9.8)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ NVD *)
+
+let test_nvd_basic () =
+  let db = Nvd.create () in
+  Nvd.add db (Cve.make_exn ~id:"CVE-2001-1000" [ ff ]);
+  Nvd.add db (Cve.make_exn ~id:"CVE-2005-2000" [ ff ]);
+  Nvd.add db (Cve.make_exn ~id:"CVE-2001-1000" [ ff ]);
+  (* replace *)
+  Alcotest.(check int) "size dedups" 2 (Nvd.size db);
+  Alcotest.(check bool) "find" true (Nvd.find db "CVE-2005-2000" <> None);
+  Alcotest.(check bool) "find missing" true (Nvd.find db "CVE-1999-9999" = None)
+
+let test_nvd_window () =
+  let db = Nvd.create () in
+  List.iter
+    (fun (id, year) ->
+      Nvd.add db (Cve.make_exn ~id:(Printf.sprintf "CVE-%d-%s" year id) [ ff ]))
+    [ ("1000", 1999); ("1001", 2005); ("1002", 2016); ("1003", 2020) ];
+  Alcotest.(check int) "all" 4 (Nvd.count_of db ff);
+  Alcotest.(check int) "paper window" 3
+    (Nvd.count_of ~since:1999 ~until:2016 db ff);
+  Alcotest.(check int) "until" 2 (Nvd.count_of ~until:2005 db ff);
+  Alcotest.(check int) "since" 2 (Nvd.count_of ~since:2016 db ff)
+
+(* ----------------------------------------------------------- Similarity *)
+
+let set_of l = List.fold_right Nvd.String_set.add l Nvd.String_set.empty
+
+let test_jaccard () =
+  check_float "identical" 1.0 (Similarity.jaccard (set_of [ "a"; "b" ]) (set_of [ "a"; "b" ]));
+  check_float "disjoint" 0.0 (Similarity.jaccard (set_of [ "a" ]) (set_of [ "b" ]));
+  check_float "half" (1.0 /. 3.0)
+    (Similarity.jaccard (set_of [ "a"; "b" ]) (set_of [ "b"; "c" ]));
+  check_float "both empty" 0.0 (Similarity.jaccard (set_of []) (set_of []))
+
+let test_of_counts () =
+  let t =
+    Similarity.of_counts ~products:[| "A"; "B"; "C" |] ~totals:[| 10; 20; 5 |]
+      ~shared:[ (0, 1, 6) ]
+  in
+  check_float "sim AB" (6.0 /. 24.0) (Similarity.get t 0 1);
+  check_float "symmetric" (Similarity.get t 0 1) (Similarity.get t 1 0);
+  check_float "diag" 1.0 (Similarity.get t 2 2);
+  check_float "unlisted" 0.0 (Similarity.get t 0 2);
+  Alcotest.(check int) "shared count" 6 (Similarity.shared_count t 1 0);
+  Alcotest.(check bool) "index" true (Similarity.index t "B" = Some 1);
+  Alcotest.(check bool) "find" true
+    (Similarity.find t "A" "B" = Some (6.0 /. 24.0))
+
+let test_of_counts_invalid () =
+  let mk shared () =
+    ignore
+      (Similarity.of_counts ~products:[| "A"; "B" |] ~totals:[| 3; 4 |]
+         ~shared)
+  in
+  List.iter
+    (fun shared ->
+      match mk shared () with
+      | () -> Alcotest.fail "accepted inconsistent counts"
+      | exception Invalid_argument _ -> ())
+    [ [ (0, 1, 5) ]; [ (0, 0, 1) ]; [ (0, 2, 1) ]; [ (0, 1, 1); (1, 0, 1) ] ]
+
+(* --------------------------------------------------------------- Corpus *)
+
+let test_corpus_matches_paper () =
+  (* spot-check cells against the paper's printed tables *)
+  let t = Corpus.table Corpus.os_spec in
+  let get a b =
+    match Similarity.find t a b with Some v -> v | None -> Alcotest.fail "missing"
+  in
+  check_float "WinXP/Win7 0.278" 0.278 (Float.round (get "WinXP2" "Win7" *. 1000.) /. 1000.);
+  check_float "Win10/Win8.1 0.697" 0.697 (Float.round (get "Win10" "Win8.1" *. 1000.) /. 1000.);
+  check_float "WinXP/Win10 0" 0.0 (get "WinXP2" "Win10");
+  check_float "Ubt/Deb 0.208" 0.208 (Float.round (get "Ubt14.04" "Deb8.0" *. 1000.) /. 1000.);
+  let tb = Corpus.table Corpus.browser_spec in
+  (match Similarity.find tb "IE8" "IE10" with
+  | Some v -> check_float "IE8/IE10 0.386" 0.386 (Float.round (v *. 1000.) /. 1000.)
+  | None -> Alcotest.fail "missing");
+  match Similarity.find tb "SeaMonkey" "Firefox" with
+  | Some v -> check_float "SM/FF 0.450" 0.450 (Float.round (v *. 1000.) /. 1000.)
+  | None -> Alcotest.fail "missing"
+
+let test_synthesis_exact () =
+  List.iter
+    (fun spec ->
+      let from_counts = Corpus.table spec in
+      let db = Corpus.synthesize spec in
+      let from_nvd =
+        Similarity.of_nvd ~since:1999 ~until:2016 db
+          (Array.to_list spec.Corpus.products)
+      in
+      let n = Similarity.size from_counts in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "%s shared %d %d" spec.Corpus.label i j)
+            (Similarity.shared_count from_counts i j)
+            (Similarity.shared_count from_nvd i j)
+        done
+      done)
+    Corpus.all_specs
+
+let test_synthesis_years () =
+  let db = Corpus.synthesize Corpus.database_spec in
+  Nvd.fold
+    (fun cve () ->
+      if cve.Cve.year < 1999 || cve.Cve.year > 2016 then
+        Alcotest.failf "year %d outside window" cve.Cve.year)
+    db ()
+
+let test_find_spec () =
+  Alcotest.(check bool) "os" true (Corpus.find_spec "os" <> None);
+  Alcotest.(check bool) "none" true (Corpus.find_spec "nope" = None)
+
+(* ----------------------------------------------------------------- json *)
+
+let json_ok s =
+  match Json.parse s with Ok v -> v | Error e -> Alcotest.fail e
+
+let test_json_atoms () =
+  Alcotest.(check bool) "null" true (json_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (json_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (json_ok " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (json_ok "42" = Json.Number 42.0);
+  Alcotest.(check bool) "neg float" true (json_ok "-2.5" = Json.Number (-2.5));
+  Alcotest.(check bool) "exponent" true (json_ok "1e3" = Json.Number 1000.0);
+  Alcotest.(check bool) "string" true (json_ok "\"hi\"" = Json.String "hi")
+
+let test_json_nested () =
+  let v = json_ok {|{"a": [1, {"b": null}, "x"], "c": {"d": true}}|} in
+  Alcotest.(check bool) "path" true
+    (Json.path [ "c"; "d" ] v = Some (Json.Bool true));
+  match Json.member "a" v with
+  | Some (Json.List [ Json.Number 1.0; inner; Json.String "x" ]) ->
+      Alcotest.(check bool) "inner" true
+        (Json.member "b" inner = Some Json.Null)
+  | _ -> Alcotest.fail "bad list shape"
+
+let test_json_escapes () =
+  Alcotest.(check bool) "basic escapes" true
+    (json_ok {|"a\"b\\c\nd\te"|} = Json.String "a\"b\\c\nd\te");
+  Alcotest.(check bool) "unicode bmp" true
+    (json_ok {|"\u0041\u00e9"|} = Json.String "A\xc3\xa9");
+  (* surrogate pair: U+1F600 *)
+  Alcotest.(check bool) "surrogate pair" true
+    (json_ok {|"\ud83d\ude00"|} = Json.String "\xf0\x9f\x98\x80")
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2";
+      "\"\\ud800\""; "nulll"; "[1, 2"; "{\"a\" 1}"; "01" ]
+
+let test_json_print_roundtrip () =
+  let samples =
+    [ {|{"a":[1,2,3],"b":"x\ny","c":null,"d":false,"e":{"f":1.5}}|};
+      {|[[],{},[{"deep":[[["v"]]]}]]|} ]
+  in
+  List.iter
+    (fun s ->
+      let v = json_ok s in
+      Alcotest.(check bool) "compact round-trip" true
+        (Json.equal v (json_ok (Json.to_string v)));
+      Alcotest.(check bool) "pretty round-trip" true
+        (Json.equal v (json_ok (Json.to_string ~pretty:true v))))
+    samples
+
+let json_gen =
+  QCheck2.Gen.(
+    sized @@ fix (fun self size ->
+        let atom =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun f -> Json.Number (Float.round (f *. 100.) /. 100.))
+                (float_range (-1e6) 1e6);
+              map (fun s -> Json.String s) (string_size (0 -- 10));
+            ]
+        in
+        if size <= 1 then atom
+        else
+          oneof
+            [
+              atom;
+              map (fun xs -> Json.List xs)
+                (list_size (0 -- 4) (self (size / 2)));
+              map
+                (fun kvs ->
+                  (* distinct keys keep equality well-defined *)
+                  Json.Object
+                    (List.mapi
+                       (fun i (k, v) -> (Printf.sprintf "%d_%s" i k, v))
+                       kvs))
+                (list_size (0 -- 4)
+                   (pair (string_size (0 -- 5)) (self (size / 2))));
+            ]))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"print/parse round-trip" json_gen
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error _ -> false)
+
+(* ----------------------------------------------------------------- feed *)
+
+let sample_feed =
+  {|{
+  "CVE_data_type": "CVE",
+  "CVE_Items": [
+    {
+      "cve": {
+        "CVE_data_meta": { "ID": "CVE-2016-7153" },
+        "description": { "description_data": [ { "lang": "en", "value": "HEIST attack" } ] }
+      },
+      "configurations": {
+        "nodes": [
+          { "cpe_match": [
+              { "vulnerable": true, "cpe23Uri": "cpe:2.3:a:microsoft:edge:*:*:*:*:*:*:*:*" },
+              { "vulnerable": true, "cpe22Uri": "cpe:/a:google:chrome" } ],
+            "children": [
+              { "cpe_match": [ { "cpe23Uri": "cpe:2.3:a:apple:safari:9.1:*:*:*:*:*:*:*" } ] } ] }
+        ]
+      },
+      "impact": {
+        "baseMetricV3": { "cvssV3": { "baseScore": 5.3 } },
+        "baseMetricV2": { "cvssV2": { "baseScore": 4.3 } }
+      },
+      "publishedDate": "2016-09-06T14:59Z"
+    },
+    {
+      "cve": { "CVE_data_meta": { "ID": "not-a-cve" } },
+      "configurations": { "nodes": [] }
+    }
+  ]
+}|}
+
+let test_cpe23 () =
+  (match Feed.cpe23_of_string "cpe:2.3:o:microsoft:windows_7:*:*:*:*:*:*:*:*" with
+  | Ok c ->
+      Alcotest.(check string) "2.3 uri" "cpe:/o:microsoft:windows_7"
+        (Cpe.to_string c)
+  | Error e -> Alcotest.fail e);
+  (match Feed.cpe23_of_string "cpe:2.3:a:apple:safari:9.1:*:*:*:*:*:*:*" with
+  | Ok c -> Alcotest.(check bool) "version kept" true (c.Cpe.version = Some "9.1")
+  | Error e -> Alcotest.fail e);
+  match Feed.cpe23_of_string "cpe:/a:old:style" with
+  | Ok _ -> Alcotest.fail "accepted 2.2 uri"
+  | Error _ -> ()
+
+let test_feed_decode () =
+  match Feed.of_string sample_feed with
+  | Error e -> Alcotest.fail e
+  | Ok (entries, warnings) ->
+      Alcotest.(check int) "one good entry" 1 (List.length entries);
+      Alcotest.(check int) "one warning" 1 (List.length warnings);
+      let cve = List.hd entries in
+      Alcotest.(check string) "id" "CVE-2016-7153" cve.Cve.id;
+      Alcotest.(check string) "summary" "HEIST attack" cve.Cve.summary;
+      Alcotest.(check bool) "v3 score preferred" true (cve.Cve.cvss = Some 5.3);
+      Alcotest.(check int) "three cpes incl. children" 3
+        (List.length cve.Cve.affected)
+
+let test_feed_roundtrip () =
+  (* synthesize a corpus, write it as a feed, read it back: the
+     similarity table must survive *)
+  let spec = Corpus.database_spec in
+  let db = Corpus.synthesize spec in
+  let dumped = Feed.to_string ~pretty:true db in
+  let db' = Nvd.create () in
+  (match Feed.load_into db' dumped with
+  | Ok (count, warnings) ->
+      Alcotest.(check int) "all loaded" (Nvd.size db) count;
+      Alcotest.(check int) "no warnings" 0 (List.length warnings)
+  | Error e -> Alcotest.fail e);
+  let products = Array.to_list spec.Corpus.products in
+  let before = Similarity.of_nvd db products in
+  let after = Similarity.of_nvd db' products in
+  let n = Similarity.size before in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Alcotest.(check int) "counts survive"
+        (Similarity.shared_count before i j)
+        (Similarity.shared_count after i j)
+    done
+  done;
+  (* cvss survives too *)
+  let sample = List.hd (Nvd.entries db) in
+  match Nvd.find db' sample.Cve.id with
+  | Some loaded ->
+      Alcotest.(check bool) "score kept" true (loaded.Cve.cvss = sample.Cve.cvss)
+  | None -> Alcotest.fail "entry lost"
+
+let test_feed_bad_documents () =
+  List.iter
+    (fun doc ->
+      match Feed.of_string doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" doc)
+    [ "[]"; "{}"; {|{"CVE_Items": 3}|}; "not json" ]
+
+(* ----------------------------------------------------------------- cvss *)
+
+let check_score = Alcotest.(check (float 1e-9))
+
+let v2_score vector =
+  match Cvss.V2.of_vector vector with
+  | Ok t -> Cvss.V2.base_score t
+  | Error e -> Alcotest.fail e
+
+let v3_score vector =
+  match Cvss.V3.of_vector vector with
+  | Ok t -> Cvss.V3.base_score t
+  | Error e -> Alcotest.fail e
+
+let test_cvss_v2_known () =
+  check_score "classic 7.5" 7.5 (v2_score "AV:N/AC:L/Au:N/C:P/I:P/A:P");
+  check_score "9.3" 9.3 (v2_score "AV:N/AC:M/Au:N/C:C/I:C/A:C");
+  check_score "7.2" 7.2 (v2_score "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+  check_score "10.0" 10.0 (v2_score "AV:N/AC:L/Au:N/C:C/I:C/A:C");
+  check_score "no impact is 0" 0.0 (v2_score "AV:L/AC:H/Au:M/C:N/I:N/A:N")
+
+let test_cvss_v3_known () =
+  check_score "9.8" 9.8 (v3_score "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+  check_score "10.0" 10.0 (v3_score "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H");
+  check_score "XSS 6.1" 6.1 (v3_score "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N");
+  check_score "local 7.8" 7.8 (v3_score "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H");
+  check_score "no impact 0" 0.0 (v3_score "CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:N/I:N/A:N");
+  (* prefix optional *)
+  check_score "no prefix" 9.8 (v3_score "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+let test_cvss_parse_errors () =
+  List.iter
+    (fun v ->
+      match Cvss.V2.of_vector v with
+      | Ok _ -> Alcotest.failf "accepted %S" v
+      | Error _ -> ())
+    [ "AV:N/AC:L/Au:N/C:P/I:P"; "AV:X/AC:L/Au:N/C:P/I:P/A:P";
+      "AV:N/AV:N/AC:L/Au:N/C:P/I:P/A:P"; "garbage" ];
+  match Cvss.V3.of_vector "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H" with
+  | Ok _ -> Alcotest.fail "accepted missing A"
+  | Error _ -> ()
+
+let test_cvss_dispatch () =
+  (match Cvss.score "AV:N/AC:L/Au:N/C:P/I:P/A:P" with
+  | Ok s -> check_score "v2 dispatch" 7.5 s
+  | Error e -> Alcotest.fail e);
+  match Cvss.score "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H" with
+  | Ok s -> check_score "v3 dispatch" 9.8 s
+  | Error e -> Alcotest.fail e
+
+let test_cvss_severity () =
+  Alcotest.(check bool) "none" true (Cvss.severity_of_score 0.0 = Cvss.None_);
+  Alcotest.(check bool) "low" true (Cvss.severity_of_score 3.9 = Cvss.Low);
+  Alcotest.(check bool) "medium" true (Cvss.severity_of_score 4.0 = Cvss.Medium);
+  Alcotest.(check bool) "high" true (Cvss.severity_of_score 7.0 = Cvss.High);
+  Alcotest.(check bool) "critical" true
+    (Cvss.severity_of_score 9.0 = Cvss.Critical)
+
+let v2_gen =
+  QCheck2.Gen.(
+    let* av = oneofl ([ Local; Adjacent; Network ] : Cvss.V2.access_vector list) in
+    let* ac = oneofl ([ High; Medium; Low ] : Cvss.V2.access_complexity list) in
+    let* au =
+      oneofl ([ Multiple; Single; None_required ] : Cvss.V2.authentication list)
+    in
+    let* c = oneofl ([ None_; Partial; Complete ] : Cvss.V2.impact list) in
+    let* i = oneofl ([ None_; Partial; Complete ] : Cvss.V2.impact list) in
+    let* a = oneofl ([ None_; Partial; Complete ] : Cvss.V2.impact list) in
+    return { Cvss.V2.av; ac; au; c; i; a })
+
+let prop_cvss_v2_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"v2 vector round-trips" v2_gen
+    (fun t ->
+      match Cvss.V2.of_vector (Cvss.V2.to_vector t) with
+      | Ok t' -> t = t'
+      | Error _ -> false)
+
+let prop_cvss_v2_range =
+  QCheck2.Test.make ~count:200 ~name:"v2 score within [0,10]" v2_gen
+    (fun t ->
+      let s = Cvss.V2.base_score t in
+      s >= 0.0 && s <= 10.0)
+
+let v3_gen =
+  QCheck2.Gen.(
+    let* av =
+      oneofl ([ Network; Adjacent; Local; Physical ] : Cvss.V3.attack_vector list)
+    in
+    let* ac = oneofl ([ Low; High ] : Cvss.V3.attack_complexity list) in
+    let* pr = oneofl ([ None_; Low; High ] : Cvss.V3.privileges list) in
+    let* ui = oneofl ([ None_; Required ] : Cvss.V3.interaction list) in
+    let* sc = oneofl ([ Unchanged; Changed ] : Cvss.V3.scope list) in
+    let* c = oneofl ([ High; Low; None_ ] : Cvss.V3.impact list) in
+    let* i = oneofl ([ High; Low; None_ ] : Cvss.V3.impact list) in
+    let* a = oneofl ([ High; Low; None_ ] : Cvss.V3.impact list) in
+    return { Cvss.V3.av; ac; pr; ui; s = sc; c; i; a })
+
+let prop_cvss_v3_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"v3 vector round-trips" v3_gen
+    (fun t ->
+      match Cvss.V3.of_vector (Cvss.V3.to_vector t) with
+      | Ok t' -> t = t'
+      | Error _ -> false)
+
+(* raising one impact metric can never lower the v3 base score *)
+let upgrade_impact (i : Cvss.V3.impact) : Cvss.V3.impact =
+  match i with None_ -> Low | Low -> High | High -> High
+
+let prop_cvss_v3_impact_monotone =
+  QCheck2.Test.make ~count:200 ~name:"v3 score monotone in confidentiality"
+    v3_gen (fun t ->
+      let upgraded = { t with Cvss.V3.c = upgrade_impact t.Cvss.V3.c } in
+      Cvss.V3.base_score upgraded >= Cvss.V3.base_score t -. 1e-9)
+
+let prop_cvss_v3_range =
+  QCheck2.Test.make ~count:200 ~name:"v3 score within [0,10]" v3_gen
+    (fun t ->
+      let s = Cvss.V3.base_score t in
+      s >= 0.0 && s <= 10.0)
+
+(* ------------------------------------------------------------- weighted *)
+
+let test_weighted_unit_is_jaccard () =
+  let a = set_of [ "x"; "y"; "z" ] and b = set_of [ "y"; "z"; "w" ] in
+  check_float "unit weights" (Similarity.jaccard a b)
+    (Weighted.weighted_jaccard ~weight:(fun _ -> 1.0) a b)
+
+let test_weighted_severity_shifts () =
+  (* shared CVE heavy, disjoint ones light: similarity rises above the
+     unweighted value; and vice versa *)
+  let a = set_of [ "shared"; "a_only" ] and b = set_of [ "shared"; "b_only" ] in
+  let plain = Similarity.jaccard a b in
+  let heavy_shared =
+    Weighted.weighted_jaccard
+      ~weight:(fun id -> if id = "shared" then 1.0 else 0.1)
+      a b
+  in
+  let light_shared =
+    Weighted.weighted_jaccard
+      ~weight:(fun id -> if id = "shared" then 0.1 else 1.0)
+      a b
+  in
+  Alcotest.(check bool) "heavy shared raises" true (heavy_shared > plain);
+  Alcotest.(check bool) "light shared lowers" true (light_shared < plain)
+
+let test_weighted_of_nvd () =
+  let spec = Corpus.os_spec in
+  let db = Corpus.synthesize spec in
+  let products = Array.to_list spec.Corpus.products in
+  let plain = Similarity.of_nvd ~since:1999 ~until:2016 db products in
+  let weighted = Weighted.of_nvd ~since:1999 ~until:2016 db products in
+  let n = Similarity.size plain in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* counts preserved *)
+      Alcotest.(check int) "counts match"
+        (Similarity.shared_count plain i j)
+        (Similarity.shared_count weighted i j);
+      let w = Similarity.get weighted i j in
+      Alcotest.(check bool) "bounds" true (w >= 0.0 && w <= 1.0);
+      (* zero intersections stay zero *)
+      if i <> j && Similarity.get plain i j = 0.0 then
+        Alcotest.(check (float 1e-12)) "zero stays zero" 0.0 w
+    done
+  done
+
+(* ------------------------------------------------------------- property *)
+
+let small_set =
+  QCheck2.Gen.(map set_of (list_size (0 -- 8) (string_size (1 -- 2))))
+
+let prop_jaccard_bounds =
+  QCheck2.Test.make ~count:200 ~name:"jaccard within [0,1] and symmetric"
+    QCheck2.Gen.(pair small_set small_set)
+    (fun (a, b) ->
+      let s = Similarity.jaccard a b in
+      s >= 0.0 && s <= 1.0
+      && abs_float (s -. Similarity.jaccard b a) < 1e-12)
+
+let prop_weighted_jaccard_bounds =
+  QCheck2.Test.make ~count:200 ~name:"weighted jaccard within [0,1]"
+    QCheck2.Gen.(pair small_set small_set)
+    (fun (a, b) ->
+      let weight id = float_of_int (1 + (Hashtbl.hash id mod 9)) /. 10.0 in
+      let s = Weighted.weighted_jaccard ~weight a b in
+      s >= 0.0 && s <= 1.0)
+
+let prop_jaccard_self =
+  QCheck2.Test.make ~count:200 ~name:"jaccard self is 1 for nonempty"
+    small_set (fun a ->
+      QCheck2.assume (not (Nvd.String_set.is_empty a));
+      Similarity.jaccard a a = 1.0)
+
+let () =
+  Alcotest.run "vuln"
+    [
+      ( "cpe",
+        [
+          Alcotest.test_case "make normalizes" `Quick test_cpe_make;
+          Alcotest.test_case "make rejects empty" `Quick test_cpe_make_invalid;
+          Alcotest.test_case "parse" `Quick test_cpe_parse;
+          Alcotest.test_case "parse dash version" `Quick
+            test_cpe_parse_dash_version;
+          Alcotest.test_case "parse rejects malformed" `Quick
+            test_cpe_parse_invalid;
+          Alcotest.test_case "round-trip" `Quick test_cpe_roundtrip;
+          Alcotest.test_case "pattern matching" `Quick test_cpe_matches;
+        ] );
+      ( "cve",
+        [
+          Alcotest.test_case "make" `Quick test_cve_make;
+          Alcotest.test_case "rejects malformed ids" `Quick test_cve_bad_ids;
+          Alcotest.test_case "cvss range" `Quick test_cve_cvss_range;
+        ] );
+      ( "nvd",
+        [
+          Alcotest.test_case "add/find/replace" `Quick test_nvd_basic;
+          Alcotest.test_case "year windows" `Quick test_nvd_window;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "jaccard" `Quick test_jaccard;
+          Alcotest.test_case "of_counts" `Quick test_of_counts;
+          Alcotest.test_case "of_counts validation" `Quick
+            test_of_counts_invalid;
+          QCheck_alcotest.to_alcotest prop_jaccard_bounds;
+          QCheck_alcotest.to_alcotest prop_jaccard_self;
+          QCheck_alcotest.to_alcotest prop_weighted_jaccard_bounds;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "atoms" `Quick test_json_atoms;
+          Alcotest.test_case "nested" `Quick test_json_nested;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "print round-trip" `Quick
+            test_json_print_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "feed",
+        [
+          Alcotest.test_case "cpe 2.3" `Quick test_cpe23;
+          Alcotest.test_case "decode" `Quick test_feed_decode;
+          Alcotest.test_case "corpus round-trip" `Quick test_feed_roundtrip;
+          Alcotest.test_case "bad documents" `Quick test_feed_bad_documents;
+        ] );
+      ( "cvss",
+        [
+          Alcotest.test_case "v2 known vectors" `Quick test_cvss_v2_known;
+          Alcotest.test_case "v3 known vectors" `Quick test_cvss_v3_known;
+          Alcotest.test_case "parse errors" `Quick test_cvss_parse_errors;
+          Alcotest.test_case "version dispatch" `Quick test_cvss_dispatch;
+          Alcotest.test_case "severity bands" `Quick test_cvss_severity;
+          QCheck_alcotest.to_alcotest prop_cvss_v2_roundtrip;
+          QCheck_alcotest.to_alcotest prop_cvss_v2_range;
+          QCheck_alcotest.to_alcotest prop_cvss_v3_roundtrip;
+          QCheck_alcotest.to_alcotest prop_cvss_v3_range;
+          QCheck_alcotest.to_alcotest prop_cvss_v3_impact_monotone;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "unit weights = jaccard" `Quick
+            test_weighted_unit_is_jaccard;
+          Alcotest.test_case "severity shifts similarity" `Quick
+            test_weighted_severity_shifts;
+          Alcotest.test_case "weighted table from NVD" `Quick
+            test_weighted_of_nvd;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "matches the paper's cells" `Quick
+            test_corpus_matches_paper;
+          Alcotest.test_case "synthesis reproduces counts exactly" `Quick
+            test_synthesis_exact;
+          Alcotest.test_case "synthetic years in window" `Quick
+            test_synthesis_years;
+          Alcotest.test_case "find_spec" `Quick test_find_spec;
+        ] );
+    ]

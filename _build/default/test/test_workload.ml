@@ -1,0 +1,95 @@
+(* Tests for the random-instance generator behind the scalability study. *)
+
+open Netdiv_workload.Workload
+module Network = Netdiv_core.Network
+module Graph = Netdiv_graph.Graph
+module Traversal = Netdiv_graph.Traversal
+
+let test_default_shape () =
+  let net = instance default in
+  Alcotest.(check int) "hosts" 1000 (Network.n_hosts net);
+  Alcotest.(check int) "services" 15 (Network.n_services net);
+  Alcotest.(check int) "edges = n*deg/2" 10_000
+    (Graph.n_edges (Network.graph net));
+  Alcotest.(check int) "products" 4 (Network.n_products net 0);
+  Alcotest.(check int) "slots" 15_000 (Array.length (Network.slots net))
+
+let test_deterministic () =
+  let p = { default with hosts = 100; services = 3; seed = 9 } in
+  let a = instance p and b = instance p in
+  Alcotest.(check bool) "same graphs" true
+    (Graph.edges (Network.graph a) = Graph.edges (Network.graph b));
+  Alcotest.(check (float 1e-12)) "same similarities"
+    (Network.similarity a ~service:1 0 3)
+    (Network.similarity b ~service:1 0 3)
+
+let test_connected () =
+  let net = instance { default with hosts = 500; degree = 4 } in
+  Alcotest.(check bool) "connected" true
+    (Traversal.is_connected (Network.graph net))
+
+let test_invalid_params () =
+  match instance { default with hosts = 0 } with
+  | _ -> Alcotest.fail "accepted zero hosts"
+  | exception Invalid_argument _ -> ()
+
+let test_synthetic_similarity_valid () =
+  let rng = Random.State.make [| 4 |] in
+  for products = 1 to 8 do
+    let m = synthetic_similarity ~rng ~products in
+    Alcotest.(check int) "size" (products * products) (Array.length m);
+    for i = 0 to products - 1 do
+      Alcotest.(check (float 1e-12)) "diag" 1.0 m.((i * products) + i);
+      for j = 0 to products - 1 do
+        let v = m.((i * products) + j) in
+        Alcotest.(check bool) "bounds" true (v >= 0.0 && v <= 1.0);
+        Alcotest.(check (float 1e-12)) "symmetric" v m.((j * products) + i)
+      done
+    done
+  done
+
+let test_cross_family_zero () =
+  let rng = Random.State.make [| 5 |] in
+  let products = 6 in
+  let m = synthetic_similarity ~rng ~products in
+  (* families are [0..2] and [3..5] *)
+  for i = 0 to 2 do
+    for j = 3 to 5 do
+      Alcotest.(check (float 1e-12)) "cross family" 0.0
+        m.((i * products) + j)
+    done
+  done
+
+let test_optimizable () =
+  (* the whole point: the optimizer runs on generated instances and beats
+     the homogeneous baseline *)
+  let net =
+    instance { hosts = 60; degree = 6; services = 3;
+               products_per_service = 4; seed = 3 }
+  in
+  let report = Netdiv_core.Optimize.run net [] in
+  Alcotest.(check bool) "constraints ok" true
+    report.Netdiv_core.Optimize.constraints_ok;
+  let e = Netdiv_core.Encode.encode net [] in
+  let mono_energy =
+    Netdiv_core.Encode.assignment_energy e (Netdiv_core.Assignment.mono net)
+  in
+  Alcotest.(check bool) "beats mono" true
+    (report.Netdiv_core.Optimize.energy < mono_energy)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "default shape" `Quick test_default_shape;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "invalid params" `Quick test_invalid_params;
+          Alcotest.test_case "synthetic similarity valid" `Quick
+            test_synthetic_similarity_valid;
+          Alcotest.test_case "cross-family zero" `Quick
+            test_cross_family_zero;
+          Alcotest.test_case "optimizable" `Quick test_optimizable;
+        ] );
+    ]
