@@ -712,6 +712,49 @@ let extension_segmentation () =
               cut)))
     Topology.entry_points
 
+(* ------------------------------------------- anytime quality *)
+
+let extension_anytime () =
+  section
+    "[Anytime] outcome & gap-at-deadline on a 1000-host instance (deg 20, \
+     15 svc)";
+  let module Runner = Netdiv_mrf.Runner in
+  let net =
+    Workload.instance
+      { hosts = 1000; degree = 20; services = 15; products_per_service = 4;
+        seed = 1 }
+  in
+  let encoded = Encode.encode net [] in
+  let budgets =
+    [ Some 0.02; Some 0.1; Some 0.5; Some 2.0; None ]
+  in
+  Format.printf "%-10s %-28s %12s %12s %8s %10s@." "budget" "outcome"
+    "energy" "bound" "gap" "time (s)";
+  List.iter
+    (fun seconds ->
+      let budget = Option.map Runner.Budget.seconds seconds in
+      let result, outcome, _ =
+        Optimize.solve_encoded_outcome ?budget encoded
+      in
+      let gap =
+        let g = Netdiv_mrf.Solver.optimality_gap result in
+        if Float.is_finite g then
+          Printf.sprintf "%.1f%%"
+            (100.0 *. g
+            /. Float.max result.Netdiv_mrf.Solver.energy 1e-9)
+        else "n/a"
+      in
+      Format.printf "%-10s %-28s %12.2f %12s %8s %10.3f@."
+        (match seconds with
+        | Some s -> Printf.sprintf "%gs" s
+        | None -> "unlimited")
+        (Format.asprintf "%a" Runner.pp_outcome outcome)
+        result.Netdiv_mrf.Solver.energy
+        (Format.asprintf "%a" Netdiv_mrf.Solver.pp_float
+           result.Netdiv_mrf.Solver.lower_bound)
+        gap result.Netdiv_mrf.Solver.runtime_s)
+    budgets
+
 (* ------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -790,5 +833,6 @@ let () =
   extension_ranking ();
   extension_cost ();
   extension_segmentation ();
+  extension_anytime ();
   micro_benchmarks ();
   Format.printf "@.done.@."

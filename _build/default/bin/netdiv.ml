@@ -18,6 +18,7 @@ module Engine = Netdiv_sim.Engine
 module Topology = Netdiv_casestudy.Topology
 module Products = Netdiv_casestudy.Products
 module Experiments = Netdiv_casestudy.Experiments
+module Runner = Netdiv_mrf.Runner
 
 open Cmdliner
 
@@ -69,6 +70,18 @@ let solver_conv =
   let print ppf s = Format.pp_print_string ppf (Optimize.solver_name s) in
   Arg.conv (parse, print)
 
+let time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per solve.  The solver runs through the \
+           anytime harness and returns the best assignment found when \
+           the budget expires.")
+
+let budget_of = Option.map Runner.Budget.seconds
+
 let optimize_cmd =
   let hosts =
     Arg.(value & opt int 200 & info [ "hosts" ] ~docv:"N" ~doc:"Host count.")
@@ -88,12 +101,15 @@ let optimize_cmd =
          & info [ "solver" ] ~docv:"SOLVER"
              ~doc:"Solver: trws+icm, trws, bp, icm, sa or bnb.")
   in
-  let run hosts degree services products_per_service seed solver =
+  let run hosts degree services products_per_service seed solver
+      time_budget =
     let net =
       Workload.instance { hosts; degree; services; products_per_service; seed }
     in
     Format.printf "%a@." Network.pp net;
-    let report = Optimize.run ~solver net [] in
+    let report =
+      Optimize.run ~solver ?budget:(budget_of time_budget) net []
+    in
     let encoded = Encode.encode net [] in
     let mono = Encode.assignment_energy encoded (Assignment.mono net) in
     let random =
@@ -101,13 +117,16 @@ let optimize_cmd =
         (Assignment.random ~rng:(Random.State.make [| seed |]) net)
     in
     Format.printf "solver  %s@." (Optimize.solver_name solver);
+    Format.printf "outcome %a@." Runner.pp_outcome report.Optimize.outcome;
     Format.printf "optimal %a@." Optimize.pp_report report;
     Format.printf "mono    energy %.3f@.random  energy %.3f@." mono random
   in
   let doc = "diversify a random network and compare against baselines" in
   Cmd.v
     (Cmd.info "optimize" ~doc)
-    Term.(const run $ hosts $ degree $ services $ products $ seed $ solver)
+    Term.(
+      const run $ hosts $ degree $ services $ products $ seed $ solver
+      $ time_budget_arg)
 
 (* ------------------------------------------------------------- casestudy *)
 
@@ -122,9 +141,12 @@ let casestudy_cmd =
          & info [ "assignments" ]
              ~doc:"Also print the three optimal assignments (Fig. 4).")
   in
-  let run runs seed show_assignments =
+  let run runs seed show_assignments time_budget =
     let net = Products.network () in
-    let a = Experiments.compute_assignments ~seed net in
+    let a =
+      Experiments.compute_assignments ~seed
+        ?budget:(budget_of time_budget) net
+    in
     if show_assignments then begin
       Format.printf "=== optimal assignment (Fig. 4a) ===@.%a@." Assignment.pp
         a.Experiments.optimal;
@@ -158,7 +180,7 @@ let casestudy_cmd =
   let doc = "run the Stuxnet-inspired ICS case study (paper Section VII)" in
   Cmd.v
     (Cmd.info "casestudy" ~doc)
-    Term.(const run $ runs $ seed $ show_assignments)
+    Term.(const run $ runs $ seed $ show_assignments $ time_budget_arg)
 
 (* -------------------------------------------------------------- simulate *)
 
@@ -501,16 +523,28 @@ let scalability_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Run the paper's full parameter ranges.")
   in
-  let run sweep full =
+  let run sweep full time_budget =
+    let budget = budget_of time_budget in
     let time_one hosts degree services =
       let net =
         Workload.instance
           { hosts; degree; services; products_per_service = 4; seed = 1 }
       in
-      let (_ : Optimize.report) = Optimize.run net [] in
+      let (_ : Optimize.report) = Optimize.run ?budget net [] in
       let t0 = Unix.gettimeofday () in
-      let (_ : Optimize.report) = Optimize.run net [] in
-      Unix.gettimeofday () -. t0
+      let report = Optimize.run ?budget net [] in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let marker =
+        if Runner.outcome_converged report.Optimize.outcome then ""
+        else
+          Format.asprintf "  (%a)" Runner.pp_outcome
+            report.Optimize.outcome
+      in
+      (elapsed, marker)
+    in
+    let row label hosts degree services =
+      let t, marker = time_one hosts degree services in
+      Format.printf "%6d %8.3f%s@." label t marker
     in
     (match sweep with
     | "hosts" ->
@@ -519,31 +553,27 @@ let scalability_cmd =
           else [ 100; 200; 400; 800; 1000 ]
         in
         Format.printf "# hosts (degree 20, 15 services): time in seconds@.";
-        List.iter
-          (fun n -> Format.printf "%6d %8.3f@." n (time_one n 20 15))
-          sizes
+        List.iter (fun n -> row n n 20 15) sizes
     | "degree" ->
         let degrees =
           if full then [ 5; 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
           else [ 5; 10; 20; 30 ]
         in
         Format.printf "# degree (1000 hosts, 15 services): time in seconds@.";
-        List.iter
-          (fun d -> Format.printf "%6d %8.3f@." d (time_one 1000 d 15))
-          degrees
+        List.iter (fun d -> row d 1000 d 15) degrees
     | "services" ->
         let services =
           if full then [ 5; 10; 15; 20; 25; 30 ] else [ 5; 10; 15 ]
         in
         Format.printf "# services (1000 hosts, degree 20): time in seconds@.";
-        List.iter
-          (fun s -> Format.printf "%6d %8.3f@." s (time_one 1000 20 s))
-          services
+        List.iter (fun s -> row s 1000 20 s) services
     | other -> Format.printf "unknown sweep dimension %S@." other);
     ()
   in
   let doc = "runtime sweeps over random networks (paper Tables VII-IX)" in
-  Cmd.v (Cmd.info "scalability" ~doc) Term.(const run $ sweep $ full)
+  Cmd.v
+    (Cmd.info "scalability" ~doc)
+    Term.(const run $ sweep $ full $ time_budget_arg)
 
 let main =
   let doc =

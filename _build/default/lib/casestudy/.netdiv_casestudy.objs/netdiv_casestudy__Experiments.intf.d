@@ -1,1 +1,1 @@
-lib/casestudy/experiments.mli: Netdiv_core Netdiv_sim
+lib/casestudy/experiments.mli: Netdiv_core Netdiv_mrf Netdiv_sim

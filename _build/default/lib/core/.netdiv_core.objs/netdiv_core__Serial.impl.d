@@ -1,1 +1,1 @@
-lib/core/serial.ml: Array Assignment Hashtbl List Netdiv_graph Netdiv_vuln Network Printf Result String
+lib/core/serial.ml: Array Assignment Float Hashtbl List Netdiv_graph Netdiv_vuln Network Printf Result String

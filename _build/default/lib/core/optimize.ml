@@ -1,4 +1,5 @@
 module S = Netdiv_mrf.Solver
+module Runner = Netdiv_mrf.Runner
 module Trws_solver = Netdiv_mrf.Trws
 module Bp_solver = Netdiv_mrf.Bp
 module Icm_solver = Netdiv_mrf.Icm
@@ -15,6 +16,8 @@ type report = {
   constraints_ok : bool;
   violated : Constr.t list;
   runtime_s : float;
+  outcome : Runner.outcome;
+  stage_timings : (string * float) list;
 }
 
 let solver_name = function
@@ -25,7 +28,32 @@ let solver_name = function
   | Sa -> "sa"
   | Exact -> "bnb"
 
-let solve_encoded ?(solver = Trws_icm) ?max_iters encoded =
+(* Fallback cascade per solver choice: the primary stage first; stalled
+   primaries degrade to perturbed restarts (local searches) or to the
+   approximate pipeline (Exact). *)
+let cascade solver ~trws_config ~bp_config =
+  match solver with
+  | Trws -> [ Runner.trws ~config:trws_config () ]
+  | Trws_icm -> [ Runner.trws_icm ~config:trws_config () ]
+  | Bp -> [ Runner.bp ~config:bp_config () ]
+  | Icm ->
+      [
+        Runner.icm ();
+        Runner.perturbed ~seed:17 (Runner.icm ());
+        Runner.perturbed ~seed:43 (Runner.icm ());
+      ]
+  | Sa ->
+      [
+        Runner.sa ();
+        Runner.perturbed ~seed:91
+          (Runner.sa
+             ~config:{ Sa_solver.default_config with seed = 0x7e57 }
+             ());
+      ]
+  | Exact -> [ Runner.bnb (); Runner.trws_icm ~config:trws_config () ]
+
+let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
+    encoded =
   let model = Encode.mrf encoded in
   let trws_config =
     match max_iters with
@@ -37,33 +65,60 @@ let solve_encoded ?(solver = Trws_icm) ?max_iters encoded =
     | None -> Bp_solver.default_config
     | Some m -> { Bp_solver.default_config with max_iters = m }
   in
-  match solver with
-  | Trws -> Trws_solver.solve ~config:trws_config model
-  | Bp -> Bp_solver.solve ~config:bp_config model
-  | Icm -> Icm_solver.solve model
-  | Sa -> Sa_solver.solve model
-  | Exact -> Bnb_solver.solve model
-  | Trws_icm ->
-      let r = Trws_solver.solve ~config:trws_config model in
-      let p = Icm_solver.solve ~init:r.S.labeling model in
-      if p.S.energy < r.S.energy then
-        {
-          p with
-          S.lower_bound = r.S.lower_bound;
-          runtime_s = r.S.runtime_s +. p.S.runtime_s;
-          iterations = r.S.iterations + p.S.iterations;
-        }
-      else { r with S.runtime_s = r.S.runtime_s +. p.S.runtime_s }
+  match (budget, patience) with
+  | None, None -> (
+      (* legacy direct path: identical solver trajectories to the seed *)
+      let result =
+        match solver with
+        | Trws -> Trws_solver.solve ~config:trws_config model
+        | Bp -> Bp_solver.solve ~config:bp_config model
+        | Icm -> Icm_solver.solve model
+        | Sa -> Sa_solver.solve model
+        | Exact -> Bnb_solver.solve model
+        | Trws_icm ->
+            let r = Trws_solver.solve ~config:trws_config model in
+            let p = Icm_solver.solve ~init:r.S.labeling model in
+            if p.S.energy < r.S.energy then
+              {
+                p with
+                S.lower_bound = r.S.lower_bound;
+                runtime_s = r.S.runtime_s +. p.S.runtime_s;
+                iterations = r.S.iterations + p.S.iterations;
+              }
+            else { r with S.runtime_s = r.S.runtime_s +. p.S.runtime_s }
+      in
+      ( result,
+        (if result.S.converged then Runner.Converged else Runner.Stalled),
+        [ (solver_name solver, result.S.runtime_s) ] ))
+  | _ ->
+      let report =
+        Runner.run ?budget ?patience
+          ~stages:(cascade solver ~trws_config ~bp_config)
+          model
+      in
+      ( report.Runner.result,
+        report.Runner.outcome,
+        report.Runner.stage_timings )
 
-let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters net
-    constraints =
-  let (encoded, result), runtime_s =
+let solve_encoded ?solver ?max_iters ?budget ?patience encoded =
+  let result, _, _ =
+    solve_encoded_outcome ?solver ?max_iters ?budget ?patience encoded
+  in
+  result
+
+let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
+    ?patience net constraints =
+  let (encoded, result, outcome, stage_timings), runtime_s =
     S.timed (fun () ->
         let encoded =
           Encode.encode ?prconst ?big_m ?preference ?edge_weight net
             constraints
         in
-        (encoded, solve_encoded ?solver ?max_iters encoded))
+        let result, outcome, stage_timings =
+          solve_encoded_outcome ?solver ?max_iters ?budget ?patience
+            encoded
+        in
+        (encoded, result, outcome, stage_timings))
   in
   let assignment = Encode.decode encoded result.S.labeling in
   let violated = Constr.violations net assignment constraints in
@@ -75,6 +130,8 @@ let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters net
     constraints_ok = violated = [];
     violated;
     runtime_s;
+    outcome;
+    stage_timings;
   }
 
 let refine ?prconst ?big_m ?preference ?edge_weight ~previous net
@@ -113,12 +170,14 @@ let refine ?prconst ?big_m ?preference ?edge_weight ~previous net
     constraints_ok = violated = [];
     violated;
     runtime_s;
+    outcome =
+      (if result.S.converged then Runner.Converged else Runner.Stalled);
+    stage_timings = [ ("icm", result.S.runtime_s) ];
   }
 
 let pp_report ppf r =
-  Format.fprintf ppf
-    "@[<v>energy %.6f (bound %.6f), constraints %s, %.3fs@]" r.energy
-    r.lower_bound
+  Format.fprintf ppf "@[<v>energy %a (bound %a), constraints %s, %.3fs@]"
+    S.pp_float r.energy S.pp_float r.lower_bound
     (if r.constraints_ok then "satisfied"
      else Printf.sprintf "VIOLATED (%d)" (List.length r.violated))
     r.runtime_s

@@ -25,6 +25,11 @@ type report = {
   constraints_ok : bool;       (** all constraints satisfied *)
   violated : Constr.t list;
   runtime_s : float;           (** encode + solve wall clock *)
+  outcome : Netdiv_mrf.Runner.outcome;
+      (** how the solve ended; [Converged] on the unbudgeted path iff the
+          solver met its own stopping criterion *)
+  stage_timings : (string * float) list;
+      (** wall-clock seconds per solver stage, in execution order *)
 }
 
 val run :
@@ -34,11 +39,22 @@ val run :
   ?preference:(host:int -> service:int -> product:int -> float) ->
   ?edge_weight:(int -> int -> float) ->
   ?max_iters:int ->
+  ?budget:Netdiv_mrf.Runner.Budget.t ->
+  ?patience:float ->
   Network.t ->
   Constr.t list ->
   report
 (** Computes an (approximately) optimal constrained assignment; the
-    optional arguments are forwarded to {!Encode.encode}. *)
+    optional arguments are forwarded to {!Encode.encode}.
+
+    Passing [budget] and/or [patience] routes the solve through the
+    anytime harness ({!Netdiv_mrf.Runner}): the solver runs under the
+    wall-clock/sweep budget, stalls degrade through a fallback cascade
+    (e.g. [Exact] → TRW-S + ICM with the remaining budget, [Sa]/[Icm]
+    retried from perturbed restarts), and the returned assignment is the
+    best found when the budget expires — always feasible with respect to
+    the encoding.  Without either option the solver is invoked directly,
+    with trajectories identical to earlier releases. *)
 
 val refine :
   ?prconst:float ->
@@ -55,10 +71,27 @@ val refine :
     longer selectable fall back before polishing.  Much faster than
     {!run} for small perturbations, with no dual bound. *)
 
-val solve_encoded : ?solver:solver -> ?max_iters:int -> Encode.encoded ->
+val solve_encoded :
+  ?solver:solver ->
+  ?max_iters:int ->
+  ?budget:Netdiv_mrf.Runner.Budget.t ->
+  ?patience:float ->
+  Encode.encoded ->
   Netdiv_mrf.Solver.result
 (** Lower-level entry point on a pre-built encoding (used by the
     scalability benches, which time encode and solve separately). *)
+
+val solve_encoded_outcome :
+  ?solver:solver ->
+  ?max_iters:int ->
+  ?budget:Netdiv_mrf.Runner.Budget.t ->
+  ?patience:float ->
+  Encode.encoded ->
+  Netdiv_mrf.Solver.result
+  * Netdiv_mrf.Runner.outcome
+  * (string * float) list
+(** Like {!solve_encoded} but also reports the outcome and per-stage
+    timings (the anytime-quality data the benches record). *)
 
 val solver_name : solver -> string
 

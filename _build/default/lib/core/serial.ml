@@ -138,7 +138,20 @@ let decode_service json =
   in
   let* products = map_result (as_string "product") products in
   let* sim = Result.bind (field "similarity" json) (as_list "similarity") in
-  let* sim = map_result (as_number "similarity entry") sim in
+  (* NaN or out-of-range entries would silently poison every MRF energy
+     downstream; reject them here with the offending path *)
+  let* sim =
+    let rec check i acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest ->
+          let what = Printf.sprintf "service %S: similarity[%d]" name i in
+          let* x = as_number what v in
+          if Float.is_nan x || x < 0.0 || x > 1.0 then
+            Error (Printf.sprintf "%s = %g is out of range [0,1]" what x)
+          else check (i + 1) (x :: acc) rest
+    in
+    check 0 [] sim
+  in
   Ok
     {
       Network.sv_name = name;

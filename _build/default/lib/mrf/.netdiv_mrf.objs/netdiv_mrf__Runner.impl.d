@@ -1,0 +1,1 @@
+lib/mrf/runner.ml: Array Bnb Bp Brute Format Icm List Mrf Option Random Sa Solver Trws Unix

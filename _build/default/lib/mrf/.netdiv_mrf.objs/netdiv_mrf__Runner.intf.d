@@ -1,0 +1,1 @@
+lib/mrf/runner.mli: Bnb Bp Format Icm Mrf Sa Solver Trws

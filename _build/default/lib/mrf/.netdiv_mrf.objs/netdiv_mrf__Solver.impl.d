@@ -1,1 +1,1 @@
-lib/mrf/solver.ml: Format Unix
+lib/mrf/solver.ml: Float Format Unix

@@ -123,7 +123,8 @@ let decode st n theta x =
     x.(i) <- !best
   done
 
-let solve ?(config = default_config) mrf =
+let solve ?(config = default_config) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) mrf =
   let run () =
     let st = make_state mrf in
     (* break ties deterministically: symmetric models otherwise sit on the
@@ -147,6 +148,7 @@ let solve ?(config = default_config) mrf =
     let converged = ref false in
     (try
        for it = 1 to config.max_iters do
+         if interrupt () then raise Exit;
          iters := it;
          let delta = sweep st n theta config.damping in
          decode st n theta x;
@@ -155,6 +157,7 @@ let solve ?(config = default_config) mrf =
            best_energy := e;
            Array.blit x 0 best_x 0 n
          end;
+         on_progress ~iter:it ~energy:!best_energy ~bound:neg_infinity;
          if delta < config.tolerance then begin
            converged := true;
            raise Exit

@@ -18,4 +18,12 @@ type config = {
 val default_config : config
 (** 100 iterations, tolerance 1e-7, damping 0.3, noise 1e-4. *)
 
-val solve : ?config:config -> Mrf.t -> Solver.result
+val solve :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  Mrf.t ->
+  Solver.result
+(** [interrupt] is polled once per sweep; on [true] the best decoded
+    labeling so far is returned.  [on_progress] fires after each sweep
+    with [bound = neg_infinity] (BP provides no dual bound). *)

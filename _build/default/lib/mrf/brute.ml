@@ -5,7 +5,8 @@ let search_space mrf =
   done;
   !acc
 
-let solve ?(limit = 2_000_000) mrf =
+let solve ?(limit = 2_000_000) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) mrf =
   if search_space mrf > float_of_int limit then
     invalid_arg "Brute.solve: search space too large";
   let run () =
@@ -14,6 +15,7 @@ let solve ?(limit = 2_000_000) mrf =
     let best = Array.make n 0 in
     let best_energy = ref (Mrf.energy mrf x) in
     let count = ref 1 in
+    let complete = ref true in
     (* odometer enumeration *)
     let rec next i =
       if i < 0 then false
@@ -26,22 +28,34 @@ let solve ?(limit = 2_000_000) mrf =
         next (i - 1)
       end
     in
-    while next (n - 1) do
-      incr count;
-      let e = Mrf.energy mrf x in
-      if e < !best_energy then begin
-        best_energy := e;
-        Array.blit x 0 best 0 n
-      end
-    done;
-    (best, !best_energy, !count)
+    (try
+       while next (n - 1) do
+         if !count land 1023 = 0 then begin
+           if interrupt () then begin
+             complete := false;
+             raise Exit
+           end;
+           on_progress ~iter:!count ~energy:!best_energy
+             ~bound:neg_infinity
+         end;
+         incr count;
+         let e = Mrf.energy mrf x in
+         if e < !best_energy then begin
+           best_energy := e;
+           Array.blit x 0 best 0 n
+         end
+       done
+     with Exit -> ());
+    (best, !best_energy, !count, !complete)
   in
-  let (labeling, energy, iterations), runtime_s = Solver.timed run in
+  let (labeling, energy, iterations, complete), runtime_s =
+    Solver.timed run
+  in
   {
     Solver.labeling;
     energy;
-    lower_bound = energy;
+    lower_bound = (if complete then energy else neg_infinity);
     iterations;
-    converged = true;
+    converged = complete;
     runtime_s;
   }

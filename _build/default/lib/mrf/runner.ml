@@ -1,0 +1,255 @@
+module Budget = struct
+  type t = { seconds : float option; sweeps : int option }
+
+  let unlimited = { seconds = None; sweeps = None }
+  let seconds s = { seconds = Some s; sweeps = None }
+  let sweeps n = { seconds = None; sweeps = Some n }
+  let make ?seconds ?sweeps () = { seconds; sweeps }
+
+  let pp ppf = function
+    | { seconds = None; sweeps = None } ->
+        Format.pp_print_string ppf "unlimited"
+    | { seconds; sweeps } ->
+        (match seconds with
+        | Some s -> Format.fprintf ppf "%gs" s
+        | None -> ());
+        (match (seconds, sweeps) with
+        | Some _, Some _ -> Format.pp_print_string ppf ", "
+        | _ -> ());
+        (match sweeps with
+        | Some k -> Format.fprintf ppf "%d sweeps" k
+        | None -> ())
+end
+
+type outcome =
+  | Converged
+  | Budget_exhausted
+  | Stalled
+  | Fell_back of string * outcome
+
+let rec pp_outcome ppf = function
+  | Converged -> Format.pp_print_string ppf "converged"
+  | Budget_exhausted -> Format.pp_print_string ppf "budget exhausted"
+  | Stalled -> Format.pp_print_string ppf "stalled"
+  | Fell_back (stage, rest) ->
+      Format.fprintf ppf "fell back from %s; %a" stage pp_outcome rest
+
+let rec outcome_converged = function
+  | Converged -> true
+  | Budget_exhausted | Stalled -> false
+  | Fell_back (_, rest) -> outcome_converged rest
+
+type stage = {
+  name : string;
+  solve :
+    interrupt:(unit -> bool) ->
+    on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+    init:int array option ->
+    Mrf.t ->
+    Solver.result;
+}
+
+let stage_name s = s.name
+
+let trws ?config () =
+  {
+    name = "trws";
+    solve =
+      (fun ~interrupt ~on_progress ~init:_ mrf ->
+        Trws.solve ?config ~interrupt ~on_progress mrf);
+  }
+
+let trws_icm ?config ?icm_config () =
+  {
+    name = "trws+icm";
+    solve =
+      (fun ~interrupt ~on_progress ~init:_ mrf ->
+        let r = Trws.solve ?config ~interrupt ~on_progress mrf in
+        let p =
+          Icm.solve ?config:icm_config ~interrupt
+            ~on_progress:(fun ~iter ~energy ~bound:_ ->
+              on_progress ~iter ~energy ~bound:r.Solver.lower_bound)
+            ~init:r.Solver.labeling mrf
+        in
+        let merged =
+          if p.Solver.energy < r.Solver.energy then
+            { p with Solver.lower_bound = r.Solver.lower_bound }
+          else r
+        in
+        {
+          merged with
+          Solver.runtime_s = r.Solver.runtime_s +. p.Solver.runtime_s;
+          iterations = r.Solver.iterations + p.Solver.iterations;
+          converged = r.Solver.converged && p.Solver.converged;
+        });
+  }
+
+let bp ?config () =
+  {
+    name = "bp";
+    solve =
+      (fun ~interrupt ~on_progress ~init:_ mrf ->
+        Bp.solve ?config ~interrupt ~on_progress mrf);
+  }
+
+let icm ?config () =
+  {
+    name = "icm";
+    solve =
+      (fun ~interrupt ~on_progress ~init mrf ->
+        Icm.solve ?config ~interrupt ~on_progress ?init mrf);
+  }
+
+let sa ?config () =
+  {
+    name = "sa";
+    solve =
+      (fun ~interrupt ~on_progress ~init mrf ->
+        Sa.solve ?config ~interrupt ~on_progress ?init mrf);
+  }
+
+let bnb ?config () =
+  {
+    name = "bnb";
+    solve =
+      (fun ~interrupt ~on_progress ~init:_ mrf ->
+        Bnb.solve ?config ~interrupt ~on_progress mrf);
+  }
+
+let brute ?limit () =
+  {
+    name = "brute";
+    solve =
+      (fun ~interrupt ~on_progress ~init:_ mrf ->
+        Brute.solve ?limit ~interrupt ~on_progress mrf);
+  }
+
+let perturbed ?(seed = 0x6b1c) ?(strength = 0.15) stage =
+  {
+    name = stage.name ^ "*";
+    solve =
+      (fun ~interrupt ~on_progress ~init mrf ->
+        let init =
+          match init with
+          | None -> None
+          | Some x ->
+              let rng = Random.State.make [| seed |] in
+              let x = Array.copy x in
+              for i = 0 to Array.length x - 1 do
+                if Random.State.float rng 1.0 < strength then
+                  x.(i) <- Random.State.int rng (Mrf.label_count mrf i)
+              done;
+              Some x
+        in
+        stage.solve ~interrupt ~on_progress ~init mrf);
+  }
+
+type progress = { stage : string; iter : int; energy : float; bound : float }
+
+type run_report = {
+  result : Solver.result;
+  outcome : outcome;
+  stage_timings : (string * float) list;
+}
+
+let run ?(budget = Budget.unlimited) ?patience
+    ?(on_progress = fun (_ : progress) -> ()) ~stages mrf =
+  if stages = [] then invalid_arg "Runner.run: empty cascade";
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) budget.Budget.seconds in
+  let done_sweeps = ref 0 in
+  let best : Solver.result option ref = ref None in
+  let timings = ref [] in
+  let exhausted = ref false in
+  let fell = ref [] in
+  let rec go = function
+    | [] -> assert false
+    | stage :: rest ->
+        let stage_start = Unix.gettimeofday () in
+        (* stall detection: wall clock since the last global improvement *)
+        let last_gain = ref stage_start in
+        let stage_sweeps = ref 0 in
+        let best_energy =
+          ref (match !best with Some r -> r.Solver.energy | None -> infinity)
+        and best_bound =
+          ref
+            (match !best with
+            | Some r -> r.Solver.lower_bound
+            | None -> neg_infinity)
+        in
+        (* polled from solver inner loops, possibly from spawned domains:
+           only reads wall clock and sets monotone flags *)
+        let interrupt () =
+          let now = Unix.gettimeofday () in
+          let over_deadline =
+            match deadline with Some d -> now >= d | None -> false
+          in
+          let over_sweeps =
+            match budget.Budget.sweeps with
+            | Some cap -> !done_sweeps + !stage_sweeps >= cap
+            | None -> false
+          in
+          if over_deadline || over_sweeps then begin
+            exhausted := true;
+            true
+          end
+          else
+            match patience with
+            | Some p when now -. !last_gain > p -> true
+            | _ -> false
+        in
+        let progress ~iter ~energy ~bound =
+          stage_sweeps := iter;
+          let improved =
+            energy < !best_energy -. 1e-12 || bound > !best_bound +. 1e-12
+          in
+          if improved then begin
+            if energy < !best_energy then best_energy := energy;
+            if bound > !best_bound then best_bound := bound;
+            last_gain := Unix.gettimeofday ()
+          end;
+          on_progress { stage = stage.name; iter; energy; bound }
+        in
+        let init = Option.map (fun r -> r.Solver.labeling) !best in
+        let r = stage.solve ~interrupt ~on_progress:progress ~init mrf in
+        timings :=
+          (stage.name, Unix.gettimeofday () -. stage_start) :: !timings;
+        done_sweeps := !done_sweeps + r.Solver.iterations;
+        let merged =
+          match !best with
+          | None -> r
+          | Some b ->
+              let better =
+                if r.Solver.energy <= b.Solver.energy then r else b
+              in
+              {
+                better with
+                Solver.lower_bound =
+                  max r.Solver.lower_bound b.Solver.lower_bound;
+              }
+        in
+        best := Some merged;
+        if r.Solver.converged then Converged
+        else if !exhausted then Budget_exhausted
+        else if rest <> [] then begin
+          fell := stage.name :: !fell;
+          go rest
+        end
+        else Stalled
+  in
+  let base = go stages in
+  let outcome =
+    List.fold_left (fun o name -> Fell_back (name, o)) base !fell
+  in
+  let result =
+    match !best with Some r -> r | None -> assert false
+  in
+  let result =
+    {
+      result with
+      Solver.iterations = !done_sweeps;
+      runtime_s = Unix.gettimeofday () -. t0;
+      converged = outcome_converged outcome;
+    }
+  in
+  { result; outcome; stage_timings = List.rev !timings }

@@ -1,0 +1,107 @@
+(** Fault-tolerant anytime harness over the MAP solvers.
+
+    The paper's headline claim is scalability — diversification of
+    10,000-host networks in bounded time — and online re-diversification
+    needs solvers that can be stopped at a deadline and still return the
+    best feasible assignment found so far.  The runner wraps the six
+    solvers behind a uniform [stage] interface, enforces a wall-clock /
+    sweep {!Budget}, detects stalls (no energy or bound improvement for a
+    patience window) and degrades through a fallback cascade, merging the
+    best-so-far labeling across stages.
+
+    Interrupt granularity: once per sweep for TRW-S, BP, ICM and SA
+    (every restart, including spawned domains), per node expansion for
+    branch-and-bound, every 1024 labelings for brute force.  All stages
+    preserve the anytime property: they return a feasible labeling and
+    its energy no matter when they are stopped. *)
+
+module Budget : sig
+  type t = {
+    seconds : float option;  (** wall-clock allowance, from run start *)
+    sweeps : int option;     (** cap on sweeps/iterations per run *)
+  }
+
+  val unlimited : t
+  val seconds : float -> t
+  val sweeps : int -> t
+  val make : ?seconds:float -> ?sweeps:int -> unit -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+type outcome =
+  | Converged  (** a stage met its own stopping criterion *)
+  | Budget_exhausted  (** deadline or sweep cap hit *)
+  | Stalled  (** no improvement for [patience] and no stage left *)
+  | Fell_back of string * outcome
+      (** a stage stalled; the cascade degraded to the next one.  The
+          string names the abandoned stage; the payload is the eventual
+          outcome of the rest of the cascade. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** ["converged"], ["budget exhausted"], ["stalled"], or
+    ["fell back from <stage>; <outcome>"]. *)
+
+val outcome_converged : outcome -> bool
+(** [true] iff the outcome terminates in [Converged] (looking through
+    [Fell_back]). *)
+
+type stage
+(** One solver in a cascade: a name plus a solve function taking the
+    harness interrupt/progress hooks and an optional warm-start
+    labeling. *)
+
+val stage_name : stage -> string
+
+val trws : ?config:Trws.config -> unit -> stage
+val trws_icm : ?config:Trws.config -> ?icm_config:Icm.config -> unit -> stage
+(** TRW-S followed by an ICM polish warm-started from its labeling; keeps
+    the TRW-S dual bound.  [converged] requires both to converge. *)
+
+val bp : ?config:Bp.config -> unit -> stage
+val icm : ?config:Icm.config -> unit -> stage
+val sa : ?config:Sa.config -> unit -> stage
+val bnb : ?config:Bnb.config -> unit -> stage
+val brute : ?limit:int -> unit -> stage
+
+val perturbed : ?seed:int -> ?strength:float -> stage -> stage
+(** [perturbed stage] relabels a random [strength] fraction (default
+    0.15) of the warm-start labeling before running [stage] — a restart
+    kick for SA/ICM retries after a stall.  Deterministic in [seed]. *)
+
+type progress = {
+  stage : string;   (** name of the stage reporting *)
+  iter : int;       (** its sweep / node count *)
+  energy : float;   (** best energy so far within the stage *)
+  bound : float;    (** best dual bound so far; [neg_infinity] if none *)
+}
+
+type run_report = {
+  result : Solver.result;
+      (** best labeling across all stages run; [lower_bound] is the max
+          bound any stage proved, [iterations] and [runtime_s] are summed *)
+  outcome : outcome;
+  stage_timings : (string * float) list;
+      (** wall-clock seconds per stage, in execution order *)
+}
+
+val run :
+  ?budget:Budget.t ->
+  ?patience:float ->
+  ?on_progress:(progress -> unit) ->
+  stages:stage list ->
+  Mrf.t ->
+  run_report
+(** Runs the cascade: each stage starts from the best labeling found so
+    far and inherits the remaining budget.  A stage that converges ends
+    the run with [Converged]; hitting the deadline or sweep cap ends it
+    with [Budget_exhausted].  A stage that stalls — no energy or bound
+    improvement for [patience] wall-clock seconds (default: never) — or
+    exhausts its own iteration cap falls through to the next stage,
+    wrapping the eventual outcome in [Fell_back]; when no stage remains
+    the run ends [Stalled].
+
+    The returned labeling is always feasible (every stage is anytime),
+    and with [Budget.seconds 0.0] each stage returns within its first
+    interrupt poll.
+
+    @raise Invalid_argument on an empty [stages] list. *)

@@ -53,9 +53,13 @@ let greedy_unary_init mrf =
       done;
       !best)
 
-let solve ?(config = default_config) ?init mrf =
+let solve ?(config = default_config) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) ?init mrf =
   if not (config.cooling > 0.0 && config.cooling < 1.0) then
     invalid_arg "Sa.solve: cooling must lie in (0,1)";
+  (* progress callbacks touch caller state, so only fire them when the
+     restarts run on this domain *)
+  let sequential = config.domains <= 1 || config.restarts <= 1 in
   let run () =
     let n = Mrf.n_nodes mrf in
     let start =
@@ -73,36 +77,45 @@ let solve ?(config = default_config) ?init mrf =
       let local_best = Array.copy start in
       let local_best_energy = ref !energy in
       let sweeps = ref 0 in
+      let stopped = ref false in
       let temp = ref config.initial_temp in
-      while !temp > config.min_temp do
-        for _ = 1 to config.sweeps_per_temp do
-          incr sweeps;
-          for i = 0 to n - 1 do
-            let k = Mrf.label_count mrf i in
-            if k > 1 then begin
-              let fresh = Random.State.int rng k in
-              let delta = move_delta mrf x i fresh in
-              if
-                delta <= 0.0
-                || Random.State.float rng 1.0 < exp (-.delta /. !temp)
-              then begin
-                x.(i) <- fresh;
-                energy := !energy +. delta;
-                if !energy < !local_best_energy then begin
-                  local_best_energy := !energy;
-                  Array.blit x 0 local_best 0 n
-                end
-              end
-            end
-          done
-        done;
-        temp := !temp *. config.cooling
-      done;
-      (local_best, !local_best_energy, !sweeps)
+      (try
+         while !temp > config.min_temp do
+           for _ = 1 to config.sweeps_per_temp do
+             if interrupt () then begin
+               stopped := true;
+               raise Exit
+             end;
+             incr sweeps;
+             for i = 0 to n - 1 do
+               let k = Mrf.label_count mrf i in
+               if k > 1 then begin
+                 let fresh = Random.State.int rng k in
+                 let delta = move_delta mrf x i fresh in
+                 if
+                   delta <= 0.0
+                   || Random.State.float rng 1.0 < exp (-.delta /. !temp)
+                 then begin
+                   x.(i) <- fresh;
+                   energy := !energy +. delta;
+                   if !energy < !local_best_energy then begin
+                     local_best_energy := !energy;
+                     Array.blit x 0 local_best 0 n
+                   end
+                 end
+               end
+             done
+           done;
+           if sequential then
+             on_progress ~iter:!sweeps ~energy:!local_best_energy
+               ~bound:neg_infinity;
+           temp := !temp *. config.cooling
+         done
+       with Exit -> ());
+      (local_best, !local_best_energy, !sweeps, !stopped)
     in
     let results =
-      if config.domains <= 1 || config.restarts <= 1 then
-        List.init config.restarts one_restart
+      if sequential then List.init config.restarts one_restart
       else begin
         (* split restart indices across domains; same results for any
            domain count since each restart owns its rng *)
@@ -126,9 +139,11 @@ let solve ?(config = default_config) ?init mrf =
     let best = Array.copy start in
     let best_energy = ref (Mrf.energy mrf start) in
     let sweeps = ref 0 in
+    let stopped = ref false in
     List.iter
-      (fun (x, e, s) ->
+      (fun (x, e, s, st) ->
         sweeps := !sweeps + s;
+        if st then stopped := true;
         if e < !best_energy then begin
           best_energy := e;
           Array.blit x 0 best 0 n
@@ -136,14 +151,16 @@ let solve ?(config = default_config) ?init mrf =
       results;
     (* guard against float drift in the incremental energy *)
     let true_best = Mrf.energy mrf best in
-    (best, true_best, !sweeps)
+    (best, true_best, !sweeps, not !stopped)
   in
-  let (labeling, energy, iterations), runtime_s = Solver.timed run in
+  let (labeling, energy, iterations, converged), runtime_s =
+    Solver.timed run
+  in
   {
     Solver.labeling;
     energy;
     lower_bound = neg_infinity;
     iterations;
-    converged = true;
+    converged;
     runtime_s;
   }

@@ -24,7 +24,20 @@ val default_config : config
 (** temp 2.0 → 1e-3, cooling 0.9, 4 sweeps per stage, 2 restarts,
     1 domain. *)
 
-val solve : ?config:config -> ?init:int array -> Mrf.t -> Solver.result
+val solve :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  ?init:int array ->
+  Mrf.t ->
+  Solver.result
 (** Runs annealing from [init] (default: unary-greedy) and returns the
     best labeling seen across all restarts.  [iterations] counts full
-    sweeps; no dual bound is produced. *)
+    sweeps; no dual bound is produced.
+
+    [interrupt] is polled once per sweep in every restart and must be
+    safe to call from spawned domains (wall-clock reads are); on [true]
+    each restart stops and the best labeling across restarts is still
+    returned, with [converged = false].  [on_progress] fires per cooling
+    stage, and only when the restarts run sequentially ([domains <= 1]
+    or [restarts <= 1]) — progress handlers need not be thread-safe. *)

@@ -13,12 +13,20 @@ let timed f =
   (x, Unix.gettimeofday () -. t0)
 
 let optimality_gap r =
-  if r.lower_bound = neg_infinity then infinity
+  if Float.is_nan r.energy || Float.is_nan r.lower_bound then infinity
+  else if not (Float.is_finite r.lower_bound) then infinity
+  else if not (Float.is_finite r.energy) then infinity
   else r.energy -. r.lower_bound
 
+(* render non-finite floats as words so nan/-inf never leak into reports *)
+let pp_float ppf v =
+  if Float.is_nan v then Format.pp_print_string ppf "undefined"
+  else if v = neg_infinity then Format.pp_print_string ppf "none"
+  else if v = infinity then Format.pp_print_string ppf "unbounded"
+  else Format.fprintf ppf "%.6f" v
+
 let pp_result ppf r =
-  Format.fprintf ppf
-    "energy %.6f, bound %.6f, %d iters, %s, %.3fs" r.energy r.lower_bound
-    r.iterations
+  Format.fprintf ppf "energy %a, bound %a, %d iters, %s, %.3fs" pp_float
+    r.energy pp_float r.lower_bound r.iterations
     (if r.converged then "converged" else "iteration cap")
     r.runtime_s

@@ -13,6 +13,12 @@ val timed : (unit -> 'a) -> 'a * float
 (** Runs a thunk and measures wall-clock time. *)
 
 val optimality_gap : result -> float
-(** [energy - lower_bound]; [infinity] when no bound is available. *)
+(** [energy - lower_bound]; [infinity] when no bound is available or
+    either quantity is non-finite (no [nan]/[-inf] arithmetic). *)
+
+val pp_float : Format.formatter -> float -> unit
+(** [%.6f] for finite values; ["none"] for [neg_infinity], ["unbounded"]
+    for [infinity], ["undefined"] for NaN. *)
 
 val pp_result : Format.formatter -> result -> unit
+(** Renders non-finite energies and bounds via {!pp_float}. *)

@@ -299,7 +299,8 @@ let decode st n theta x =
     x.(i) <- !best
   done
 
-let solve ?(config = default_config) mrf =
+let solve ?(config = default_config) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) mrf =
   let run () =
     let st = make_state mrf in
     let n = Mrf.n_nodes mrf and m = Mrf.n_edges mrf in
@@ -315,6 +316,7 @@ let solve ?(config = default_config) mrf =
     let converged = ref false in
     (try
        for it = 1 to config.max_iters do
+         if interrupt () then raise Exit;
          iters := it;
          sweep st n theta true;
          sweep st n theta false;
@@ -330,6 +332,7 @@ let solve ?(config = default_config) mrf =
            if lb > !best_bound then best_bound := lb;
            let energy_progress = !prev_energy -. !best_energy in
            prev_energy := !best_energy;
+           on_progress ~iter:it ~energy:!best_energy ~bound:!best_bound;
            if
              bound_progress < config.tolerance
              && energy_progress < config.tolerance

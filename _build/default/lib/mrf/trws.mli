@@ -22,6 +22,18 @@ type config = {
 val default_config : config
 (** 100 iterations, tolerance 1e-7, patience 3, bound every iteration. *)
 
-val solve : ?config:config -> Mrf.t -> Solver.result
+val solve :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  Mrf.t ->
+  Solver.result
 (** Runs TRW-S and returns the best decoded labeling encountered, its
-    energy, and the final lower bound. *)
+    energy, and the final lower bound.
+
+    [interrupt] is polled once per forward/backward sweep pair; when it
+    returns [true] the solver stops and returns the best labeling, energy
+    and bound found so far (the anytime property — an initial decode
+    happens before the first sweep, so the labeling is always feasible).
+    [on_progress] fires after every bound computation with the running
+    best energy and dual bound. *)

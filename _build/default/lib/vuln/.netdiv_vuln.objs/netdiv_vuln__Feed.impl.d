@@ -1,1 +1,1 @@
-lib/vuln/feed.ml: Cpe Cve Json List Nvd Printf String
+lib/vuln/feed.ml: Cpe Cve Float Json List Nvd Printf String

@@ -79,23 +79,31 @@ let decode_item item =
             |> List.sort_uniq Cpe.compare
         | _ -> []
       in
-      let cvss =
+      let cvss, cvss_path =
         match
           Json.path [ "impact"; "baseMetricV3"; "cvssV3"; "baseScore" ] item
         with
-        | Some (Json.Number f) -> Some f
+        | Some (Json.Number f) ->
+            (Some f, "impact.baseMetricV3.cvssV3.baseScore")
         | _ -> (
             match
               Json.path
                 [ "impact"; "baseMetricV2"; "cvssV2"; "baseScore" ]
                 item
             with
-            | Some (Json.Number f) -> Some f
-            | _ -> None)
+            | Some (Json.Number f) ->
+                (Some f, "impact.baseMetricV2.cvssV2.baseScore")
+            | _ -> (None, ""))
       in
-      match Cve.make ?cvss ~summary ~id affected with
-      | Ok cve -> Ok cve
-      | Error msg -> Error msg)
+      match cvss with
+      | Some f when Float.is_nan f || f < 0.0 || f > 10.0 ->
+          Error
+            (Printf.sprintf "%s: %s = %g is out of range [0,10]" id
+               cvss_path f)
+      | _ -> (
+          match Cve.make ?cvss ~summary ~id affected with
+          | Ok cve -> Ok cve
+          | Error msg -> Error msg))
   | _ -> Error "item without cve.CVE_data_meta.ID"
 
 let decode json =

@@ -15,11 +15,14 @@ type t =
   | List of t list
   | Object of (string * t) list
 
-val parse : string -> (t, string) result
+val parse : ?depth_limit:int -> string -> (t, string) result
 (** Parses a complete JSON document (trailing whitespace allowed,
-    trailing garbage rejected).  Errors carry a byte offset. *)
+    trailing garbage rejected).  Errors carry a byte offset.
+    [depth_limit] (default 512) bounds container nesting so adversarial
+    or degenerate feeds fail with an error instead of overflowing the
+    stack of the recursive-descent parser. *)
 
-val parse_exn : string -> t
+val parse_exn : ?depth_limit:int -> string -> t
 (** @raise Invalid_argument on parse errors. *)
 
 val to_string : ?pretty:bool -> t -> string

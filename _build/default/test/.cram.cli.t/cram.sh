@@ -5,3 +5,6 @@
   $ netdiv rank --samples 4000 --top 5
   $ netdiv export --network n.json --assignment a.json
   $ netdiv verify --network n.json --assignment a.json
+  $ netdiv optimize --hosts 800 --time-budget 0.01 | grep -E "^(solver|outcome)"
+  $ netdiv optimize --hosts 40 --time-budget 60 | grep -E "^(solver|outcome)"
+  $ netdiv optimize --hosts 40 --solver sa --time-budget 60 | grep -E "^(solver|outcome)"

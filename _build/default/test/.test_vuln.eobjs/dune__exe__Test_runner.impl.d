@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Brute Float Format List Mrf Netdiv_core Netdiv_mrf Netdiv_workload Random Runner Solver String

@@ -1,1 +1,1 @@
-test/test_vuln.ml: Alcotest Array Corpus Cpe Cve Cvss Feed Float Hashtbl Json List Netdiv_vuln Nvd Printf QCheck2 QCheck_alcotest Similarity Weighted
+test/test_vuln.ml: Alcotest Array Corpus Cpe Cve Cvss Feed Float Hashtbl Json List Netdiv_vuln Nvd Printf QCheck2 QCheck_alcotest Similarity String Weighted

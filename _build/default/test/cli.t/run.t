@@ -66,3 +66,21 @@ assignment scores exactly the optimizer's energy:
   energy:     40.909076
   cross-edge similarity: 40.279076
   optimizer reaches:     40.909076 (bound 38.280157)
+
+The anytime harness: a tiny time budget on a large instance returns the
+best-so-far assignment and reports the truncation honestly (timing lines
+are filtered out, they are not deterministic):
+
+  $ netdiv optimize --hosts 800 --time-budget 0.01 | grep -E "^(solver|outcome)"
+  solver  trws+icm
+  outcome budget exhausted
+
+A generous budget leaves convergence untouched:
+
+  $ netdiv optimize --hosts 40 --time-budget 60 | grep -E "^(solver|outcome)"
+  solver  trws+icm
+  outcome converged
+
+  $ netdiv optimize --hosts 40 --solver sa --time-budget 60 | grep -E "^(solver|outcome)"
+  solver  sa
+  outcome converged

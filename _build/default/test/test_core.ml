@@ -508,6 +508,69 @@ let test_serial_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted incomplete assignment"
 
+let test_serial_similarity_range () =
+  (* similarity entries feed MRF energies directly; NaN or out-of-range
+     values must be rejected with a path-qualified error *)
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let doc entry =
+    Printf.sprintf
+      {|{"services":[{"name":"db","products":["p","q"],"similarity":[1.0,%s,%s,1.0]}],"hosts":[],"links":[]}|}
+      entry entry
+  in
+  List.iter
+    (fun entry ->
+      match Serial.network_of_string (doc entry) with
+      | Ok _ -> Alcotest.failf "accepted similarity %s" entry
+      | Error e ->
+          Alcotest.(check bool)
+            (entry ^ ": error is path-qualified")
+            true
+            (contains e "service \"db\"" && contains e "similarity[1]"))
+    [ "-0.5"; "1.5" ];
+  (* NaN cannot be written in JSON text, but a hand-built document can
+     still carry one *)
+  let module Json = Netdiv_vuln.Json in
+  let nan_doc =
+    Json.Object
+      [
+        ( "services",
+          Json.List
+            [
+              Json.Object
+                [
+                  ("name", Json.String "db");
+                  ("products", Json.List [ Json.String "p"; Json.String "q" ]);
+                  ( "similarity",
+                    Json.List
+                      [
+                        Json.Number 1.0; Json.Number nan; Json.Number nan;
+                        Json.Number 1.0;
+                      ] );
+                ];
+            ] );
+        ("hosts", Json.List []);
+        ("links", Json.List []);
+      ]
+  in
+  (match Serial.network_of_json nan_doc with
+  | Ok _ -> Alcotest.fail "accepted a NaN similarity"
+  | Error e ->
+      Alcotest.(check bool) "nan: error is path-qualified" true
+        (contains e "similarity[1]"));
+  (* boundary values are legal *)
+  match Serial.network_of_string (doc "1.0") with
+  | Ok _ -> (
+      match Serial.network_of_string (doc "0.0") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
 let test_fully_frozen_network () =
   (* every candidate list is a singleton: nothing to optimize, but the
      whole pipeline must still work (the paper's pure-legacy limit) *)
@@ -663,6 +726,8 @@ let () =
           Alcotest.test_case "case-study round-trip" `Quick
             test_casestudy_roundtrip;
           Alcotest.test_case "malformed inputs" `Quick test_serial_errors;
+          Alcotest.test_case "similarity range" `Quick
+            test_serial_similarity_range;
         ] );
       ( "edge-cases",
         [

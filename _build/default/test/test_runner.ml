@@ -1,0 +1,330 @@
+(* Tests for the anytime harness (Runner): a ~0-second budget makes every
+   solver return within its next interrupt poll with a feasible labeling
+   and [Budget_exhausted]; a generous budget reproduces the legacy solver
+   trajectories exactly; stalls degrade through the fallback cascade and
+   still yield constraint-satisfying assignments. *)
+
+open Netdiv_mrf
+module Optimize = Netdiv_core.Optimize
+module Constr = Netdiv_core.Constr
+module Network = Netdiv_core.Network
+module Workload = Netdiv_workload.Workload
+
+let rng seed = Random.State.make [| seed |]
+
+let random_mrf rng n k p =
+  let b = Mrf.Builder.create ~label_counts:(Array.make n k) in
+  for i = 0 to n - 1 do
+    Mrf.Builder.set_unary b ~node:i
+      (Array.init k (fun _ -> Random.State.float rng 1.0))
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then
+        Mrf.Builder.add_edge b u v
+          (Array.init (k * k) (fun _ -> Random.State.float rng 1.0))
+    done
+  done;
+  Mrf.Builder.build b
+
+let outcome = Alcotest.testable Runner.pp_outcome ( = )
+
+(* the labeling is complete, in range, and consistent with the reported
+   energy — the anytime feasibility guarantee *)
+let check_feasible name mrf (r : Solver.result) =
+  Alcotest.(check int)
+    (name ^ ": labeling length")
+    (Mrf.n_nodes mrf)
+    (Array.length r.Solver.labeling);
+  Array.iteri
+    (fun i l ->
+      if l < 0 || l >= Mrf.label_count mrf i then
+        Alcotest.failf "%s: label %d out of range at node %d" name l i)
+    r.Solver.labeling;
+  Alcotest.(check (float 1e-6))
+    (name ^ ": energy matches labeling")
+    (Mrf.energy mrf r.Solver.labeling)
+    r.Solver.energy
+
+let instance ~hosts ?(degree = 10) ?(services = 5) ?(products = 4)
+    ?(seed = 1) () =
+  Workload.instance
+    { hosts; degree; services; products_per_service = products; seed }
+
+(* ------------------------------------------------- zero-budget anytime *)
+
+let test_zero_budget_stages () =
+  let mrf = random_mrf (rng 42) 200 4 0.02 in
+  List.iter
+    (fun stage ->
+      let name = Runner.stage_name stage in
+      let report =
+        Runner.run
+          ~budget:(Runner.Budget.seconds 0.0)
+          ~stages:[ stage ] mrf
+      in
+      Alcotest.check outcome
+        (name ^ ": outcome")
+        Runner.Budget_exhausted report.Runner.outcome;
+      check_feasible name mrf report.Runner.result;
+      (* the first poll fires before the first sweep *)
+      if report.Runner.result.Solver.iterations > 1 then
+        Alcotest.failf "%s: ran %d sweeps under a zero budget" name
+          report.Runner.result.Solver.iterations)
+    [
+      Runner.trws (); Runner.trws_icm (); Runner.bp (); Runner.icm ();
+      Runner.sa (); Runner.bnb ();
+    ]
+
+let test_zero_budget_brute () =
+  (* brute polls every 1024 labelings, so give it a space it can cover
+     between polls: 3^12 = 531,441 *)
+  let mrf = random_mrf (rng 7) 12 3 0.4 in
+  let report =
+    Runner.run
+      ~budget:(Runner.Budget.seconds 0.0)
+      ~stages:[ Runner.brute () ]
+      mrf
+  in
+  Alcotest.check outcome "brute: outcome" Runner.Budget_exhausted
+    report.Runner.outcome;
+  check_feasible "brute" mrf report.Runner.result;
+  if report.Runner.result.Solver.iterations > 1024 then
+    Alcotest.failf "brute: enumerated %d labelings under a zero budget"
+      report.Runner.result.Solver.iterations
+
+let test_optimize_zero_budget () =
+  let net = instance ~hosts:200 () in
+  List.iter
+    (fun solver ->
+      let name = Optimize.solver_name solver in
+      let report =
+        Optimize.run ~solver
+          ~budget:(Runner.Budget.seconds 0.0)
+          net []
+      in
+      Alcotest.check outcome
+        (name ^ ": outcome")
+        Runner.Budget_exhausted report.Optimize.outcome;
+      Alcotest.(check bool)
+        (name ^ ": constraints ok")
+        true report.Optimize.constraints_ok;
+      if not (Float.is_finite report.Optimize.energy) then
+        Alcotest.failf "%s: non-finite energy" name)
+    [
+      Optimize.Trws; Optimize.Trws_icm; Optimize.Bp; Optimize.Icm;
+      Optimize.Sa; Optimize.Exact;
+    ]
+
+(* ------------------------------------------------- generous budgets *)
+
+let test_generous_budget_matches_legacy () =
+  let net = instance ~hosts:60 () in
+  List.iter
+    (fun solver ->
+      let name = Optimize.solver_name solver in
+      let legacy = Optimize.run ~solver net [] in
+      let budgeted =
+        Optimize.run ~solver
+          ~budget:(Runner.Budget.seconds 300.0)
+          net []
+      in
+      Alcotest.(check (float 1e-9))
+        (name ^ ": energy matches legacy")
+        legacy.Optimize.energy budgeted.Optimize.energy;
+      Alcotest.check outcome
+        (name ^ ": outcome matches legacy")
+        legacy.Optimize.outcome budgeted.Optimize.outcome)
+    [ Optimize.Trws; Optimize.Trws_icm; Optimize.Bp; Optimize.Icm;
+      Optimize.Sa ]
+
+let test_generous_budget_bnb () =
+  let mrf = random_mrf (rng 5) 12 3 0.3 in
+  let exact = Brute.solve mrf in
+  let report =
+    Runner.run
+      ~budget:(Runner.Budget.seconds 300.0)
+      ~stages:[ Runner.bnb () ]
+      mrf
+  in
+  Alcotest.check outcome "bnb: outcome" Runner.Converged
+    report.Runner.outcome;
+  Alcotest.(check (float 1e-9))
+    "bnb: certified optimum" exact.Solver.energy
+    report.Runner.result.Solver.energy
+
+(* ------------------------------------------------- fallback cascade *)
+
+let test_cascade_falls_back_on_stall () =
+  let mrf = random_mrf (rng 9) 50 3 0.1 in
+  let report =
+    Runner.run ~patience:0.0
+      ~stages:[ Runner.sa (); Runner.icm () ]
+      mrf
+  in
+  (match report.Runner.outcome with
+  | Runner.Fell_back ("sa", _) -> ()
+  | o ->
+      Alcotest.failf "expected a fallback from sa, got %a" Runner.pp_outcome
+        o);
+  check_feasible "cascade" mrf report.Runner.result;
+  match report.Runner.stage_timings with
+  | [ ("sa", _); ("icm", _) ] -> ()
+  | l ->
+      Alcotest.failf "expected sa and icm stage timings, got [%s]"
+        (String.concat "; " (List.map fst l))
+
+let test_exact_cascade_constraints () =
+  let net = instance ~hosts:30 ~degree:6 ~services:3 () in
+  let service = (Network.host_services net 0).(0) in
+  let constraints =
+    [
+      Constr.Fix
+        {
+          host = 0;
+          service;
+          product = (Network.candidates net ~host:0 ~service).(0);
+        };
+    ]
+  in
+  let report =
+    Optimize.run ~solver:Optimize.Exact
+      ~budget:(Runner.Budget.seconds 30.0)
+      ~patience:0.0 net constraints
+  in
+  (match report.Optimize.outcome with
+  | Runner.Fell_back ("bnb", _) -> ()
+  | o ->
+      Alcotest.failf "expected a fallback from bnb, got %a"
+        Runner.pp_outcome o);
+  Alcotest.(check bool)
+    "cascade satisfies the Fix constraint" true
+    report.Optimize.constraints_ok
+
+(* ------------------------------------------------- budget mechanics *)
+
+let test_sweep_cap () =
+  let mrf = random_mrf (rng 21) 200 4 0.1 in
+  let report =
+    Runner.run
+      ~budget:(Runner.Budget.make ~sweeps:3 ())
+      ~stages:[ Runner.trws () ]
+      mrf
+  in
+  Alcotest.check outcome "sweep cap: outcome" Runner.Budget_exhausted
+    report.Runner.outcome;
+  if report.Runner.result.Solver.iterations > 5 then
+    Alcotest.failf "sweep cap of 3 ran %d sweeps"
+      report.Runner.result.Solver.iterations;
+  check_feasible "sweep cap" mrf report.Runner.result
+
+let test_empty_stages () =
+  let mrf = random_mrf (rng 2) 4 2 0.5 in
+  match Runner.run ~stages:[] mrf with
+  | _ -> Alcotest.fail "accepted an empty cascade"
+  | exception Invalid_argument _ -> ()
+
+let test_progress_reported () =
+  let mrf = random_mrf (rng 31) 40 3 0.2 in
+  let seen = ref [] in
+  let report =
+    Runner.run
+      ~on_progress:(fun p -> seen := p.Runner.stage :: !seen)
+      ~stages:[ Runner.icm () ]
+      mrf
+  in
+  Alcotest.(check bool)
+    "progress callbacks fired" true
+    (List.length !seen > 0 && List.for_all (String.equal "icm") !seen);
+  Alcotest.check outcome "converges unbudgeted" Runner.Converged
+    report.Runner.outcome
+
+(* ------------------------------------------------- non-finite rendering *)
+
+let dummy energy lower_bound =
+  {
+    Solver.labeling = [| 0 |];
+    energy;
+    lower_bound;
+    iterations = 1;
+    converged = false;
+    runtime_s = 0.0;
+  }
+
+let test_gap_nonfinite () =
+  Alcotest.(check (float 0.0))
+    "no bound -> infinite gap" infinity
+    (Solver.optimality_gap (dummy 1.0 neg_infinity));
+  Alcotest.(check (float 0.0))
+    "nan energy -> infinite gap" infinity
+    (Solver.optimality_gap (dummy nan 0.5));
+  Alcotest.(check (float 0.0))
+    "nan bound -> infinite gap" infinity
+    (Solver.optimality_gap (dummy 1.0 nan));
+  Alcotest.(check (float 1e-9))
+    "finite gap untouched" 0.5
+    (Solver.optimality_gap (dummy 1.0 0.5))
+
+let test_pp_result_nonfinite () =
+  let render r = Format.asprintf "%a" Solver.pp_result r in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let no_bound = render (dummy 1.0 neg_infinity) in
+  Alcotest.(check bool)
+    "neg_infinity bound renders as none" true
+    (contains no_bound "bound none");
+  Alcotest.(check bool)
+    "no raw -inf in output" false
+    (contains no_bound "-inf");
+  let nan_energy = render (dummy nan neg_infinity) in
+  Alcotest.(check bool)
+    "nan energy renders as undefined" true
+    (contains nan_energy "energy undefined");
+  Alcotest.(check bool)
+    "no raw nan in output" false
+    (contains nan_energy "energy nan")
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "anytime",
+        [
+          Alcotest.test_case "zero budget, every stage" `Quick
+            test_zero_budget_stages;
+          Alcotest.test_case "zero budget, brute force" `Quick
+            test_zero_budget_brute;
+          Alcotest.test_case "zero budget through Optimize.run" `Quick
+            test_optimize_zero_budget;
+          Alcotest.test_case "generous budget matches legacy" `Quick
+            test_generous_budget_matches_legacy;
+          Alcotest.test_case "generous budget certifies (bnb)" `Quick
+            test_generous_budget_bnb;
+        ] );
+      ( "cascade",
+        [
+          Alcotest.test_case "stall falls back" `Quick
+            test_cascade_falls_back_on_stall;
+          Alcotest.test_case "exact cascade keeps constraints" `Quick
+            test_exact_cascade_constraints;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "sweep cap" `Quick test_sweep_cap;
+          Alcotest.test_case "empty cascade rejected" `Quick
+            test_empty_stages;
+          Alcotest.test_case "progress callbacks" `Quick
+            test_progress_reported;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "optimality gap non-finite" `Quick
+            test_gap_nonfinite;
+          Alcotest.test_case "pp_result non-finite" `Quick
+            test_pp_result_nonfinite;
+        ] );
+    ]

@@ -251,6 +251,38 @@ let test_json_errors () =
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2";
       "\"\\ud800\""; "nulll"; "[1, 2"; "{\"a\" 1}"; "01" ]
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_json_depth_limit () =
+  (* a degenerate or adversarial document must fail with an error, not
+     overflow the recursive-descent parser's stack *)
+  let deep n = String.make n '[' ^ String.make n ']' in
+  (match Json.parse (deep 600) with
+  | Ok _ -> Alcotest.fail "accepted 600-deep nesting"
+  | Error e ->
+      Alcotest.(check bool) "error names the default limit" true
+        (contains e "nesting" && contains e "512"));
+  (match Json.parse (deep 100) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  (match Json.parse ~depth_limit:8 (deep 20) with
+  | Ok _ -> Alcotest.fail "limit 8 accepted 20-deep nesting"
+  | Error e ->
+      Alcotest.(check bool) "error names the custom limit" true
+        (contains e "8"));
+  (match Json.parse ~depth_limit:8 (deep 5) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  (* mixed containers count too *)
+  match Json.parse ~depth_limit:4 {|{"a":[{"b":[{"c":1}]}]}|} with
+  | Ok _ -> Alcotest.fail "limit 4 accepted 6-deep mixed nesting"
+  | Error _ -> ()
+
 let test_json_print_roundtrip () =
   let samples =
     [ {|{"a":[1,2,3],"b":"x\ny","c":null,"d":false,"e":{"f":1.5}}|};
@@ -399,6 +431,48 @@ let test_feed_bad_documents () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %S" doc)
     [ "[]"; "{}"; {|{"CVE_Items": 3}|}; "not json" ]
+
+let cvss_feed score =
+  Printf.sprintf
+    {|{"CVE_Items":[{"cve":{"CVE_data_meta":{"ID":"CVE-2020-0001"}},"configurations":{"nodes":[{"cpe_match":[{"cpe23Uri":"cpe:2.3:a:acme:widget:*:*:*:*:*:*:*:*"}]}]},"impact":{"baseMetricV2":{"cvssV2":{"baseScore":%s}}}}]}|}
+    score
+
+let test_feed_cvss_range () =
+  (* out-of-range base scores skip the item with a warning naming the
+     CVE id and the JSON path of the offending score *)
+  List.iter
+    (fun score ->
+      match Feed.of_string (cvss_feed score) with
+      | Error e -> Alcotest.fail e
+      | Ok (entries, warnings) -> (
+          Alcotest.(check int)
+            (score ^ ": entry skipped")
+            0 (List.length entries);
+          match warnings with
+          | [ w ] ->
+              Alcotest.(check bool)
+                (score ^ ": warning names id and path")
+                true
+                (contains w "CVE-2020-0001"
+                && contains w "impact.baseMetricV2.cvssV2.baseScore")
+          | l ->
+              Alcotest.failf "%s: expected one warning, got %d" score
+                (List.length l)))
+    [ "11.5"; "-0.5" ];
+  (* the boundaries are legal scores *)
+  List.iter
+    (fun (score, expected) ->
+      match Feed.of_string (cvss_feed score) with
+      | Ok ([ cve ], []) ->
+          Alcotest.(check bool)
+            (score ^ ": accepted")
+            true
+            (cve.Cve.cvss = Some expected)
+      | Ok (entries, warnings) ->
+          Alcotest.failf "%s: %d entries, %d warnings" score
+            (List.length entries) (List.length warnings)
+      | Error e -> Alcotest.fail e)
+    [ ("0.0", 0.0); ("10.0", 10.0) ]
 
 (* ----------------------------------------------------------------- cvss *)
 
@@ -635,6 +709,7 @@ let () =
           Alcotest.test_case "nested" `Quick test_json_nested;
           Alcotest.test_case "escapes" `Quick test_json_escapes;
           Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
           Alcotest.test_case "print round-trip" `Quick
             test_json_print_roundtrip;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
@@ -645,6 +720,7 @@ let () =
           Alcotest.test_case "decode" `Quick test_feed_decode;
           Alcotest.test_case "corpus round-trip" `Quick test_feed_roundtrip;
           Alcotest.test_case "bad documents" `Quick test_feed_bad_documents;
+          Alcotest.test_case "cvss range" `Quick test_feed_cvss_range;
         ] );
       ( "cvss",
         [

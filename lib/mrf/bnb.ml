@@ -34,15 +34,16 @@ let connectivity_order mrf =
   done;
   order
 
-let solve ?(config = default_config) mrf =
+let solve ?(config = default_config) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) mrf =
   let run () =
     let n = Mrf.n_nodes mrf in
     let order = connectivity_order mrf in
     let rank = Array.make n 0 in
     Array.iteri (fun k i -> rank.(i) <- k) order;
     (* incumbent from the approximate pipeline *)
-    let warm = Trws.solve mrf in
-    let polished = Icm.solve ~init:warm.Solver.labeling mrf in
+    let warm = Trws.solve ~interrupt mrf in
+    let polished = Icm.solve ~interrupt ~init:warm.Solver.labeling mrf in
     let best_x = Array.copy polished.Solver.labeling in
     let best = ref polished.Solver.energy in
     let warm_bound = warm.Solver.lower_bound in
@@ -95,6 +96,12 @@ let solve ?(config = default_config) mrf =
       if !nodes >= config.node_limit then complete := false
       else begin
         incr nodes;
+        if interrupt () then begin
+          complete := false;
+          raise Exit
+        end;
+        if !nodes land 4095 = 0 then
+          on_progress ~iter:!nodes ~energy:!best ~bound:warm_bound;
         if depth = n then begin
           if g < !best then begin
             best := g;
@@ -138,7 +145,8 @@ let solve ?(config = default_config) mrf =
         end
       end
     in
-    branch 0 0.0;
+    (try branch 0 0.0 with Exit -> ());
+    on_progress ~iter:!nodes ~energy:!best ~bound:warm_bound;
     (best_x, !best, !nodes, !complete, warm_bound)
   in
   let (labeling, energy, iterations, complete, warm_bound), runtime_s =

@@ -19,9 +19,19 @@ type config = {
 val default_config : config
 (** 2,000,000 nodes. *)
 
-val solve : ?config:config -> Mrf.t -> Solver.result
+val solve :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  Mrf.t ->
+  Solver.result
 (** [solve mrf] returns the best labeling found; [converged] is [true]
     iff the search completed, in which case the labeling is a proven
     global optimum and [lower_bound = energy].  On hitting the node
     limit, the incumbent (at least as good as TRW-S + ICM) is returned
-    with the warm-start's dual bound. *)
+    with the warm-start's dual bound.
+
+    [interrupt] is threaded through the TRW-S/ICM warm start and then
+    polled at every node expansion; on [true] the incumbent is returned
+    with [converged = false].  [on_progress] fires every 4096 expansions
+    and once at the end, with [iter] = nodes explored. *)

@@ -30,7 +30,8 @@ let local_cost mrf x i xi =
     (Mrf.incident mrf i);
   !acc
 
-let solve ?(config = default_config) ?init mrf =
+let solve ?(config = default_config) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) ?init mrf =
   let run () =
     let n = Mrf.n_nodes mrf in
     let x =
@@ -44,6 +45,7 @@ let solve ?(config = default_config) ?init mrf =
     let converged = ref false in
     (try
        for s = 1 to config.max_sweeps do
+         if interrupt () then raise Exit;
          sweeps := s;
          let changed = ref false in
          for i = 0 to n - 1 do
@@ -64,6 +66,8 @@ let solve ?(config = default_config) ?init mrf =
              changed := true
            end
          done;
+         on_progress ~iter:s ~energy:(Mrf.energy mrf x)
+           ~bound:neg_infinity;
          if not !changed then begin
            converged := true;
            raise Exit

@@ -10,4 +10,13 @@ type config = { max_sweeps : int }
 val default_config : config
 (** 100 sweeps. *)
 
-val solve : ?config:config -> ?init:int array -> Mrf.t -> Solver.result
+val solve :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  ?init:int array ->
+  Mrf.t ->
+  Solver.result
+(** [interrupt] is polled once per sweep; on [true] the current labeling
+    (greedy moves never increase energy) is returned.  [on_progress]
+    fires after each sweep with [bound = neg_infinity]. *)

@@ -19,8 +19,9 @@ val cpe23_of_string : string -> (Cpe.t, string) result
 val decode : Json.t -> (Cve.t list * string list, string) result
 (** [decode json] extracts the CVE items of a feed document.  Returns the
     decoded entries and a list of warnings for items that were skipped
-    (malformed id, no usable CPE, ...); only a structurally alien
-    document yields [Error]. *)
+    (malformed id, no usable CPE, a NaN or out-of-range [0,10] CVSS base
+    score — the warning names the CVE id and the JSON path); only a
+    structurally alien document yields [Error]. *)
 
 val of_string : string -> (Cve.t list * string list, string) result
 (** Parse + {!decode}. *)

@@ -168,8 +168,15 @@ let parse_number st =
   | _ -> ());
   float_of_string (String.sub st.src start (st.pos - start))
 
-let rec parse_value st =
+let default_depth_limit = 512
+
+(* [depth] counts open containers; degenerate feeds like "[[[[…" would
+   otherwise overflow the stack of this recursive-descent parser *)
+let rec parse_value st ~depth_limit depth =
   skip_ws st;
+  if depth > depth_limit then
+    fail st.pos
+      (Printf.sprintf "nesting deeper than %d levels" depth_limit);
   match peek st with
   | None -> fail st.pos "unexpected end of input"
   | Some '{' ->
@@ -185,7 +192,7 @@ let rec parse_value st =
           let key = parse_string st in
           skip_ws st;
           expect st ':';
-          let value = parse_value st in
+          let value = parse_value st ~depth_limit (depth + 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -207,7 +214,7 @@ let rec parse_value st =
       end
       else begin
         let rec items acc =
-          let value = parse_value st in
+          let value = parse_value st ~depth_limit (depth + 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -227,9 +234,9 @@ let rec parse_value st =
   | Some ('-' | '0' .. '9') -> Number (parse_number st)
   | Some c -> fail st.pos (Printf.sprintf "unexpected %C" c)
 
-let parse s =
+let parse ?(depth_limit = default_depth_limit) s =
   let st = { src = s; pos = 0 } in
-  match parse_value st with
+  match parse_value st ~depth_limit 0 with
   | v ->
       skip_ws st;
       if st.pos < String.length s then
@@ -238,8 +245,8 @@ let parse s =
   | exception Parse_error (pos, msg) ->
       Error (Printf.sprintf "JSON error at offset %d: %s" pos msg)
 
-let parse_exn s =
-  match parse s with Ok v -> v | Error msg -> invalid_arg msg
+let parse_exn ?depth_limit s =
+  match parse ?depth_limit s with Ok v -> v | Error msg -> invalid_arg msg
 
 let escape_string buf s =
   Buffer.add_char buf '"';

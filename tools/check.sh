@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository gate: build everything, run the full test suite (alcotest,
+# qcheck and the CLI cram test), and — when a .ocamlformat file is
+# present — verify formatting. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if [ -f .ocamlformat ]; then
+  echo "== dune fmt (check)"
+  dune build @fmt
+fi
+
+echo "OK"
