@@ -7,7 +7,15 @@
    The scalability sweeps (Tables VII-IX) default to reduced ranges so the
    whole run finishes in a few minutes; set NETDIV_BENCH_FULL=1 for the
    paper's full ranges (up to 6,000 hosts and 240,000 links).
-   NETDIV_BENCH_RUNS overrides the 1,000 simulation runs per MTTC cell. *)
+   NETDIV_BENCH_RUNS overrides the 1,000 simulation runs per MTTC cell.
+   NETDIV_BENCH_SMOKE=1 runs only the fast parallel-speedup and
+   potential-interning sections (the CI smoke used by tools/check.sh).
+
+   Every run also writes BENCH.json (override the path with
+   NETDIV_BENCH_JSON): per-section wall time, peak heap words and named
+   metrics, machine-readable for regression tracking.  The parallel
+   sections double as determinism checks — any jobs-dependent result
+   turns into a nonzero exit status. *)
 
 module Corpus = Netdiv_vuln.Corpus
 module Similarity = Netdiv_vuln.Similarity
@@ -33,10 +41,76 @@ let mttc_runs =
   | Some s -> (try int_of_string s with Failure _ -> 1000)
   | None -> 1000
 
+let smoke =
+  match Sys.getenv_opt "NETDIV_BENCH_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 let section title =
   Format.printf "@.======================================================@.";
   Format.printf "%s@." title;
   Format.printf "======================================================@."
+
+(* ---------------------------------------- machine-readable report *)
+
+(* Accumulates per-section wall time, peak heap words and named float
+   metrics, then writes them as BENCH.json (hand-rolled — no JSON
+   dependency).  Section and metric names are code-controlled
+   identifiers, so the writer does not need string escaping.  The
+   determinism checks below bump [failures]; a nonzero count becomes a
+   nonzero exit status so CI catches jobs-dependent results. *)
+module Report = struct
+  type entry = {
+    name : string;
+    wall_s : float;
+    top_heap_words : int;
+    metrics : (string * float) list;
+  }
+
+  let entries : entry list ref = ref []
+  let current : (string * float) list ref = ref []
+  let failures = ref 0
+  let metric name value = current := (name, value) :: !current
+
+  let fail msg =
+    incr failures;
+    Format.printf "FAIL: %s@." msg
+
+  let timed name f =
+    current := [];
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let gc = Gc.quick_stat () in
+    entries :=
+      { name; wall_s; top_heap_words = gc.Gc.top_heap_words;
+        metrics = List.rev !current }
+      :: !entries
+
+  let json_float v =
+    if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+  let write path =
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"full_sweep\": %b,\n  \"smoke\": %b,\n  \"mttc_runs\": %d,\n\
+      \  \"sections\": [\n"
+      full_sweep smoke mttc_runs;
+    let all = List.rev !entries in
+    let last = List.length all - 1 in
+    List.iteri
+      (fun i e ->
+        Printf.fprintf oc
+          "    {\"name\": \"%s\", \"wall_s\": %s, \"top_heap_words\": %d"
+          e.name (json_float e.wall_s) e.top_heap_words;
+        List.iter
+          (fun (k, v) -> Printf.fprintf oc ", \"%s\": %s" k (json_float v))
+          e.metrics;
+        Printf.fprintf oc "}%s\n" (if i = last then "" else ","))
+      all;
+    Printf.fprintf oc "  ],\n  \"failures\": %d\n}\n" !failures;
+    close_out oc
+end
 
 (* ------------------------------------------------- Tables II and III *)
 
@@ -755,6 +829,108 @@ let extension_anytime () =
         gap result.Netdiv_mrf.Solver.runtime_s)
     budgets
 
+(* ---------------------------- parallel speedup & determinism checks *)
+
+let scalability_speedup () =
+  section "[Parallel] serial-vs-parallel speedup (one reduced sweep cell)";
+  let net =
+    Workload.instance
+      { hosts = 300; degree = 8; services = 5; products_per_service = 4;
+        seed = 1 }
+  in
+  let job_counts = if full_sweep then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
+  let solve jobs =
+    let t0 = Unix.gettimeofday () in
+    let report = Optimize.run ~jobs net [] in
+    (Unix.gettimeofday () -. t0, report)
+  in
+  let results = List.map (fun jobs -> (jobs, solve jobs)) job_counts in
+  let _, (t_serial, reference) = List.hd results in
+  Format.printf "%-6s %10s %9s %14s@." "jobs" "time (s)" "speedup" "energy";
+  List.iter
+    (fun (jobs, (t, report)) ->
+      Format.printf "%-6d %10.3f %8.2fx %14.2f@." jobs t (t_serial /. t)
+        report.Optimize.energy;
+      Report.metric (Printf.sprintf "solve_%dj_s" jobs) t;
+      Report.metric (Printf.sprintf "speedup_%dj" jobs) (t_serial /. t);
+      if
+        not
+          (report.Optimize.energy = reference.Optimize.energy
+          && Assignment.equal report.Optimize.assignment
+               reference.Optimize.assignment)
+      then
+        Report.fail
+          (Printf.sprintf "solver result at --jobs %d differs from --jobs 1"
+             jobs))
+    results;
+  Report.metric "solver_energy" reference.Optimize.energy;
+  Report.metric "solver_gap"
+    (Netdiv_mrf.Solver.optimality_gap reference.Optimize.solver_result);
+  (* the simulation fan-out must give identical statistics for the same
+     seed at any domain count *)
+  let a = reference.Optimize.assignment in
+  let entry = 0 and target = Network.n_hosts net - 1 in
+  let mttc domains =
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      Engine.mttc_parallel ~domains ~seed:11 ~runs:mttc_runs a ~entry ~target
+        ()
+    in
+    (Unix.gettimeofday () -. t0, stats)
+  in
+  let t1, s1 = mttc 1 in
+  let t4, s4 = mttc 4 in
+  Format.printf
+    "mttc %d runs: 1 domain %.3fs, 4 domains %.3fs (%.2fx); stats equal: \
+     %b@."
+    mttc_runs t1 t4 (t1 /. t4) (s1 = s4);
+  Report.metric "mttc_1d_s" t1;
+  Report.metric "mttc_4d_s" t4;
+  Report.metric "mttc_speedup_4d" (t1 /. t4);
+  if s1 <> s4 then
+    Report.fail "mttc_parallel statistics depend on the domain count"
+
+let interning_memory () =
+  section "[Parallel] interned edge potentials on a 1,000-host MRF";
+  let net =
+    Workload.instance
+      { hosts = 1000; degree = 10; services = 5; products_per_service = 4;
+        seed = 1 }
+  in
+  let encoded = Encode.encode net [] in
+  let model = Encode.mrf encoded in
+  let module Mrf = Netdiv_mrf.Mrf in
+  let edges = Mrf.n_edges model in
+  let tables = Mrf.n_tables model in
+  let interned = Mrf.pot_words model in
+  let unshared = Mrf.pot_words_unshared model in
+  (* materialize the per-edge copies the uninterned layout would pin and
+     measure the live-heap delta directly *)
+  Gc.full_major ();
+  let live_interned = (Gc.stat ()).Gc.live_words in
+  let copies =
+    Array.init edges (fun e -> Array.copy (Mrf.edge_cost model e))
+  in
+  Gc.full_major ();
+  let live_unshared = (Gc.stat ()).Gc.live_words in
+  ignore (Sys.opaque_identity copies);
+  let saved = live_unshared - live_interned in
+  Format.printf
+    "edges %d; distinct tables %d; potential words %d interned vs %d \
+     unshared@."
+    edges tables interned unshared;
+  Format.printf
+    "live heap: %d words with interning, +%d words for per-edge copies \
+     (%.0fx potential storage)@."
+    live_interned saved
+    (float_of_int unshared /. float_of_int (max 1 interned));
+  Report.metric "edges" (float_of_int edges);
+  Report.metric "distinct_tables" (float_of_int tables);
+  Report.metric "pot_words_interned" (float_of_int interned);
+  Report.metric "pot_words_unshared" (float_of_int unshared);
+  Report.metric "live_words_interned" (float_of_int live_interned);
+  Report.metric "live_words_saved" (float_of_int saved)
+
 (* ------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -809,30 +985,44 @@ let micro_benchmarks () =
     rows
 
 let () =
-  Format.printf "netdiv benchmark harness (full sweep: %b)@." full_sweep;
-  similarity_tables ();
-  figure1 ();
-  figure2 ();
-  figure4 ();
-  table5 ();
-  table6 ();
-  table7 ();
-  table8 ();
-  table9 ();
-  metrics_table ();
-  scaled_ics ();
-  ablation_attacker ();
-  ablation_defense_in_depth ();
-  ablation_solvers ();
-  ablation_topologies ();
-  ablation_weighted ();
-  ablation_constraints ();
-  extension_certified ();
-  extension_defense ();
-  extension_refine ();
-  extension_ranking ();
-  extension_cost ();
-  extension_segmentation ();
-  extension_anytime ();
-  micro_benchmarks ();
+  Format.printf "netdiv benchmark harness (full sweep: %b, smoke: %b)@."
+    full_sweep smoke;
+  if not smoke then begin
+    Report.timed "similarity_tables" similarity_tables;
+    Report.timed "figure1" figure1;
+    Report.timed "figure2" figure2;
+    Report.timed "figure4" figure4;
+    Report.timed "table5" table5;
+    Report.timed "table6" table6;
+    Report.timed "table7" table7;
+    Report.timed "table8" table8;
+    Report.timed "table9" table9;
+    Report.timed "metrics_table" metrics_table;
+    Report.timed "scaled_ics" scaled_ics;
+    Report.timed "ablation_attacker" ablation_attacker;
+    Report.timed "ablation_defense_in_depth" ablation_defense_in_depth;
+    Report.timed "ablation_solvers" ablation_solvers;
+    Report.timed "ablation_topologies" ablation_topologies;
+    Report.timed "ablation_weighted" ablation_weighted;
+    Report.timed "ablation_constraints" ablation_constraints;
+    Report.timed "extension_certified" extension_certified;
+    Report.timed "extension_defense" extension_defense;
+    Report.timed "extension_refine" extension_refine;
+    Report.timed "extension_ranking" extension_ranking;
+    Report.timed "extension_cost" extension_cost;
+    Report.timed "extension_segmentation" extension_segmentation;
+    Report.timed "extension_anytime" extension_anytime
+  end;
+  Report.timed "scalability_speedup" scalability_speedup;
+  Report.timed "interning_memory" interning_memory;
+  if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;
+  let json_path =
+    Option.value (Sys.getenv_opt "NETDIV_BENCH_JSON") ~default:"BENCH.json"
+  in
+  Report.write json_path;
+  Format.printf "@.report written to %s@." json_path;
+  if !Report.failures > 0 then begin
+    Format.printf "%d determinism check(s) FAILED.@." !Report.failures;
+    exit 1
+  end;
   Format.printf "@.done.@."

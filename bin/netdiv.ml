@@ -82,6 +82,22 @@ let time_budget_arg =
 
 let budget_of = Option.map Runner.Budget.seconds
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Parallelize the solver over N domains (0 = auto: \
+           $(b,NETDIV_JOBS) or the recommended domain count).  The \
+           assignment is identical for every N; omitting the option \
+           keeps the serial solver.")
+
+let jobs_of = function
+  | None -> None
+  | Some n when n >= 1 -> Some n
+  | Some _ -> Some (Netdiv_par.Pool.resolve_jobs ())
+
 let optimize_cmd =
   let hosts =
     Arg.(value & opt int 200 & info [ "hosts" ] ~docv:"N" ~doc:"Host count.")
@@ -102,13 +118,14 @@ let optimize_cmd =
              ~doc:"Solver: trws+icm, trws, bp, icm, sa or bnb.")
   in
   let run hosts degree services products_per_service seed solver
-      time_budget =
+      time_budget jobs =
     let net =
       Workload.instance { hosts; degree; services; products_per_service; seed }
     in
     Format.printf "%a@." Network.pp net;
     let report =
-      Optimize.run ~solver ?budget:(budget_of time_budget) net []
+      Optimize.run ~solver ?budget:(budget_of time_budget)
+        ?jobs:(jobs_of jobs) net []
     in
     let encoded = Encode.encode net [] in
     let mono = Encode.assignment_energy encoded (Assignment.mono net) in
@@ -126,7 +143,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ hosts $ degree $ services $ products $ seed $ solver
-      $ time_budget_arg)
+      $ time_budget_arg $ jobs_arg)
 
 (* ------------------------------------------------------------- casestudy *)
 
@@ -141,11 +158,11 @@ let casestudy_cmd =
          & info [ "assignments" ]
              ~doc:"Also print the three optimal assignments (Fig. 4).")
   in
-  let run runs seed show_assignments time_budget =
+  let run runs seed show_assignments time_budget jobs =
     let net = Products.network () in
     let a =
       Experiments.compute_assignments ~seed
-        ?budget:(budget_of time_budget) net
+        ?budget:(budget_of time_budget) ?jobs:(jobs_of jobs) net
     in
     if show_assignments then begin
       Format.printf "=== optimal assignment (Fig. 4a) ===@.%a@." Assignment.pp
@@ -180,7 +197,9 @@ let casestudy_cmd =
   let doc = "run the Stuxnet-inspired ICS case study (paper Section VII)" in
   Cmd.v
     (Cmd.info "casestudy" ~doc)
-    Term.(const run $ runs $ seed $ show_assignments $ time_budget_arg)
+    Term.(
+      const run $ runs $ seed $ show_assignments $ time_budget_arg
+      $ jobs_arg)
 
 (* -------------------------------------------------------------- simulate *)
 
@@ -523,16 +542,17 @@ let scalability_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Run the paper's full parameter ranges.")
   in
-  let run sweep full time_budget =
+  let run sweep full time_budget jobs =
     let budget = budget_of time_budget in
+    let jobs = jobs_of jobs in
     let time_one hosts degree services =
       let net =
         Workload.instance
           { hosts; degree; services; products_per_service = 4; seed = 1 }
       in
-      let (_ : Optimize.report) = Optimize.run ?budget net [] in
+      let (_ : Optimize.report) = Optimize.run ?budget ?jobs net [] in
       let t0 = Unix.gettimeofday () in
-      let report = Optimize.run ?budget net [] in
+      let report = Optimize.run ?budget ?jobs net [] in
       let elapsed = Unix.gettimeofday () -. t0 in
       let marker =
         if Runner.outcome_converged report.Optimize.outcome then ""
@@ -573,7 +593,7 @@ let scalability_cmd =
   let doc = "runtime sweeps over random networks (paper Tables VII-IX)" in
   Cmd.v
     (Cmd.info "scalability" ~doc)
-    Term.(const run $ sweep $ full $ time_budget_arg)
+    Term.(const run $ sweep $ full $ time_budget_arg $ jobs_arg)
 
 let main =
   let doc =

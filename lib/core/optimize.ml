@@ -30,30 +30,38 @@ let solver_name = function
 
 (* Fallback cascade per solver choice: the primary stage first; stalled
    primaries degrade to perturbed restarts (local searches) or to the
-   approximate pipeline (Exact). *)
-let cascade solver ~trws_config ~bp_config =
+   approximate pipeline (Exact).  [jobs] parallelizes the stages that
+   have a job-count-invariant parallel form: per-component TRW-S,
+   multi-restart ICM, SA restarts. *)
+let cascade ?jobs solver ~trws_config ~bp_config =
   match solver with
-  | Trws -> [ Runner.trws ~config:trws_config () ]
-  | Trws_icm -> [ Runner.trws_icm ~config:trws_config () ]
+  | Trws -> [ Runner.trws ~config:trws_config ?jobs () ]
+  | Trws_icm -> [ Runner.trws_icm ~config:trws_config ?jobs () ]
   | Bp -> [ Runner.bp ~config:bp_config () ]
-  | Icm ->
-      [
-        Runner.icm ();
-        Runner.perturbed ~seed:17 (Runner.icm ());
-        Runner.perturbed ~seed:43 (Runner.icm ());
-      ]
+  | Icm -> (
+      match jobs with
+      | None ->
+          [
+            Runner.icm ();
+            Runner.perturbed ~seed:17 (Runner.icm ());
+            Runner.perturbed ~seed:43 (Runner.icm ());
+          ]
+      | Some _ ->
+          (* the parallel restarts subsume the perturbed retries: each
+             restart past the first already perturbs the warm start *)
+          [ Runner.icm_restarts ?jobs () ])
   | Sa ->
       [
-        Runner.sa ();
+        Runner.sa ?jobs ();
         Runner.perturbed ~seed:91
           (Runner.sa
              ~config:{ Sa_solver.default_config with seed = 0x7e57 }
-             ());
+             ?jobs ());
       ]
-  | Exact -> [ Runner.bnb (); Runner.trws_icm ~config:trws_config () ]
+  | Exact -> [ Runner.bnb (); Runner.trws_icm ~config:trws_config ?jobs () ]
 
 let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
-    encoded =
+    ?jobs encoded =
   let model = Encode.mrf encoded in
   let trws_config =
     match max_iters with
@@ -67,16 +75,31 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
   in
   match (budget, patience) with
   | None, None -> (
-      (* legacy direct path: identical solver trajectories to the seed *)
+      (* direct path: with [jobs] absent these are the legacy serial
+         trajectories, bit-for-bit; with [jobs] present the TRW-S
+         variants decompose into components and SA fans its restarts
+         over the pool — both job-count-invariant *)
+      let trws_solve model =
+        match jobs with
+        | None -> Trws_solver.solve ~config:trws_config model
+        | Some _ ->
+            Trws_solver.solve_components ~config:trws_config ?jobs model
+      in
       let result =
         match solver with
-        | Trws -> Trws_solver.solve ~config:trws_config model
+        | Trws -> trws_solve model
         | Bp -> Bp_solver.solve ~config:bp_config model
         | Icm -> Icm_solver.solve model
-        | Sa -> Sa_solver.solve model
+        | Sa -> (
+            match jobs with
+            | None -> Sa_solver.solve model
+            | Some j ->
+                Sa_solver.solve
+                  ~config:{ Sa_solver.default_config with domains = j }
+                  model)
         | Exact -> Bnb_solver.solve model
         | Trws_icm ->
-            let r = Trws_solver.solve ~config:trws_config model in
+            let r = trws_solve model in
             let p = Icm_solver.solve ~init:r.S.labeling model in
             if p.S.energy < r.S.energy then
               {
@@ -93,21 +116,21 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
   | _ ->
       let report =
         Runner.run ?budget ?patience
-          ~stages:(cascade solver ~trws_config ~bp_config)
+          ~stages:(cascade ?jobs solver ~trws_config ~bp_config)
           model
       in
       ( report.Runner.result,
         report.Runner.outcome,
         report.Runner.stage_timings )
 
-let solve_encoded ?solver ?max_iters ?budget ?patience encoded =
+let solve_encoded ?solver ?max_iters ?budget ?patience ?jobs encoded =
   let result, _, _ =
-    solve_encoded_outcome ?solver ?max_iters ?budget ?patience encoded
+    solve_encoded_outcome ?solver ?max_iters ?budget ?patience ?jobs encoded
   in
   result
 
 let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
-    ?patience net constraints =
+    ?patience ?jobs net constraints =
   let (encoded, result, outcome, stage_timings), runtime_s =
     S.timed (fun () ->
         let encoded =
@@ -115,7 +138,7 @@ let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
             constraints
         in
         let result, outcome, stage_timings =
-          solve_encoded_outcome ?solver ?max_iters ?budget ?patience
+          solve_encoded_outcome ?solver ?max_iters ?budget ?patience ?jobs
             encoded
         in
         (encoded, result, outcome, stage_timings))

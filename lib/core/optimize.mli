@@ -41,6 +41,7 @@ val run :
   ?max_iters:int ->
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
+  ?jobs:int ->
   Network.t ->
   Constr.t list ->
   report
@@ -54,7 +55,14 @@ val run :
     retried from perturbed restarts), and the returned assignment is the
     best found when the budget expires — always feasible with respect to
     the encoding.  Without either option the solver is invoked directly,
-    with trajectories identical to earlier releases. *)
+    with trajectories identical to earlier releases.
+
+    [jobs] parallelizes the stages that have a job-count-invariant
+    parallel form over the {!Netdiv_par.Pool} domain pool: TRW-S solves
+    connected components on separate domains, [Icm] becomes
+    multi-restart ICM, [Sa] fans its restarts out.  The assignment is
+    identical for every [jobs] value; omitting [jobs] keeps the
+    historical serial trajectories. *)
 
 val refine :
   ?prconst:float ->
@@ -76,6 +84,7 @@ val solve_encoded :
   ?max_iters:int ->
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
+  ?jobs:int ->
   Encode.encoded ->
   Netdiv_mrf.Solver.result
 (** Lower-level entry point on a pre-built encoding (used by the
@@ -86,6 +95,7 @@ val solve_encoded_outcome :
   ?max_iters:int ->
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
+  ?jobs:int ->
   Encode.encoded ->
   Netdiv_mrf.Solver.result
   * Netdiv_mrf.Runner.outcome

@@ -14,7 +14,9 @@ type state = {
   unary : float array;
   eu : int array;
   ev : int array;
-  epot : float array array;
+  etab : int array;
+  pot_off : int array;
+  pot : float array;
   inc_off : int array;
   inc : int array;
   fw_off : int array;
@@ -24,7 +26,18 @@ type state = {
 }
 
 let make_state mrf =
-  let labels, unary_off, unary, eu, ev, epot, inc_off, inc =
+  let {
+    Mrf.i_labels = labels;
+    i_unary_off = unary_off;
+    i_unary = unary;
+    i_eu = eu;
+    i_ev = ev;
+    i_etab = etab;
+    i_pot_off = pot_off;
+    i_pot = pot;
+    i_inc_off = inc_off;
+    i_inc = inc;
+  } =
     Mrf.internal_arrays mrf
   in
   let m = Array.length eu in
@@ -39,7 +52,9 @@ let make_state mrf =
     unary;
     eu;
     ev;
-    epot;
+    etab;
+    pot_off;
+    pot;
     inc_off;
     inc;
     fw_off;
@@ -79,7 +94,7 @@ let sweep st n theta damping =
       let i_is_u = code land 1 = 1 in
       let j = if i_is_u then st.ev.(e) else st.eu.(e) in
       let kj = st.labels.(j) in
-      let pot = st.epot.(e) in
+      let p0 = st.pot_off.(st.etab.(e)) in
       let in_off, in_msg =
         if i_is_u then (st.bw_off.(e), st.bw) else (st.fw_off.(e), st.fw)
       in
@@ -92,7 +107,8 @@ let sweep st n theta damping =
         let best = ref infinity in
         for xi = 0 to k - 1 do
           let pair =
-            if i_is_u then pot.((xi * kj) + xj) else pot.((xj * k) + xi)
+            if i_is_u then st.pot.(p0 + (xi * kj) + xj)
+            else st.pot.(p0 + (xj * k) + xi)
           in
           let c = theta.(xi) -. in_msg.(in_off + xi) +. pair in
           if c < !best then best := c

@@ -6,10 +6,40 @@ type t = {
   m : int;
   eu : int array;              (* edge endpoints, u side *)
   ev : int array;              (* edge endpoints, v side *)
-  epot : float array array;    (* shared pairwise matrices, k_u * k_v *)
+  etab : int array;            (* per-edge id of its interned table *)
+  tables : float array array;  (* distinct pairwise tables (caller arrays) *)
+  pot_off : int array;         (* n_tables+1 prefix sums into pot *)
+  pot : float array;           (* flat concatenation of the tables *)
   inc_off : int array;         (* n+1 CSR offsets into inc *)
   inc : int array;             (* encoded incidences: edge*2 + (1 if node=u) *)
 }
+
+type internals = {
+  i_labels : int array;
+  i_unary_off : int array;
+  i_unary : float array;
+  i_eu : int array;
+  i_ev : int array;
+  i_etab : int array;
+  i_pot_off : int array;
+  i_pot : float array;
+  i_inc_off : int array;
+  i_inc : int array;
+}
+
+(* Content-based interning of pairwise tables.  Physical equality is a
+   fast path; the structural fallback uses polymorphic [compare] so two
+   nan entries at the same position still unify. *)
+module Table_key = struct
+  type t = float array
+
+  let equal a b =
+    a == b || (Array.length a = Array.length b && compare a b = 0)
+
+  let hash (a : float array) = Hashtbl.hash a
+end
+
+module Table_tbl = Hashtbl.Make (Table_key)
 
 module Builder = struct
   type b = {
@@ -75,14 +105,43 @@ module Builder = struct
     let n = Array.length b.b_labels in
     let m = b.b_m in
     let eu = Array.make m 0 and ev = Array.make m 0 in
-    let epot = Array.make m [||] in
+    let ecost = Array.make m [||] in
     List.iteri
       (fun idx (u, v, cost) ->
         let e = m - 1 - idx in
         eu.(e) <- u;
         ev.(e) <- v;
-        epot.(e) <- cost)
+        ecost.(e) <- cost)
       b.b_edges;
+    (* Hash-cons the pairwise tables: edges carrying equal-content
+       matrices share one table id, and the distinct tables are packed
+       into a single flat array for the solver hot loops.  Table ids are
+       assigned in first-use edge order, so they depend only on the
+       sequence of [add_edge] calls. *)
+    let interned = Table_tbl.create (max 16 (m / 4)) in
+    let rev_tables = ref [] in
+    let n_tables = ref 0 in
+    let etab = Array.make m 0 in
+    for e = 0 to m - 1 do
+      let cost = ecost.(e) in
+      match Table_tbl.find_opt interned cost with
+      | Some id -> etab.(e) <- id
+      | None ->
+          let id = !n_tables in
+          incr n_tables;
+          Table_tbl.add interned cost id;
+          rev_tables := cost :: !rev_tables;
+          etab.(e) <- id
+    done;
+    let tables = Array.of_list (List.rev !rev_tables) in
+    let pot_off = Array.make (!n_tables + 1) 0 in
+    for id = 0 to !n_tables - 1 do
+      pot_off.(id + 1) <- pot_off.(id) + Array.length tables.(id)
+    done;
+    let pot = Array.make pot_off.(!n_tables) 0.0 in
+    Array.iteri
+      (fun id tab -> Array.blit tab 0 pot pot_off.(id) (Array.length tab))
+      tables;
     (* incidence CSR, sorted per node by opposite endpoint id *)
     let deg = Array.make n 0 in
     for e = 0 to m - 1 do
@@ -124,7 +183,10 @@ module Builder = struct
       m;
       eu;
       ev;
-      epot;
+      etab;
+      tables;
+      pot_off;
+      pot;
       inc_off;
       inc;
     }
@@ -139,7 +201,19 @@ let max_label_count t = Array.fold_left max 1 t.labels
 let unary t ~node ~label = t.unary.(t.unary_off.(node) + label)
 
 let edge_endpoints t e = (t.eu.(e), t.ev.(e))
-let edge_cost t e = t.epot.(e)
+let edge_cost t e = t.tables.(t.etab.(e))
+let edge_table_id t e = t.etab.(e)
+
+let n_tables t = Array.length t.tables
+let pot_words t = Array.length t.pot
+
+let pot_words_unshared t =
+  let acc = ref 0 in
+  for e = 0 to t.m - 1 do
+    let id = t.etab.(e) in
+    acc := !acc + (t.pot_off.(id + 1) - t.pot_off.(id))
+  done;
+  !acc
 
 let validate_labeling t x =
   if Array.length x <> t.n then
@@ -159,7 +233,9 @@ let energy t x =
   done;
   for e = 0 to t.m - 1 do
     let u = t.eu.(e) and v = t.ev.(e) in
-    acc := !acc +. t.epot.(e).((x.(u) * t.labels.(v)) + x.(v))
+    acc :=
+      !acc
+      +. t.pot.(t.pot_off.(t.etab.(e)) + (x.(u) * t.labels.(v)) + x.(v))
   done;
   !acc
 
@@ -176,10 +252,23 @@ let opposite t ~edge i =
 (* Internal accessors used by the solvers in this library; exposed through
    a semi-private interface. *)
 let internal_arrays t =
-  (t.labels, t.unary_off, t.unary, t.eu, t.ev, t.epot, t.inc_off, t.inc)
+  {
+    i_labels = t.labels;
+    i_unary_off = t.unary_off;
+    i_unary = t.unary;
+    i_eu = t.eu;
+    i_ev = t.ev;
+    i_etab = t.etab;
+    i_pot_off = t.pot_off;
+    i_pot = t.pot;
+    i_inc_off = t.inc_off;
+    i_inc = t.inc;
+  }
 
 let pp_stats ppf t =
   Format.fprintf ppf
-    "mrf: %d nodes, %d edges, labels max %d, unary entries %d" t.n t.m
-    (max_label_count t)
+    "mrf: %d nodes, %d edges, labels max %d, unary entries %d, \
+     pairwise tables %d (%d words interned, %d unshared)"
+    t.n t.m (max_label_count t)
     t.unary_off.(t.n)
+    (n_tables t) (pot_words t) (pot_words_unshared t)

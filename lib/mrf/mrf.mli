@@ -10,9 +10,13 @@
     ({!Trws}, {!Bp}, {!Icm}, {!Brute}) operate on the frozen form.
 
     Pairwise cost arrays are row-major by the {e first} endpoint's label:
-    entry [x_u * k_v + x_v].  The arrays are {e not} copied, so a single
-    matrix (e.g. one similarity table per service) can be physically shared
-    across thousands of edges. *)
+    entry [x_u * k_v + x_v].  The arrays are {e not} copied, and
+    {!Builder.build} hash-conses them: edges whose matrices have equal
+    content share one interned table, and all distinct tables are packed
+    into a single flat array for the solver hot loops.  Memory for the
+    pairwise terms is therefore O(distinct tables · L²) instead of
+    O(edges · L²) — in a diversification MRF almost every edge carries
+    one of a handful of similarity tables. *)
 
 type t
 
@@ -49,7 +53,25 @@ val unary : t -> node:int -> label:int -> float
 
 val edge_endpoints : t -> int -> int * int
 val edge_cost : t -> int -> float array
-(** The shared pairwise matrix of an edge — do not mutate. *)
+(** The interned pairwise matrix of an edge — do not mutate.  Edges
+    whose matrices were equal at {!Builder.add_edge} time return the
+    {e same} (physically equal) array. *)
+
+val edge_table_id : t -> int -> int
+(** Id of the interned table carried by an edge, in
+    [0 .. n_tables - 1].  Two edges share an id iff their cost matrices
+    had equal content. *)
+
+val n_tables : t -> int
+(** Number of distinct pairwise tables after interning. *)
+
+val pot_words : t -> int
+(** Total [float] entries stored for pairwise tables after interning. *)
+
+val pot_words_unshared : t -> int
+(** Total [float] entries the pairwise tables would occupy without
+    interning (one copy per edge); [pot_words t <=
+    pot_words_unshared t] always holds. *)
 
 val energy : t -> int array -> float
 (** [energy t x] evaluates E(x).
@@ -70,18 +92,23 @@ val pp_stats : Format.formatter -> t -> unit
 
 (**/**)
 
-val internal_arrays :
-  t ->
-  int array
-  * int array
-  * float array
-  * int array
-  * int array
-  * float array array
-  * int array
-  * int array
-(** Flat internal storage [(labels, unary_off, unary, eu, ev, epot, inc_off,
-    inc)] for the solvers in this library.  [inc] encodes incidences as
-    [edge*2 + (1 if the node is the edge's u endpoint)]. *)
+type internals = {
+  i_labels : int array;      (** label count per node *)
+  i_unary_off : int array;   (** n+1 prefix sums over labels *)
+  i_unary : float array;     (** flat unary costs *)
+  i_eu : int array;          (** edge endpoints, u side *)
+  i_ev : int array;          (** edge endpoints, v side *)
+  i_etab : int array;        (** per-edge interned table id *)
+  i_pot_off : int array;     (** n_tables+1 prefix sums into [i_pot] *)
+  i_pot : float array;       (** flat concatenation of distinct tables *)
+  i_inc_off : int array;     (** n+1 CSR offsets into [i_inc] *)
+  i_inc : int array;         (** incidences: edge*2 + (1 if node=u) *)
+}
+
+val internal_arrays : t -> internals
+(** Flat internal storage for the solvers in this library.  The
+    pairwise entry of edge [e] for labels [(xu, xv)] is
+    [i_pot.(i_pot_off.(i_etab.(e)) + xu * k_v + xv)].  All arrays are
+    owned by the model — read-only, safe to share across domains. *)
 
 (**/**)

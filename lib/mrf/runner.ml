@@ -51,20 +51,28 @@ type stage = {
 
 let stage_name s = s.name
 
-let trws ?config () =
+(* [jobs = None] keeps the historical single-threaded solve; [Some j]
+   routes through the per-component decomposition, whose result is
+   job-count-invariant. *)
+let trws_solve ?config ?jobs ~interrupt ~on_progress mrf =
+  match jobs with
+  | None -> Trws.solve ?config ~interrupt ~on_progress mrf
+  | Some _ -> Trws.solve_components ?config ~interrupt ~on_progress ?jobs mrf
+
+let trws ?config ?jobs () =
   {
     name = "trws";
     solve =
       (fun ~interrupt ~on_progress ~init:_ mrf ->
-        Trws.solve ?config ~interrupt ~on_progress mrf);
+        trws_solve ?config ?jobs ~interrupt ~on_progress mrf);
   }
 
-let trws_icm ?config ?icm_config () =
+let trws_icm ?config ?icm_config ?jobs () =
   {
     name = "trws+icm";
     solve =
       (fun ~interrupt ~on_progress ~init:_ mrf ->
-        let r = Trws.solve ?config ~interrupt ~on_progress mrf in
+        let r = trws_solve ?config ?jobs ~interrupt ~on_progress mrf in
         let p =
           Icm.solve ?config:icm_config ~interrupt
             ~on_progress:(fun ~iter ~energy ~bound:_ ->
@@ -100,7 +108,80 @@ let icm ?config () =
         Icm.solve ?config ~interrupt ~on_progress ?init mrf);
   }
 
-let sa ?config () =
+let icm_restarts ?config ?(restarts = 4) ?(seed = 0x1c3)
+    ?(strength = 0.25) ?jobs () =
+  {
+    name = "icm-restarts";
+    solve =
+      (fun ~interrupt ~on_progress ~init mrf ->
+        if restarts <= 1 then
+          Icm.solve ?config ~interrupt ~on_progress ?init mrf
+        else begin
+          let run () =
+            (* restart 0 keeps the warm start untouched; later restarts
+               perturb it (or draw a fresh random labeling) with an rng
+               derived from the restart index alone, so the set of runs
+               is identical for any job count *)
+            let one r =
+              let init_r =
+                if r = 0 then init
+                else begin
+                  let rng =
+                    Random.State.make
+                      [| Netdiv_par.Pool.split_seed seed r |]
+                  in
+                  match init with
+                  | Some x ->
+                      let x = Array.copy x in
+                      for i = 0 to Array.length x - 1 do
+                        if Random.State.float rng 1.0 < strength then
+                          x.(i) <-
+                            Random.State.int rng (Mrf.label_count mrf i)
+                      done;
+                      Some x
+                  | None ->
+                      Some
+                        (Array.init (Mrf.n_nodes mrf) (fun i ->
+                             Random.State.int rng (Mrf.label_count mrf i)))
+                end
+              in
+              (* no per-sweep on_progress: the harness progress closure
+                 mutates caller state and is not safe off-domain *)
+              Icm.solve ?config ~interrupt ?init:init_r mrf
+            in
+            let results =
+              Netdiv_par.Pool.map_range ?jobs ~lo:0 ~hi:restarts one
+            in
+            let best = ref results.(0) in
+            Array.iter
+              (fun r ->
+                if r.Solver.energy < !best.Solver.energy then best := r)
+              results;
+            let iterations =
+              Array.fold_left
+                (fun acc r -> acc + r.Solver.iterations)
+                0 results
+            in
+            let converged =
+              Array.for_all (fun r -> r.Solver.converged) results
+            in
+            { !best with Solver.iterations = iterations; converged }
+          in
+          let r, runtime_s = Solver.timed run in
+          on_progress ~iter:r.Solver.iterations ~energy:r.Solver.energy
+            ~bound:neg_infinity;
+          { r with Solver.runtime_s = runtime_s }
+        end);
+  }
+
+let sa ?config ?jobs () =
+  let config =
+    match jobs with
+    | None -> config
+    | Some j ->
+        let base = Option.value config ~default:Sa.default_config in
+        Some { base with Sa.domains = j }
+  in
   {
     name = "sa";
     solve =

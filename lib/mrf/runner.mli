@@ -52,14 +52,43 @@ type stage
 
 val stage_name : stage -> string
 
-val trws : ?config:Trws.config -> unit -> stage
-val trws_icm : ?config:Trws.config -> ?icm_config:Icm.config -> unit -> stage
+val trws : ?config:Trws.config -> ?jobs:int -> unit -> stage
+(** With [jobs] the model is decomposed into connected components solved
+    on separate domains ({!Trws.solve_components}); the result is
+    job-count-invariant.  Without it, the historical single-threaded
+    {!Trws.solve}. *)
+
+val trws_icm :
+  ?config:Trws.config -> ?icm_config:Icm.config -> ?jobs:int -> unit -> stage
 (** TRW-S followed by an ICM polish warm-started from its labeling; keeps
-    the TRW-S dual bound.  [converged] requires both to converge. *)
+    the TRW-S dual bound.  [converged] requires both to converge.
+    [jobs] parallelizes the TRW-S part as in {!trws}. *)
 
 val bp : ?config:Bp.config -> unit -> stage
 val icm : ?config:Icm.config -> unit -> stage
-val sa : ?config:Sa.config -> unit -> stage
+
+val icm_restarts :
+  ?config:Icm.config ->
+  ?restarts:int ->
+  ?seed:int ->
+  ?strength:float ->
+  ?jobs:int ->
+  unit ->
+  stage
+(** Multi-restart ICM over the domain pool (default 4 restarts).
+    Restart 0 runs from the cascade's warm start unchanged; each later
+    restart perturbs it — relabeling a [strength] (default 0.25)
+    fraction of nodes — or, with no warm start, draws a fresh uniform
+    labeling, using an rng derived from [seed] and the restart index
+    only.  The best energy wins (lowest restart index on ties),
+    [iterations] sums all restarts, [converged] requires all restarts to
+    converge; the outcome is identical for every job count.  Progress
+    fires once, after the restarts join. *)
+
+val sa : ?config:Sa.config -> ?jobs:int -> unit -> stage
+(** [jobs] overrides [config.domains], parallelizing the restarts over
+    the domain pool (results are job-count-invariant). *)
+
 val bnb : ?config:Bnb.config -> unit -> stage
 val brute : ?limit:int -> unit -> stage
 

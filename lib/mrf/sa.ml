@@ -116,25 +116,14 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
     in
     let results =
       if sequential then List.init config.restarts one_restart
-      else begin
-        (* split restart indices across domains; same results for any
-           domain count since each restart owns its rng *)
-        let workers = min config.domains config.restarts in
-        let slice w =
-          let rec collect r acc =
-            if r >= config.restarts then List.rev acc
-            else collect (r + workers) (one_restart r :: acc)
-          in
-          collect w []
-        in
-        match List.init workers Fun.id with
-        | [] -> []
-        | first :: rest ->
-            let handles =
-              List.map (fun w -> Domain.spawn (fun () -> slice w)) rest
-            in
-            slice first @ List.concat_map Domain.join handles
-      end
+      else
+        (* each restart owns its rng (seeded by restart index) and the
+           pool returns results in restart order, so the outcome is
+           identical for any domain count — including the sequential
+           path above *)
+        Array.to_list
+          (Netdiv_par.Pool.map_range ~jobs:config.domains ~lo:0
+             ~hi:config.restarts one_restart)
     in
     let best = Array.copy start in
     let best_energy = ref (Mrf.energy mrf start) in

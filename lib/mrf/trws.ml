@@ -17,7 +17,9 @@ type state = {
   unary : float array;
   eu : int array;
   ev : int array;
-  epot : float array array;
+  etab : int array;
+  pot_off : int array;
+  pot : float array;
   inc_off : int array;
   inc : int array;
   fw_off : int array;
@@ -34,7 +36,18 @@ type state = {
 }
 
 let make_state mrf =
-  let labels, unary_off, unary, eu, ev, epot, inc_off, inc =
+  let {
+    Mrf.i_labels = labels;
+    i_unary_off = unary_off;
+    i_unary = unary;
+    i_eu = eu;
+    i_ev = ev;
+    i_etab = etab;
+    i_pot_off = pot_off;
+    i_pot = pot;
+    i_inc_off = inc_off;
+    i_inc = inc;
+  } =
     Mrf.internal_arrays mrf
   in
   let n = Array.length labels and m = Array.length eu in
@@ -100,7 +113,9 @@ let make_state mrf =
     unary;
     eu;
     ev;
-    epot;
+    etab;
+    pot_off;
+    pot;
     inc_off;
     inc;
     fw_off;
@@ -145,7 +160,7 @@ let sweep st n theta forward =
       let j = if i_is_u then st.ev.(e) else st.eu.(e) in
       if (forward && j > i) || ((not forward) && j < i) then begin
         let kj = st.labels.(j) in
-        let pot = st.epot.(e) in
+        let p0 = st.pot_off.(st.etab.(e)) in
         (* message into i along e (to be subtracted) *)
         let in_off, in_msg =
           if i_is_u then (st.bw_off.(e), st.bw)
@@ -161,7 +176,8 @@ let sweep st n theta forward =
           let best = ref infinity in
           for xi = 0 to k - 1 do
             let pair =
-              if i_is_u then pot.((xi * kj) + xj) else pot.((xj * k) + xi)
+              if i_is_u then st.pot.(p0 + (xi * kj) + xj)
+              else st.pot.(p0 + (xj * k) + xi)
             in
             let c = (g *. theta.(xi)) -. in_msg.(in_off + xi) +. pair in
             if c < !best then best := c
@@ -206,7 +222,7 @@ let lower_bound st n _m theta =
     let u = st.eu.(e) and v = st.ev.(e) in
     let kv = st.labels.(v) in
     let xu, xv = if u < v then (xlo, xhi) else (xhi, xlo) in
-    st.epot.(e).((xu * kv) + xv)
+    st.pot.(st.pot_off.(st.etab.(e)) + (xu * kv) + xv)
     -. st.fw.(st.fw_off.(e) + xv)
     -. st.bw.(st.bw_off.(e) + xu)
   in
@@ -272,12 +288,12 @@ let decode st n theta x =
       let i_is_u = code land 1 = 1 in
       let j = if i_is_u then st.ev.(e) else st.eu.(e) in
       if j < i then begin
-        let pot = st.epot.(e) in
+        let p0 = st.pot_off.(st.etab.(e)) in
         let kj = st.labels.(j) in
         for xi = 0 to k - 1 do
           let pair =
-            if i_is_u then pot.((xi * kj) + x.(j))
-            else pot.((x.(j) * k) + xi)
+            if i_is_u then st.pot.(p0 + (xi * kj) + x.(j))
+            else st.pot.(p0 + (x.(j) * k) + xi)
           in
           theta.(xi) <- theta.(xi) +. pair
         done
@@ -361,3 +377,126 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
     converged;
     runtime_s;
   }
+
+(* Connected components of the MRF graph (union-find with path
+   compression; the smaller root id wins so component ids follow node
+   order).  Components of a diversification MRF are independent
+   subproblems: no message ever crosses between them, so each can be
+   solved on its own domain and the results merged in component order. *)
+let solve_components ?(config = default_config)
+    ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) ?jobs mrf =
+  let n = Mrf.n_nodes mrf and m = Mrf.n_edges mrf in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  for e = 0 to m - 1 do
+    let u, v = Mrf.edge_endpoints mrf e in
+    let ru = find u and rv = find v in
+    if ru <> rv then
+      if ru < rv then parent.(rv) <- ru else parent.(ru) <- rv
+  done;
+  (* component ids in order of first appearance by node id *)
+  let comp_of = Array.make (max 1 n) 0 in
+  let n_comps = ref 0 in
+  let id_of_root = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    comp_of.(i) <-
+      (match Hashtbl.find_opt id_of_root r with
+      | Some id -> id
+      | None ->
+          let id = !n_comps in
+          incr n_comps;
+          Hashtbl.add id_of_root r id;
+          id)
+  done;
+  if !n_comps <= 1 then solve ~config ~interrupt ~on_progress mrf
+  else begin
+    let run () =
+      let n_comps = !n_comps in
+      (* local index of every node inside its component *)
+      let sizes = Array.make n_comps 0 in
+      let local = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let c = comp_of.(i) in
+        local.(i) <- sizes.(c);
+        sizes.(c) <- sizes.(c) + 1
+      done;
+      let nodes = Array.init n_comps (fun c -> Array.make sizes.(c) 0) in
+      for i = 0 to n - 1 do
+        nodes.(comp_of.(i)).(local.(i)) <- i
+      done;
+      let builders =
+        Array.map
+          (fun ns ->
+            Mrf.Builder.create
+              ~label_counts:(Array.map (Mrf.label_count mrf) ns))
+          nodes
+      in
+      Array.iteri
+        (fun c ns ->
+          Array.iteri
+            (fun li gi ->
+              let k = Mrf.label_count mrf gi in
+              Mrf.Builder.set_unary builders.(c) ~node:li
+                (Array.init k (fun label -> Mrf.unary mrf ~node:gi ~label)))
+            ns)
+        nodes;
+      (* edges keep their global order within each component, and the
+         interned tables are passed through unchanged (shared, not
+         copied), so sub-model interning is cheap. *)
+      for e = 0 to m - 1 do
+        let u, v = Mrf.edge_endpoints mrf e in
+        Mrf.Builder.add_edge
+          builders.(comp_of.(u))
+          local.(u) local.(v) (Mrf.edge_cost mrf e)
+      done;
+      let subs = Array.map Mrf.Builder.build builders in
+      (* Per-component results come back in component order whatever the
+         job count, so the merged labeling, the energy sum and the bound
+         sum are job-count-invariant. *)
+      let results =
+        Netdiv_par.Pool.map_range ?jobs ~lo:0 ~hi:n_comps (fun c ->
+            solve ~config ~interrupt subs.(c))
+      in
+      let x = Array.make n 0 in
+      Array.iteri
+        (fun c r ->
+          Array.iteri
+            (fun li lab -> x.(nodes.(c).(li)) <- lab)
+            r.Solver.labeling)
+        results;
+      let energy =
+        Array.fold_left (fun acc r -> acc +. r.Solver.energy) 0.0 results
+      in
+      let bound =
+        Array.fold_left
+          (fun acc r -> acc +. r.Solver.lower_bound)
+          0.0 results
+      in
+      let iterations =
+        Array.fold_left (fun acc r -> max acc r.Solver.iterations) 0 results
+      in
+      let converged = Array.for_all (fun r -> r.Solver.converged) results in
+      (x, energy, bound, iterations, converged)
+    in
+    let (labeling, energy, bound, iterations, converged), runtime_s =
+      Solver.timed run
+    in
+    on_progress ~iter:iterations ~energy ~bound;
+    {
+      Solver.labeling;
+      energy;
+      lower_bound = bound;
+      iterations;
+      converged;
+      runtime_s;
+    }
+  end

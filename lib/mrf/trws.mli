@@ -37,3 +37,21 @@ val solve :
     happens before the first sweep, so the labeling is always feasible).
     [on_progress] fires after every bound computation with the running
     best energy and dual bound. *)
+
+val solve_components :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  ?jobs:int ->
+  Mrf.t ->
+  Solver.result
+(** Like {!solve}, but decomposes the model into connected components
+    and solves them on separate domains ([jobs] resolved by
+    {!Netdiv_par.Pool.resolve_jobs}).  Since no message crosses between
+    components, the merged result — labeling, energy sum, bound sum,
+    max iteration count, conjunction of convergence flags — is
+    independent of the job count.  With a single component this
+    delegates to {!solve} unchanged.  [interrupt] must be safe to call
+    from multiple domains (wall-clock reads are; mutable counters are
+    not); [on_progress] fires once, after the merge, when the model has
+    more than one component. *)

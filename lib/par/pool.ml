@@ -1,0 +1,158 @@
+(* Chunked domain pool.  See pool.mli for the contract.
+
+   Domains are spawned per call and always joined before the call
+   returns: there is no persistent worker pool to shut down, so a
+   program that finishes its last parallel region exits cleanly.  Chunk
+   claiming goes through a single [Atomic] counter, which lets callers
+   oversubscribe ([chunks] > [jobs]) for load balancing without
+   affecting results: outputs are written into per-index slots or
+   combined in chunk order, never in completion order. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "NETDIV_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let resolve_jobs ?jobs () =
+  match jobs with
+  | Some n when n >= 1 -> n
+  | _ -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+(* Splitmix64 finalizer over a mix of [seed] and [index].  Constants
+   from Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Mask to 62 bits so the result stays a
+   non-negative OCaml [int] on 64-bit platforms. *)
+let split_seed seed index =
+  let open Int64 in
+  let golden = 0x9E3779B97F4A7C15L in
+  let z = add (of_int seed) (mul (of_int (index + 1)) golden) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFF_FFFF_FFFF_FFFFL)
+
+(* Failure from the lowest-indexed failing chunk, so the exception the
+   caller sees does not depend on domain scheduling. *)
+type failure = { chunk : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let record_failure slot chunk exn bt =
+  let f = { chunk; exn; bt } in
+  let rec loop () =
+    match Atomic.get slot with
+    | Some prev when prev.chunk <= chunk -> ()
+    | prev -> if not (Atomic.compare_and_set slot prev (Some f)) then loop ()
+  in
+  loop ()
+
+(* Run [body c clo chi] for every chunk [c] covering [lo, hi).  [body]
+   receives the chunk index and its sub-range; chunk boundaries depend
+   only on [chunks], [lo] and [hi], never on [jobs]. *)
+let run_chunks ~jobs ~chunks ~lo ~hi body =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else
+    let chunks = max 1 (min chunks n) in
+    let jobs = max 1 (min jobs chunks) in
+    let chunk_bounds c =
+      (* Even split with the remainder spread over the first chunks. *)
+      let q = n / chunks and r = n mod chunks in
+      let clo = lo + (c * q) + min c r in
+      let chi = clo + q + (if c < r then 1 else 0) in
+      (clo, chi)
+    in
+    if jobs = 1 then
+      for c = 0 to chunks - 1 do
+        let clo, chi = chunk_bounds c in
+        body c clo chi
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let failed : failure option Atomic.t = Atomic.make None in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add next 1 in
+          if c >= chunks then continue := false
+          else if Option.is_none (Atomic.get failed) then begin
+            let clo, chi = chunk_bounds c in
+            try body c clo chi
+            with exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              record_failure failed c exn bt
+          end
+        done
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      match Atomic.get failed with
+      | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+      | None -> ()
+    end
+
+let parallel_for ?jobs ?chunks ~lo ~hi f =
+  let jobs = resolve_jobs ?jobs () in
+  let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
+  if jobs = 1 && chunks = 1 then
+    for i = lo to hi - 1 do
+      f i
+    done
+  else
+    run_chunks ~jobs ~chunks ~lo ~hi (fun _c clo chi ->
+        for i = clo to chi - 1 do
+          f i
+        done)
+
+let map_range ?jobs ?chunks ~lo ~hi f =
+  let n = hi - lo in
+  if n <= 0 then [||]
+  else begin
+    let jobs = resolve_jobs ?jobs () in
+    let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
+    if jobs = 1 && chunks = 1 then Array.init n (fun i -> f (lo + i))
+    else begin
+      (* Fill the first slot serially so the array can be allocated
+         without requiring ['a] to have a dummy value. *)
+      let first = f lo in
+      let out = Array.make n first in
+      run_chunks ~jobs ~chunks ~lo:(lo + 1) ~hi (fun _c clo chi ->
+          for i = clo to chi - 1 do
+            out.(i - lo) <- f i
+          done);
+      out
+    end
+  end
+
+let map_reduce ?jobs ?chunks ~lo ~hi ~map ~reduce ~init =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let jobs = resolve_jobs ?jobs () in
+    let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
+    if jobs = 1 && chunks = 1 then begin
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := reduce !acc (map i)
+      done;
+      !acc
+    end
+    else begin
+      let chunks = max 1 (min chunks n) in
+      let partial = Array.make chunks None in
+      run_chunks ~jobs ~chunks ~lo ~hi (fun c clo chi ->
+          let acc = ref (map clo) in
+          for i = clo + 1 to chi - 1 do
+            acc := reduce !acc (map i)
+          done;
+          partial.(c) <- Some !acc);
+      Array.fold_left
+        (fun acc p -> match p with None -> acc | Some v -> reduce acc v)
+        init partial
+    end
+  end

@@ -1,0 +1,52 @@
+(** Shared domain pool: chunked data-parallel iteration over integer ranges.
+
+    This is the only module in the code base that is allowed to call
+    [Domain.spawn].  Every parallel consumer (simulated annealing restarts,
+    Monte-Carlo MTTC sweeps, per-component TRW-S, the bench harness) goes
+    through the combinators below, which guarantee:
+
+    - deterministic results: chunk outputs are combined in chunk-index
+      order, so the result is independent of the number of domains;
+    - exception propagation: a worker failure is re-raised in the caller
+      (lowest failing chunk index wins) after all domains are joined;
+    - a bit-for-bit serial fallback when the resolved job count is 1 —
+      no domain is spawned and the body runs inline in the caller. *)
+
+val resolve_jobs : ?jobs:int -> unit -> int
+(** Number of worker domains to use.  Picks the first available of:
+    [jobs] argument (when >= 1), the [NETDIV_JOBS] environment variable
+    (when it parses to an int >= 1), [Domain.recommended_domain_count ()].
+    The result is always >= 1. *)
+
+val split_seed : int -> int -> int
+(** [split_seed seed index] derives an independent, deterministic child
+    seed from a master seed and a chunk/run index using a splitmix64-style
+    finalizer.  The result is non-negative and depends only on the two
+    arguments, never on the job count. *)
+
+val parallel_for :
+  ?jobs:int -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~lo ~hi f] runs [f i] for every [lo <= i < hi], with
+    the range split into [chunks] contiguous chunks (default: the job
+    count) claimed dynamically by [jobs] workers.  [f] must be safe to
+    call concurrently for distinct [i].  With [jobs = 1] this is exactly
+    [for i = lo to hi - 1 do f i done]. *)
+
+val map_range :
+  ?jobs:int -> ?chunks:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+(** [map_range ~lo ~hi f] returns [[| f lo; f (lo+1); ...; f (hi-1) |]].
+    Element order is always index order regardless of [jobs]. *)
+
+val map_reduce :
+  ?jobs:int ->
+  ?chunks:int ->
+  lo:int ->
+  hi:int ->
+  map:(int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** Fold [reduce] over [map i] for [lo <= i < hi].  Per-chunk partial
+    results are combined left-to-right in chunk order starting from
+    [init], so the result is job-count-invariant provided [reduce] is
+    associative with [init] as identity. *)

@@ -53,40 +53,51 @@ let shared_service_ids a u v =
   done;
   !acc
 
-(* Success probability of one attack attempt along an edge (strategies
-   whose rates depend on the rng; Best and Arsenal are precomputed). *)
-let attempt_rate ~rng ~strategy ~attempt_scale ~sim_floor a u v =
-  match strategy with
-  | Uniform_exploit -> (
-      match shared_similarities a u v with
-      | [] -> 0.0
-      | sims ->
-          let sims = List.map (max sim_floor) sims in
-          attempt_scale
-          *. List.nth sims (Random.State.int rng (List.length sims)))
-  | Best_exploit | Arsenal_exploit -> assert false
-
-(* Precomputed attack rates per directed edge for the rng-independent
-   strategies. *)
-type prepared = {
-  graph : Graph.t;
-  neighbor_rates : (int * float) array array;  (* per host: (nbr, rate) *)
-}
+(* Attack rates per directed edge, precomputed once per simulation
+   batch.  [Fixed] covers the strategies whose per-attempt rate is
+   rng-independent.  [Pooled] covers [Uniform_exploit], where every
+   attempt samples one of the edge's shared-service rates uniformly:
+   the scaled rates are tabulated per edge so the pick inside the
+   attack loop is a single O(1) array index instead of an
+   O(shared services) similarity walk and [List.nth]. *)
+type rates =
+  | Fixed of (int * float) array array
+      (* per host: (nbr, rate) *)
+  | Pooled of (int * float * float array) array array
+      (* per host: (nbr, best-case rate, scaled per-service rates) *)
 
 let prepare ~attempt_scale ~sim_floor ~entry a strategy =
   let net = Assignment.network a in
   let g = Network.graph net in
   let tabulate rate_of =
-    Some
-      {
-        graph = g;
-        neighbor_rates =
-          Array.init (Graph.n_nodes g) (fun u ->
-              Array.map (fun v -> (v, rate_of u v)) (Graph.neighbors g u));
-      }
+    Fixed
+      (Array.init (Graph.n_nodes g) (fun u ->
+           Array.map (fun v -> (v, rate_of u v)) (Graph.neighbors g u)))
   in
   match strategy with
-  | Uniform_exploit -> None
+  | Uniform_exploit ->
+      Pooled
+        (Array.init (Graph.n_nodes g) (fun u ->
+             Array.map
+               (fun v ->
+                 let sims = shared_similarities a u v in
+                 let potential =
+                   match sims with
+                   | [] -> 0.0
+                   | sims ->
+                       attempt_scale
+                       *. List.fold_left
+                            (fun acc s -> max acc (max sim_floor s))
+                            0.0 sims
+                 in
+                 let pool =
+                   Array.of_list
+                     (List.map
+                        (fun s -> attempt_scale *. max sim_floor s)
+                        sims)
+                 in
+                 (v, potential, pool))
+               (Graph.neighbors g u)))
   | Best_exploit ->
       tabulate (fun u v ->
           match shared_similarities a u v with
@@ -119,8 +130,7 @@ let prepare ~attempt_scale ~sim_floor ~entry a strategy =
             (shared_service_ids a u v);
           !rate)
 
-let simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
-    ~entry ~on_tick ~stop =
+let simulate ~rng ~max_ticks ~rates a ~entry ~on_tick ~stop =
   let net = Assignment.network a in
   let g = Network.graph net in
   let n = Graph.n_nodes g in
@@ -148,29 +158,22 @@ let simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
       in
       List.iter
         (fun u ->
-          match prepared with
-          | Some p ->
+          match rates with
+          | Fixed nr ->
               Array.iter
                 (fun (v, rate) -> attack v ~potential:rate rate)
-                p.neighbor_rates.(u)
-          | None ->
+                nr.(u)
+          | Pooled nr ->
               Array.iter
-                (fun v ->
+                (fun (v, potential, pool) ->
                   if not infected.(v) then begin
-                    let potential =
-                      match shared_similarities a u v with
-                      | [] -> 0.0
-                      | sims ->
-                          attempt_scale
-                          *. List.fold_left
-                               (fun acc s -> max acc (max sim_floor s))
-                               0.0 sims
+                    let rate =
+                      if Array.length pool = 0 then 0.0
+                      else pool.(Random.State.int rng (Array.length pool))
                     in
-                    attack v ~potential
-                      (attempt_rate ~rng ~strategy ~attempt_scale ~sim_floor
-                         a u v)
+                    attack v ~potential rate
                   end)
-                (Graph.neighbors g u))
+                nr.(u))
         !infected_list;
       List.iter
         (fun v ->
@@ -193,9 +196,8 @@ let run ~rng ?(strategy = Best_exploit)
   let net = Assignment.network a in
   if target < 0 || target >= Network.n_hosts net then
     invalid_arg "Engine.run: target out of range";
-  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
-  simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
-    ~entry
+  let rates = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  simulate ~rng ~max_ticks ~rates a ~entry
     ~on_tick:(fun _ _ -> ())
     ~stop:(fun h -> h = target)
 
@@ -203,12 +205,11 @@ let mttc_samples ~rng ?(strategy = Best_exploit)
     ?(attempt_scale = default_attempt_scale)
     ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~runs a ~entry
     ~target =
-  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  let rates = prepare ~attempt_scale ~sim_floor ~entry a strategy in
   let samples = ref [] in
   for _ = 1 to runs do
     match
-      simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared
-        a ~entry
+      simulate ~rng ~max_ticks ~rates a ~entry
         ~on_tick:(fun _ _ -> ())
         ~stop:(fun h -> h = target)
     with
@@ -259,34 +260,20 @@ let mttc_parallel ?(domains = 4) ~seed ?(strategy = Best_exploit)
     ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~runs a ~entry
     ~target () =
   if domains < 1 then invalid_arg "Engine.mttc_parallel: domains < 1";
-  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  let rates = prepare ~attempt_scale ~sim_floor ~entry a strategy in
   let one_run idx =
     let rng = Random.State.make [| seed; idx |] in
-    simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
-      ~entry
+    simulate ~rng ~max_ticks ~rates a ~entry
       ~on_tick:(fun _ _ -> ())
       ~stop:(fun h -> h = target)
   in
-  let chunk lo hi = Array.init (hi - lo) (fun k -> one_run (lo + k)) in
-  let bounds =
-    List.init domains (fun d ->
-        (d * runs / domains, (d + 1) * runs / domains))
-  in
+  (* every run owns an rng keyed by its index and the pool returns
+     results in index order, so the stats are domain-count-invariant *)
   let results =
-    match bounds with
-    | [] -> [||]
-    | (lo0, hi0) :: rest ->
-        let handles =
-          List.map
-            (fun (lo, hi) -> Domain.spawn (fun () -> chunk lo hi))
-            rest
-        in
-        let first = chunk lo0 hi0 in
-        Array.concat (first :: List.map Domain.join handles)
+    Netdiv_par.Pool.map_range ~jobs:domains ~lo:0 ~hi:runs one_run
   in
   let samples =
-    Array.of_list
-      (List.filter_map Fun.id (Array.to_list results))
+    Array.of_list (List.filter_map Fun.id (Array.to_list results))
   in
   stats_of_samples ~runs ~max_ticks samples
 
@@ -294,10 +281,9 @@ let epidemic_curve ~rng ?(strategy = Best_exploit)
     ?(attempt_scale = default_attempt_scale)
     ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) a ~entry =
   let counts = ref [] in
-  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  let rates = prepare ~attempt_scale ~sim_floor ~entry a strategy in
   ignore
-    (simulate ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks ~prepared a
-       ~entry
+    (simulate ~rng ~max_ticks ~rates a ~entry
        ~on_tick:(fun _ infected ->
          let c =
            Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
@@ -322,8 +308,7 @@ type host_status = Susceptible | Infected | Immune
 
 (* Like [simulate], but a defender detects and reimages infected hosts;
    the worm loses when no infected host remains. *)
-let simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
-    ~defense a ~entry ~target =
+let simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target =
   if not (defense.detect_rate >= 0.0 && defense.detect_rate <= 1.0) then
     invalid_arg "Engine: detect_rate outside [0,1]";
   let net = Assignment.network a in
@@ -331,7 +316,6 @@ let simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
   let n = Graph.n_nodes g in
   if entry < 0 || entry >= n then invalid_arg "Engine: entry out of range";
   if target < 0 || target >= n then invalid_arg "Engine: target out of range";
-  let prepared = prepare ~attempt_scale ~sim_floor ~entry a strategy in
   let status = Array.make n Susceptible in
   status.(entry) <- Infected;
   if entry = target then Some 0
@@ -352,19 +336,20 @@ let simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
               && Random.State.float rng 1.0 < rate
             then newly := v :: !newly
           in
-          match prepared with
-          | Some p ->
+          match rates with
+          | Fixed nr ->
+              Array.iter (fun (v, rate) -> attack v rate) nr.(u)
+          | Pooled nr ->
               Array.iter
-                (fun (v, rate) -> attack v rate)
-                p.neighbor_rates.(u)
-          | None ->
-              Array.iter
-                (fun v ->
-                  if status.(v) = Susceptible then
-                    attack v
-                      (attempt_rate ~rng ~strategy ~attempt_scale ~sim_floor
-                         a u v))
-                (Graph.neighbors g u)
+                (fun (v, _potential, pool) ->
+                  if status.(v) = Susceptible then begin
+                    let rate =
+                      if Array.length pool = 0 then 0.0
+                      else pool.(Random.State.int rng (Array.length pool))
+                    in
+                    attack v rate
+                  end)
+                nr.(u)
         end
       done;
       if not !any_infected then extinct := true;
@@ -387,22 +372,31 @@ let simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
     !result
   end
 
+(* [prepare] reads the entry host's services (Arsenal), so validate the
+   endpoints first to keep the historical error messages. *)
+let check_endpoints a ~entry ~target =
+  let n = Network.n_hosts (Assignment.network a) in
+  if entry < 0 || entry >= n then invalid_arg "Engine: entry out of range";
+  if target < 0 || target >= n then invalid_arg "Engine: target out of range"
+
 let run_defended ~rng ?(strategy = Best_exploit)
     ?(attempt_scale = default_attempt_scale)
     ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~defense a ~entry
     ~target =
-  simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
-    ~defense a ~entry ~target
+  check_endpoints a ~entry ~target;
+  let rates = prepare ~attempt_scale ~sim_floor ~entry a strategy in
+  simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target
 
 let mttc_defended ~rng ?(strategy = Best_exploit)
     ?(attempt_scale = default_attempt_scale)
     ?(sim_floor = default_sim_floor) ?(max_ticks = 10_000) ~defense ~runs a
     ~entry ~target =
+  check_endpoints a ~entry ~target;
+  let rates = prepare ~attempt_scale ~sim_floor ~entry a strategy in
   let samples = ref [] in
   for _ = 1 to runs do
     match
-      simulate_defended ~rng ~strategy ~attempt_scale ~sim_floor ~max_ticks
-        ~defense a ~entry ~target
+      simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target
     with
     | Some t -> samples := t :: !samples
     | None -> ()

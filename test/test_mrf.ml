@@ -98,6 +98,24 @@ let test_shared_matrix () =
   Alcotest.(check bool) "physically shared" true
     (Mrf.edge_cost m 0 == Mrf.edge_cost m 1)
 
+let test_interned_tables () =
+  (* distinct arrays with equal contents must hash-cons to one table *)
+  let b = Mrf.Builder.create ~label_counts:[| 2; 2; 2; 2 |] in
+  Mrf.Builder.add_edge b 0 1 [| 0.5; 0.1; 0.1; 0.5 |];
+  Mrf.Builder.add_edge b 1 2 [| 0.5; 0.1; 0.1; 0.5 |];
+  Mrf.Builder.add_edge b 2 3 [| 0.9; 0.0; 0.0; 0.9 |];
+  let m = Mrf.Builder.build b in
+  Alcotest.(check int) "two distinct tables" 2 (Mrf.n_tables m);
+  Alcotest.(check bool) "content-equal edges share storage" true
+    (Mrf.edge_cost m 0 == Mrf.edge_cost m 1);
+  Alcotest.(check int) "same table id"
+    (Mrf.edge_table_id m 0)
+    (Mrf.edge_table_id m 1);
+  Alcotest.(check bool) "third edge gets its own table" true
+    (Mrf.edge_table_id m 2 <> Mrf.edge_table_id m 0);
+  Alcotest.(check int) "interned words" 8 (Mrf.pot_words m);
+  Alcotest.(check int) "unshared words" 12 (Mrf.pot_words_unshared m)
+
 (* -------------------------------------------------------------- solvers *)
 
 let test_trws_tiny_exact () =
@@ -236,6 +254,51 @@ let test_sa_parallel_matches_sequential () =
   Alcotest.(check bool) "same labeling" true
     (seq.Solver.labeling = par.Solver.labeling)
 
+let test_sa_oversubscribed () =
+  (* more domains than restarts (and than cores) must not change the
+     result *)
+  let m = random_mrf (rng 15) 20 3 0.3 in
+  let base = { Sa.default_config with restarts = 3 } in
+  let seq = Sa.solve ~config:base m in
+  let par = Sa.solve ~config:{ base with domains = 16 } m in
+  Alcotest.(check (float 1e-9)) "same energy" seq.Solver.energy
+    par.Solver.energy;
+  Alcotest.(check bool) "same labeling" true
+    (seq.Solver.labeling = par.Solver.labeling)
+
+let disconnected_mrf () =
+  (* two 4-node chains and an isolated node — three components *)
+  let b = Mrf.Builder.create ~label_counts:(Array.make 9 3) in
+  let r = rng 77 in
+  for i = 0 to 8 do
+    Mrf.Builder.set_unary b ~node:i
+      (Array.init 3 (fun _ -> Random.State.float r 1.0))
+  done;
+  List.iter
+    (fun (u, v) ->
+      Mrf.Builder.add_edge b u v
+        (Array.init 9 (fun _ -> Random.State.float r 1.0)))
+    [ (0, 1); (1, 2); (2, 3); (4, 5); (5, 6); (6, 7) ];
+  Mrf.Builder.build b
+
+let test_solve_components () =
+  let m = disconnected_mrf () in
+  let exact = Brute.solve m in
+  let serial = Trws.solve_components ~jobs:1 m in
+  let par = Trws.solve_components ~jobs:4 m in
+  (* every component is a tree, so the merged solve must be exact *)
+  Alcotest.(check (float 1e-6)) "exact on forest" exact.Solver.energy
+    serial.Solver.energy;
+  Alcotest.(check (float 1e-9)) "jobs-invariant energy" serial.Solver.energy
+    par.Solver.energy;
+  Alcotest.(check bool) "jobs-invariant labeling" true
+    (serial.Solver.labeling = par.Solver.labeling);
+  Alcotest.(check (float 1e-9)) "jobs-invariant bound"
+    serial.Solver.lower_bound par.Solver.lower_bound;
+  Alcotest.(check (float 1e-9)) "labeling consistent with energy"
+    serial.Solver.energy
+    (Mrf.energy m serial.Solver.labeling)
+
 let test_sa_config_validation () =
   let m = random_mrf (rng 11) 3 2 0.5 in
   match Sa.solve ~config:{ Sa.default_config with cooling = 1.5 } m with
@@ -327,6 +390,8 @@ let () =
           Alcotest.test_case "incidence ordering" `Quick test_incident;
           Alcotest.test_case "shared pairwise matrices" `Quick
             test_shared_matrix;
+          Alcotest.test_case "interned pairwise tables" `Quick
+            test_interned_tables;
         ] );
       ( "solvers",
         [
@@ -352,6 +417,10 @@ let () =
             test_sa_config_validation;
           Alcotest.test_case "sa parallel = sequential" `Quick
             test_sa_parallel_matches_sequential;
+          Alcotest.test_case "sa oversubscribed domains" `Quick
+            test_sa_oversubscribed;
+          Alcotest.test_case "per-component trws" `Quick
+            test_solve_components;
           Alcotest.test_case "bnb certifies small instances" `Quick
             test_bnb_exact;
           Alcotest.test_case "bnb node limit" `Quick test_bnb_node_limit;

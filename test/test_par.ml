@@ -1,0 +1,144 @@
+(* Tests for the shared domain pool: chunked parallel iteration,
+   deterministic seed splitting and exception propagation. *)
+
+module Pool = Netdiv_par.Pool
+
+(* ------------------------------------------------------ resolve_jobs *)
+
+let test_resolve_jobs () =
+  Alcotest.(check int) "explicit" 3 (Pool.resolve_jobs ~jobs:3 ());
+  Alcotest.(check bool) "auto is positive" true (Pool.resolve_jobs () >= 1);
+  (* out-of-range request falls back to auto instead of failing *)
+  Alcotest.(check bool) "zero means auto" true
+    (Pool.resolve_jobs ~jobs:0 () >= 1)
+
+(* -------------------------------------------------------- split_seed *)
+
+let test_split_seed () =
+  (* deterministic and index-sensitive *)
+  Alcotest.(check int) "reproducible" (Pool.split_seed 42 3)
+    (Pool.split_seed 42 3);
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    let s = Pool.split_seed 42 i in
+    Alcotest.(check bool) "non-negative" true (s >= 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "index %d fresh" i)
+      false (Hashtbl.mem seen s);
+    Hashtbl.replace seen s ()
+  done;
+  Alcotest.(check bool) "seed-sensitive" false
+    (Pool.split_seed 1 0 = Pool.split_seed 2 0)
+
+(* ------------------------------------------------------ parallel_for *)
+
+let sum_serial lo hi f =
+  let acc = ref 0 in
+  for i = lo to hi - 1 do
+    acc := !acc + f i
+  done;
+  !acc
+
+let test_parallel_for_matches_serial () =
+  let f i = (i * i) + 7 in
+  List.iter
+    (fun (jobs, chunks, lo, hi) ->
+      let hits = Array.make (max hi 1) 0 in
+      Pool.parallel_for ~jobs ~chunks ~lo ~hi (fun i ->
+          hits.(i) <- hits.(i) + f i);
+      let got = Array.fold_left ( + ) 0 hits in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d chunks=%d [%d,%d)" jobs chunks lo hi)
+        (sum_serial lo hi f) got;
+      (* every index visited exactly once *)
+      for i = lo to hi - 1 do
+        Alcotest.(check int) "visited once" (f i) hits.(i)
+      done)
+    [
+      (1, 1, 0, 10);
+      (1, 4, 0, 10);
+      (4, 8, 0, 100);
+      (4, 64, 0, 100) (* oversubscribed: more chunks than elements/cores *);
+      (8, 200, 0, 50);
+      (3, 3, 5, 8);
+    ]
+
+let test_empty_and_singleton () =
+  let count = ref 0 in
+  Pool.parallel_for ~jobs:4 ~lo:3 ~hi:3 (fun _ -> incr count);
+  Alcotest.(check int) "empty range" 0 !count;
+  Pool.parallel_for ~jobs:4 ~lo:3 ~hi:2 (fun _ -> incr count);
+  Alcotest.(check int) "inverted range" 0 !count;
+  let got = Pool.map_range ~jobs:4 ~lo:7 ~hi:8 (fun i -> i * 2) in
+  Alcotest.(check (array int)) "singleton" [| 14 |] got;
+  Alcotest.(check (array int)) "empty map" [||]
+    (Pool.map_range ~jobs:2 ~lo:0 ~hi:0 (fun i -> i))
+
+let test_map_range_order () =
+  (* results land at their index regardless of job count *)
+  let expect = Array.init 97 (fun i -> i * 3) in
+  List.iter
+    (fun jobs ->
+      let got = Pool.map_range ~jobs ~lo:0 ~hi:97 (fun i -> i * 3) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect got)
+    [ 1; 2; 4; 16 ]
+
+let test_map_reduce () =
+  let expect = sum_serial 0 1000 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map_reduce ~jobs ~chunks:13 ~lo:0 ~hi:1000 ~map:(fun i -> i)
+          ~reduce:( + ) ~init:0
+      in
+      Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) expect got)
+    [ 1; 4 ];
+  Alcotest.(check int) "empty is init" 99
+    (Pool.map_reduce ~jobs:4 ~chunks:4 ~lo:0 ~hi:0 ~map:(fun i -> i)
+       ~reduce:( + ) ~init:99)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* the worker's exception reaches the caller, for any job count *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.parallel_for ~jobs ~lo:0 ~hi:100 (fun i ->
+            if i = 37 then raise (Boom i))
+      with
+      | () -> Alcotest.fail "exception swallowed"
+      | exception Boom 37 -> ()
+      | exception e ->
+          Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+    [ 1; 4 ];
+  (* with several failing chunks, the lowest chunk's exception wins *)
+  match
+    Pool.parallel_for ~jobs:4 ~chunks:10 ~lo:0 ~hi:100 (fun i ->
+        if i mod 10 = 0 then raise (Boom i))
+  with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Boom 0 -> ()
+  | exception Boom n -> Alcotest.failf "wrong chunk won: Boom %d" n
+  | exception e ->
+      Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+
+let () =
+  Alcotest.run "netdiv_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+          Alcotest.test_case "split_seed" `Quick test_split_seed;
+          Alcotest.test_case "parallel_for matches serial" `Quick
+            test_parallel_for_matches_serial;
+          Alcotest.test_case "empty/singleton ranges" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "map_range order" `Quick test_map_range_order;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+        ] );
+    ]

@@ -203,6 +203,22 @@ let test_exact_cascade_constraints () =
 
 (* ------------------------------------------------- budget mechanics *)
 
+let test_icm_restarts_jobs_invariant () =
+  let mrf = random_mrf (rng 13) 40 3 0.2 in
+  let solve jobs =
+    (Runner.run ~stages:[ Runner.icm_restarts ~jobs () ] mrf).Runner.result
+  in
+  let one = solve 1 in
+  let four = solve 4 in
+  Alcotest.(check (float 1e-9)) "same energy" one.Solver.energy
+    four.Solver.energy;
+  Alcotest.(check bool) "same labeling" true
+    (one.Solver.labeling = four.Solver.labeling);
+  (* the restarts can only improve on a single warm-started ICM *)
+  let single = (Runner.run ~stages:[ Runner.icm () ] mrf).Runner.result in
+  Alcotest.(check bool) "no worse than single icm" true
+    (one.Solver.energy <= single.Solver.energy +. 1e-9)
+
 let test_sweep_cap () =
   let mrf = random_mrf (rng 21) 200 4 0.1 in
   let report =
@@ -311,6 +327,11 @@ let () =
             test_cascade_falls_back_on_stall;
           Alcotest.test_case "exact cascade keeps constraints" `Quick
             test_exact_cascade_constraints;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "icm restarts jobs-invariant" `Quick
+            test_icm_restarts_jobs_invariant;
         ] );
       ( "budget",
         [

@@ -245,6 +245,26 @@ let test_mttc_parallel_matches_domains () =
   Alcotest.(check (float 1e-9)) "same mean" one.Engine.mean_ticks
     four.Engine.mean_ticks
 
+let test_mttc_parallel_uniform_exploit () =
+  (* the pooled uniform-exploit path must also be domain-count-invariant *)
+  let net = line_net ~n:6 ~sim:0.3 () in
+  let a = alternating net in
+  let with_domains d =
+    Engine.mttc_parallel ~domains:d ~seed:21 ~strategy:Engine.Uniform_exploit
+      ~runs:120 a ~entry:0 ~target:5 ()
+  in
+  let one = with_domains 1 in
+  let three = with_domains 3 in
+  let eight = with_domains 8 in
+  Alcotest.(check int) "same successes (3 domains)" one.Engine.successes
+    three.Engine.successes;
+  Alcotest.(check (float 1e-9)) "same mean (3 domains)" one.Engine.mean_ticks
+    three.Engine.mean_ticks;
+  Alcotest.(check int) "same successes (oversubscribed)" one.Engine.successes
+    eight.Engine.successes;
+  Alcotest.(check (float 1e-9)) "same mean (oversubscribed)"
+    one.Engine.mean_ticks eight.Engine.mean_ticks
+
 (* -------------------------------------------------------------- defense *)
 
 let no_defense = { Engine.detect_rate = 0.0; immunize = false }
@@ -343,6 +363,8 @@ let () =
             test_mttc_samples_and_summary;
           Alcotest.test_case "parallel matches sequential" `Quick
             test_mttc_parallel_matches_domains;
+          Alcotest.test_case "mttc parallel uniform exploit" `Quick
+            test_mttc_parallel_uniform_exploit;
         ] );
       ( "defense",
         [

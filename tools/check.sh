@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repository gate: build everything, run the full test suite (alcotest,
-# qcheck and the CLI cram test), and — when a .ocamlformat file is
-# present — verify formatting. Exits non-zero on the first failure.
+# qcheck and the CLI cram test), run the fast benchmark smoke (parallel
+# determinism + interning sections, writes BENCH.json), and — when a
+# .ocamlformat file is present — verify formatting. Exits non-zero on
+# the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,6 +13,9 @@ dune build
 
 echo "== dune runtest"
 dune runtest
+
+echo "== bench smoke (parallel determinism + interning)"
+NETDIV_BENCH_SMOKE=1 NETDIV_BENCH_RUNS=20 dune exec bench/main.exe
 
 if [ -f .ocamlformat ]; then
   echo "== dune fmt (check)"
