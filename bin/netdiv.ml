@@ -407,6 +407,56 @@ let verify_cmd =
     (Cmd.info "verify" ~doc)
     Term.(ret (const run $ network_file $ assignment_file))
 
+(* ------------------------------------------------------------------ lint *)
+
+let lint_cmd =
+  let paths =
+    Arg.(value & pos_all string [ "lib"; "bin" ]
+         & info [] ~docv:"PATH"
+             ~doc:"Files or directories to lint (default: lib bin).")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ] ~doc:"Print the shipped rules and exit.")
+  in
+  let run list_rules paths =
+    let module Lint = Netdiv_lint.Lint in
+    if list_rules then begin
+      List.iter
+        (fun (id, descr) -> Format.printf "%-24s %s@." id descr)
+        Lint.rules;
+      `Ok ()
+    end
+    else
+      match List.filter (fun p -> not (Sys.file_exists p)) paths with
+      | missing :: _ ->
+          `Error (false, Printf.sprintf "no such file or directory: %s" missing)
+      | [] -> (
+          match Lint.lint_paths paths with
+          | [] -> `Ok ()
+          | findings ->
+              List.iter
+                (fun f -> Format.printf "%a@." Lint.pp_finding f)
+                findings;
+              Format.printf "%d finding(s)@." (List.length findings);
+              exit 1)
+  in
+  let doc =
+    "statically check the sources for concurrency/determinism hazards"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the netdiv-lint rules (spawn-outside-pool, \
+         toplevel-mutable-state, nondeterminism-source, list-nth-in-loop, \
+         missing-mli, printf-in-lib) over the given paths and exits \
+         non-zero if any finding survives the inline suppressions \
+         ($(b,(* netdiv-lint: allow <rule> — <reason> *))).";
+    ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(ret (const run $ list_rules $ paths))
+
 (* ------------------------------------------------------------------ rank *)
 
 let rank_cmd =
@@ -604,6 +654,6 @@ let main =
     (Cmd.info "netdiv" ~version:"1.0.0" ~doc)
     [ similarity_cmd; optimize_cmd; casestudy_cmd; simulate_cmd;
       scalability_cmd; metrics_cmd; feed_cmd; export_cmd; rank_cmd;
-      verify_cmd ]
+      verify_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -168,10 +168,15 @@ let build_explicit ?(base_rate = default_base_rate)
                         | Uniform_choice ->
                             if v < k then 1.0 /. float_of_int k else 0.0
                         | Best_choice ->
-                            let best = ref 0 in
+                            (* single scan; List.nth per element made
+                               this quadratic in the out-degree *)
+                            let best = ref 0 and best_rate = ref neg_infinity in
                             List.iteri
                               (fun i r ->
-                                if r > List.nth rates !best then best := i)
+                                if r > !best_rate then begin
+                                  best := i;
+                                  best_rate := r
+                                end)
                               rates;
                             if v = !best then 1.0 else 0.0
                       end

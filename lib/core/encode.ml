@@ -18,11 +18,20 @@ let default_big_m = 1e6
 module Matrix_cache = struct
   type key = int * int array * int array * float
 
+  (* Domain-safety audit (netdiv-lint): encoding currently runs before any
+     parallel region starts, but nothing in the types enforces that, so
+     lookups/inserts are serialized under [lock].  The interned arrays
+     themselves are written once at creation and read-only afterwards,
+     which makes sharing them across solver domains safe. *)
+  let lock = Mutex.create ()
+
+  (* netdiv-lint: allow toplevel-mutable-state — intern table guarded by
+     [lock]; interned values are immutable once published. *)
   let table : (key, float array) Hashtbl.t = Hashtbl.create 64
 
   let get net service cu cv weight =
     let key = (service, cu, cv, weight) in
-    match Hashtbl.find_opt table key with
+    match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
     | Some m -> m
     | None ->
         let ku = Array.length cu and kv = Array.length cv in
@@ -32,10 +41,14 @@ module Matrix_cache = struct
               *. Network.similarity net ~service cu.(idx / kv)
                    cv.(idx mod kv))
         in
-        Hashtbl.add table key m;
-        m
+        Mutex.protect lock (fun () ->
+            match Hashtbl.find_opt table key with
+            | Some m' -> m' (* another domain interned it first *)
+            | None ->
+                Hashtbl.add table key m;
+                m)
 
-  let clear () = Hashtbl.reset table
+  let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)
 end
 
 let encode ?(prconst = default_prconst) ?(big_m = default_big_m)

@@ -1,0 +1,149 @@
+(* Surface lexer for netdiv-lint.  See lexer.mli for the contract.
+
+   This is deliberately not a real OCaml lexer: it only needs to be
+   accurate about what is *code* versus what is a comment, a string or a
+   character literal, and to attach a line/column to every surviving
+   token.  Operators are emitted one character at a time; rules match on
+   short token sequences, so multi-character operators never matter. *)
+
+type token = { text : string; line : int; col : int }
+type comment = { ctext : string; cline : int; cline_end : int }
+
+type t = { tokens : token array; comments : comment array }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Loose number body: enough to swallow literals like 0xBF58l, 1e-6,
+   1_000_000 or 3.14 as a single token without caring about validity. *)
+let is_number_char c =
+  is_digit c || is_ident_char c || c = '.'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] and comments = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let col at = at - !bol in
+  let newline at = incr line; bol := at + 1 in
+  let emit text at_col at_line =
+    tokens := { text; line = at_line; col = at_col } :: !tokens
+  in
+  (* Skip a string literal starting at [!i] (which points at '"').
+     Returns with [!i] just past the closing quote. *)
+  let skip_string () =
+    incr i;
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match src.[!i] with
+      | '\\' -> incr i (* skip the escaped character, whatever it is *)
+      | '"' -> fin := true
+      | '\n' -> newline !i
+      | _ -> ());
+      incr i
+    done
+  in
+  (* Quoted string {id|...|id}. [!i] points at '{'; returns past the
+     closing }.  If this is not actually a quoted string, emits '{'. *)
+  let skip_quoted_string () =
+    let j = ref (!i + 1) in
+    while !j < n && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z')) do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then begin
+      let id = String.sub src (!i + 1) (!j - !i - 1) in
+      let closing = "|" ^ id ^ "}" in
+      let m = String.length closing in
+      i := !j + 1;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '\n' then newline !i;
+        if !i + m <= n && String.sub src !i m = closing then begin
+          i := !i + m;
+          fin := true
+        end
+        else incr i
+      done
+    end
+    else begin
+      emit "{" (col !i) !line;
+      incr i
+    end
+  in
+  (* Comment starting at [!i] (pointing at the '(' of "(*").  Handles
+     nesting and strings inside comments; records the top-level comment
+     text and its line span for suppression matching. *)
+  let skip_comment () =
+    let start = !i and start_line = !line in
+    let depth = ref 0 in
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+        incr depth;
+        i := !i + 2
+      end
+      else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+        decr depth;
+        i := !i + 2;
+        if !depth = 0 then fin := true
+      end
+      else if src.[!i] = '"' then skip_string ()
+      else begin
+        if src.[!i] = '\n' then newline !i;
+        incr i
+      end
+    done;
+    comments :=
+      { ctext = String.sub src start (!i - start);
+        cline = start_line;
+        cline_end = !line }
+      :: !comments
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      newline !i;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if !i + 1 < n && c = '(' && src.[!i + 1] = '*' then skip_comment ()
+    else if c = '"' then skip_string ()
+    else if c = '{' then skip_quoted_string ()
+    else if c = '\'' then begin
+      (* char literal vs type variable / label quote *)
+      if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        (* escaped char literal: skip to the closing quote *)
+        i := !i + 2;
+        while !i < n && src.[!i] <> '\'' do incr i done;
+        incr i
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then
+        (* plain char literal 'x' *)
+        i := !i + 3
+      else (* type variable: drop the quote, the ident follows *)
+        incr i
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      emit (String.sub src start (!i - start)) (col start) !line
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_number_char src.[!i] do incr i done;
+      emit (String.sub src start (!i - start)) (col start) !line
+    end
+    else begin
+      emit (String.make 1 c) (col !i) !line;
+      incr i
+    end
+  done;
+  {
+    tokens = Array.of_list (List.rev !tokens);
+    comments = Array.of_list (List.rev !comments);
+  }

@@ -1,0 +1,30 @@
+(** Comment- and string-aware surface lexer for the netdiv-lint checker.
+
+    The lexer splits OCaml source into a flat token stream annotated with
+    line and column, discarding the contents of string literals, character
+    literals and comments, so rule patterns never match inside them.
+    Comments are captured separately (with their line span) because they
+    carry inline suppressions.
+
+    It is intentionally not a full OCaml lexer: identifiers, numbers and
+    single-character symbols are all it distinguishes.  That is enough
+    for the short token-sequence patterns the rule engine matches, and it
+    keeps the library dependency-free (no ppx, no compiler-libs). *)
+
+type token = {
+  text : string;  (** identifier, number, or a single symbol character *)
+  line : int;  (** 1-based line *)
+  col : int;  (** 0-based column of the token's first character *)
+}
+
+type comment = {
+  ctext : string;  (** full comment text including delimiters *)
+  cline : int;  (** line the comment opens on *)
+  cline_end : int;  (** line the comment closes on *)
+}
+
+type t = { tokens : token array; comments : comment array }
+
+val tokenize : string -> t
+(** [tokenize src] lexes a whole source file.  Never raises: unterminated
+    comments or strings simply end at end-of-file. *)

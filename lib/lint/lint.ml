@@ -1,0 +1,411 @@
+(* netdiv-lint rule engine.  See lint.mli for the contract and DESIGN.md
+   ("Concurrency discipline") for the rationale behind each rule. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let rules =
+  [
+    ( "spawn-outside-pool",
+      "Domain.spawn anywhere but lib/par/pool.ml; all parallelism must go \
+       through Netdiv_par.Pool so job-count invariance holds" );
+    ( "toplevel-mutable-state",
+      "module-toplevel ref / Hashtbl.create / Array.make binding in a \
+       parallel-reachable library (lib/mrf, lib/sim, lib/par, lib/core)" );
+    ( "nondeterminism-source",
+      "Random.self_init, Sys.time or Unix.gettimeofday in solver/sim code; \
+       results must depend only on explicit seeds and budgets" );
+    ( "list-nth-in-loop",
+      "List.nth inside a for/while loop: O(n) per access turns the loop \
+       quadratic (the exact class fixed in lib/sim/engine.ml)" );
+    ( "missing-mli",
+      "library module without an interface file; every lib/ module must \
+       state its exported surface" );
+    ( "printf-in-lib",
+      "stdout printing from library code; libraries format via a caller's \
+       formatter, only bin/ may print" );
+    ( "bad-suppression",
+      "malformed netdiv-lint suppression: unknown rule id or missing \
+       written reason" );
+  ]
+
+let rule_ids = List.map fst rules
+
+(* ------------------------------------------------------ classification *)
+
+type ctx = {
+  path : string;
+  in_lib : bool;
+  lib_dir : string option;
+  is_pool : bool;
+}
+
+let split_path path =
+  String.split_on_char '/' (String.map (fun c -> if c = '\\' then '/' else c) path)
+
+let classify path =
+  let segs = List.filter (fun s -> s <> "" && s <> ".") (split_path path) in
+  let rec find_lib = function
+    | "lib" :: rest -> Some rest
+    | _ :: rest -> find_lib rest
+    | [] -> None
+  in
+  let after_lib = find_lib segs in
+  let in_lib = after_lib <> None in
+  let lib_dir =
+    match after_lib with
+    | Some (d :: _ :: _) -> Some d (* lib/<dir>/.../file *)
+    | _ -> None
+  in
+  let base = match List.rev segs with b :: _ -> b | [] -> path in
+  let is_pool = lib_dir = Some "par" && base = "pool.ml" in
+  { path; in_lib; lib_dir; is_pool }
+
+let parallel_reachable ctx =
+  match ctx.lib_dir with
+  | Some ("mrf" | "sim" | "par" | "core") -> true
+  | _ -> false
+
+let solver_sim ctx =
+  match ctx.lib_dir with Some ("mrf" | "sim" | "par") -> true | _ -> false
+
+(* -------------------------------------------------------- suppressions *)
+
+type suppression = {
+  s_rule : string;
+  s_lo : int;
+  s_hi : int;  (* a suppression covers its comment's lines plus one *)
+  s_file_wide : bool;
+}
+
+let directive_prefix = "netdiv-lint:"
+
+(* A reason must contain at least one alphanumeric character, so a bare
+   dash or em-dash does not count as one. *)
+let is_reason_text s =
+  String.exists
+    (fun c ->
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+    s
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let split_first_ws s =
+  let n = String.length s in
+  let rec go i = if i < n && not (is_ws s.[i]) then go (i + 1) else i in
+  let i = go 0 in
+  (String.sub s 0 i, String.sub s i (n - i))
+
+let parse_directive ~path ~line body =
+  (* [body] is everything between the directive marker and the comment
+     closer; expected shape: allow[-file] <rule> <separator> <reason> *)
+  let body = String.trim body in
+  let word, rest = split_first_ws body in
+  let bad message = Error { file = path; line; rule = "bad-suppression"; message } in
+  let file_wide =
+    match word with
+    | "allow" -> Some false
+    | "allow-file" -> Some true
+    | _ -> None
+  in
+  match file_wide with
+  | None ->
+      bad
+        (Printf.sprintf
+           "expected 'allow <rule>' or 'allow-file <rule>', got %S" word)
+  | Some s_file_wide -> (
+      let rule, reason = split_first_ws (String.trim rest) in
+      match List.mem rule rule_ids with
+      | false -> bad (Printf.sprintf "unknown rule id %S" rule)
+      | true ->
+          if not (is_reason_text reason) then
+            bad
+              (Printf.sprintf
+                 "suppression of %s has no written reason; say why the \
+                  violation is acceptable"
+                 rule)
+          else Ok (rule, s_file_wide))
+
+(* A directive must open the comment ("(* netdiv-lint: ..."); mentioning
+   the marker mid-prose, as this very comment does, is not a directive. *)
+let parse_suppressions ~path (comments : Lexer.comment array) =
+  let sups = ref [] and bad = ref [] in
+  Array.iter
+    (fun (c : Lexer.comment) ->
+      (* strip the comment opener and leading whitespace *)
+      let text = c.ctext in
+      let i = ref 0 in
+      let len = String.length text in
+      if len >= 2 && String.sub text 0 2 = "(*" then i := 2;
+      while !i < len && (text.[!i] = ' ' || text.[!i] = '\t' || text.[!i] = '\n')
+      do
+        incr i
+      done;
+      let plen = String.length directive_prefix in
+      if !i + plen <= len && String.sub text !i plen = directive_prefix then begin
+        let start = !i + plen in
+        let body = String.sub text start (len - start) in
+        (* drop the comment closer before parsing *)
+        let body =
+          if String.length body >= 2
+             && String.sub body (String.length body - 2) 2 = "*)"
+          then String.sub body 0 (String.length body - 2)
+          else body
+        in
+        match parse_directive ~path ~line:c.cline body with
+        | Ok (s_rule, s_file_wide) ->
+            sups :=
+              { s_rule; s_lo = c.cline; s_hi = c.cline_end + 1; s_file_wide }
+              :: !sups
+        | Error f -> bad := f :: !bad
+      end)
+    comments;
+  (!sups, !bad)
+
+let suppressed sups (f : finding) =
+  List.exists
+    (fun s ->
+      s.s_rule = f.rule && (s.s_file_wide || (f.line >= s.s_lo && f.line <= s.s_hi)))
+    sups
+
+(* ------------------------------------------------------- token helpers *)
+
+let tok (toks : Lexer.token array) i =
+  if i >= 0 && i < Array.length toks then toks.(i).Lexer.text else ""
+
+let seq2 toks i a b = tok toks i = a && tok toks (i + 1) = b
+
+let seq3 toks i a b c = seq2 toks i a b && tok toks (i + 2) = c
+
+(* --------------------------------------------------------- token rules *)
+
+let finding ctx (t : Lexer.token) rule message =
+  { file = ctx.path; line = t.Lexer.line; rule; message }
+
+(* Single forward pass for the sequence-matching rules; [loop_depth]
+   tracks for/while nesting for list-nth-in-loop. *)
+let scan_tokens ctx (toks : Lexer.token array) =
+  let out = ref [] in
+  let add t rule msg = out := finding ctx t rule msg :: !out in
+  let loop_depth = ref 0 in
+  let n = Array.length toks in
+  for i = 0 to n - 1 do
+    let t = toks.(i) in
+    (match t.Lexer.text with
+    | "for" | "while" -> incr loop_depth
+    | "done" -> if !loop_depth > 0 then decr loop_depth
+    | _ -> ());
+    if (not ctx.is_pool) && seq3 toks i "Domain" "." "spawn" then
+      add t "spawn-outside-pool"
+        "Domain.spawn outside lib/par/pool.ml; use Netdiv_par.Pool \
+         combinators instead";
+    if solver_sim ctx then begin
+      if seq3 toks i "Random" "." "self_init" then
+        add t "nondeterminism-source"
+          "Random.self_init makes results irreproducible; derive seeds \
+           with Pool.split_seed";
+      if seq3 toks i "Sys" "." "time" then
+        add t "nondeterminism-source"
+          "Sys.time in solver/sim code; wall-clock reads belong in the \
+           anytime harness only";
+      if seq3 toks i "Unix" "." "gettimeofday" then
+        add t "nondeterminism-source"
+          "Unix.gettimeofday in solver/sim code; wall-clock reads belong \
+           in the anytime harness only"
+    end;
+    if
+      !loop_depth > 0
+      && seq2 toks i "List" "."
+      && (tok toks (i + 2) = "nth" || tok toks (i + 2) = "nth_opt")
+    then
+      add t "list-nth-in-loop"
+        "List.nth inside a loop is O(n) per access; index an array or \
+         restructure the traversal";
+    if ctx.in_lib then begin
+      if seq3 toks i "Printf" "." "printf" || seq3 toks i "Format" "." "printf"
+      then
+        add t "printf-in-lib"
+          "library code must not print to stdout; take a Format formatter \
+           from the caller";
+      (match t.Lexer.text with
+      | "print_endline" | "print_string" | "print_newline" | "print_int"
+      | "print_float" | "print_char" ->
+          (* bare stdout printers; allow qualified uses of same-named
+             functions from other modules, but not Stdlib's *)
+          let prev = tok toks (i - 1) in
+          if prev <> "." || tok toks (i - 2) = "Stdlib" then
+            add t "printf-in-lib"
+              "library code must not print to stdout; take a Format \
+               formatter from the caller"
+      | _ -> ())
+    end
+  done;
+  !out
+
+(* ----------------------------------------- toplevel mutable state rule *)
+
+let item_keywords =
+  [ "let"; "and"; "module"; "type"; "open"; "include"; "exception";
+    "external"; "val"; "class" ]
+
+let lower_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && not (List.mem s item_keywords)
+
+(* Detect module-toplevel [let name = <expr constructing mutable state>].
+   Toplevel-ness is tracked with an indentation stack: items live at
+   column 0, or at [col + 2] inside each enclosing [struct]/[sig] (the
+   repository is ocamlformat-shaped, and the fixtures in test_lint pin
+   this).  A mutable constructor occurring after the first [fun] or
+   [function] token builds per-call state and is not flagged. *)
+let scan_toplevel_mutable ctx (toks : Lexer.token array) =
+  if not (parallel_reachable ctx) then []
+  else begin
+    let out = ref [] in
+    let n = Array.length toks in
+    (* stack of (item_col, close_col, open_line) for struct/sig scopes *)
+    let stack = ref [ (0, -1, -1) ] in
+    let item_col () = match !stack with (c, _, _) :: _ -> c | [] -> 0 in
+    let last_item = ref "" in
+    let i = ref 0 in
+    while !i < n do
+      let t = toks.(!i) in
+      (match t.Lexer.text with
+      | "struct" | "sig" ->
+          stack := (item_col () + 2, item_col (), t.Lexer.line) :: !stack
+      | "end" -> (
+          match !stack with
+          | (_, close_col, open_line) :: rest
+            when rest <> []
+                 && (t.Lexer.col = close_col || t.Lexer.line = open_line) ->
+              stack := rest
+          | _ -> ())
+      | _ -> ());
+      if t.Lexer.col = item_col () && List.mem t.Lexer.text item_keywords then begin
+        if t.Lexer.text <> "and" then last_item := t.Lexer.text
+      end;
+      if
+        t.Lexer.col = item_col ()
+        && (t.Lexer.text = "let"
+           || (t.Lexer.text = "and" && !last_item = "let"))
+      then begin
+        let j = ref (!i + 1) in
+        if tok toks !j = "rec" then incr j;
+        let name = tok toks !j in
+        if lower_ident name then begin
+          (* skip an optional [: type] annotation to reach [=] *)
+          let k = ref (!j + 1) in
+          if tok toks !k = ":" then begin
+            while !k < n && tok toks !k <> "=" do incr k done
+          end;
+          if tok toks !k = "=" then begin
+            (* simple value binding: scan the right-hand side *)
+            let r = ref (!k + 1) in
+            let fin = ref false and behind_fun = ref false in
+            while (not !fin) && !r < n do
+              let u = toks.(!r) in
+              if
+                u.Lexer.col <= item_col ()
+                && (List.mem u.Lexer.text item_keywords
+                   || u.Lexer.text = "end")
+              then fin := true
+              else begin
+                (match u.Lexer.text with
+                | "fun" | "function" -> behind_fun := true
+                | _ -> ());
+                if not !behind_fun then begin
+                  if u.Lexer.text = "ref" then
+                    out :=
+                      finding ctx t "toplevel-mutable-state"
+                        (Printf.sprintf
+                           "toplevel binding %S holds a ref shared by every \
+                            domain; make it per-call or suppress with a \
+                            documented guard"
+                           name)
+                      :: !out
+                  else if
+                    seq3 toks !r "Hashtbl" "." "create"
+                    || seq3 toks !r "Array" "." "make"
+                  then
+                    out :=
+                      finding ctx t "toplevel-mutable-state"
+                        (Printf.sprintf
+                           "toplevel binding %S allocates shared mutable \
+                            state (%s); make it per-call or suppress with \
+                            a documented guard"
+                           name
+                           (tok toks !r ^ "." ^ tok toks (!r + 2)))
+                      :: !out
+                end;
+                incr r
+              end
+            done;
+            i := !r - 1
+          end
+        end
+      end;
+      incr i
+    done;
+    !out
+  end
+
+(* -------------------------------------------------------------- driver *)
+
+let lint_source ~path ?has_mli src =
+  let ctx = classify path in
+  let lx = Lexer.tokenize src in
+  let sups, bad = parse_suppressions ~path lx.Lexer.comments in
+  let token_findings =
+    scan_tokens ctx lx.Lexer.tokens @ scan_toplevel_mutable ctx lx.Lexer.tokens
+  in
+  let mli_findings =
+    match has_mli with
+    | Some false
+      when ctx.in_lib
+           && Filename.check_suffix path ".ml"
+           && not (Filename.check_suffix path ".pp.ml") ->
+        [ { file = path; line = 1; rule = "missing-mli";
+            message =
+              "library module has no .mli; state the exported surface \
+               (add an interface file)" } ]
+    | _ -> []
+  in
+  let kept =
+    List.filter (fun f -> not (suppressed sups f)) (token_findings @ mli_findings)
+  in
+  List.sort
+    (fun a b -> if a.line = b.line then compare a.rule b.rule else compare a.line b.line)
+    (kept @ bad)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path =
+  let has_mli =
+    if Filename.check_suffix path ".ml" then Some (Sys.file_exists (path ^ "i"))
+    else None
+  in
+  lint_source ~path ?has_mli (read_file path)
+
+let rec collect_ml path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if name = "" || name.[0] = '.' || name.[0] = '_' then acc
+        else collect_ml (Filename.concat path name) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files = List.rev (List.fold_left (fun acc p -> collect_ml p acc) [] paths) in
+  List.concat_map lint_file files

@@ -1,0 +1,63 @@
+(** netdiv-lint: a dependency-free concurrency/determinism checker for
+    this repository's own OCaml sources.
+
+    The paper's reported numbers (optimal assignments, d_bn, MTTC) are
+    reproducible only while every solver path stays deterministic under
+    any domain count.  The type system cannot express that contract, so
+    this module enforces the mechanically checkable part of it: a
+    comment/string-aware surface lexer ({!Lexer}) feeds a small rule
+    engine, and each rule reports findings as [file:line] pairs.
+
+    {2 Rules}
+
+    - [spawn-outside-pool]: [Domain.spawn] anywhere but [lib/par/pool.ml].
+    - [toplevel-mutable-state]: module-toplevel [ref] / [Hashtbl.create] /
+      [Array.make] bindings in parallel-reachable libraries ([lib/mrf],
+      [lib/sim], [lib/par], [lib/core]).
+    - [nondeterminism-source]: [Random.self_init], [Sys.time] or
+      [Unix.gettimeofday] in solver/sim code.
+    - [list-nth-in-loop]: [List.nth]/[List.nth_opt] inside a [for]/[while]
+      loop.
+    - [missing-mli]: a [lib/] module with no interface file.
+    - [printf-in-lib]: stdout printing from library code.
+    - [bad-suppression]: a malformed suppression comment.
+
+    {2 Suppressions}
+
+    A finding is silenced by a comment on the same line, the line before,
+    or (for [allow-file]) anywhere in the file:
+
+    {v (* netdiv-lint: allow <rule> — <reason> *) v}
+    {v (* netdiv-lint: allow-file <rule> — <reason> *) v}
+
+    The reason is mandatory: a suppression without one is itself reported
+    under [bad-suppression]. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Renders as [file:line: [rule] message]. *)
+
+val rules : (string * string) list
+(** Shipped rule ids with a one-line description each. *)
+
+val lint_source : path:string -> ?has_mli:bool -> string -> finding list
+(** [lint_source ~path src] lints the source text [src] as though it
+    lived at [path]; the path decides which rules apply (library vs
+    binary, parallel-reachable directory, the pool exemption).  The
+    [missing-mli] rule only runs when [has_mli] is supplied, since the
+    text alone cannot know its siblings.  Findings are sorted by line. *)
+
+val lint_file : string -> finding list
+(** Reads [path] and lints it; for a [.ml] file the sibling [.mli]'s
+    existence feeds the [missing-mli] rule. *)
+
+val lint_paths : string list -> finding list
+(** Recursively lints every [.ml] file under the given files/directories,
+    in sorted filename order, skipping dot- and underscore-prefixed
+    directory entries ([_build], [.git]). *)

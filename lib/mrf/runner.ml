@@ -1,3 +1,9 @@
+(* netdiv-lint: allow-file nondeterminism-source — the anytime harness IS
+   the sanctioned wall-clock boundary: gettimeofday feeds budgets, stall
+   detection and reported timings only.  Which assignment is returned can
+   depend on the clock solely when the caller explicitly passes a time
+   budget; unbudgeted runs are clock-independent. *)
+
 module Budget = struct
   type t = { seconds : float option; sweeps : int option }
 

@@ -7,6 +7,9 @@ type result = {
   runtime_s : float;
 }
 
+(* netdiv-lint: allow-file nondeterminism-source — the only clock reads
+   are in [timed], which measures the reported runtime_s; the wrapped
+   computation never observes the clock. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
   let x = f () in

@@ -8,6 +8,133 @@
    affecting results: outputs are written into per-index slots or
    combined in chunk order, never in completion order. *)
 
+exception Race of string
+
+(* --------------------------------------------------------- sanitizer --
+
+   NETDIV_SANITIZE=1 turns on a debug mode that shadow-tracks which
+   chunk executed each loop index of a [parallel_for]/[map_range] region
+   and, for consumers routing output stores through [write], which chunk
+   wrote each output slot.  Overlapping writes from distinct chunks and
+   writes escaping the owning chunk's sub-range raise [Race] instead of
+   silently corrupting results.  The mode exists to catch races the
+   static netdiv-lint rules cannot see; it costs a mutex per tracked
+   event, so it is strictly a test/debug facility. *)
+
+(* netdiv-lint: allow toplevel-mutable-state — test-only override knob for
+   the sanitizer; written once by set_sanitize before parallel regions
+   start, read-only inside them. *)
+let sanitize_override = ref None
+
+let set_sanitize v = sanitize_override := v
+
+let sanitize_enabled () =
+  match !sanitize_override with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "NETDIV_SANITIZE" with
+      | Some ("1" | "true") -> true
+      | _ -> false)
+
+(* Shadow state for one sanitized parallel region.  [dispatch] records
+   the chunk that claimed each loop index; [written] records, per output
+   array (compared physically), the chunk that wrote each slot. *)
+type region = {
+  span_lo : int;
+  span_hi : int;
+  dispatch : int array;
+  mutable written : (Obj.t * (int, int) Hashtbl.t) list;
+  lock : Mutex.t;
+}
+
+type chunk_ctx = { chunk : int; clo : int; chi : int; region : region }
+
+let make_region ~lo ~hi =
+  {
+    span_lo = lo;
+    span_hi = hi;
+    dispatch = Array.make (max 0 (hi - lo)) (-1);
+    written = [];
+    lock = Mutex.create ();
+  }
+
+(* Per-domain chunk context; Domain.DLS state is domain-local by
+   construction, so this carries no cross-domain sharing. *)
+let ctx_key : chunk_ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_ctx ctx f =
+  let prev = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key (Some ctx);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key prev) f
+
+(* Claim loop index [i] for [ctx.chunk].  Catches a future chunking bug
+   (overlapping or escaping chunk bounds) the moment it dispatches an
+   index twice or outside the claiming chunk's sub-range. *)
+let claim_dispatch ctx i =
+  let r = ctx.region in
+  if i < ctx.clo || i >= ctx.chi then
+    raise
+      (Race
+         (Printf.sprintf
+            "sanitizer: chunk %d [%d,%d) dispatched loop index %d outside \
+             its bounds"
+            ctx.chunk ctx.clo ctx.chi i));
+  let clash =
+    Mutex.protect r.lock (fun () ->
+        let prev = r.dispatch.(i - r.span_lo) in
+        if prev = -1 then r.dispatch.(i - r.span_lo) <- ctx.chunk;
+        prev)
+  in
+  if clash <> -1 && clash <> ctx.chunk then
+    raise
+      (Race
+         (Printf.sprintf
+            "sanitizer: loop index %d dispatched to chunks %d and %d" i
+            (min clash ctx.chunk) (max clash ctx.chunk)))
+
+let write (arr : 'a array) i v =
+  (match Domain.DLS.get ctx_key with
+  | None -> ()
+  | Some ctx ->
+      let r = ctx.region in
+      let o = Obj.repr arr in
+      let clash =
+        Mutex.protect r.lock (fun () ->
+            let table =
+              match List.find_opt (fun (o', _) -> o' == o) r.written with
+              | Some (_, t) -> t
+              | None ->
+                  let t = Hashtbl.create 64 in
+                  r.written <- (o, t) :: r.written;
+                  t
+            in
+            match Hashtbl.find_opt table i with
+            | Some prev when prev <> ctx.chunk -> Some prev
+            | _ ->
+                Hashtbl.replace table i ctx.chunk;
+                None)
+      in
+      (match clash with
+      | Some prev ->
+          raise
+            (Race
+               (Printf.sprintf
+                  "sanitizer: overlapping write to slot %d by chunks %d \
+                   and %d"
+                  i
+                  (min prev ctx.chunk)
+                  (max prev ctx.chunk)))
+      | None -> ());
+      if i < ctx.clo || i >= ctx.chi then
+        raise
+          (Race
+             (Printf.sprintf
+                "sanitizer: chunk %d [%d,%d) wrote slot %d across its \
+                 chunk boundary"
+                ctx.chunk ctx.clo ctx.chi i)));
+  arr.(i) <- v
+
 let env_jobs () =
   match Sys.getenv_opt "NETDIV_JOBS" with
   | None -> None
@@ -99,7 +226,18 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
 let parallel_for ?jobs ?chunks ~lo ~hi f =
   let jobs = resolve_jobs ?jobs () in
   let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
-  if jobs = 1 && chunks = 1 then
+  if sanitize_enabled () then
+    (* the serial fast path is skipped on purpose: sanitized runs always
+       dispatch through chunks so every index is claim-checked *)
+    let region = make_region ~lo ~hi in
+    run_chunks ~jobs ~chunks ~lo ~hi (fun c clo chi ->
+        let ctx = { chunk = c; clo; chi; region } in
+        with_ctx ctx (fun () ->
+            for i = clo to chi - 1 do
+              claim_dispatch ctx i;
+              f i
+            done))
+  else if jobs = 1 && chunks = 1 then
     for i = lo to hi - 1 do
       f i
     done
@@ -115,7 +253,23 @@ let map_range ?jobs ?chunks ~lo ~hi f =
   else begin
     let jobs = resolve_jobs ?jobs () in
     let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
-    if jobs = 1 && chunks = 1 then Array.init n (fun i -> f (lo + i))
+    if sanitize_enabled () then begin
+      (* The pool's own stores map loop index [i] to slot [i - lo]
+         bijectively, so dispatch claims shadow the output slots: a
+         chunking bug shows up as a duplicate or escaping claim. *)
+      let region = make_region ~lo ~hi in
+      let first = f lo in
+      let out = Array.make n first in
+      run_chunks ~jobs ~chunks ~lo:(lo + 1) ~hi (fun c clo chi ->
+          let ctx = { chunk = c; clo; chi; region } in
+          with_ctx ctx (fun () ->
+              for i = clo to chi - 1 do
+                claim_dispatch ctx i;
+                out.(i - lo) <- f i
+              done));
+      out
+    end
+    else if jobs = 1 && chunks = 1 then Array.init n (fun i -> f (lo + i))
     else begin
       (* Fill the first slot serially so the array can be allocated
          without requiring ['a] to have a dummy value. *)

@@ -10,7 +10,46 @@
     - exception propagation: a worker failure is re-raised in the caller
       (lowest failing chunk index wins) after all domains are joined;
     - a bit-for-bit serial fallback when the resolved job count is 1 —
-      no domain is spawned and the body runs inline in the caller. *)
+      no domain is spawned and the body runs inline in the caller.
+
+    {2 Race sanitizer}
+
+    Setting [NETDIV_SANITIZE=1] (or calling {!set_sanitize}) switches
+    {!parallel_for} and {!map_range} into a debug mode that shadow-tracks
+    which chunk executed each loop index and — for stores routed through
+    {!write} — which chunk wrote each output slot.  A loop index
+    dispatched twice, a dispatch outside the claiming chunk's sub-range,
+    an output slot written by two distinct chunks, or a write across the
+    owning chunk's boundary raises {!Race} instead of silently producing
+    job-count-dependent results.  The static netdiv-lint rules and this
+    runtime check cover each other's blind spots: the linter sees code
+    that never runs, the sanitizer sees aliasing no lexical rule can.
+    Sanitized runs always dispatch through chunks (the serial fast path
+    is disabled) and pay a mutex per tracked event, so the mode is meant
+    for tests and debugging, never production runs. *)
+
+exception Race of string
+(** Raised (and re-raised in the calling domain, lowest failing chunk
+    first) when the sanitizer observes an overlapping write, a
+    chunk-boundary escape or a double dispatch. *)
+
+val set_sanitize : bool option -> unit
+(** [set_sanitize (Some b)] forces the sanitizer on or off for subsequent
+    parallel regions, overriding the environment; [set_sanitize None]
+    restores the [NETDIV_SANITIZE] default.  Call it only between
+    parallel regions (tests), never from inside one. *)
+
+val sanitize_enabled : unit -> bool
+(** Whether the next parallel region will be sanitized. *)
+
+val write : 'a array -> int -> 'a -> unit
+(** [write out i v] is [out.(i) <- v] for an output array indexed by the
+    loop index.  Outside a sanitized region it is exactly that store (one
+    domain-local read of overhead).  Inside one, the sanitizer first
+    checks that slot [i] is not owned by another chunk and that [i] lies
+    within the calling chunk's sub-range, raising {!Race} otherwise.
+    Use it for [parallel_for] bodies that fill a caller-allocated array;
+    [map_range]'s own stores are tracked automatically. *)
 
 val resolve_jobs : ?jobs:int -> unit -> int
 (** Number of worker domains to use.  Picks the first available of:

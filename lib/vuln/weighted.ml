@@ -11,6 +11,10 @@ let weighted_jaccard ~weight a b =
 
 let of_nvd ?since ?until ?(weight = default_weight) db products =
   let weight_of_id =
+    (* Domain-safety audit (netdiv-lint): this memo table is allocated per
+       [of_nvd] call and never escapes it, so it is never shared across
+       domains — unlike a module-toplevel cache, which the
+       toplevel-mutable-state rule would reject. *)
     let cache = Hashtbl.create 256 in
     fun id ->
       match Hashtbl.find_opt cache id with

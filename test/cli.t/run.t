@@ -84,3 +84,51 @@ A generous budget leaves convergence untouched:
   $ netdiv optimize --hosts 40 --solver sa --time-budget 60 | grep -E "^(solver|outcome)"
   solver  sa
   outcome converged
+
+The concurrency/determinism linter reports file:line findings and exits
+non-zero; the path decides which rules apply (lib/sim is solver/sim and
+parallel-reachable):
+
+  $ mkdir -p lib/sim
+  $ cat > lib/sim/bad.ml <<'ML'
+  > let go f = Domain.spawn f
+  > let now () = Unix.gettimeofday ()
+  > ML
+  $ netdiv lint lib
+  lib/sim/bad.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
+  lib/sim/bad.ml:1: [spawn-outside-pool] Domain.spawn outside lib/par/pool.ml; use Netdiv_par.Pool combinators instead
+  lib/sim/bad.ml:2: [nondeterminism-source] Unix.gettimeofday in solver/sim code; wall-clock reads belong in the anytime harness only
+  3 finding(s)
+  [1]
+
+An interface file and reasoned suppressions make the same tree lint
+clean; a suppression without a written reason is itself a finding:
+
+  $ cat > lib/sim/bad.mli <<'ML'
+  > val go : (unit -> unit) -> unit Domain.t
+  > val now : unit -> float
+  > ML
+  $ cat > lib/sim/bad.ml <<'ML'
+  > (* netdiv-lint: allow spawn-outside-pool — cram fixture exercising the CLI *)
+  > let go f = Domain.spawn f
+  > (* netdiv-lint: allow nondeterminism-source — cram fixture exercising the CLI *)
+  > let now () = Unix.gettimeofday ()
+  > ML
+  $ netdiv lint lib
+
+  $ cat > lib/sim/unreasoned.ml <<'ML'
+  > (* netdiv-lint: allow spawn-outside-pool *)
+  > let go f = Domain.spawn f
+  > ML
+  $ netdiv lint lib/sim/unreasoned.ml
+  lib/sim/unreasoned.ml:1: [bad-suppression] suppression of spawn-outside-pool has no written reason; say why the violation is acceptable
+  lib/sim/unreasoned.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
+  lib/sim/unreasoned.ml:2: [spawn-outside-pool] Domain.spawn outside lib/par/pool.ml; use Netdiv_par.Pool combinators instead
+  3 finding(s)
+  [1]
+
+Missing paths are rejected up front:
+
+  $ netdiv lint no/such/dir
+  netdiv: no such file or directory: no/such/dir
+  [124]

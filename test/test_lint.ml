@@ -1,0 +1,288 @@
+(* Tests for netdiv-lint: per-rule fixtures (positive match, negative
+   near-miss, suppressed match), suppression parsing, lexer blind spots,
+   and the self-check that the repository's own lib/ and bin/ lint clean. *)
+
+module Lint = Netdiv_lint.Lint
+
+let rules_of findings = List.map (fun f -> f.Lint.rule) findings
+
+let lint ?has_mli path src = Lint.lint_source ~path ?has_mli src
+
+let check_rules msg expected findings =
+  Alcotest.(check (list string)) msg expected (rules_of findings)
+
+(* ------------------------------------------------- spawn-outside-pool *)
+
+let test_spawn_outside_pool () =
+  check_rules "positive: spawn in sim code"
+    [ "spawn-outside-pool" ]
+    (lint "lib/sim/engine.ml" "let go f = Domain.spawn f\n");
+  check_rules "positive: spawn in bin"
+    [ "spawn-outside-pool" ]
+    (lint "bin/netdiv.ml" "let go f = Domain.spawn f\n");
+  check_rules "near-miss: pool.ml is the sanctioned caller" []
+    (lint "lib/par/pool.ml" "let go f = Domain.spawn f\n");
+  check_rules "near-miss: join is not spawn" []
+    (lint "lib/sim/engine.ml" "let wait d = Domain.join d\n");
+  check_rules "suppressed" []
+    (lint "lib/sim/engine.ml"
+       "(* netdiv-lint: allow spawn-outside-pool — fixture justification *)\n\
+        let go f = Domain.spawn f\n")
+
+(* --------------------------------------------- toplevel-mutable-state *)
+
+let test_toplevel_mutable_state () =
+  check_rules "positive: toplevel Hashtbl"
+    [ "toplevel-mutable-state" ]
+    (lint "lib/mrf/cache.ml" "let cache = Hashtbl.create 16\n");
+  check_rules "positive: toplevel ref"
+    [ "toplevel-mutable-state" ]
+    (lint "lib/core/state.ml" "let counter = ref 0\n");
+  check_rules "positive: toplevel Array.make"
+    [ "toplevel-mutable-state" ]
+    (lint "lib/sim/buf.ml" "let scratch = Array.make 64 0.0\n");
+  check_rules "positive: annotated binding"
+    [ "toplevel-mutable-state" ]
+    (lint "lib/par/tbl.ml"
+       "let table : (int, int) Hashtbl.t = Hashtbl.create 8\n");
+  check_rules "positive: inside a module struct"
+    [ "toplevel-mutable-state" ]
+    (lint "lib/core/m.ml"
+       "module Cache = struct\n  let t = Hashtbl.create 8\nend\n");
+  check_rules "near-miss: function-local state" []
+    (lint "lib/mrf/f.ml"
+       "let solve n =\n  let tbl = Hashtbl.create n in\n  Hashtbl.length tbl\n");
+  check_rules "near-miss: closure builds per-call state" []
+    (lint "lib/mrf/g.ml" "let fresh = fun () -> ref 0\n");
+  check_rules "near-miss: function binding with parameters" []
+    (lint "lib/sim/h.ml" "let make n = Array.make n 0\n");
+  check_rules "near-miss: library outside the parallel-reachable set" []
+    (lint "lib/vuln/w.ml" "let cache = Hashtbl.create 16\n");
+  check_rules "suppressed" []
+    (lint "lib/core/enc.ml"
+       "(* netdiv-lint: allow toplevel-mutable-state — fixture guard *)\n\
+        let table = Hashtbl.create 8\n")
+
+(* ----------------------------------------------- nondeterminism-source *)
+
+let test_nondeterminism_source () =
+  check_rules "positive: gettimeofday in solver"
+    [ "nondeterminism-source" ]
+    (lint "lib/mrf/s.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "positive: self_init in sim"
+    [ "nondeterminism-source" ]
+    (lint "lib/sim/r.ml" "let seed () = Random.self_init ()\n");
+  check_rules "positive: Sys.time in par"
+    [ "nondeterminism-source" ]
+    (lint "lib/par/t.ml" "let t () = Sys.time ()\n");
+  check_rules "near-miss: outside solver/sim scope" []
+    (lint "lib/vuln/feed.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "near-miss: seeded Random is fine" []
+    (lint "lib/sim/r.ml" "let draw st = Random.State.int st 10\n");
+  check_rules "suppressed (line)" []
+    (lint "lib/mrf/s.ml"
+       "(* netdiv-lint: allow nondeterminism-source — fixture timing *)\n\
+        let now () = Unix.gettimeofday ()\n");
+  check_rules "suppressed (file-wide)" []
+    (lint "lib/mrf/s.ml"
+       "(* netdiv-lint: allow-file nondeterminism-source — fixture-wide \
+        reason *)\n\
+        let a () = Unix.gettimeofday ()\n\n\
+        let b () = Sys.time ()\n")
+
+(* --------------------------------------------------- list-nth-in-loop *)
+
+let test_list_nth_in_loop () =
+  check_rules "positive: nth inside for"
+    [ "list-nth-in-loop" ]
+    (lint "lib/sim/e.ml"
+       "let f xs =\n\
+       \  for i = 0 to 3 do\n\
+       \    ignore (List.nth xs i)\n\
+       \  done\n");
+  check_rules "positive: nth_opt inside while"
+    [ "list-nth-in-loop" ]
+    (lint "lib/graph/g.ml"
+       "let f xs =\n\
+       \  while !going do\n\
+       \    ignore (List.nth_opt xs 0)\n\
+       \  done\n");
+  check_rules "near-miss: nth outside any loop" []
+    (lint "lib/sim/e.ml" "let second xs = List.nth xs 1\n");
+  check_rules "near-miss: loop without nth" []
+    (lint "lib/sim/e.ml"
+       "let f xs =\n\
+       \  for _ = 0 to 3 do\n\
+       \    ignore (List.length xs)\n\
+       \  done\n");
+  check_rules "suppressed" []
+    (lint "lib/sim/e.ml"
+       "let f xs =\n\
+       \  for i = 0 to 3 do\n\
+       \    (* netdiv-lint: allow list-nth-in-loop — fixture, list of 2 *)\n\
+       \    ignore (List.nth xs i)\n\
+       \  done\n")
+
+(* -------------------------------------------------------- missing-mli *)
+
+let test_missing_mli () =
+  check_rules "positive: lib module without mli"
+    [ "missing-mli" ]
+    (lint ~has_mli:false "lib/sim/new_module.ml" "let x = 1\n");
+  check_rules "near-miss: mli present" []
+    (lint ~has_mli:true "lib/sim/new_module.ml" "let x = 1\n");
+  check_rules "near-miss: binaries need no mli" []
+    (lint ~has_mli:false "bin/netdiv.ml" "let x = 1\n");
+  check_rules "near-miss: unknown siblings skip the rule" []
+    (lint "lib/sim/new_module.ml" "let x = 1\n");
+  check_rules "suppressed" []
+    (lint ~has_mli:false "lib/sim/new_module.ml"
+       "(* netdiv-lint: allow missing-mli — fixture scaffolding module *)\n\
+        let x = 1\n")
+
+(* ------------------------------------------------------ printf-in-lib *)
+
+let test_printf_in_lib () =
+  check_rules "positive: Printf.printf in lib"
+    [ "printf-in-lib" ]
+    (lint "lib/metrics/m.ml" "let show x = Printf.printf \"%d\" x\n");
+  check_rules "positive: bare print_endline"
+    [ "printf-in-lib" ]
+    (lint "lib/graph/d.ml" "let log s = print_endline s\n");
+  check_rules "positive: Stdlib-qualified printer"
+    [ "printf-in-lib" ]
+    (lint "lib/graph/d.ml" "let log s = Stdlib.print_endline s\n");
+  check_rules "near-miss: bin may print" []
+    (lint "bin/netdiv.ml" "let show x = Printf.printf \"%d\" x\n");
+  check_rules "near-miss: sprintf allocates, never prints" []
+    (lint "lib/metrics/m.ml" "let s x = Printf.sprintf \"%d\" x\n");
+  check_rules "near-miss: another module's print_endline" []
+    (lint "lib/metrics/m.ml" "let log s = My_sink.print_endline s\n");
+  check_rules "suppressed" []
+    (lint "lib/metrics/m.ml"
+       "(* netdiv-lint: allow printf-in-lib — fixture debug aid *)\n\
+        let show x = Printf.printf \"%d\" x\n")
+
+(* ---------------------------------------------------- bad-suppression *)
+
+let test_bad_suppression () =
+  check_rules "positive: missing reason"
+    [ "bad-suppression" ]
+    (lint "lib/sim/e.ml" "(* netdiv-lint: allow printf-in-lib *)\nlet x = 1\n");
+  check_rules "positive: dash alone is not a reason"
+    [ "bad-suppression" ]
+    (lint "lib/sim/e.ml"
+       "(* netdiv-lint: allow printf-in-lib — *)\nlet x = 1\n");
+  check_rules "positive: unknown rule id"
+    [ "bad-suppression" ]
+    (lint "lib/sim/e.ml"
+       "(* netdiv-lint: allow no-such-rule — reason here *)\nlet x = 1\n");
+  check_rules "positive: unknown directive verb"
+    [ "bad-suppression" ]
+    (lint "lib/sim/e.ml"
+       "(* netdiv-lint: allowing printf-in-lib — reason *)\nlet x = 1\n");
+  check_rules "near-miss: prose mentioning the marker mid-comment" []
+    (lint "lib/sim/e.ml"
+       "(* suppressions are written as netdiv-lint: allow <rule>. *)\n\
+        let x = 1\n");
+  check_rules "near-miss: well-formed suppression raises nothing" []
+    (lint "lib/sim/e.ml"
+       "(* netdiv-lint: allow printf-in-lib — a documented reason *)\n\
+        let x = 1\n")
+
+(* ---------------------------------------------------- lexer blind spots *)
+
+let test_lexer_blind_spots () =
+  check_rules "patterns inside string literals do not match" []
+    (lint "lib/sim/e.ml" "let s = \"Domain.spawn Unix.gettimeofday\"\n");
+  check_rules "patterns inside comments do not match" []
+    (lint "lib/sim/e.ml" "(* Domain.spawn would be bad here *)\nlet x = 1\n");
+  check_rules "patterns inside nested comments do not match" []
+    (lint "lib/sim/e.ml"
+       "(* outer (* Domain.spawn *) still comment *)\nlet x = 1\n");
+  check_rules "quoted strings are opaque" []
+    (lint "lib/sim/e.ml" "let s = {|Domain.spawn|}\n");
+  (* a string ending in a quote inside a comment must not derail lexing *)
+  check_rules "comment containing a string with a closer"
+    [ "spawn-outside-pool" ]
+    (lint "lib/sim/e.ml"
+       "(* tricky \"*)\" still a comment *)\nlet go f = Domain.spawn f\n");
+  (* char literals: the quote must not open a string-like region *)
+  check_rules "char literals lex cleanly"
+    [ "spawn-outside-pool" ]
+    (lint "lib/sim/e.ml"
+       "let c = 'x'\nlet d = '\\n'\nlet go f = Domain.spawn f\n")
+
+(* ------------------------------------------------- multiple findings *)
+
+let test_ordering_and_pp () =
+  let findings =
+    lint "lib/sim/e.ml"
+      "let go f = Domain.spawn f\n\nlet now () = Unix.gettimeofday ()\n"
+  in
+  check_rules "two findings, line order"
+    [ "spawn-outside-pool"; "nondeterminism-source" ]
+    findings;
+  match findings with
+  | first :: _ ->
+      Alcotest.(check string)
+        "pp format" "lib/sim/e.ml:1"
+        (let s = Format.asprintf "%a" Lint.pp_finding first in
+         String.sub s 0 (String.index s ':' + 2))
+  | [] -> Alcotest.fail "expected findings"
+
+(* --------------------------------------------------------- self-check *)
+
+let test_repo_lints_clean () =
+  (* under `dune runtest` the cwd is _build/default/test and the sources
+     sit one level up (declared as deps); under `dune exec` from the repo
+     root they sit right here.  Any finding means a violation crept in
+     without a written suppression. *)
+  let roots =
+    if Sys.file_exists "../lib" && Sys.is_directory "../lib" then
+      [ "../lib"; "../bin" ]
+    else [ "lib"; "bin" ]
+  in
+  let findings = Lint.lint_paths roots in
+  if findings <> [] then
+    Alcotest.failf "repository must lint clean, got:@\n%s"
+      (String.concat "\n"
+         (List.map (Format.asprintf "%a" Lint.pp_finding) findings))
+
+let test_rule_list () =
+  let ids = List.map fst Lint.rules in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s shipped" required)
+        true (List.mem required ids))
+    [
+      "spawn-outside-pool"; "toplevel-mutable-state"; "nondeterminism-source";
+      "list-nth-in-loop"; "missing-mli"; "printf-in-lib"; "bad-suppression";
+    ]
+
+let () =
+  Alcotest.run "netdiv_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "spawn-outside-pool" `Quick
+            test_spawn_outside_pool;
+          Alcotest.test_case "toplevel-mutable-state" `Quick
+            test_toplevel_mutable_state;
+          Alcotest.test_case "nondeterminism-source" `Quick
+            test_nondeterminism_source;
+          Alcotest.test_case "list-nth-in-loop" `Quick test_list_nth_in_loop;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
+          Alcotest.test_case "bad-suppression" `Quick test_bad_suppression;
+          Alcotest.test_case "rule list" `Quick test_rule_list;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "lexer blind spots" `Quick test_lexer_blind_spots;
+          Alcotest.test_case "ordering and pp" `Quick test_ordering_and_pp;
+        ] );
+      ( "self-check",
+        [ Alcotest.test_case "lib+bin lint clean" `Quick test_repo_lints_clean ] );
+    ]

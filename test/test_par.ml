@@ -44,8 +44,10 @@ let test_parallel_for_matches_serial () =
   List.iter
     (fun (jobs, chunks, lo, hi) ->
       let hits = Array.make (max hi 1) 0 in
+      (* Pool.write so a sanitized run (NETDIV_SANITIZE=1) checks these
+         stores for chunk overlap too *)
       Pool.parallel_for ~jobs ~chunks ~lo ~hi (fun i ->
-          hits.(i) <- hits.(i) + f i);
+          Pool.write hits i (hits.(i) + f i));
       let got = Array.fold_left ( + ) 0 hits in
       Alcotest.(check int)
         (Printf.sprintf "jobs=%d chunks=%d [%d,%d)" jobs chunks lo hi)
@@ -125,6 +127,75 @@ let test_exception_propagation () =
   | exception e ->
       Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
 
+(* --------------------------------------------------------- sanitizer *)
+
+(* Run [f] with the sanitizer forced on/off, restoring the environment
+   default afterwards even on failure. *)
+let with_sanitize b f =
+  Pool.set_sanitize (Some b);
+  Fun.protect ~finally:(fun () -> Pool.set_sanitize None) f
+
+(* Every index writes slot [i mod 4], so with 4 chunks over [0,8) two
+   distinct chunks collide on every slot — and chunks 2 and 3 write
+   outside their own sub-ranges. *)
+let overlapping_run () =
+  let out = Array.make 8 (-1) in
+  Pool.parallel_for ~jobs:2 ~chunks:4 ~lo:0 ~hi:8 (fun i ->
+      Pool.write out (i mod 4) i)
+
+let test_sanitizer_detects_overlap () =
+  with_sanitize true (fun () ->
+      match overlapping_run () with
+      | () -> Alcotest.fail "overlapping write not detected"
+      | exception Pool.Race _ -> ()
+      | exception e ->
+          Alcotest.failf "expected Pool.Race, got %s" (Printexc.to_string e))
+
+let test_sanitizer_silent_when_off () =
+  (* the very same buggy region runs to completion without the sanitizer:
+     that silence is the blind spot the debug mode exists to close *)
+  with_sanitize false (fun () ->
+      match overlapping_run () with
+      | () -> ()
+      | exception e ->
+          Alcotest.failf "sanitizer ran while disabled: %s"
+            (Printexc.to_string e))
+
+let test_sanitizer_accepts_disjoint_writes () =
+  with_sanitize true (fun () ->
+      (* well-formed regions are untouched: same results as unsanitized *)
+      let out = Array.make 100 0 in
+      Pool.parallel_for ~jobs:4 ~chunks:8 ~lo:0 ~hi:100 (fun i ->
+          Pool.write out i (i * 3));
+      Alcotest.(check (array int))
+        "parallel_for writes" (Array.init 100 (fun i -> i * 3)) out;
+      let got = Pool.map_range ~jobs:4 ~chunks:8 ~lo:5 ~hi:55 (fun i -> i * i) in
+      Alcotest.(check (array int))
+        "map_range tracked" (Array.init 50 (fun k -> (k + 5) * (k + 5))) got;
+      (* the serial path is also dispatched and checked under sanitize *)
+      let got1 = Pool.map_range ~jobs:1 ~lo:0 ~hi:9 (fun i -> -i) in
+      Alcotest.(check (array int))
+        "jobs=1 sanitized" (Array.init 9 (fun i -> -i)) got1)
+
+let test_sanitizer_boundary_escape () =
+  with_sanitize true (fun () ->
+      (* chunk 0 owns [0,5): a write to slot 7 crosses its boundary even
+         though no other chunk ever touches that slot *)
+      let out = Array.make 10 0 in
+      match
+        Pool.parallel_for ~jobs:1 ~chunks:2 ~lo:0 ~hi:10 (fun i ->
+            Pool.write out (if i = 2 then 7 else i) i)
+      with
+      | () -> Alcotest.fail "chunk-boundary escape not detected"
+      | exception Pool.Race _ -> ())
+
+let test_sanitizer_enabled_toggle () =
+  Pool.set_sanitize (Some true);
+  Alcotest.(check bool) "forced on" true (Pool.sanitize_enabled ());
+  Pool.set_sanitize (Some false);
+  Alcotest.(check bool) "forced off" false (Pool.sanitize_enabled ());
+  Pool.set_sanitize None
+
 let () =
   Alcotest.run "netdiv_par"
     [
@@ -140,5 +211,18 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "detects overlapping writes" `Quick
+            test_sanitizer_detects_overlap;
+          Alcotest.test_case "silent when disabled" `Quick
+            test_sanitizer_silent_when_off;
+          Alcotest.test_case "accepts disjoint writes" `Quick
+            test_sanitizer_accepts_disjoint_writes;
+          Alcotest.test_case "detects boundary escape" `Quick
+            test_sanitizer_boundary_escape;
+          Alcotest.test_case "set_sanitize toggle" `Quick
+            test_sanitizer_enabled_toggle;
         ] );
     ]

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Repository gate: build everything, run the full test suite (alcotest,
-# qcheck and the CLI cram test), run the fast benchmark smoke (parallel
-# determinism + interning sections, writes BENCH.json), and — when a
-# .ocamlformat file is present — verify formatting. Exits non-zero on
-# the first failure.
+# Repository gate: build everything, run the netdiv-lint static checker,
+# run the full test suite (alcotest, qcheck and the CLI cram test),
+# re-run the pool suite with the NETDIV_SANITIZE race sanitizer enabled,
+# run the fast benchmark smoke (parallel determinism + interning
+# sections, writes BENCH.json), and — when a .ocamlformat file is
+# present — verify formatting. Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,8 +12,16 @@ cd "$(dirname "$0")/.."
 echo "== dune build"
 dune build
 
+echo "== netdiv lint (concurrency/determinism gate)"
+dune build @lint
+
 echo "== dune runtest"
 dune runtest
+
+echo "== pool tests under NETDIV_SANITIZE=1"
+# dune does not track env vars, so run the test binary directly: the
+# sanitizer must stay silent on the whole (race-free) pool suite.
+NETDIV_SANITIZE=1 dune exec test/test_par.exe -- --compact
 
 echo "== bench smoke (parallel determinism + interning)"
 NETDIV_BENCH_SMOKE=1 NETDIV_BENCH_RUNS=20 dune exec bench/main.exe
