@@ -8,8 +8,9 @@
    whole run finishes in a few minutes; set NETDIV_BENCH_FULL=1 for the
    paper's full ranges (up to 6,000 hosts and 240,000 links).
    NETDIV_BENCH_RUNS overrides the 1,000 simulation runs per MTTC cell.
-   NETDIV_BENCH_SMOKE=1 runs only the fast parallel-speedup and
-   potential-interning sections (the CI smoke used by tools/check.sh).
+   NETDIV_BENCH_SMOKE=1 runs only the fast parallel-speedup,
+   potential-interning and message-kernel sections (the CI smoke used by
+   tools/check.sh).
 
    Every run also writes BENCH.json (override the path with
    NETDIV_BENCH_JSON): per-section wall time, peak heap words and named
@@ -832,19 +833,68 @@ let extension_anytime () =
 (* ---------------------------- parallel speedup & determinism checks *)
 
 let scalability_speedup () =
-  section "[Parallel] serial-vs-parallel speedup (one reduced sweep cell)";
-  let net =
-    Workload.instance
-      { hosts = 300; degree = 8; services = 5; products_per_service = 4;
-        seed = 1 }
+  section
+    "[Parallel] serial-vs-parallel speedup (4-zone segmented instance)";
+  (* four mutually isolated zones (air-gapped ICS cells): the component
+     decomposition is the solver's unit of parallelism, so this is the
+     workload where extra domains can actually pay.  A single connected
+     instance solves inline regardless of [jobs] — TRW-S sweeps are
+     sequential by construction *)
+  let zones = 4 and zone_hosts = 200 in
+  let n_hosts = zones * zone_hosts in
+  let edges = ref [] in
+  for z = 0 to zones - 1 do
+    let g =
+      Netdiv_graph.Gen.avg_degree
+        ~rng:(Random.State.make [| 1; z |])
+        ~n:zone_hosts ~degree:8
+    in
+    Graph.iter_edges
+      (fun u v ->
+        edges := ((z * zone_hosts) + u, (z * zone_hosts) + v) :: !edges)
+      g
+  done;
+  let graph = Graph.of_edges ~n:n_hosts !edges in
+  let services =
+    Array.init 5 (fun sv ->
+        { Network.sv_name = Printf.sprintf "svc%d" sv;
+          sv_products = Array.init 4 (fun k -> Printf.sprintf "p%d" k);
+          sv_similarity =
+            Workload.synthetic_similarity
+              ~rng:(Random.State.make [| 5; sv |])
+              ~products:4 })
   in
+  let hosts =
+    Array.init n_hosts (fun h ->
+        { Network.h_name = Printf.sprintf "h%d" h;
+          h_services = List.init 5 (fun sv -> (sv, [||])) })
+  in
+  let net = Network.create ~graph ~services ~hosts in
   let job_counts = if full_sweep then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
-  let solve jobs =
-    let t0 = Unix.gettimeofday () in
-    let report = Optimize.run ~jobs net [] in
-    (Unix.gettimeofday () -. t0, report)
+  (* One untimed warmup per job count (captures the deterministic
+     result and faults code + instance into cache), then best-of-5
+     timed runs taken round-robin across job counts with a major
+     collection before each: measuring all repetitions of one job
+     count back to back biases later rows, which pay the heap growth
+     and GC debt accumulated by earlier ones. *)
+  let reports =
+    List.map (fun jobs -> (jobs, Optimize.run ~jobs net [])) job_counts
   in
-  let results = List.map (fun jobs -> (jobs, solve jobs)) job_counts in
+  let best = Hashtbl.create 8 in
+  List.iter (fun jobs -> Hashtbl.replace best jobs infinity) job_counts;
+  for _round = 1 to 5 do
+    List.iter
+      (fun jobs ->
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        ignore (Optimize.run ~jobs net []);
+        let t = Unix.gettimeofday () -. t0 in
+        if t < Hashtbl.find best jobs then Hashtbl.replace best jobs t)
+      job_counts
+  done;
+  let results =
+    List.map (fun (jobs, r) -> (jobs, (Hashtbl.find best jobs, r))) reports
+  in
   let _, (t_serial, reference) = List.hd results in
   Format.printf "%-6s %10s %9s %14s@." "jobs" "time (s)" "speedup" "energy";
   List.iter
@@ -869,7 +919,8 @@ let scalability_speedup () =
   (* the simulation fan-out must give identical statistics for the same
      seed at any domain count *)
   let a = reference.Optimize.assignment in
-  let entry = 0 and target = Network.n_hosts net - 1 in
+  (* entry and target must share a zone: nothing crosses an air gap *)
+  let entry = 0 and target = zone_hosts - 1 in
   let mttc domains =
     let t0 = Unix.gettimeofday () in
     let stats =
@@ -930,6 +981,93 @@ let interning_memory () =
   Report.metric "pot_words_unshared" (float_of_int unshared);
   Report.metric "live_words_interned" (float_of_int live_interned);
   Report.metric "live_words_saved" (float_of_int saved)
+
+(* ------------------------------------- message-kernel specialization *)
+
+(* Same model built twice — once with the structure classifier on, once
+   forced all-generic — and solved with identical configs.  Messages are
+   bitwise identical either way (see test/test_mrf.ml "kernels"), so the
+   wall-clock ratio isolates the kernel specialization itself. *)
+let kernel_specialization () =
+  section "[Kernels] structure-specialized message updates vs generic";
+  let module Mrf = Netdiv_mrf.Mrf in
+  let module Trws = Netdiv_mrf.Trws in
+  let l = 32 and n = 200 in
+  let unary rng k = Array.init k (fun _ -> Random.State.float rng 1.0) in
+  (* ring + chords: connected, loopy, every edge shares one table *)
+  let build_with table specialize =
+    let rng = Random.State.make [| 17 |] in
+    let b = Mrf.Builder.create ~label_counts:(Array.make n l) in
+    for i = 0 to n - 1 do
+      Mrf.Builder.set_unary b ~node:i (unary rng l)
+    done;
+    for i = 0 to n - 1 do
+      Mrf.Builder.add_edge b i ((i + 1) mod n) table;
+      if i + 7 < n then Mrf.Builder.add_edge b i (i + 7) table
+    done;
+    Mrf.Builder.build ~specialize b
+  in
+  let potts_table =
+    Array.init (l * l) (fun idx ->
+        if idx / l = idx mod l then 0.02 *. float_of_int (idx mod l)
+        else 1.0)
+  in
+  let sparse_table =
+    let t = Array.make (l * l) 0.5 in
+    t.(3) <- 2.0;
+    t.((5 * l) + 9) <- 0.1;
+    t.((17 * l) + 2) <- 1.4;
+    t
+  in
+  (* bound/decode are O(L^2) per edge whatever the kernel; computing
+     them only at the end leaves the message updates as the measured
+     work *)
+  let config =
+    { Trws.default_config with
+      max_iters = 30;
+      patience = 30;
+      bound_every = 30;
+    }
+  in
+  let best_of k f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to k do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      best := Float.min !best (Unix.gettimeofday () -. t0);
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let run label table expected_kind =
+    let ms = build_with table true and mg = build_with table false in
+    (match Mrf.table_class ms (Mrf.edge_table_id ms 0) with
+    | c when Netdiv_mrf.Kernel.kind_name c = expected_kind -> ()
+    | c ->
+        Report.fail
+          (Printf.sprintf "kernel bench: %s table classified %s" label
+             (Netdiv_mrf.Kernel.kind_name c)));
+    let rs, ts = best_of 5 (fun () -> Trws.solve ~config ms) in
+    let rg, tg = best_of 5 (fun () -> Trws.solve ~config mg) in
+    if
+      not
+        (rs.Netdiv_mrf.Solver.energy = rg.Netdiv_mrf.Solver.energy
+        && rs.Netdiv_mrf.Solver.labeling = rg.Netdiv_mrf.Solver.labeling)
+    then
+      Report.fail
+        (Printf.sprintf "kernel bench: %s result differs from generic" label);
+    let speedup = tg /. ts in
+    Format.printf
+      "%-12s L=%d  generic %8.4fs  specialized %8.4fs  speedup %6.2fx@."
+      label l tg ts speedup;
+    Report.metric (Printf.sprintf "generic_%s_s" label) tg;
+    Report.metric (Printf.sprintf "specialized_%s_s" label) ts;
+    Report.metric (Printf.sprintf "%s_speedup" label) speedup
+  in
+  Report.metric "labels" (float_of_int l);
+  run "potts" potts_table "potts";
+  run "sparse" sparse_table "const-sparse"
 
 (* ------------------------------------------- Bechamel micro-benches *)
 
@@ -1015,6 +1153,7 @@ let () =
   end;
   Report.timed "scalability_speedup" scalability_speedup;
   Report.timed "interning_memory" interning_memory;
+  Report.timed "kernel_specialization" kernel_specialization;
   if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;
   let json_path =
     Option.value (Sys.getenv_opt "NETDIV_BENCH_JSON") ~default:"BENCH.json"

@@ -16,7 +16,7 @@ let default_big_m = 1e6
    service and the two candidate lists (physically interned lists compare
    fast via their contents here). *)
 module Matrix_cache = struct
-  type key = int * int array * int array * float
+  type key = int * int array * int array * float * float
 
   (* Domain-safety audit (netdiv-lint): encoding currently runs before any
      parallel region starts, but nothing in the types enforces that, so
@@ -29,17 +29,21 @@ module Matrix_cache = struct
      [lock]; interned values are immutable once published. *)
   let table : (key, float array) Hashtbl.t = Hashtbl.create 64
 
-  let get net service cu cv weight =
-    let key = (service, cu, cv, weight) in
+  let get net service cu cv weight threshold =
+    let key = (service, cu, cv, weight, threshold) in
     match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
     | Some m -> m
     | None ->
         let ku = Array.length cu and kv = Array.length cv in
         let m =
           Array.init (ku * kv) (fun idx ->
-              weight
-              *. Network.similarity net ~service cu.(idx / kv)
-                   cv.(idx mod kv))
+              let s =
+                Network.similarity net ~service cu.(idx / kv) cv.(idx mod kv)
+              in
+              (* sub-threshold similarities snap to exactly 0, turning
+                 near-uniform rows into uniform ones the message-kernel
+                 classifier can exploit (Potts / constant-plus-sparse) *)
+              if s < threshold then 0.0 else weight *. s)
         in
         Mutex.protect lock (fun () ->
             match Hashtbl.find_opt table key with
@@ -52,7 +56,13 @@ module Matrix_cache = struct
 end
 
 let encode ?(prconst = default_prconst) ?(big_m = default_big_m)
-    ?preference ?edge_weight net constraints =
+    ?(similarity_threshold = 0.0) ?preference ?edge_weight net constraints =
+  if
+    not
+      (similarity_threshold >= 0.0
+      && similarity_threshold <= 1.0
+      && Float.is_finite similarity_threshold)
+  then invalid_arg "Encode.encode: similarity_threshold outside [0,1]";
   (match Constr.validate_all net constraints with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Encode.encode: " ^ msg));
@@ -142,7 +152,7 @@ let encode ?(prconst = default_prconst) ?(big_m = default_big_m)
           | Some vu, Some vv ->
               let cu = labels.(vu) and cv = labels.(vv) in
               Mrf.Builder.add_edge builder vu vv
-                (Matrix_cache.get net s cu cv weight)
+                (Matrix_cache.get net s cu cv weight similarity_threshold)
           | _ -> ())
         su)
     (Network.graph net);

@@ -20,6 +20,10 @@ let rules =
     ( "list-nth-in-loop",
       "List.nth inside a for/while loop: O(n) per access turns the loop \
        quadratic (the exact class fixed in lib/sim/engine.ml)" );
+    ( "alloc-in-loop",
+      "Array.make/Array.init/Array.copy inside a for/while body in hot \
+       solver code (lib/mrf, lib/bayes); allocate scratch once outside \
+       the loop and reuse it" );
     ( "missing-mli",
       "library module without an interface file; every lib/ module must \
        state its exported surface" );
@@ -70,6 +74,11 @@ let parallel_reachable ctx =
 
 let solver_sim ctx =
   match ctx.lib_dir with Some ("mrf" | "sim" | "par") -> true | _ -> false
+
+(* Directories whose inner loops are the measured hot path: a
+   per-iteration allocation there shows up directly in BENCH.json. *)
+let hot_path ctx =
+  match ctx.lib_dir with Some ("mrf" | "bayes") -> true | _ -> false
 
 (* -------------------------------------------------------- suppressions *)
 
@@ -223,6 +232,19 @@ let scan_tokens ctx (toks : Lexer.token array) =
       add t "list-nth-in-loop"
         "List.nth inside a loop is O(n) per access; index an array or \
          restructure the traversal";
+    if
+      hot_path ctx && !loop_depth > 0
+      && seq2 toks i "Array" "."
+      &&
+      let f = tok toks (i + 2) in
+      f = "make" || f = "init" || f = "copy"
+    then
+      add t "alloc-in-loop"
+        (Printf.sprintf
+           "Array.%s inside a loop body allocates per iteration; hoist a \
+            scratch buffer out of the loop (the exact class fixed in \
+            lib/mrf/bp.ml's message update)"
+           (tok toks (i + 2)));
     if ctx.in_lib then begin
       if seq3 toks i "Printf" "." "printf" || seq3 toks i "Format" "." "printf"
       then

@@ -18,6 +18,10 @@
       [Unix.gettimeofday] in solver/sim code.
     - [list-nth-in-loop]: [List.nth]/[List.nth_opt] inside a [for]/[while]
       loop.
+    - [alloc-in-loop]: [Array.make]/[Array.init]/[Array.copy] inside a
+      [for]/[while] body in the measured hot directories ([lib/mrf],
+      [lib/bayes]); per-iteration allocation there is GC pressure the
+      bench pays for directly — hoist a scratch buffer.
     - [missing-mli]: a [lib/] module with no interface file.
     - [printf-in-lib]: stdout printing from library code.
     - [bad-suppression]: a malformed suppression comment.

@@ -23,6 +23,8 @@ type state = {
   bw_off : int array;
   fw : float array;  (* message into v of each edge *)
   bw : float array;  (* message into u of each edge *)
+  classes : Kernel.t array;
+  scratch : Kernel.scratch;
 }
 
 let make_state mrf =
@@ -37,6 +39,7 @@ let make_state mrf =
     i_pot = pot;
     i_inc_off = inc_off;
     i_inc = inc;
+    i_classes = classes;
   } =
     Mrf.internal_arrays mrf
   in
@@ -61,6 +64,8 @@ let make_state mrf =
     bw_off;
     fw = Array.make fw_off.(m) 0.0;
     bw = Array.make bw_off.(m) 0.0;
+    classes;
+    scratch = Kernel.make_scratch ~max_labels:(Array.fold_left max 1 labels);
   }
 
 let aggregate st i theta =
@@ -72,10 +77,9 @@ let aggregate st i theta =
   for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
     let code = st.inc.(p) in
     let e = code / 2 in
-    let off, msg =
-      if code land 1 = 1 then (st.bw_off.(e), st.bw)
-      else (st.fw_off.(e), st.fw)
-    in
+    let bwd = code land 1 = 1 in
+    let off = if bwd then st.bw_off.(e) else st.fw_off.(e) in
+    let msg = if bwd then st.bw else st.fw in
     for x = 0 to k - 1 do
       theta.(x) <- theta.(x) +. msg.(off + x)
     done
@@ -95,30 +99,28 @@ let sweep st n theta damping =
       let j = if i_is_u then st.ev.(e) else st.eu.(e) in
       let kj = st.labels.(j) in
       let p0 = st.pot_off.(st.etab.(e)) in
-      let in_off, in_msg =
-        if i_is_u then (st.bw_off.(e), st.bw) else (st.fw_off.(e), st.fw)
-      in
-      let out_off, out_msg =
-        if i_is_u then (st.fw_off.(e), st.fw) else (st.bw_off.(e), st.bw)
-      in
-      let vmin = ref infinity in
-      let fresh = Array.make kj 0.0 in
-      for xj = 0 to kj - 1 do
-        let best = ref infinity in
-        for xi = 0 to k - 1 do
-          let pair =
-            if i_is_u then st.pot.(p0 + (xi * kj) + xj)
-            else st.pot.(p0 + (xj * k) + xi)
-          in
-          let c = theta.(xi) -. in_msg.(in_off + xi) +. pair in
-          if c < !best then best := c
-        done;
-        fresh.(xj) <- !best;
-        if !best < !vmin then vmin := !best
+      let in_off = if i_is_u then st.bw_off.(e) else st.fw_off.(e) in
+      let in_msg = if i_is_u then st.bw else st.fw in
+      let out_off = if i_is_u then st.fw_off.(e) else st.bw_off.(e) in
+      let out_msg = if i_is_u then st.fw else st.bw in
+      (* reduction input, precomputed once per message; the kernel stages
+         its raw output in the preallocated [scratch.fresh] buffer (no
+         per-message allocation) so the damping blend below can mix it
+         with the previous message value. *)
+      let h = st.scratch.Kernel.h in
+      for xi = 0 to k - 1 do
+        h.(xi) <- theta.(xi) -. in_msg.(in_off + xi)
       done;
+      let fresh = st.scratch.Kernel.fresh in
+      let vmin =
+        Kernel.update
+          st.classes.(st.etab.(e))
+          ~pot:st.pot ~p0 ~src_is_u:i_is_u ~k_src:k ~k_out:kj
+          ~scratch:st.scratch ~out:fresh ~out_off:0
+      in
       for xj = 0 to kj - 1 do
         let updated =
-          ((1.0 -. damping) *. (fresh.(xj) -. !vmin))
+          ((1.0 -. damping) *. (fresh.(xj) -. vmin))
           +. (damping *. out_msg.(out_off + xj))
         in
         let change = abs_float (updated -. out_msg.(out_off + xj)) in

@@ -12,6 +12,7 @@ type t = {
   pot : float array;           (* flat concatenation of the tables *)
   inc_off : int array;         (* n+1 CSR offsets into inc *)
   inc : int array;             (* encoded incidences: edge*2 + (1 if node=u) *)
+  classes : Kernel.t array;    (* per-table message-kernel classification *)
 }
 
 type internals = {
@@ -25,18 +26,24 @@ type internals = {
   i_pot : float array;
   i_inc_off : int array;
   i_inc : int array;
+  i_classes : Kernel.t array;
 }
 
-(* Content-based interning of pairwise tables.  Physical equality is a
-   fast path; the structural fallback uses polymorphic [compare] so two
-   nan entries at the same position still unify. *)
+(* Shape-and-content-based interning of pairwise tables.  Physical
+   equality is a fast path; the structural fallback uses polymorphic
+   [compare] so two nan entries at the same position still unify.  The
+   key carries [kv] (the column count) because a table is only
+   meaningful together with its shape: the kernel classification of a
+   2x3 matrix differs from that of the same six floats read as 3x2, so
+   edges may share a table id only when both shape and content agree. *)
 module Table_key = struct
-  type t = float array
+  type t = int * float array
 
-  let equal a b =
-    a == b || (Array.length a = Array.length b && compare a b = 0)
+  let equal (kva, a) (kvb, b) =
+    kva = kvb
+    && (a == b || (Array.length a = Array.length b && compare a b = 0))
 
-  let hash (a : float array) = Hashtbl.hash a
+  let hash ((kv, a) : t) = Hashtbl.hash (kv, Hashtbl.hash a)
 end
 
 module Table_tbl = Hashtbl.Make (Table_key)
@@ -99,7 +106,7 @@ module Builder = struct
     b.b_edges <- (u, v, cost) :: b.b_edges;
     b.b_m <- b.b_m + 1
 
-  let build b =
+  let build ?(specialize = true) b =
     if b.built then invalid_arg "Mrf.Builder.build: builder already used";
     b.built <- true;
     let n = Array.length b.b_labels in
@@ -113,27 +120,44 @@ module Builder = struct
         ev.(e) <- v;
         ecost.(e) <- cost)
       b.b_edges;
-    (* Hash-cons the pairwise tables: edges carrying equal-content
-       matrices share one table id, and the distinct tables are packed
-       into a single flat array for the solver hot loops.  Table ids are
-       assigned in first-use edge order, so they depend only on the
-       sequence of [add_edge] calls. *)
+    (* Hash-cons the pairwise tables: edges carrying equal-shape,
+       equal-content matrices share one table id, and the distinct
+       tables are packed into a single flat array for the solver hot
+       loops.  Table ids are assigned in first-use edge order, so they
+       depend only on the sequence of [add_edge] calls. *)
     let interned = Table_tbl.create (max 16 (m / 4)) in
     let rev_tables = ref [] in
+    let rev_shapes = ref [] in
     let n_tables = ref 0 in
     let etab = Array.make m 0 in
     for e = 0 to m - 1 do
       let cost = ecost.(e) in
-      match Table_tbl.find_opt interned cost with
+      let kv = b.b_labels.(ev.(e)) in
+      match Table_tbl.find_opt interned (kv, cost) with
       | Some id -> etab.(e) <- id
       | None ->
           let id = !n_tables in
           incr n_tables;
-          Table_tbl.add interned cost id;
+          Table_tbl.add interned (kv, cost) id;
           rev_tables := cost :: !rev_tables;
+          rev_shapes := (b.b_labels.(eu.(e)), kv) :: !rev_shapes;
           etab.(e) <- id
     done;
     let tables = Array.of_list (List.rev !rev_tables) in
+    let shapes = Array.of_list (List.rev !rev_shapes) in
+    (* Classify each distinct table once: the solvers dispatch every
+       message update on this tag, replacing the O(L^2) scan with an
+       O(L) Potts or O(L + nnz) sparse kernel where the structure
+       permits (see kernel.mli). *)
+    let classes =
+      if specialize then
+        Array.mapi
+          (fun id tab ->
+            let ku, kv = shapes.(id) in
+            Kernel.classify ~ku ~kv tab)
+          tables
+      else Array.map (fun _ -> Kernel.Generic) tables
+    in
     let pot_off = Array.make (!n_tables + 1) 0 in
     for id = 0 to !n_tables - 1 do
       pot_off.(id + 1) <- pot_off.(id) + Array.length tables.(id)
@@ -189,6 +213,7 @@ module Builder = struct
       pot;
       inc_off;
       inc;
+      classes;
     }
 end
 
@@ -206,6 +231,41 @@ let edge_table_id t e = t.etab.(e)
 
 let n_tables t = Array.length t.tables
 let pot_words t = Array.length t.pot
+
+let table_class t id = t.classes.(id)
+
+type kernel_counts = {
+  potts_tables : int;
+  sparse_tables : int;
+  generic_tables : int;
+  potts_edges : int;
+  sparse_edges : int;
+  generic_edges : int;
+}
+
+let kernel_counts t =
+  let pt = ref 0 and st = ref 0 and gt = ref 0 in
+  Array.iter
+    (function
+      | Kernel.Potts _ -> incr pt
+      | Kernel.Const_sparse _ -> incr st
+      | Kernel.Generic -> incr gt)
+    t.classes;
+  let pe = ref 0 and se = ref 0 and ge = ref 0 in
+  for e = 0 to t.m - 1 do
+    match t.classes.(t.etab.(e)) with
+    | Kernel.Potts _ -> incr pe
+    | Kernel.Const_sparse _ -> incr se
+    | Kernel.Generic -> incr ge
+  done;
+  {
+    potts_tables = !pt;
+    sparse_tables = !st;
+    generic_tables = !gt;
+    potts_edges = !pe;
+    sparse_edges = !se;
+    generic_edges = !ge;
+  }
 
 let pot_words_unshared t =
   let acc = ref 0 in
@@ -263,12 +323,17 @@ let internal_arrays t =
     i_pot = t.pot;
     i_inc_off = t.inc_off;
     i_inc = t.inc;
+    i_classes = t.classes;
   }
 
 let pp_stats ppf t =
+  let k = kernel_counts t in
   Format.fprintf ppf
     "mrf: %d nodes, %d edges, labels max %d, unary entries %d, \
-     pairwise tables %d (%d words interned, %d unshared)"
+     pairwise tables %d (%d words interned, %d unshared), kernels \
+     %d potts / %d sparse / %d generic tables (%d/%d/%d edges)"
     t.n t.m (max_label_count t)
     t.unary_off.(t.n)
     (n_tables t) (pot_words t) (pot_words_unshared t)
+    k.potts_tables k.sparse_tables k.generic_tables k.potts_edges
+    k.sparse_edges k.generic_edges

@@ -39,8 +39,14 @@ module Builder : sig
       not copied.  Parallel edges are allowed (their costs add).
       @raise Invalid_argument on self-edges or size mismatch. *)
 
-  val build : b -> t
-  (** Freezes the model.  The builder must not be reused afterwards. *)
+  val build : ?specialize:bool -> b -> t
+  (** Freezes the model.  The builder must not be reused afterwards.
+      Each distinct pairwise table is classified once for the
+      structure-specialized message kernels (see {!Kernel}); pass
+      [~specialize:false] to force every table onto the generic O(L²)
+      kernel — useful only for testing and benchmarking the kernels
+      against each other, since the specialized paths are bitwise
+      equivalent. *)
 end
 
 val n_nodes : t -> int
@@ -73,6 +79,23 @@ val pot_words_unshared : t -> int
     interning (one copy per edge); [pot_words t <=
     pot_words_unshared t] always holds. *)
 
+val table_class : t -> int -> Kernel.t
+(** Message-kernel classification of an interned table (see
+    {!Kernel.classify}); indexed by table id in [0 .. n_tables - 1]. *)
+
+type kernel_counts = {
+  potts_tables : int;
+  sparse_tables : int;
+  generic_tables : int;
+  potts_edges : int;
+  sparse_edges : int;
+  generic_edges : int;
+}
+
+val kernel_counts : t -> kernel_counts
+(** Census of kernel classifications over distinct tables and over
+    edges (each edge counted under its interned table's class). *)
+
 val energy : t -> int array -> float
 (** [energy t x] evaluates E(x).
     @raise Invalid_argument if [x] has wrong length or out-of-range labels. *)
@@ -103,6 +126,7 @@ type internals = {
   i_pot : float array;       (** flat concatenation of distinct tables *)
   i_inc_off : int array;     (** n+1 CSR offsets into [i_inc] *)
   i_inc : int array;         (** incidences: edge*2 + (1 if node=u) *)
+  i_classes : Kernel.t array;  (** per-table kernel classification *)
 }
 
 val internal_arrays : t -> internals

@@ -155,8 +155,14 @@ let icm_restarts ?config ?(restarts = 4) ?(seed = 0x1c3)
                  mutates caller state and is not safe off-domain *)
               Icm.solve ?config ~interrupt ?init:init_r mrf
             in
+            (* ≈ a dozen ICM sweeps, each touching every (label, edge)
+               slot once; lets the pool run smoke-sized restart batches
+               inline instead of spawning domains *)
+            let cost =
+              12 * (Mrf.pot_words_unshared mrf + Mrf.n_nodes mrf)
+            in
             let results =
-              Netdiv_par.Pool.map_range ?jobs ~lo:0 ~hi:restarts one
+              Netdiv_par.Pool.map_range ?jobs ~cost ~lo:0 ~hi:restarts one
             in
             let best = ref results.(0) in
             Array.iter

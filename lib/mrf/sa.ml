@@ -121,8 +121,19 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
            pool returns results in restart order, so the outcome is
            identical for any domain count — including the sequential
            path above *)
+        (* granularity hint: temperature steps × sweeps × per-sweep
+           flip cost (one move_delta over each node's incident edges) *)
+        let temps =
+          int_of_float
+            (Float.max 1.0
+               (ceil
+                  (log (config.min_temp /. config.initial_temp)
+                  /. log config.cooling)))
+        in
+        let per_sweep = n + (8 * Mrf.n_edges mrf) in
+        let cost = temps * config.sweeps_per_temp * per_sweep in
         Array.to_list
-          (Netdiv_par.Pool.map_range ~jobs:config.domains ~lo:0
+          (Netdiv_par.Pool.map_range ~jobs:config.domains ~cost ~lo:0
              ~hi:config.restarts one_restart)
     in
     let best = Array.copy start in

@@ -26,6 +26,11 @@ type state = {
   bw_off : int array;
   fw : float array;
   bw : float array;
+  classes : Kernel.t array;
+  scratch : Kernel.scratch;
+  lb_agg : float array;  (* lower_bound scratch: gamma-weighted unaries *)
+  lb_dp : float array;   (* lower_bound scratch: chain DP, current *)
+  lb_dp' : float array;  (* lower_bound scratch: chain DP, next *)
   gamma : float array;
   chains : int array array;
       (* monotonic chain decomposition: each chain is the sequence of its
@@ -47,6 +52,7 @@ let make_state mrf =
     i_pot = pot;
     i_inc_off = inc_off;
     i_inc = inc;
+    i_classes = classes;
   } =
     Mrf.internal_arrays mrf
   in
@@ -122,6 +128,15 @@ let make_state mrf =
     bw_off;
     fw = Array.make fw_off.(m) 0.0;
     bw = Array.make bw_off.(m) 0.0;
+    classes;
+    scratch = Kernel.make_scratch ~max_labels:(Array.fold_left max 1 labels);
+    (* per-iteration bound scratch lives in the state: allocating it in
+       [lower_bound] made every iteration churn the minor heap, and
+       minor collections are stop-the-world across ALL domains — the
+       per-component solves then serialized on the GC barrier *)
+    lb_agg = Array.make unary_off.(n) 0.0;
+    lb_dp = Array.make (Array.fold_left max 1 labels) 0.0;
+    lb_dp' = Array.make (Array.fold_left max 1 labels) 0.0;
     gamma;
     chains = Array.of_list !chains;
     isolated = !isolated;
@@ -137,10 +152,13 @@ let aggregate st i theta =
   for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
     let code = st.inc.(p) in
     let e = code / 2 in
-    let off, msg =
-      if code land 1 = 1 then (st.bw_off.(e), st.bw)
-      else (st.fw_off.(e), st.fw)
-    in
+    (* two scalar ifs, not a destructured tuple: this runs per incident
+       edge per node per sweep, and the tuple would be a fresh minor
+       allocation each time (minor GCs are global barriers under
+       domains) *)
+    let bwd = code land 1 = 1 in
+    let off = if bwd then st.bw_off.(e) else st.fw_off.(e) in
+    let msg = if bwd then st.bw else st.fw in
     for x = 0 to k - 1 do
       theta.(x) <- theta.(x) +. msg.(off + x)
     done
@@ -161,33 +179,29 @@ let sweep st n theta forward =
       if (forward && j > i) || ((not forward) && j < i) then begin
         let kj = st.labels.(j) in
         let p0 = st.pot_off.(st.etab.(e)) in
-        (* message into i along e (to be subtracted) *)
-        let in_off, in_msg =
-          if i_is_u then (st.bw_off.(e), st.bw)
-          else (st.fw_off.(e), st.fw)
-        in
-        (* message out of i along e (to be written) *)
-        let out_off, out_msg =
-          if i_is_u then (st.fw_off.(e), st.fw)
-          else (st.bw_off.(e), st.bw)
-        in
-        let vmin = ref infinity in
-        for xj = 0 to kj - 1 do
-          let best = ref infinity in
-          for xi = 0 to k - 1 do
-            let pair =
-              if i_is_u then st.pot.(p0 + (xi * kj) + xj)
-              else st.pot.(p0 + (xj * k) + xi)
-            in
-            let c = (g *. theta.(xi)) -. in_msg.(in_off + xi) +. pair in
-            if c < !best then best := c
-          done;
-          out_msg.(out_off + xj) <- !best;
-          if !best < !vmin then vmin := !best
+        (* message into i along e (to be subtracted) and out of i (to
+           be written); scalar ifs keep this allocation-free *)
+        let in_off = if i_is_u then st.bw_off.(e) else st.fw_off.(e) in
+        let in_msg = if i_is_u then st.bw else st.fw in
+        let out_off = if i_is_u then st.fw_off.(e) else st.bw_off.(e) in
+        let out_msg = if i_is_u then st.fw else st.bw in
+        (* reduction input: reparameterized node cost minus the reverse
+           message.  Precomputed once so every kernel — including the
+           generic scan — reads it O(L) times instead of recomputing it
+           O(L²) times. *)
+        let h = st.scratch.Kernel.h in
+        for xi = 0 to k - 1 do
+          h.(xi) <- (g *. theta.(xi)) -. in_msg.(in_off + xi)
         done;
+        let vmin =
+          Kernel.update
+            st.classes.(st.etab.(e))
+            ~pot:st.pot ~p0 ~src_is_u:i_is_u ~k_src:k ~k_out:kj
+            ~scratch:st.scratch ~out:out_msg ~out_off
+        in
         (* normalize so the smallest entry is zero *)
         for xj = 0 to kj - 1 do
-          out_msg.(out_off + xj) <- out_msg.(out_off + xj) -. !vmin
+          out_msg.(out_off + xj) <- out_msg.(out_off + xj) -. vmin
         done
       end
     done
@@ -209,7 +223,7 @@ let sweep st n theta forward =
    at the true optimum), and tight at TRW-S fixed points on trees. *)
 let lower_bound st n _m theta =
   (* cache gamma-weighted aggregated unaries *)
-  let agg = Array.make st.unary_off.(n) 0.0 in
+  let agg = st.lb_agg in
   for i = 0 to n - 1 do
     aggregate st i theta;
     let off = st.unary_off.(i) in
@@ -217,25 +231,26 @@ let lower_bound st n _m theta =
       agg.(off + x) <- st.gamma.(i) *. theta.(x)
     done
   done;
-  (* reparameterized edge cost, oriented low node -> high node *)
-  let edge_cost e xlo xhi =
+  let lo_node e =
     let u = st.eu.(e) and v = st.ev.(e) in
-    let kv = st.labels.(v) in
-    let xu, xv = if u < v then (xlo, xhi) else (xhi, xlo) in
-    st.pot.(st.pot_off.(st.etab.(e)) + (xu * kv) + xv)
-    -. st.fw.(st.fw_off.(e) + xv)
-    -. st.bw.(st.bw_off.(e) + xu)
-  in
-  let endpoints_ordered e =
-    let u = st.eu.(e) and v = st.ev.(e) in
-    if u < v then (u, v) else (v, u)
+    if u < v then u else v
   in
   let acc = ref 0.0 in
-  let dp = Array.make (Array.fold_left max 1 st.labels) 0.0 in
-  let dp' = Array.make (Array.length dp) 0.0 in
+  let dp = st.lb_dp in
+  let dp' = st.lb_dp' in
+  (* The per-edge DP transition is written out inline with the running
+     minimum accumulated directly in the [dp'] float array: a local
+     float-returning closure (boxed return per call without flambda) or
+     a [float ref] minimum (boxed store per assignment) here made every
+     bound evaluation allocate ~10^5 minor words, and under multicore
+     the resulting minor collections are stop-the-world barriers that
+     serialize otherwise independent per-component solves.  The
+     reparameterized cost, oriented low node -> high node, is
+       pot[xu,xv] - fw[xv] - bw[xu]
+     with (xu, xv) = (x, y) when u < v and (y, x) otherwise. *)
   Array.iter
     (fun chain ->
-      let first, _ = endpoints_ordered chain.(0) in
+      let first = lo_node chain.(0) in
       let k0 = st.labels.(first) in
       for x = 0 to k0 - 1 do
         dp.(x) <- agg.(st.unary_off.(first) + x)
@@ -243,15 +258,37 @@ let lower_bound st n _m theta =
       let prev_k = ref k0 in
       Array.iter
         (fun e ->
-          let _, hi = endpoints_ordered e in
+          let u = st.eu.(e) and v = st.ev.(e) in
+          let kv = st.labels.(v) in
+          let pbase = st.pot_off.(st.etab.(e)) in
+          let fw0 = st.fw_off.(e) and bw0 = st.bw_off.(e) in
+          let hi = if u < v then v else u in
           let kh = st.labels.(hi) in
           for y = 0 to kh - 1 do
-            let best = ref infinity in
+            dp'.(y) <- infinity
+          done;
+          if u < v then
             for x = 0 to !prev_k - 1 do
-              let c = dp.(x) +. edge_cost e x y in
-              if c < !best then best := c
+              let base = dp.(x) -. st.bw.(bw0 + x) in
+              let prow = pbase + (x * kv) in
+              for y = 0 to kh - 1 do
+                let c = base +. st.pot.(prow + y) -. st.fw.(fw0 + y) in
+                if c < dp'.(y) then dp'.(y) <- c
+              done
+            done
+          else
+            for x = 0 to !prev_k - 1 do
+              let base = dp.(x) -. st.fw.(fw0 + x) in
+              for y = 0 to kh - 1 do
+                let c =
+                  base +. st.pot.(pbase + (y * kv) + x) -. st.bw.(bw0 + y)
+                in
+                if c < dp'.(y) then dp'.(y) <- c
+              done
             done;
-            dp'.(y) <- !best +. agg.(st.unary_off.(hi) + y)
+          let hoff = st.unary_off.(hi) in
+          for y = 0 to kh - 1 do
+            dp'.(y) <- dp'.(y) +. agg.(hoff + y)
           done;
           Array.blit dp' 0 dp 0 kh;
           prev_k := kh)
@@ -299,10 +336,8 @@ let decode st n theta x =
         done
       end
       else begin
-        let off, msg =
-          if i_is_u then (st.bw_off.(e), st.bw)
-          else (st.fw_off.(e), st.fw)
-        in
+        let off = if i_is_u then st.bw_off.(e) else st.fw_off.(e) in
+        let msg = if i_is_u then st.bw else st.fw in
         for xi = 0 to k - 1 do
           theta.(xi) <- theta.(xi) +. msg.(off + xi)
         done
@@ -459,11 +494,30 @@ let solve_components ?(config = default_config)
           local.(u) local.(v) (Mrf.edge_cost mrf e)
       done;
       let subs = Array.map Mrf.Builder.build builders in
+      (* Granularity hint for the pool: estimated kernel work of one
+         component solve, averaged over components.  Each TRW-S
+         iteration updates every directed edge message once, and the
+         per-message cost depends on the table's kernel class — so the
+         total tracks Kernel.message_cost, not a blanket O(L²).  Smoke
+         problems land below the pool's sequential cutoff and run
+         inline instead of paying domain spawns. *)
+      let sweep_cost = ref 0 in
+      for e = 0 to m - 1 do
+        let u, v = Mrf.edge_endpoints mrf e in
+        let ku = Mrf.label_count mrf u and kv = Mrf.label_count mrf v in
+        let cls = Mrf.table_class mrf (Mrf.edge_table_id mrf e) in
+        sweep_cost :=
+          !sweep_cost
+          + Kernel.message_cost cls ~k_src:ku ~k_out:kv
+          + Kernel.message_cost cls ~k_src:kv ~k_out:ku
+      done;
+      let est_iters = min config.max_iters 24 in
+      let cost = max 1 (est_iters * 2 * !sweep_cost / n_comps) in
       (* Per-component results come back in component order whatever the
          job count, so the merged labeling, the energy sum and the bound
          sum are job-count-invariant. *)
       let results =
-        Netdiv_par.Pool.map_range ?jobs ~lo:0 ~hi:n_comps (fun c ->
+        Netdiv_par.Pool.map_range ?jobs ~cost ~lo:0 ~hi:n_comps (fun c ->
             solve ~config ~interrupt subs.(c))
       in
       let x = Array.make n 0 in

@@ -164,6 +164,59 @@ let split_seed seed index =
   let z = logxor z (shift_right_logical z 31) in
   to_int (logand z 0x3FFF_FFFF_FFFF_FFFFL)
 
+(* ------------------------------------------------- granularity plan --
+
+   Callers may pass [?cost], an estimated per-item work weight in
+   abstract units (~nanoseconds of straight-line compute).  The plan
+   compares the total estimated work against a sequential cutoff:
+   below it, domain spawn + join overhead (hundreds of microseconds
+   per region on this runtime) dominates, so the region runs inline
+   in the caller; above it, the chunk count adapts so each chunk
+   carries enough work to amortize claiming, clamped to
+   [jobs .. 8*jobs] for load balancing.  Without a hint the historical
+   behavior is preserved exactly (chunks = jobs, always dispatch). *)
+
+let sequential_cutoff = 20_000_000
+let target_chunk_cost = 5_000_000
+
+let plan ~jobs ~explicit_chunks ~cost ~n =
+  let default_chunks =
+    match explicit_chunks with Some c -> c | None -> jobs
+  in
+  match cost with
+  | None -> (jobs, default_chunks)
+  | Some per_item ->
+      (* float arithmetic so absurd hints cannot overflow *)
+      let total =
+        float_of_int (max 1 per_item) *. float_of_int (max 0 n)
+      in
+      if total < float_of_int sequential_cutoff then
+        (* inline, but an explicit chunk request still shapes the loop:
+           chunk boundaries (and so sanitizer ownership, map_reduce
+           association order) stay what the caller asked for *)
+        (1, match explicit_chunks with Some c -> c | None -> 1)
+      else
+        let chunks =
+          match explicit_chunks with
+          | Some c -> c
+          | None ->
+              let by_cost =
+                int_of_float (total /. float_of_int target_chunk_cost)
+              in
+              max jobs (min (8 * jobs) by_cost)
+        in
+        (jobs, chunks)
+
+(* Hardware parallelism cap.  Spawning more domains than the runtime
+   recommends (the CPUs actually visible to this process, cgroup quota
+   included) always loses on OCaml 5: domains are OS threads sharing
+   one stop-the-world minor collector, so oversubscription turns every
+   minor GC into a contended global barrier.  [jobs] is therefore a cap
+   on the domain count, never a demand.  Chunk boundaries remain a
+   function of [chunks] alone, so the clamp can never change results,
+   reduction order or sanitizer ownership. *)
+let hardware_jobs = lazy (max 1 (Domain.recommended_domain_count ()))
+
 (* Failure from the lowest-indexed failing chunk, so the exception the
    caller sees does not depend on domain scheduling. *)
 type failure = { chunk : int; exn : exn; bt : Printexc.raw_backtrace }
@@ -186,6 +239,7 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
   else
     let chunks = max 1 (min chunks n) in
     let jobs = max 1 (min jobs chunks) in
+    let jobs = min jobs (Lazy.force hardware_jobs) in
     let chunk_bounds c =
       (* Even split with the remainder spread over the first chunks. *)
       let q = n / chunks and r = n mod chunks in
@@ -223,9 +277,12 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
       | None -> ()
     end
 
-let parallel_for ?jobs ?chunks ~lo ~hi f =
+let parallel_for ?jobs ?chunks ?cost ~lo ~hi f =
   let jobs = resolve_jobs ?jobs () in
-  let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
+  let explicit_chunks =
+    match chunks with Some c when c >= 1 -> Some c | _ -> None
+  in
+  let jobs, chunks = plan ~jobs ~explicit_chunks ~cost ~n:(hi - lo) in
   if sanitize_enabled () then
     (* the serial fast path is skipped on purpose: sanitized runs always
        dispatch through chunks so every index is claim-checked *)
@@ -247,12 +304,15 @@ let parallel_for ?jobs ?chunks ~lo ~hi f =
           f i
         done)
 
-let map_range ?jobs ?chunks ~lo ~hi f =
+let map_range ?jobs ?chunks ?cost ~lo ~hi f =
   let n = hi - lo in
   if n <= 0 then [||]
   else begin
     let jobs = resolve_jobs ?jobs () in
-    let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
+    let explicit_chunks =
+      match chunks with Some c when c >= 1 -> Some c | _ -> None
+    in
+    let jobs, chunks = plan ~jobs ~explicit_chunks ~cost ~n in
     if sanitize_enabled () then begin
       (* The pool's own stores map loop index [i] to slot [i - lo]
          bijectively, so dispatch claims shadow the output slots: a
@@ -283,12 +343,15 @@ let map_range ?jobs ?chunks ~lo ~hi f =
     end
   end
 
-let map_reduce ?jobs ?chunks ~lo ~hi ~map ~reduce ~init =
+let map_reduce ?jobs ?chunks ?cost ~lo ~hi ~map ~reduce ~init =
   let n = hi - lo in
   if n <= 0 then init
   else begin
     let jobs = resolve_jobs ?jobs () in
-    let chunks = match chunks with Some c when c >= 1 -> c | _ -> jobs in
+    let explicit_chunks =
+      match chunks with Some c when c >= 1 -> Some c | _ -> None
+    in
+    let jobs, chunks = plan ~jobs ~explicit_chunks ~cost ~n in
     if jobs = 1 && chunks = 1 then begin
       let acc = ref init in
       for i = lo to hi - 1 do

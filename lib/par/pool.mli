@@ -55,7 +55,16 @@ val resolve_jobs : ?jobs:int -> unit -> int
 (** Number of worker domains to use.  Picks the first available of:
     [jobs] argument (when >= 1), the [NETDIV_JOBS] environment variable
     (when it parses to an int >= 1), [Domain.recommended_domain_count ()].
-    The result is always >= 1. *)
+    The result is always >= 1.
+
+    The resolved value is a {e cap}, not a demand: at execution time the
+    pool additionally clamps the spawned domain count to
+    [Domain.recommended_domain_count ()] (the CPUs actually visible to
+    the process, cgroup quota included).  On OCaml 5 domains share one
+    stop-the-world minor collector, so running more domains than cores
+    strictly slows regions down.  Chunk boundaries — and therefore
+    results, reduction order and sanitizer ownership — depend only on
+    the chunk count, never on how many domains execute the chunks. *)
 
 val split_seed : int -> int -> int
 (** [split_seed seed index] derives an independent, deterministic child
@@ -63,8 +72,39 @@ val split_seed : int -> int -> int
     finalizer.  The result is non-negative and depends only on the two
     arguments, never on the job count. *)
 
+(** {2 Granularity}
+
+    Every combinator takes an optional [?cost] hint: the estimated work
+    of one loop item in abstract units (≈ nanoseconds of straight-line
+    compute; {!Netdiv_mrf.Kernel.message_cost} feeds it for the
+    solvers).  When the hint puts the region's total estimated work
+    below a sequential cutoff (≈ 20M units, a few domain-spawn
+    round-trips), the region runs inline in the caller — spawning
+    domains for sub-millisecond work makes 2–4 jobs {e slower} than
+    sequential.  Above the cutoff the chunk count adapts to the
+    estimate (clamped to [jobs .. 8*jobs]) so chunks stay coarse enough
+    to amortize claiming.  Results never depend on the decision: all
+    combinators are job- and chunk-count-invariant by construction (for
+    {!map_reduce}, given an associative [reduce]).  Without [?cost] the
+    historical behavior is unchanged.  An explicit [?chunks] overrides
+    the adaptive count; sanitized regions always dispatch through
+    chunks so the claim checks still run. *)
+
+val sequential_cutoff : int
+(** Total estimated work (units) below which a hinted region runs
+    inline. *)
+
+val target_chunk_cost : int
+(** Estimated work one adaptive chunk aims to carry. *)
+
 val parallel_for :
-  ?jobs:int -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
+  ?jobs:int ->
+  ?chunks:int ->
+  ?cost:int ->
+  lo:int ->
+  hi:int ->
+  (int -> unit) ->
+  unit
 (** [parallel_for ~lo ~hi f] runs [f i] for every [lo <= i < hi], with
     the range split into [chunks] contiguous chunks (default: the job
     count) claimed dynamically by [jobs] workers.  [f] must be safe to
@@ -72,13 +112,20 @@ val parallel_for :
     [for i = lo to hi - 1 do f i done]. *)
 
 val map_range :
-  ?jobs:int -> ?chunks:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+  ?jobs:int ->
+  ?chunks:int ->
+  ?cost:int ->
+  lo:int ->
+  hi:int ->
+  (int -> 'a) ->
+  'a array
 (** [map_range ~lo ~hi f] returns [[| f lo; f (lo+1); ...; f (hi-1) |]].
     Element order is always index order regardless of [jobs]. *)
 
 val map_reduce :
   ?jobs:int ->
   ?chunks:int ->
+  ?cost:int ->
   lo:int ->
   hi:int ->
   map:(int -> 'a) ->

@@ -269,8 +269,10 @@ let mttc_parallel ?(domains = 4) ~seed ?(strategy = Best_exploit)
   in
   (* every run owns an rng keyed by its index and the pool returns
      results in index order, so the stats are domain-count-invariant *)
+  let n_hosts = Graph.n_nodes (Network.graph (Assignment.network a)) in
   let results =
-    Netdiv_par.Pool.map_range ~jobs:domains ~lo:0 ~hi:runs one_run
+    Netdiv_par.Pool.map_range ~jobs:domains ~cost:(200 * n_hosts) ~lo:0
+      ~hi:runs one_run
   in
   let samples =
     Array.of_list (List.filter_map Fun.id (Array.to_list results))

@@ -123,6 +123,57 @@ let test_list_nth_in_loop () =
        \    ignore (List.nth xs i)\n\
        \  done\n")
 
+(* ------------------------------------------------------ alloc-in-loop *)
+
+let test_alloc_in_loop () =
+  check_rules "positive: Array.make inside for in mrf"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/bp.ml"
+       "let f n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Array.make 4 0.0)\n\
+       \  done\n");
+  check_rules "positive: Array.copy inside while in bayes"
+    [ "alloc-in-loop" ]
+    (lint "lib/bayes/bn.ml"
+       "let f xs =\n\
+       \  while !going do\n\
+       \    ignore (Array.copy xs)\n\
+       \  done\n");
+  check_rules "positive: Array.init inside for"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/trws.ml"
+       "let f n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Array.init 4 Fun.id)\n\
+       \  done\n");
+  check_rules "near-miss: allocation before the loop" []
+    (lint "lib/mrf/bp.ml"
+       "let f n =\n\
+       \  let scratch = Array.make 4 0.0 in\n\
+       \  for i = 0 to n - 1 do\n\
+       \    scratch.(0) <- float_of_int i\n\
+       \  done\n");
+  check_rules "near-miss: hot dirs only (lib/sim is exempt)" []
+    (lint "lib/sim/engine.ml"
+       "let f n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Array.make 4 0.0)\n\
+       \  done\n");
+  check_rules "near-miss: Array.length allocates nothing" []
+    (lint "lib/mrf/bp.ml"
+       "let f xs n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Array.length xs)\n\
+       \  done\n");
+  check_rules "suppressed" []
+    (lint "lib/mrf/bp.ml"
+       "let f n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    (* netdiv-lint: allow alloc-in-loop — fixture, cold setup loop *)\n\
+       \    ignore (Array.make 4 0.0)\n\
+       \  done\n")
+
 (* -------------------------------------------------------- missing-mli *)
 
 let test_missing_mli () =
@@ -258,7 +309,8 @@ let test_rule_list () =
         true (List.mem required ids))
     [
       "spawn-outside-pool"; "toplevel-mutable-state"; "nondeterminism-source";
-      "list-nth-in-loop"; "missing-mli"; "printf-in-lib"; "bad-suppression";
+      "list-nth-in-loop"; "alloc-in-loop"; "missing-mli"; "printf-in-lib";
+      "bad-suppression";
     ]
 
 let () =
@@ -273,6 +325,7 @@ let () =
           Alcotest.test_case "nondeterminism-source" `Quick
             test_nondeterminism_source;
           Alcotest.test_case "list-nth-in-loop" `Quick test_list_nth_in_loop;
+          Alcotest.test_case "alloc-in-loop" `Quick test_alloc_in_loop;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
           Alcotest.test_case "bad-suppression" `Quick test_bad_suppression;

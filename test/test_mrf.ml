@@ -350,6 +350,177 @@ let test_parallel_edges () =
   let r = Trws.solve m in
   Alcotest.(check (float 1e-9)) "optimum avoids both" 0.0 r.Solver.energy
 
+(* -------------------------------------------------------------- kernels *)
+
+let test_kernel_classify () =
+  let k = 5 in
+  let potts =
+    Array.init (k * k) (fun idx ->
+        if idx / k = idx mod k then 0.1 *. float_of_int (idx / k) else 0.7)
+  in
+  (match Kernel.classify ~ku:k ~kv:k potts with
+  | Kernel.Potts { off; diag } ->
+      Alcotest.(check (float 0.0)) "off value" 0.7 off;
+      Alcotest.(check (float 0.0)) "diag value" 0.2 diag.(2)
+  | c -> Alcotest.failf "potts table classified %s" (Kernel.kind_name c));
+  (* base value with two deviations at k=8: the selection bound pays *)
+  let k8 = 8 in
+  let cs = Array.make (k8 * k8) 0.3 in
+  cs.(3) <- 0.9;
+  cs.(20) <- 0.05;
+  (match Kernel.classify ~ku:k8 ~kv:k8 cs with
+  | Kernel.Const_sparse { base; nnz; max_line_nnz; _ } ->
+      Alcotest.(check (float 0.0)) "base" 0.3 base;
+      Alcotest.(check int) "nnz" 2 nnz;
+      Alcotest.(check int) "max_line_nnz" 1 max_line_nnz
+  | c -> Alcotest.failf "sparse table classified %s" (Kernel.kind_name c));
+  (* almost-Potts at k=4: one off-diagonal outlier, and the table is too
+     small for the sparse kernel to pay — the classifier must reject *)
+  let k4 = 4 in
+  let almost =
+    Array.init (k4 * k4) (fun idx ->
+        if idx / k4 = idx mod k4 then 0.0 else 0.7)
+  in
+  almost.(1) <- 0.71;
+  (match Kernel.classify ~ku:k4 ~kv:k4 almost with
+  | Kernel.Generic -> ()
+  | c -> Alcotest.failf "almost-Potts classified %s" (Kernel.kind_name c));
+  (* non-finite entries stay on the generic path for NaN propagation *)
+  let nanny = Array.make (k8 * k8) 0.3 in
+  nanny.(5) <- Float.nan;
+  (match Kernel.classify ~ku:k8 ~kv:k8 nanny with
+  | Kernel.Generic -> ()
+  | c -> Alcotest.failf "NaN table classified %s" (Kernel.kind_name c));
+  (* shape mismatch is rejected outright *)
+  match Kernel.classify ~ku:3 ~kv:3 (Array.make 6 0.0) with
+  | Kernel.Generic -> ()
+  | c -> Alcotest.failf "misshaped table classified %s" (Kernel.kind_name c)
+
+let test_kernel_stats_exposed () =
+  let k = 6 in
+  let b = Mrf.Builder.create ~label_counts:(Array.make 3 k) in
+  let potts =
+    Array.init (k * k) (fun idx -> if idx / k = idx mod k then 0.0 else 1.0)
+  in
+  Mrf.Builder.add_edge b 0 1 potts;
+  Mrf.Builder.add_edge b 1 2 potts;
+  Mrf.Builder.add_edge b 0 2 (Array.init (k * k) float_of_int);
+  let m = Mrf.Builder.build b in
+  let kc = Mrf.kernel_counts m in
+  Alcotest.(check int) "potts tables" 1 kc.Mrf.potts_tables;
+  Alcotest.(check int) "generic tables" 1 kc.Mrf.generic_tables;
+  Alcotest.(check int) "potts edges" 2 kc.Mrf.potts_edges;
+  Alcotest.(check int) "generic edges" 1 kc.Mrf.generic_edges;
+  (match Mrf.table_class m (Mrf.edge_table_id m 0) with
+  | Kernel.Potts _ -> ()
+  | c -> Alcotest.failf "edge 0 carries %s" (Kernel.kind_name c));
+  (* the opt-out knob forces every table onto the generic kernel *)
+  let b = Mrf.Builder.create ~label_counts:(Array.make 2 k) in
+  Mrf.Builder.add_edge b 0 1 potts;
+  let mg = Mrf.Builder.build ~specialize:false b in
+  Alcotest.(check int) "specialize:false all generic" 1
+    (Mrf.kernel_counts mg).Mrf.generic_tables
+
+(* Random MRF over a mix of structured tables: Potts, constant-plus-
+   sparse, almost-qualifying (classifier rejection path) and dense
+   generic, over mixed label counts so non-square tables exercise both
+   message orientations.  Deterministic in [seed]. *)
+let random_structured_mrf ~specialize seed =
+  let rng = Random.State.make [| 0xface; seed |] in
+  let n = 10 in
+  let labels =
+    Array.init n (fun i ->
+        if i mod 5 = 4 then 1 else if i mod 2 = 0 then 9 else 12)
+  in
+  let b = Mrf.Builder.create ~label_counts:labels in
+  for i = 0 to n - 1 do
+    Mrf.Builder.set_unary b ~node:i
+      (Array.init labels.(i) (fun _ -> Random.State.float rng 1.0))
+  done;
+  let mk_table ku kv =
+    match Random.State.int rng 4 with
+    | 0 when ku = kv ->
+        (* Potts: uniform off-diagonal, random diagonal *)
+        let off = 0.25 +. Random.State.float rng 0.75 in
+        Array.init (ku * kv) (fun idx ->
+            if idx / kv = idx mod kv then Random.State.float rng 0.2
+            else off)
+    | 1 ->
+        (* constant-plus-sparse: uniform base, two deviations *)
+        let t =
+          Array.make (ku * kv) (0.2 +. Random.State.float rng 0.5)
+        in
+        t.(Random.State.int rng (ku * kv)) <- Random.State.float rng 2.0;
+        t.(Random.State.int rng (ku * kv)) <- Random.State.float rng 2.0;
+        t
+    | 2 when ku = kv ->
+        (* almost-Potts: one off-diagonal outlier *)
+        let off = 0.25 +. Random.State.float rng 0.75 in
+        let t =
+          Array.init (ku * kv) (fun idx ->
+              if idx / kv = idx mod kv then Random.State.float rng 0.2
+              else off)
+        in
+        let i = Random.State.int rng ku in
+        let j = (i + 1) mod kv in
+        t.((i * kv) + j) <- off +. 0.01;
+        t
+    | _ -> Array.init (ku * kv) (fun _ -> Random.State.float rng 1.0)
+  in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < 0.35 then
+        Mrf.Builder.add_edge b u v (mk_table labels.(u) labels.(v))
+    done
+  done;
+  Mrf.Builder.build ~specialize b
+
+let test_kernel_equivalence () =
+  let specialized_seen = ref 0 in
+  for seed = 0 to 19 do
+    let ms = random_structured_mrf ~specialize:true seed in
+    let mg = random_structured_mrf ~specialize:false seed in
+    let kc = Mrf.kernel_counts ms in
+    specialized_seen :=
+      !specialized_seen + kc.Mrf.potts_edges + kc.Mrf.sparse_edges;
+    Alcotest.(check int)
+      "opt-out model runs fully generic" 0
+      ((Mrf.kernel_counts mg).Mrf.potts_tables
+      + (Mrf.kernel_counts mg).Mrf.sparse_tables);
+    (* TRW-S: messages are bitwise identical, so energies, bounds,
+       labelings and even iteration counts must match exactly *)
+    let rs = Trws.solve ms and rg = Trws.solve mg in
+    Alcotest.(check (array int))
+      (Printf.sprintf "trws labeling seed=%d" seed)
+      rg.Solver.labeling rs.Solver.labeling;
+    Alcotest.(check bool)
+      (Printf.sprintf "trws energy bitwise seed=%d" seed)
+      true
+      (rs.Solver.energy = rg.Solver.energy);
+    Alcotest.(check bool)
+      (Printf.sprintf "trws bound bitwise seed=%d" seed)
+      true
+      (rs.Solver.lower_bound = rg.Solver.lower_bound);
+    Alcotest.(check int)
+      (Printf.sprintf "trws iterations seed=%d" seed)
+      rg.Solver.iterations rs.Solver.iterations;
+    (* BP: damped blends of bitwise-identical fresh messages *)
+    let bs = Bp.solve ms and bg = Bp.solve mg in
+    Alcotest.(check (array int))
+      (Printf.sprintf "bp labeling seed=%d" seed)
+      bg.Solver.labeling bs.Solver.labeling;
+    Alcotest.(check bool)
+      (Printf.sprintf "bp energy bitwise seed=%d" seed)
+      true
+      (bs.Solver.energy = bg.Solver.energy);
+    Alcotest.(check int)
+      (Printf.sprintf "bp iterations seed=%d" seed)
+      bg.Solver.iterations bs.Solver.iterations
+  done;
+  (* the property is vacuous if no structured table ever classified *)
+  Alcotest.(check bool) "specialized kernels exercised" true
+    (!specialized_seen > 20)
+
 (* ------------------------------------------------------------- property *)
 
 let mrf_gen =
@@ -392,6 +563,15 @@ let () =
             test_shared_matrix;
           Alcotest.test_case "interned pairwise tables" `Quick
             test_interned_tables;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "classifier on structured tables" `Quick
+            test_kernel_classify;
+          Alcotest.test_case "kernel census exposed in stats" `Quick
+            test_kernel_stats_exposed;
+          Alcotest.test_case "specialized = generic, bitwise" `Quick
+            test_kernel_equivalence;
         ] );
       ( "solvers",
         [

@@ -92,14 +92,17 @@ let test_map_reduce () =
   List.iter
     (fun jobs ->
       let got =
-        Pool.map_reduce ~jobs ~chunks:13 ~lo:0 ~hi:1000 ~map:(fun i -> i)
-          ~reduce:( + ) ~init:0
+        (* ?cost:None erases the trailing optional: map_reduce has no
+           positional argument, so partial application would otherwise
+           leave a [?cost:int -> int] closure *)
+        Pool.map_reduce ~jobs ~chunks:13 ?cost:None ~lo:0 ~hi:1000
+          ~map:(fun i -> i) ~reduce:( + ) ~init:0
       in
       Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) expect got)
     [ 1; 4 ];
   Alcotest.(check int) "empty is init" 99
-    (Pool.map_reduce ~jobs:4 ~chunks:4 ~lo:0 ~hi:0 ~map:(fun i -> i)
-       ~reduce:( + ) ~init:99)
+    (Pool.map_reduce ~jobs:4 ~chunks:4 ?cost:None ~lo:0 ~hi:0
+       ~map:(fun i -> i) ~reduce:( + ) ~init:99)
 
 exception Boom of int
 
@@ -127,13 +130,82 @@ let test_exception_propagation () =
   | exception e ->
       Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
 
-(* --------------------------------------------------------- sanitizer *)
-
 (* Run [f] with the sanitizer forced on/off, restoring the environment
    default afterwards even on failure. *)
 let with_sanitize b f =
   Pool.set_sanitize (Some b);
   Fun.protect ~finally:(fun () -> Pool.set_sanitize None) f
+
+(* ------------------------------------------------------- granularity *)
+
+(* A region whose writes collide across chunks but are fine within one:
+   every index writes slot [i mod 4] over [0,8).  Under the sanitizer it
+   races iff the plan actually split the range, which makes the inline/
+   chunked decision observable from the outside. *)
+let mod4_region ?chunks ~jobs ~cost () =
+  let out = Array.make 4 (-1) in
+  Pool.parallel_for ?chunks ~jobs ~cost ~lo:0 ~hi:8 (fun i ->
+      Pool.write out (i mod 4) i)
+
+let test_cost_small_runs_inline () =
+  with_sanitize true (fun () ->
+      (* 8 items x 1 unit is far below the cutoff: one chunk owns the
+         whole range, so the overlapping writes are chunk-internal *)
+      match mod4_region ~jobs:4 ~cost:1 () with
+      | () -> ()
+      | exception Pool.Race msg ->
+          Alcotest.failf "small hinted region was split: %s" msg)
+
+let test_cost_large_stays_parallel () =
+  with_sanitize true (fun () ->
+      (* the same region with a huge per-item estimate must keep
+         chunking, and the sanitizer proves it did *)
+      match mod4_region ~jobs:2 ~cost:Pool.sequential_cutoff () with
+      | () -> Alcotest.fail "large hinted region ran as a single chunk"
+      | exception Pool.Race _ -> ())
+
+let test_cost_explicit_chunks_override () =
+  with_sanitize true (fun () ->
+      (* explicit ?chunks wins over the hint even below the cutoff *)
+      match mod4_region ~chunks:4 ~jobs:2 ~cost:1 () with
+      | () -> Alcotest.fail "explicit chunks ignored under a small hint"
+      | exception Pool.Race _ -> ())
+
+let test_cost_jobs_invariance () =
+  (* identical results on both sides of the sequential cutoff, for any
+     job count, sanitized or not *)
+  let expect = Array.init 64 (fun i -> (i * 31) land 255) in
+  List.iter
+    (fun sanitized ->
+      with_sanitize sanitized (fun () ->
+          List.iter
+            (fun cost ->
+              List.iter
+                (fun jobs ->
+                  let got =
+                    Pool.map_range ~jobs ~cost ~lo:0 ~hi:64 (fun i ->
+                        (i * 31) land 255)
+                  in
+                  Alcotest.(check (array int))
+                    (Printf.sprintf "map_range sanitize=%b cost=%d jobs=%d"
+                       sanitized cost jobs)
+                    expect got;
+                  let sum =
+                    Pool.map_reduce ~jobs ?chunks:None ?cost:(Some cost)
+                      ~lo:0 ~hi:64
+                      ~map:(fun i -> (i * 31) land 255)
+                      ~reduce:( + ) ~init:0
+                  in
+                  Alcotest.(check int)
+                    (Printf.sprintf "map_reduce sanitize=%b cost=%d jobs=%d"
+                       sanitized cost jobs)
+                    (Array.fold_left ( + ) 0 expect)
+                    sum)
+                [ 1; 2; 4 ])
+            [ 1; Pool.sequential_cutoff ]))
+    [ false; true ]
+
+(* --------------------------------------------------------- sanitizer *)
 
 (* Every index writes slot [i mod 4], so with 4 chunks over [0,8) two
    distinct chunks collide on every slot — and chunks 2 and 3 write
@@ -211,6 +283,17 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+        ] );
+      ( "granularity",
+        [
+          Alcotest.test_case "small hint runs inline" `Quick
+            test_cost_small_runs_inline;
+          Alcotest.test_case "large hint stays parallel" `Quick
+            test_cost_large_stays_parallel;
+          Alcotest.test_case "explicit chunks override hint" `Quick
+            test_cost_explicit_chunks_override;
+          Alcotest.test_case "jobs-invariant across cutoff" `Quick
+            test_cost_jobs_invariance;
         ] );
       ( "sanitizer",
         [

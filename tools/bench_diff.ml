@@ -1,0 +1,204 @@
+(* bench_diff: guard the benchmark metrics that this repository treats
+   as performance contracts.
+
+     dune exec tools/bench_diff.exe -- BASELINE.json FRESH.json
+
+   Reads two BENCH.json reports (the hand-rolled format bench/main.ml
+   writes), compares the watched metrics and exits nonzero when the
+   fresh run regresses beyond the tolerance (default 25%, override with
+   NETDIV_BENCH_TOL, e.g. 0.10).  Watched:
+
+   - [scalability_speedup.solve_1j_s]: the serial solve of the smoke
+     instance — the paper's headline scalability cost (lower is better);
+   - every [kernel_specialization.*_s] timing (lower is better) and
+     [kernel_specialization.*_speedup] ratio (higher is better): the
+     structure-specialized message kernels must keep their edge over the
+     generic O(L^2) update.
+
+   Metrics missing from the baseline are reported informationally and
+   never fail: that is how a new metric enters the history.  Each
+   watched section also carries a workload fingerprint (the solver
+   energy for the scalability instance, the label count for the kernel
+   micro-benchmark): when the fingerprint differs between the two
+   reports the workload itself was redefined, timings are incomparable,
+   and the section is skipped with a note instead of failing — the
+   commit that redefines a benchmark is the new baseline.  tools/
+   check.sh snapshots each fresh report into bench_history/ so local
+   regressions can be bisected by timestamp. *)
+
+let tolerance =
+  match Sys.getenv_opt "NETDIV_BENCH_TOL" with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some t when t > 0.0 && Float.is_finite t -> t
+      | _ ->
+          prerr_endline "bench_diff: ignoring malformed NETDIV_BENCH_TOL";
+          0.25)
+  | None -> 0.25
+
+type section = { s_name : string; metrics : (string * float) list }
+
+(* Scanner for the writer's own output: a stream of ["key": value]
+   pairs, where a ["name"] key opens a new section and numeric values
+   attach to the currently open one.  This is not a JSON parser — it
+   relies on bench/main.ml emitting code-controlled identifiers with no
+   escapes, which is exactly the writer's documented contract. *)
+let parse_sections src =
+  let len = String.length src in
+  let sections = ref [] in
+  let cur_name = ref None in
+  let cur = ref [] in
+  let flush () =
+    (match !cur_name with
+    | Some n -> sections := { s_name = n; metrics = List.rev !cur } :: !sections
+    | None -> ());
+    cur_name := None;
+    cur := []
+  in
+  let i = ref 0 in
+  while !i < len do
+    if src.[!i] <> '"' then incr i
+    else begin
+      let j = String.index_from src (!i + 1) '"' in
+      let key = String.sub src (!i + 1) (j - !i - 1) in
+      i := j + 1;
+      while !i < len && (src.[!i] = ' ' || src.[!i] = '\n') do
+        incr i
+      done;
+      if !i < len && src.[!i] = ':' then begin
+        incr i;
+        while !i < len && src.[!i] = ' ' do
+          incr i
+        done;
+        if !i < len && src.[!i] = '"' then begin
+          (* string value: only "name" carries one *)
+          let k = String.index_from src (!i + 1) '"' in
+          let v = String.sub src (!i + 1) (k - !i - 1) in
+          i := k + 1;
+          if key = "name" then begin
+            flush ();
+            cur_name := Some v
+          end
+        end
+        else begin
+          let start = !i in
+          while
+            !i < len
+            && not (src.[!i] = ',' || src.[!i] = '}' || src.[!i] = '\n')
+          do
+            incr i
+          done;
+          match
+            float_of_string_opt (String.trim (String.sub src start (!i - start)))
+          with
+          | Some v when Option.is_some !cur_name -> cur := (key, v) :: !cur
+          | _ -> ()
+        end
+      end
+    end
+  done;
+  flush ();
+  List.rev !sections
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find sections section key =
+  List.find_map
+    (fun s -> if s.s_name = section then List.assoc_opt key s.metrics else None)
+    sections
+
+let ends_with suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  ls >= lf && String.sub s (ls - lf) lf = suffix
+
+(* (section, metric, lower_is_better) triples to guard; kernel metrics
+   are discovered from the fresh report so new kernels join the watch
+   list automatically.  [wall_s] is the section's own wall clock
+   (instance construction included) — never a watched timing. *)
+let watched fresh =
+  ( [ ("scalability_speedup", "solve_1j_s", true) ]
+  @ List.concat_map
+      (fun s ->
+        if s.s_name <> "kernel_specialization" then []
+        else
+          List.filter_map
+            (fun (k, _) ->
+              if k = "wall_s" then None
+              else if ends_with "_s" k then Some (s.s_name, k, true)
+              else if ends_with "_speedup" k then Some (s.s_name, k, false)
+              else None)
+            s.metrics)
+      fresh )
+
+(* Workload fingerprint per watched section: if this metric differs
+   between baseline and fresh, the benchmark's instance was redefined
+   and its timings are incomparable. *)
+let fingerprint = function
+  | "scalability_speedup" -> Some "solver_energy"
+  | "kernel_specialization" -> Some "labels"
+  | _ -> None
+
+let workload_changed baseline fresh sec =
+  match fingerprint sec with
+  | None -> None
+  | Some key -> (
+      match (find baseline sec key, find fresh sec key) with
+      | Some b, Some f when b <> f -> Some (key, b, f)
+      | _ -> None)
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+        prerr_endline "usage: bench_diff BASELINE.json FRESH.json";
+        exit 2
+  in
+  let baseline = parse_sections (read_file baseline_path) in
+  let fresh = parse_sections (read_file fresh_path) in
+  if fresh = [] then begin
+    Printf.eprintf "bench_diff: no sections found in %s\n" fresh_path;
+    exit 2
+  end;
+  let regressions = ref 0 in
+  Printf.printf "bench_diff: tolerance %.0f%% (baseline %s)\n"
+    (100.0 *. tolerance) baseline_path;
+  let skipped = Hashtbl.create 4 in
+  List.iter
+    (fun (sec, key, lower_better) ->
+      match workload_changed baseline fresh sec with
+      | Some (fp, b, f) ->
+          if not (Hashtbl.mem skipped sec) then begin
+            Hashtbl.replace skipped sec ();
+            Printf.printf
+              "  skip    %s.* (workload redefined: %s %g -> %g; fresh run \
+               is the new baseline)\n"
+              sec fp b f
+          end
+      | None -> (
+      match (find baseline sec key, find fresh sec key) with
+      | _, None -> ()
+      | None, Some f ->
+          Printf.printf "  new     %s.%s = %g (no baseline)\n" sec key f
+      | Some b, Some f ->
+          let ratio = if b = 0.0 then 1.0 else f /. b in
+          let bad =
+            if lower_better then ratio > 1.0 +. tolerance
+            else ratio < 1.0 -. tolerance
+          in
+          Printf.printf "  %s %s.%s: %g -> %g (%+.1f%%)\n"
+            (if bad then "REGRESS" else "ok     ")
+            sec key b f
+            (100.0 *. (ratio -. 1.0));
+          if bad then incr regressions))
+    (watched fresh);
+  if !regressions > 0 then begin
+    Printf.printf "bench_diff: %d metric(s) regressed beyond %.0f%%\n"
+      !regressions (100.0 *. tolerance);
+    exit 1
+  end;
+  print_endline "bench_diff: no regressions"

@@ -2,9 +2,12 @@
 # Repository gate: build everything, run the netdiv-lint static checker,
 # run the full test suite (alcotest, qcheck and the CLI cram test),
 # re-run the pool suite with the NETDIV_SANITIZE race sanitizer enabled,
-# run the fast benchmark smoke (parallel determinism + interning
-# sections, writes BENCH.json), and — when a .ocamlformat file is
-# present — verify formatting. Exits non-zero on the first failure.
+# run the fast benchmark smoke (parallel determinism, interning and
+# message-kernel sections, writes BENCH.json), diff the fresh report
+# against the committed baseline with tools/bench_diff (>25% regression
+# on watched metrics fails, snapshots land in bench_history/), and —
+# when a .ocamlformat file is present — verify formatting. Exits
+# non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,8 +26,25 @@ echo "== pool tests under NETDIV_SANITIZE=1"
 # sanitizer must stay silent on the whole (race-free) pool suite.
 NETDIV_SANITIZE=1 dune exec test/test_par.exe -- --compact
 
-echo "== bench smoke (parallel determinism + interning)"
+echo "== bench smoke (parallel determinism + interning + kernels)"
+# keep the committed report as the regression baseline before the run
+# overwrites it
+baseline=""
+if git show HEAD:BENCH.json >/dev/null 2>&1; then
+  baseline=$(mktemp)
+  git show HEAD:BENCH.json >"$baseline"
+fi
 NETDIV_BENCH_SMOKE=1 NETDIV_BENCH_RUNS=20 dune exec bench/main.exe
+
+# timestamped local history for bisecting perf changes (untracked)
+mkdir -p bench_history
+cp BENCH.json "bench_history/BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
+
+if [ -n "$baseline" ]; then
+  echo "== bench regression gate (vs HEAD BENCH.json, 25% tolerance)"
+  dune exec tools/bench_diff.exe -- "$baseline" BENCH.json
+  rm -f "$baseline"
+fi
 
 if [ -f .ocamlformat ]; then
   echo "== dune fmt (check)"
