@@ -28,6 +28,7 @@ module Encode = Netdiv_core.Encode
 module Attack_bn = Netdiv_bayes.Attack_bn
 module Engine = Netdiv_sim.Engine
 module Workload = Netdiv_workload.Workload
+module Obs = Netdiv_obs.Obs
 module Topology = Netdiv_casestudy.Topology
 module Products = Netdiv_casestudy.Products
 module Experiments = Netdiv_casestudy.Experiments
@@ -832,14 +833,15 @@ let extension_anytime () =
 
 (* ---------------------------- parallel speedup & determinism checks *)
 
-let scalability_speedup () =
-  section
-    "[Parallel] serial-vs-parallel speedup (4-zone segmented instance)";
-  (* four mutually isolated zones (air-gapped ICS cells): the component
-     decomposition is the solver's unit of parallelism, so this is the
-     workload where extra domains can actually pay.  A single connected
-     instance solves inline regardless of [jobs] — TRW-S sweeps are
-     sequential by construction *)
+(* The 4-zone segmented instance shared by the speedup and the
+   observability-overhead sections: four mutually isolated zones
+   (air-gapped ICS cells).  The component decomposition is the
+   solver's unit of parallelism, so this is the workload where extra
+   domains can actually pay; a single connected instance solves inline
+   regardless of [jobs] — TRW-S sweeps are sequential by construction.
+   Both sections must build the exact same instance so their
+   solver_energy fingerprints stay comparable. *)
+let segmented_instance () =
   let zones = 4 and zone_hosts = 200 in
   let n_hosts = zones * zone_hosts in
   let edges = ref [] in
@@ -870,6 +872,16 @@ let scalability_speedup () =
           h_services = List.init 5 (fun sv -> (sv, [||])) })
   in
   let net = Network.create ~graph ~services ~hosts in
+  (net, zone_hosts)
+
+(* jobs=1 best time from scalability_speedup, reused by
+   observability_overhead as its tracing-off reference *)
+let segmented_solve_1j_s = ref nan
+
+let scalability_speedup () =
+  section
+    "[Parallel] serial-vs-parallel speedup (4-zone segmented instance)";
+  let net, zone_hosts = segmented_instance () in
   let job_counts = if full_sweep then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
   (* One untimed warmup per job count (captures the deterministic
      result and faults code + instance into cache), then best-of-5
@@ -896,6 +908,7 @@ let scalability_speedup () =
     List.map (fun (jobs, r) -> (jobs, (Hashtbl.find best jobs, r))) reports
   in
   let _, (t_serial, reference) = List.hd results in
+  segmented_solve_1j_s := t_serial;
   Format.printf "%-6s %10s %9s %14s@." "jobs" "time (s)" "speedup" "energy";
   List.iter
     (fun (jobs, (t, report)) ->
@@ -940,6 +953,86 @@ let scalability_speedup () =
   Report.metric "mttc_speedup_4d" (t1 /. t4);
   if s1 <> s4 then
     Report.fail "mttc_parallel statistics depend on the domain count"
+
+(* ------------------------------- observability overhead (tracing off) *)
+
+let observability_overhead () =
+  section "[Obs] tracing overhead on the 4-zone segmented instance";
+  (* disabled-path microbenchmark: a span is one atomic load and a
+     branch on each side; two million pairs give a stable per-pair
+     figure even under timer jitter *)
+  let pairs = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to pairs do
+    Obs.begin_span "off";
+    Obs.end_span "off"
+  done;
+  let pair_ns = (Unix.gettimeofday () -. t0) /. float_of_int pairs *. 1e9 in
+  Format.printf "disabled begin/end pair: %.1f ns@." pair_ns;
+  Report.metric "span_disabled_ns" pair_ns;
+  if pair_ns > 200.0 then
+    Report.fail
+      (Printf.sprintf "disabled span pair costs %.0f ns (> 200 ns budget)"
+         pair_ns);
+  let net, _ = segmented_instance () in
+  (* untimed warmups capture the deterministic result under each mode *)
+  let ref_off = Optimize.run ~jobs:1 net [] in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let ref_on = Optimize.run ~jobs:1 net [] in
+  Obs.set_enabled false;
+  (* best-of-5, alternating off/on with a major collection before each
+     timed run — same protocol as scalability_speedup, so the two
+     sections' times stay comparable *)
+  let best_off = ref infinity and best_on = ref infinity in
+  for _round = 1 to 5 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Optimize.run ~jobs:1 net []);
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best_off then best_off := t;
+    Obs.set_enabled true;
+    Obs.reset ();
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Optimize.run ~jobs:1 net []);
+    let t = Unix.gettimeofday () -. t0 in
+    Obs.set_enabled false;
+    if t < !best_on then best_on := t
+  done;
+  Obs.reset ();
+  Format.printf "solve tracing off: %.3fs, tracing on: %.3fs (+%.1f%%)@."
+    !best_off !best_on
+    (((!best_on /. !best_off) -. 1.0) *. 100.0);
+  Report.metric "solve_off_s" !best_off;
+  Report.metric "solve_on_s" !best_on;
+  Report.metric "overhead_on_pct" (((!best_on /. !best_off) -. 1.0) *. 100.0);
+  Report.metric "solver_energy" ref_off.Optimize.energy;
+  if
+    not
+      (ref_on.Optimize.energy = ref_off.Optimize.energy
+      && Assignment.equal ref_on.Optimize.assignment
+           ref_off.Optimize.assignment)
+  then Report.fail "solver result differs with tracing enabled";
+  (* the instrumentation gate: with tracing off, the instrumented solve
+     must stay within 3% of the scalability section's jobs=1 time on
+     the very same instance.  tools/bench_diff additionally gates
+     solve_off_s across commits. *)
+  let base = !segmented_solve_1j_s in
+  if Float.is_nan base then
+    Report.fail "scalability_speedup did not run before observability_overhead"
+  else begin
+    let drift_pct = ((!best_off /. base) -. 1.0) *. 100.0 in
+    Format.printf "tracing-off vs scalability jobs=1: %+.1f%% (gate: +3%%)@."
+      drift_pct;
+    Report.metric "off_vs_baseline_pct" drift_pct;
+    if drift_pct > 3.0 then
+      Report.fail
+        (Printf.sprintf
+           "tracing-off solve is %.1f%% slower than the jobs=1 baseline (> \
+            3%% budget)"
+           drift_pct)
+  end
 
 let interning_memory () =
   section "[Parallel] interned edge potentials on a 1,000-host MRF";
@@ -1152,6 +1245,7 @@ let () =
     Report.timed "extension_anytime" extension_anytime
   end;
   Report.timed "scalability_speedup" scalability_speedup;
+  Report.timed "observability_overhead" observability_overhead;
   Report.timed "interning_memory" interning_memory;
   Report.timed "kernel_specialization" kernel_specialization;
   if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;

@@ -19,6 +19,9 @@ module Topology = Netdiv_casestudy.Topology
 module Products = Netdiv_casestudy.Products
 module Experiments = Netdiv_casestudy.Experiments
 module Runner = Netdiv_mrf.Runner
+module Obs = Netdiv_obs.Obs
+module Obs_export = Netdiv_obs.Export
+module Json = Netdiv_vuln.Json
 
 open Cmdliner
 
@@ -98,6 +101,52 @@ let jobs_of = function
   | Some n when n >= 1 -> Some n
   | Some _ -> Some (Netdiv_par.Pool.resolve_jobs ())
 
+(* --------------------------------------------------------- observability *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record trace spans and metrics while the command runs and \
+           write them to $(docv).  A $(b,.jsonl) suffix selects the \
+           line-delimited event log; any other name gets Chrome \
+           trace_event JSON, loadable in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the span rollup and metrics registry (counters, \
+           gauges, histograms) after the command finishes.")
+
+(* Enables tracing around [f] when either output was requested; the
+   trace/summary is still written when [f] raises so a failing run can
+   be diagnosed from its partial trace. *)
+let with_obs ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    Obs.set_enabled true;
+    let finish () =
+      Obs.set_enabled false;
+      Option.iter
+        (fun path ->
+          Obs_export.write_trace ~path;
+          Format.printf "wrote trace %s@." path)
+        trace;
+      if metrics then Format.printf "%a@." Obs_export.pp_summary ()
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
 let optimize_cmd =
   let hosts =
     Arg.(value & opt int 200 & info [ "hosts" ] ~docv:"N" ~doc:"Host count.")
@@ -118,7 +167,8 @@ let optimize_cmd =
              ~doc:"Solver: trws+icm, trws, bp, icm, sa or bnb.")
   in
   let run hosts degree services products_per_service seed solver
-      time_budget jobs =
+      time_budget jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let net =
       Workload.instance { hosts; degree; services; products_per_service; seed }
     in
@@ -143,7 +193,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ hosts $ degree $ services $ products $ seed $ solver
-      $ time_budget_arg $ jobs_arg)
+      $ time_budget_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------- casestudy *)
 
@@ -158,7 +208,8 @@ let casestudy_cmd =
          & info [ "assignments" ]
              ~doc:"Also print the three optimal assignments (Fig. 4).")
   in
-  let run runs seed show_assignments time_budget jobs =
+  let run runs seed show_assignments time_budget jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let net = Products.network () in
     let a =
       Experiments.compute_assignments ~seed
@@ -199,7 +250,7 @@ let casestudy_cmd =
     (Cmd.info "casestudy" ~doc)
     Term.(
       const run $ runs $ seed $ show_assignments $ time_budget_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* -------------------------------------------------------------- simulate *)
 
@@ -449,7 +500,8 @@ let lint_cmd =
       `S Manpage.s_description;
       `P
         "Runs the netdiv-lint rules (spawn-outside-pool, \
-         toplevel-mutable-state, nondeterminism-source, list-nth-in-loop, \
+         toplevel-mutable-state, nondeterminism-source, \
+         direct-clock-in-instrumented-code, list-nth-in-loop, \
          missing-mli, printf-in-lib) over the given paths and exits \
          non-zero if any finding survives the inline suppressions \
          ($(b,(* netdiv-lint: allow <rule> — <reason> *))).";
@@ -592,7 +644,8 @@ let scalability_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Run the paper's full parameter ranges.")
   in
-  let run sweep full time_budget jobs =
+  let run sweep full time_budget jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let budget = budget_of time_budget in
     let jobs = jobs_of jobs in
     let time_one hosts degree services =
@@ -601,9 +654,9 @@ let scalability_cmd =
           { hosts; degree; services; products_per_service = 4; seed = 1 }
       in
       let (_ : Optimize.report) = Optimize.run ?budget ?jobs net [] in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       let report = Optimize.run ?budget ?jobs net [] in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Obs.Clock.now () -. t0 in
       let marker =
         if Runner.outcome_converged report.Optimize.outcome then ""
         else
@@ -643,7 +696,106 @@ let scalability_cmd =
   let doc = "runtime sweeps over random networks (paper Tables VII-IX)" in
   Cmd.v
     (Cmd.info "scalability" ~doc)
-    Term.(const run $ sweep $ full $ time_budget_arg $ jobs_arg)
+    Term.(
+      const run $ sweep $ full $ time_budget_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
+
+(* ----------------------------------------------------------- obs-summary *)
+
+let obs_summary_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Trace file written by $(b,--trace) (Chrome JSON or .jsonl).")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* A Chrome trace is one JSON document carrying a traceEvents list;
+     anything else is treated as JSONL, one event object per line.
+     Validation is strict — this doubles as the CI round-trip check for
+     the exporters. *)
+  let load contents =
+    match Json.parse contents with
+    | Ok json -> (
+        match Option.bind (Json.member "traceEvents" json) Json.to_list with
+        | Some events -> Ok ("chrome", events)
+        | None -> Error "single JSON document without a traceEvents list")
+    | Error _ ->
+        let rec go lineno acc = function
+          | [] -> Ok ("jsonl", List.rev acc)
+          | line :: rest ->
+              if String.trim line = "" then go (lineno + 1) acc rest
+              else (
+                match Json.parse line with
+                | Ok ev -> go (lineno + 1) (ev :: acc) rest
+                | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        in
+        go 1 [] (String.split_on_char '\n' contents)
+  in
+  let run file =
+    match load (read_file file) with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+    | Ok (format, events) -> (
+        let malformed = ref None in
+        let spans = Hashtbl.create 16 in
+        let begins = ref 0
+        and ends = ref 0
+        and instants = ref 0
+        and samples = ref 0 in
+        List.iteri
+          (fun i ev ->
+            match
+              ( Option.bind (Json.member "name" ev) Json.to_str,
+                Option.bind (Json.member "ph" ev) Json.to_str )
+            with
+            | Some name, Some ph -> (
+                match ph with
+                | "B" ->
+                    incr begins;
+                    Hashtbl.replace spans name
+                      (1
+                      + Option.value ~default:0 (Hashtbl.find_opt spans name))
+                | "E" -> incr ends
+                | "i" -> incr instants
+                | "C" -> incr samples
+                | _ -> if !malformed = None then malformed := Some i)
+            | _ -> if !malformed = None then malformed := Some i)
+          events;
+        match !malformed with
+        | Some i ->
+            `Error
+              ( false,
+                Printf.sprintf "%s: event %d lacks a name/ph or uses an \
+                                unknown phase" file i )
+        | None ->
+            Format.printf "format  %s@." format;
+            Format.printf "events  %d@." (List.length events);
+            Format.printf "spans   %d begun, %d ended@." !begins !ends;
+            Format.printf "marks   %d instants, %d counter samples@."
+              !instants !samples;
+            let names =
+              List.sort
+                (fun (na, ca) (nb, cb) ->
+                  let c = compare (cb : int) ca in
+                  if c <> 0 then c else compare (na : string) nb)
+                (Hashtbl.fold (fun k v acc -> (k, v) :: acc) spans [])
+            in
+            if names <> [] then begin
+              Format.printf "span names:@.";
+              List.iter
+                (fun (n, c) -> Format.printf "  %-34s %8d@." n c)
+                names
+            end;
+            `Ok ())
+  in
+  let doc = "validate and digest a trace file written by --trace" in
+  Cmd.v (Cmd.info "obs-summary" ~doc) Term.(ret (const run $ file))
 
 let main =
   let doc =
@@ -654,6 +806,6 @@ let main =
     (Cmd.info "netdiv" ~version:"1.0.0" ~doc)
     [ similarity_cmd; optimize_cmd; casestudy_cmd; simulate_cmd;
       scalability_cmd; metrics_cmd; feed_cmd; export_cmd; rank_cmd;
-      verify_cmd; lint_cmd ]
+      verify_cmd; lint_cmd; obs_summary_cmd ]
 
 let () = exit (Cmd.eval main)

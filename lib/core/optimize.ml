@@ -1,4 +1,5 @@
 module S = Netdiv_mrf.Solver
+module Obs = Netdiv_obs.Obs
 module Runner = Netdiv_mrf.Runner
 module Trws_solver = Netdiv_mrf.Trws
 module Bp_solver = Netdiv_mrf.Bp
@@ -134,17 +135,22 @@ let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
   let (encoded, result, outcome, stage_timings), runtime_s =
     S.timed (fun () ->
         let encoded =
-          Encode.encode ?prconst ?big_m ?preference ?edge_weight net
-            constraints
+          Obs.span ~name:"optimize.encode" (fun () ->
+              Encode.encode ?prconst ?big_m ?preference ?edge_weight net
+                constraints)
         in
         let result, outcome, stage_timings =
-          solve_encoded_outcome ?solver ?max_iters ?budget ?patience ?jobs
-            encoded
+          Obs.span ~name:"optimize.solve" (fun () ->
+              solve_encoded_outcome ?solver ?max_iters ?budget ?patience
+                ?jobs encoded)
         in
         (encoded, result, outcome, stage_timings))
   in
-  let assignment = Encode.decode encoded result.S.labeling in
-  let violated = Constr.violations net assignment constraints in
+  let assignment, violated =
+    Obs.span ~name:"optimize.decode" (fun () ->
+        let assignment = Encode.decode encoded result.S.labeling in
+        (assignment, Constr.violations net assignment constraints))
+  in
   {
     assignment;
     energy = result.S.energy;

@@ -17,6 +17,11 @@ let rules =
     ( "nondeterminism-source",
       "Random.self_init, Sys.time or Unix.gettimeofday in solver/sim code; \
        results must depend only on explicit seeds and budgets" );
+    ( "direct-clock-in-instrumented-code",
+      "Unix.gettimeofday or Sys.time in code wired with Netdiv_obs \
+       telemetry (lib/obs, lib/core, bin); timestamps must go through \
+       Netdiv_obs.Obs.Clock so spans and reported timings share one \
+       monotone time base" );
     ( "list-nth-in-loop",
       "List.nth inside a for/while loop: O(n) per access turns the loop \
        quadratic (the exact class fixed in lib/sim/engine.ml)" );
@@ -74,6 +79,19 @@ let parallel_reachable ctx =
 
 let solver_sim ctx =
   match ctx.lib_dir with Some ("mrf" | "sim" | "par") -> true | _ -> false
+
+(* Layers that carry Netdiv_obs spans/metrics but sit outside the
+   solver/sim scope (where nondeterminism-source already polices clock
+   reads): the observability library itself, the optimizer pipeline and
+   the executables.  The split keeps the two rules disjoint, so a stray
+   clock read gets exactly one finding. *)
+let instrumented_non_solver ctx =
+  (not (solver_sim ctx))
+  &&
+  match ctx.lib_dir with
+  | Some ("obs" | "core") -> true
+  | Some _ -> false
+  | None -> not ctx.in_lib
 
 (* Directories whose inner loops are the measured hot path: a
    per-iteration allocation there shows up directly in BENCH.json. *)
@@ -223,6 +241,18 @@ let scan_tokens ctx (toks : Lexer.token array) =
         add t "nondeterminism-source"
           "Unix.gettimeofday in solver/sim code; wall-clock reads belong \
            in the anytime harness only"
+    end;
+    if instrumented_non_solver ctx then begin
+      if seq3 toks i "Unix" "." "gettimeofday" then
+        add t "direct-clock-in-instrumented-code"
+          "direct Unix.gettimeofday in instrumented code; read the clock \
+           through Netdiv_obs.Obs.Clock.now so spans and timings share \
+           one time base";
+      if seq3 toks i "Sys" "." "time" then
+        add t "direct-clock-in-instrumented-code"
+          "direct Sys.time in instrumented code; read the clock through \
+           Netdiv_obs.Obs.Clock.now so spans and timings share one time \
+           base"
     end;
     if
       !loop_depth > 0

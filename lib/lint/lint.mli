@@ -16,6 +16,11 @@
       [lib/sim], [lib/par], [lib/core]).
     - [nondeterminism-source]: [Random.self_init], [Sys.time] or
       [Unix.gettimeofday] in solver/sim code.
+    - [direct-clock-in-instrumented-code]: [Unix.gettimeofday] or
+      [Sys.time] in the layers wired with Netdiv_obs telemetry but
+      outside the solver/sim scope ([lib/obs], [lib/core], [bin/]);
+      timestamps must go through [Netdiv_obs.Obs.Clock] so spans and
+      reported timings share one monotone time base.
     - [list-nth-in-loop]: [List.nth]/[List.nth_opt] inside a [for]/[while]
       loop.
     - [alloc-in-loop]: [Array.make]/[Array.init]/[Array.copy] inside a

@@ -1,3 +1,11 @@
+module Obs = Netdiv_obs.Obs
+
+(* Same registry names as Trws: the counters classify message updates
+   by kernel class whatever solver issued them. *)
+let c_msg_potts = Obs.Counter.make "mrf.messages.potts"
+let c_msg_sparse = Obs.Counter.make "mrf.messages.const_sparse"
+let c_msg_generic = Obs.Counter.make "mrf.messages.generic"
+
 type config = {
   max_iters : int;
   tolerance : float;
@@ -131,6 +139,19 @@ let sweep st n theta damping =
   done;
   !delta
 
+(* Directed messages one BP sweep updates, by kernel class: every node
+   sends along each incident edge, so each edge counts twice.  Flushed
+   as one counter add per class per sweep. *)
+let count_messages st m =
+  let potts = ref 0 and sparse = ref 0 and generic = ref 0 in
+  for e = 0 to m - 1 do
+    match st.classes.(st.etab.(e)) with
+    | Kernel.Potts _ -> potts := !potts + 2
+    | Kernel.Const_sparse _ -> sparse := !sparse + 2
+    | Kernel.Generic -> generic := !generic + 2
+  done;
+  (!potts, !sparse, !generic)
+
 let decode st n theta x =
   for i = 0 to n - 1 do
     aggregate st i theta;
@@ -157,6 +178,10 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
       done
     end;
     let n = Mrf.n_nodes mrf in
+    let obs_on = Obs.enabled () in
+    let msg_potts, msg_sparse, msg_generic =
+      if obs_on then count_messages st (Mrf.n_edges mrf) else (0, 0, 0)
+    in
     let theta = Array.make (Mrf.max_label_count mrf) 0.0 in
     let x = Array.make n 0 in
     let best_x = Array.make n 0 in
@@ -168,13 +193,22 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
        for it = 1 to config.max_iters do
          if interrupt () then raise Exit;
          iters := it;
+         Obs.begin_span "bp.sweep";
          let delta = sweep st n theta config.damping in
          decode st n theta x;
+         Obs.end_span "bp.sweep";
+         if obs_on then begin
+           Obs.Counter.add c_msg_potts msg_potts;
+           Obs.Counter.add c_msg_sparse msg_sparse;
+           Obs.Counter.add c_msg_generic msg_generic
+         end;
          let e = Mrf.energy mrf x in
          if e < !best_energy then begin
            best_energy := e;
            Array.blit x 0 best_x 0 n
          end;
+         Obs.sample ~name:"bp.energy" !best_energy;
+         Obs.sample ~name:"bp.delta" delta;
          on_progress ~iter:it ~energy:!best_energy ~bound:neg_infinity;
          if delta < config.tolerance then begin
            converged := true;
@@ -185,7 +219,7 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
     (best_x, !best_energy, !iters, !converged)
   in
   let (labeling, energy, iterations, converged), runtime_s =
-    Solver.timed run
+    Solver.timed (fun () -> Obs.span ~name:"bp.solve" run)
   in
   {
     Solver.labeling;

@@ -1,8 +1,11 @@
-(* netdiv-lint: allow-file nondeterminism-source — the anytime harness IS
-   the sanctioned wall-clock boundary: gettimeofday feeds budgets, stall
-   detection and reported timings only.  Which assignment is returned can
-   depend on the clock solely when the caller explicitly passes a time
-   budget; unbudgeted runs are clock-independent. *)
+(* The anytime harness is the sanctioned wall-clock boundary: clock
+   reads feed budgets, stall detection and reported timings only, and
+   all of them go through the Netdiv_obs clock shim so harness timings
+   and trace spans share one time base.  Which assignment is returned
+   can depend on the clock solely when the caller explicitly passes a
+   time budget; unbudgeted runs are clock-independent. *)
+
+module Obs = Netdiv_obs.Obs
 
 module Budget = struct
   type t = { seconds : float option; sweeps : int option }
@@ -248,7 +251,7 @@ type run_report = {
 let run ?(budget = Budget.unlimited) ?patience
     ?(on_progress = fun (_ : progress) -> ()) ~stages mrf =
   if stages = [] then invalid_arg "Runner.run: empty cascade";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let deadline = Option.map (fun s -> t0 +. s) budget.Budget.seconds in
   let done_sweeps = ref 0 in
   let best : Solver.result option ref = ref None in
@@ -258,7 +261,7 @@ let run ?(budget = Budget.unlimited) ?patience
   let rec go = function
     | [] -> assert false
     | stage :: rest ->
-        let stage_start = Unix.gettimeofday () in
+        let stage_start = Obs.Clock.now () in
         (* stall detection: wall clock since the last global improvement *)
         let last_gain = ref stage_start in
         let stage_sweeps = ref 0 in
@@ -273,7 +276,7 @@ let run ?(budget = Budget.unlimited) ?patience
         (* polled from solver inner loops, possibly from spawned domains:
            only reads wall clock and sets monotone flags *)
         let interrupt () =
-          let now = Unix.gettimeofday () in
+          let now = Obs.Clock.now () in
           let over_deadline =
             match deadline with Some d -> now >= d | None -> false
           in
@@ -299,14 +302,24 @@ let run ?(budget = Budget.unlimited) ?patience
           if improved then begin
             if energy < !best_energy then best_energy := energy;
             if bound > !best_bound then best_bound := bound;
-            last_gain := Unix.gettimeofday ()
+            last_gain := Obs.Clock.now ()
           end;
           on_progress { stage = stage.name; iter; energy; bound }
         in
         let init = Option.map (fun r -> r.Solver.labeling) !best in
-        let r = stage.solve ~interrupt ~on_progress:progress ~init mrf in
-        timings :=
-          (stage.name, Unix.gettimeofday () -. stage_start) :: !timings;
+        let r =
+          Obs.span
+            ~name:("runner.stage:" ^ stage.name)
+            (fun () -> stage.solve ~interrupt ~on_progress:progress ~init mrf)
+        in
+        (* one measurement feeds both sinks: the report's stage_timings
+           list (public API) and the metrics registry — previously two
+           separate gettimeofday code paths *)
+        let stage_elapsed = Obs.Clock.now () -. stage_start in
+        timings := (stage.name, stage_elapsed) :: !timings;
+        Obs.Histogram.record
+          (Obs.Histogram.make ("runner.stage." ^ stage.name))
+          stage_elapsed;
         done_sweeps := !done_sweeps + r.Solver.iterations;
         let merged =
           match !best with
@@ -341,7 +354,7 @@ let run ?(budget = Budget.unlimited) ?patience
     {
       result with
       Solver.iterations = !done_sweeps;
-      runtime_s = Unix.gettimeofday () -. t0;
+      runtime_s = Obs.Clock.now () -. t0;
       converged = outcome_converged outcome;
     }
   in

@@ -1,3 +1,12 @@
+module Obs = Netdiv_obs.Obs
+
+(* Acceptance telemetry: proposals and accepted moves are tallied in
+   plain local ints inside each restart (restarts may run on pool
+   domains) and flushed with one atomic add per restart, so the flip
+   loop itself carries no shared-state traffic. *)
+let c_proposals = Obs.Counter.make "sa.proposals"
+let c_accepts = Obs.Counter.make "sa.accepts"
+
 type config = {
   initial_temp : float;
   cooling : float;
@@ -79,6 +88,8 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
       let sweeps = ref 0 in
       let stopped = ref false in
       let temp = ref config.initial_temp in
+      let proposals = ref 0 in
+      let accepts = ref 0 in
       (try
          while !temp > config.min_temp do
            for _ = 1 to config.sweeps_per_temp do
@@ -92,10 +103,12 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
                if k > 1 then begin
                  let fresh = Random.State.int rng k in
                  let delta = move_delta mrf x i fresh in
+                 incr proposals;
                  if
                    delta <= 0.0
                    || Random.State.float rng 1.0 < exp (-.delta /. !temp)
                  then begin
+                   incr accepts;
                    x.(i) <- fresh;
                    energy := !energy +. delta;
                    if !energy < !local_best_energy then begin
@@ -112,6 +125,8 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
            temp := !temp *. config.cooling
          done
        with Exit -> ());
+      Obs.Counter.add c_proposals !proposals;
+      Obs.Counter.add c_accepts !accepts;
       (local_best, !local_best_energy, !sweeps, !stopped)
     in
     let results =
@@ -154,7 +169,7 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
     (best, true_best, !sweeps, not !stopped)
   in
   let (labeling, energy, iterations, converged), runtime_s =
-    Solver.timed run
+    Solver.timed (fun () -> Obs.span ~name:"sa.solve" run)
   in
   {
     Solver.labeling;

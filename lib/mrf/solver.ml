@@ -7,13 +7,13 @@ type result = {
   runtime_s : float;
 }
 
-(* netdiv-lint: allow-file nondeterminism-source — the only clock reads
-   are in [timed], which measures the reported runtime_s; the wrapped
-   computation never observes the clock. *)
+(* Timing goes through the observability clock shim so reported
+   runtimes share a time base with trace spans; the wrapped computation
+   never observes the clock. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Netdiv_obs.Obs.Clock.now () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, Netdiv_obs.Obs.Clock.now () -. t0)
 
 let optimality_gap r =
   if Float.is_nan r.energy || Float.is_nan r.lower_bound then infinity

@@ -1,3 +1,12 @@
+module Obs = Netdiv_obs.Obs
+
+(* Telemetry handles (shared with Bp via the names, all no-ops until
+   Obs.set_enabled true): message updates by kernel class, per-sweep
+   energy/bound samples. *)
+let c_msg_potts = Obs.Counter.make "mrf.messages.potts"
+let c_msg_sparse = Obs.Counter.make "mrf.messages.const_sparse"
+let c_msg_generic = Obs.Counter.make "mrf.messages.generic"
+
 type config = {
   max_iters : int;
   tolerance : float;
@@ -310,6 +319,21 @@ let lower_bound st n _m theta =
     st.isolated;
   !acc
 
+(* Message updates one full iteration (forward + backward sweep)
+   performs, split by kernel class: each edge's two directed messages
+   are recomputed exactly once per iteration.  Computed once per solve
+   and flushed as one counter add per class per iteration, so the
+   per-message hot path carries no instrumentation at all. *)
+let count_messages st m =
+  let potts = ref 0 and sparse = ref 0 and generic = ref 0 in
+  for e = 0 to m - 1 do
+    match st.classes.(st.etab.(e)) with
+    | Kernel.Potts _ -> potts := !potts + 2
+    | Kernel.Const_sparse _ -> sparse := !sparse + 2
+    | Kernel.Generic -> generic := !generic + 2
+  done;
+  (!potts, !sparse, !generic)
+
 (* Greedy decoding in node order: condition on already decoded lower
    neighbours, use incoming messages from undecoded higher ones. *)
 let decode st n theta x =
@@ -355,6 +379,13 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
   let run () =
     let st = make_state mrf in
     let n = Mrf.n_nodes mrf and m = Mrf.n_edges mrf in
+    (* enablement is sampled once per solve; per-iteration work below is
+       a handful of counter adds and begin/end span records, all
+       allocation-free, and zero when disabled *)
+    let obs_on = Obs.enabled () in
+    let msg_potts, msg_sparse, msg_generic =
+      if obs_on then count_messages st m else (0, 0, 0)
+    in
     let theta = Array.make (Mrf.max_label_count mrf) 0.0 in
     let x = Array.make n 0 in
     let best_x = Array.make n 0 in
@@ -369,11 +400,20 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
        for it = 1 to config.max_iters do
          if interrupt () then raise Exit;
          iters := it;
+         Obs.begin_span "trws.sweep";
          sweep st n theta true;
          sweep st n theta false;
+         Obs.end_span "trws.sweep";
+         if obs_on then begin
+           Obs.Counter.add c_msg_potts msg_potts;
+           Obs.Counter.add c_msg_sparse msg_sparse;
+           Obs.Counter.add c_msg_generic msg_generic
+         end;
          if it mod config.bound_every = 0 || it = config.max_iters then begin
+           Obs.begin_span "trws.bound";
            let lb = lower_bound st n m theta in
            decode st n theta x;
+           Obs.end_span "trws.bound";
            let e = Mrf.energy mrf x in
            if e < !best_energy then begin
              best_energy := e;
@@ -383,6 +423,8 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
            if lb > !best_bound then best_bound := lb;
            let energy_progress = !prev_energy -. !best_energy in
            prev_energy := !best_energy;
+           Obs.sample ~name:"trws.energy" !best_energy;
+           Obs.sample ~name:"trws.lower_bound" !best_bound;
            on_progress ~iter:it ~energy:!best_energy ~bound:!best_bound;
            if
              bound_progress < config.tolerance
@@ -402,7 +444,7 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
     (best_x, !best_energy, !best_bound, !iters, !converged)
   in
   let (labeling, energy, lb, iterations, converged), runtime_s =
-    Solver.timed run
+    Solver.timed (fun () -> Obs.span ~name:"trws.solve" run)
   in
   {
     Solver.labeling;
@@ -542,7 +584,7 @@ let solve_components ?(config = default_config)
       (x, energy, bound, iterations, converged)
     in
     let (labeling, energy, bound, iterations, converged), runtime_s =
-      Solver.timed run
+      Solver.timed (fun () -> Obs.span ~name:"trws.components" run)
     in
     on_progress ~iter:iterations ~energy ~bound;
     {

@@ -1,0 +1,35 @@
+(** Exporters for {!Obs} data: Chrome [trace_event] JSON, JSONL, and a
+    plain-text summary.
+
+    Both JSON forms use the same per-event object shape (the Chrome
+    trace format's):
+
+    {v {"name":N,"ph":P,"ts":T,"pid":1,"tid":I[,"args":{"value":V}]} v}
+
+    with [ph] one of ["B"]/["E"] (span begin/end), ["i"] (instant) or
+    ["C"] (counter sample) and [ts] in microseconds relative to the
+    first recorded event.  The Chrome form wraps the objects in
+    [{"traceEvents":[...]}] — load it directly in [chrome://tracing] or
+    Perfetto; the JSONL form emits one object per line for streaming
+    consumers.  Non-finite sample values are emitted as JSON strings
+    (["inf"], ["nan"]) so the output always parses. *)
+
+val chrome_string : unit -> string
+(** The current event buffers as one Chrome [trace_event] document. *)
+
+val jsonl_string : unit -> string
+(** The current event buffers as newline-delimited JSON, one event per
+    line (same object shape as {!chrome_string}). *)
+
+val write_trace : path:string -> unit
+(** Write the current event buffers to [path]: JSONL when the file name
+    ends in [.jsonl], the Chrome document otherwise. *)
+
+val span_rollup : Obs.event list -> (string * int * float * float) list
+(** Aggregate well-nested [Begin]/[End] pairs per name:
+    [(name, count, total_s, max_s)], sorted by descending total.
+    Pairing is per [tid]; unbalanced opens are dropped. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable digest of the current state: span totals (from
+    {!span_rollup}) followed by every registered metric. *)

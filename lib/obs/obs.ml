@@ -1,0 +1,307 @@
+(* Tracing + metrics substrate.  See obs.mli for the contract.
+
+   Design constraints, in order:
+   - the disabled path must be one atomic load and a branch, with no
+     allocation, so instrumentation can live inside solver hot loops;
+   - recording must be race-free under the pool sanitizer: spans go to
+     per-domain buffers, counters are atomics, histograms/gauges take a
+     per-instance mutex;
+   - the data must survive pool workers, which are joined after every
+     region: each domain-local buffer is registered in a global list
+     the moment it is created, so [events] can read it after the domain
+     is gone. *)
+
+module Clock = struct
+  (* Per-domain monotone clamp over the system clock: a backwards step
+     (NTP, VM migration) would otherwise produce negative span
+     durations and out-of-order trace events. *)
+  let last : float ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0.0)
+
+  let now () =
+    (* netdiv-lint: allow direct-clock-in-instrumented-code — this IS the
+       clock shim the rule points everyone at; the one sanctioned
+       gettimeofday read for telemetry and harness timing. *)
+    let t = Unix.gettimeofday () in
+    let r = Domain.DLS.get last in
+    if t > !r then begin
+      r := t;
+      t
+    end
+    else !r
+end
+
+(* Global enable flag.  An [Atomic] rather than a [ref] so domains
+   spawned while the program toggles it still see a well-defined value
+   under the OCaml 5 memory model. *)
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* ------------------------------------------------------------- events *)
+
+type kind = Begin | End | Instant | Sample
+
+type event = {
+  kind : kind;
+  name : string;
+  ts : float;
+  value : float;
+  tid : int;
+}
+
+let dummy_event = { kind = Instant; name = ""; ts = 0.0; value = 0.0; tid = 0 }
+
+(* Growable per-domain event buffer (OCaml 5.1 has no Dynarray). *)
+type buffer = { tid : int; mutable evs : event array; mutable len : int }
+
+let registry_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+let next_tid = ref 0
+
+(* First event on a domain allocates its buffer and registers it; the
+   registration mutex is taken once per domain lifetime, never on the
+   per-event path. *)
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.protect registry_lock (fun () ->
+          let b =
+            { tid = !next_tid; evs = Array.make 256 dummy_event; len = 0 }
+          in
+          incr next_tid;
+          buffers := b :: !buffers;
+          b))
+
+let push b ev =
+  if b.len = Array.length b.evs then begin
+    let bigger = Array.make (2 * Array.length b.evs) dummy_event in
+    Array.blit b.evs 0 bigger 0 b.len;
+    b.evs <- bigger
+  end;
+  b.evs.(b.len) <- ev;
+  b.len <- b.len + 1
+
+let record kind name value =
+  let b = Domain.DLS.get buffer_key in
+  push b { kind; name; ts = Clock.now (); value; tid = b.tid }
+
+let begin_span name = if Atomic.get on then record Begin name 0.0
+let end_span name = if Atomic.get on then record End name 0.0
+let instant name = if Atomic.get on then record Instant name 0.0
+let sample ~name v = if Atomic.get on then record Sample name v
+
+let span ~name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    record Begin name 0.0;
+    match f () with
+    | x ->
+        record End name 0.0;
+        x
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        record End name 0.0;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let events () =
+  let all =
+    Mutex.protect registry_lock (fun () ->
+        List.concat_map
+          (fun b -> List.init b.len (fun i -> b.evs.(i)))
+          (List.sort (fun a b -> compare a.tid b.tid) !buffers))
+  in
+  (* stable sort: a buffer's events carry non-decreasing timestamps (the
+     clock shim clamps per domain), so per-tid order survives *)
+  List.stable_sort
+    (fun a b ->
+      let c = Float.compare a.ts b.ts in
+      if c <> 0 then c else compare a.tid b.tid)
+    all
+
+(* ------------------------------------------------------------ metrics *)
+
+module Counter = struct
+  type t = { cname : string; v : int Atomic.t }
+
+  let lock = Mutex.create ()
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some c -> c
+        | None ->
+            let c = { cname = name; v = Atomic.make 0 } in
+            Hashtbl.add table name c;
+            c)
+
+  let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.v n)
+  let incr c = add c 1
+  let value c = Atomic.get c.v
+  let name c = c.cname
+
+  let reset_all () =
+    Mutex.protect lock (fun () ->
+        Hashtbl.iter (fun _ c -> Atomic.set c.v 0) table)
+end
+
+module Gauge = struct
+  (* the value lives in a one-slot float array: stores into a float
+     array are unboxed, where a [float ref] or mutable float field in a
+     mixed record would box on every set *)
+  type t = { gname : string; cell : float array }
+
+  let lock = Mutex.create ()
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some g -> g
+        | None ->
+            let g = { gname = name; cell = Array.make 1 nan } in
+            Hashtbl.add table name g;
+            g)
+
+  let set g v = if Atomic.get on then g.cell.(0) <- v
+  let value g = g.cell.(0)
+  let name g = g.gname
+
+  let reset_all () =
+    Mutex.protect lock (fun () ->
+        Hashtbl.iter (fun _ g -> g.cell.(0) <- nan) table)
+end
+
+module Histogram = struct
+  let n_buckets = 64
+  let base = 1e-6
+
+  type t = {
+    hname : string;
+    hlock : Mutex.t;
+    hbuckets : int array;
+    mutable hcount : int;
+    hstats : float array; (* [| sum; min; max |] *)
+  }
+
+  (* Bucket 0: everything below [base] (zero, negatives, nan).  Bucket
+     [i >= 1] covers [base*2^(i-1), base*2^i).  Multiplying/dividing by
+     a power of two is exact in IEEE double, so the edges are exact:
+     [base *. 2.0 ** k] always lands in bucket [k + 1]. *)
+  let bucket_of v =
+    if not (v >= base) then 0
+    else begin
+      let b = 1 + int_of_float (Float.log2 (v /. base)) in
+      if b >= n_buckets then n_buckets - 1 else b
+    end
+
+  let bucket_lower i = if i <= 0 then 0.0 else base *. (2.0 ** float_of_int (i - 1))
+
+  let lock = Mutex.create ()
+  let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                hname = name;
+                hlock = Mutex.create ();
+                hbuckets = Array.make n_buckets 0;
+                hcount = 0;
+                hstats = [| 0.0; infinity; neg_infinity |];
+              }
+            in
+            Hashtbl.add table name h;
+            h)
+
+  (* manual lock/unlock: [Mutex.protect] would allocate a closure on
+     every record *)
+  let record h v =
+    if Atomic.get on then begin
+      let b = bucket_of v in
+      Mutex.lock h.hlock;
+      h.hbuckets.(b) <- h.hbuckets.(b) + 1;
+      h.hcount <- h.hcount + 1;
+      h.hstats.(0) <- h.hstats.(0) +. v;
+      if v < h.hstats.(1) then h.hstats.(1) <- v;
+      if v > h.hstats.(2) then h.hstats.(2) <- v;
+      Mutex.unlock h.hlock
+    end
+
+  let count h = h.hcount
+  let sum h = h.hstats.(0)
+  let name h = h.hname
+  let buckets h = Array.copy h.hbuckets
+
+  let clear h =
+    Mutex.lock h.hlock;
+    Array.fill h.hbuckets 0 n_buckets 0;
+    h.hcount <- 0;
+    h.hstats.(0) <- 0.0;
+    h.hstats.(1) <- infinity;
+    h.hstats.(2) <- neg_infinity;
+    Mutex.unlock h.hlock
+
+  let reset_all () =
+    Mutex.protect lock (fun () -> Hashtbl.iter (fun _ h -> clear h) table)
+end
+
+type metric =
+  | Counter_v of { name : string; count : int }
+  | Gauge_v of { name : string; value : float }
+  | Histogram_v of {
+      name : string;
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      buckets : int array;
+    }
+
+let metric_name = function
+  | Counter_v { name; _ } | Gauge_v { name; _ } | Histogram_v { name; _ } ->
+      name
+
+let metrics () =
+  let cs =
+    Mutex.protect Counter.lock (fun () ->
+        Hashtbl.fold
+          (fun name c acc ->
+            Counter_v { name; count = Atomic.get c.Counter.v } :: acc)
+          Counter.table [])
+  in
+  let gs =
+    Mutex.protect Gauge.lock (fun () ->
+        Hashtbl.fold
+          (fun name g acc -> Gauge_v { name; value = g.Gauge.cell.(0) } :: acc)
+          Gauge.table [])
+  in
+  let hs =
+    Mutex.protect Histogram.lock (fun () ->
+        Hashtbl.fold
+          (fun name h acc ->
+            Histogram_v
+              {
+                name;
+                count = h.Histogram.hcount;
+                sum = h.Histogram.hstats.(0);
+                min = h.Histogram.hstats.(1);
+                max = h.Histogram.hstats.(2);
+                buckets = Array.copy h.Histogram.hbuckets;
+              }
+            :: acc)
+          Histogram.table [])
+  in
+  List.sort
+    (fun a b -> compare (metric_name a) (metric_name b))
+    (cs @ gs @ hs)
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      List.iter (fun b -> b.len <- 0) !buffers);
+  Counter.reset_all ();
+  Gauge.reset_all ();
+  Histogram.reset_all ()

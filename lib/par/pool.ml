@@ -10,6 +10,38 @@
 
 exception Race of string
 
+module Obs = Netdiv_obs.Obs
+
+(* Pool telemetry (all no-ops until Obs.set_enabled true): regions and
+   chunks dispatched, per-chunk and per-domain busy time, and GC
+   pressure around parallel regions — the "is a domain idle / is the
+   GC the bottleneck" questions every perf investigation starts with. *)
+let c_regions = Obs.Counter.make "pool.regions"
+let c_chunks = Obs.Counter.make "pool.chunks"
+let c_gc_minor = Obs.Counter.make "pool.gc_minor"
+let c_gc_major = Obs.Counter.make "pool.gc_major"
+let h_chunk_busy = Obs.Histogram.make "pool.chunk_busy_s"
+let h_domain_busy = Obs.Histogram.make "pool.domain_busy_s"
+
+(* Wrap one combinator invocation: a "pool.region" span in the calling
+   domain plus GC minor/major collection deltas (as observed by the
+   caller).  Covers every execution strategy — inline fast path,
+   granularity-planned sequential run and dispatched chunks — so a
+   trace shows each parallel region exactly once. *)
+let observe_region f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    Obs.Counter.incr c_regions;
+    let g0 = Gc.quick_stat () in
+    let r = Obs.span ~name:"pool.region" f in
+    let g1 = Gc.quick_stat () in
+    Obs.Counter.add c_gc_minor
+      (g1.Gc.minor_collections - g0.Gc.minor_collections);
+    Obs.Counter.add c_gc_major
+      (g1.Gc.major_collections - g0.Gc.major_collections);
+    r
+  end
+
 (* --------------------------------------------------------- sanitizer --
 
    NETDIV_SANITIZE=1 turns on a debug mode that shadow-tracks which
@@ -237,6 +269,27 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
   let n = hi - lo in
   if n <= 0 then ()
   else
+    let obs_on = Obs.enabled () in
+    let body =
+      if not obs_on then body
+      else fun c clo chi ->
+        (* per-chunk span + busy-time sample; the span lands in the
+           executing domain's buffer, so Perfetto shows which worker ran
+           which chunk.  On failure the span is still closed before the
+           exception propagates to [record_failure]. *)
+        Obs.Counter.incr c_chunks;
+        Obs.begin_span "pool.chunk";
+        let t0 = Obs.Clock.now () in
+        (match body c clo chi with
+        | () ->
+            Obs.Histogram.record h_chunk_busy (Obs.Clock.now () -. t0);
+            Obs.end_span "pool.chunk"
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Obs.Histogram.record h_chunk_busy (Obs.Clock.now () -. t0);
+            Obs.end_span "pool.chunk";
+            Printexc.raise_with_backtrace exn bt)
+    in
     let chunks = max 1 (min chunks n) in
     let jobs = max 1 (min jobs chunks) in
     let jobs = min jobs (Lazy.force hardware_jobs) in
@@ -247,15 +300,18 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
       let chi = clo + q + (if c < r then 1 else 0) in
       (clo, chi)
     in
-    if jobs = 1 then
+    if jobs = 1 then begin
+      let t0 = if obs_on then Obs.Clock.now () else 0.0 in
       for c = 0 to chunks - 1 do
         let clo, chi = chunk_bounds c in
         body c clo chi
-      done
+      done;
+      if obs_on then Obs.Histogram.record h_domain_busy (Obs.Clock.now () -. t0)
+    end
     else begin
       let next = Atomic.make 0 in
       let failed : failure option Atomic.t = Atomic.make None in
-      let worker () =
+      let worker_loop () =
         let continue = ref true in
         while !continue do
           let c = Atomic.fetch_and_add next 1 in
@@ -269,6 +325,17 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
           end
         done
       in
+      let worker () =
+        (* per-domain busy time: this worker's whole participation in
+           the region (chunk claiming included); comparing the recorded
+           values exposes idle domains and load imbalance *)
+        if obs_on then begin
+          let t0 = Obs.Clock.now () in
+          worker_loop ();
+          Obs.Histogram.record h_domain_busy (Obs.Clock.now () -. t0)
+        end
+        else worker_loop ()
+      in
       let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
       worker ();
       Array.iter Domain.join domains;
@@ -278,6 +345,8 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
     end
 
 let parallel_for ?jobs ?chunks ?cost ~lo ~hi f =
+  if hi <= lo then ()
+  else observe_region @@ fun () ->
   let jobs = resolve_jobs ?jobs () in
   let explicit_chunks =
     match chunks with Some c when c >= 1 -> Some c | _ -> None
@@ -308,6 +377,7 @@ let map_range ?jobs ?chunks ?cost ~lo ~hi f =
   let n = hi - lo in
   if n <= 0 then [||]
   else begin
+    observe_region @@ fun () ->
     let jobs = resolve_jobs ?jobs () in
     let explicit_chunks =
       match chunks with Some c when c >= 1 -> Some c | _ -> None
@@ -347,6 +417,7 @@ let map_reduce ?jobs ?chunks ?cost ~lo ~hi ~map ~reduce ~init =
   let n = hi - lo in
   if n <= 0 then init
   else begin
+    observe_region @@ fun () ->
     let jobs = resolve_jobs ?jobs () in
     let explicit_chunks =
       match chunks with Some c when c >= 1 -> Some c | _ -> None

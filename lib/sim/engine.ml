@@ -1,6 +1,14 @@
 module Graph = Netdiv_graph.Graph
 module Network = Netdiv_core.Network
 module Assignment = Netdiv_core.Assignment
+module Obs = Netdiv_obs.Obs
+
+(* Worm telemetry: per-simulation tallies are local ints flushed with
+   one atomic add each when the run ends, so batched/parallel MTTC runs
+   never contend inside the tick loop. *)
+let c_ticks = Obs.Counter.make "engine.ticks"
+let c_attempts = Obs.Counter.make "engine.exploit_attempts"
+let c_infections = Obs.Counter.make "engine.infections"
 
 type strategy = Best_exploit | Uniform_exploit | Arsenal_exploit
 
@@ -143,6 +151,8 @@ let simulate ~rng ~max_ticks ~rates a ~entry ~on_tick ~stop =
     let result = ref None in
     let alive = ref true in
     let tick = ref 0 in
+    let attempts = ref 0 in
+    let infections = ref 0 in
     while !result = None && !alive && !tick < max_ticks do
       incr tick;
       let newly = ref [] in
@@ -152,8 +162,10 @@ let simulate ~rng ~max_ticks ~rates a ~entry ~on_tick ~stop =
       let attack v ~potential rate =
         if not infected.(v) then begin
           if potential > 0.0 then progress_possible := true;
-          if rate > 0.0 && Random.State.float rng 1.0 < rate then
-            newly := v :: !newly
+          if rate > 0.0 then begin
+            incr attempts;
+            if Random.State.float rng 1.0 < rate then newly := v :: !newly
+          end
         end
       in
       List.iter
@@ -179,6 +191,7 @@ let simulate ~rng ~max_ticks ~rates a ~entry ~on_tick ~stop =
         (fun v ->
           if not infected.(v) then begin
             infected.(v) <- true;
+            incr infections;
             infected_list := v :: !infected_list;
             if !result = None && stop v then result := Some !tick
           end)
@@ -187,6 +200,9 @@ let simulate ~rng ~max_ticks ~rates a ~entry ~on_tick ~stop =
       (* the worm is dead when every remaining attack edge has rate zero *)
       if not !progress_possible then alive := false
     done;
+    Obs.Counter.add c_ticks !tick;
+    Obs.Counter.add c_attempts !attempts;
+    Obs.Counter.add c_infections !infections;
     !result
   end
 
@@ -325,6 +341,8 @@ let simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target =
     let result = ref None in
     let extinct = ref false in
     let tick = ref 0 in
+    let attempts = ref 0 in
+    let infections = ref 0 in
     while !result = None && (not !extinct) && !tick < max_ticks do
       incr tick;
       let newly = ref [] in
@@ -333,10 +351,10 @@ let simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target =
         if status.(u) = Infected then begin
           any_infected := true;
           let attack v rate =
-            if
-              status.(v) = Susceptible && rate > 0.0
-              && Random.State.float rng 1.0 < rate
-            then newly := v :: !newly
+            if status.(v) = Susceptible && rate > 0.0 then begin
+              incr attempts;
+              if Random.State.float rng 1.0 < rate then newly := v :: !newly
+            end
           in
           match rates with
           | Fixed nr ->
@@ -359,6 +377,7 @@ let simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target =
         (fun v ->
           if status.(v) = Susceptible then begin
             status.(v) <- Infected;
+            incr infections;
             if !result = None && v = target then result := Some !tick
           end)
         !newly;
@@ -371,6 +390,9 @@ let simulate_defended ~rng ~max_ticks ~defense ~rates a ~entry ~target =
           then status.(h) <- (if defense.immunize then Immune else Susceptible)
         done
     done;
+    Obs.Counter.add c_ticks !tick;
+    Obs.Counter.add c_attempts !attempts;
+    Obs.Counter.add c_infections !infections;
     !result
   end
 

@@ -132,3 +132,32 @@ Missing paths are rejected up front:
   $ netdiv lint no/such/dir
   netdiv: no such file or directory: no/such/dir
   [124]
+
+Telemetry timestamps outside the solver scope must go through the
+Netdiv_obs clock shim; the dedicated rule reports direct reads:
+
+  $ mkdir -p lib/core
+  $ cat > lib/core/clock.ml <<'ML'
+  > let now () = Unix.gettimeofday ()
+  > ML
+  $ netdiv lint lib/core/clock.ml
+  lib/core/clock.ml:1: [direct-clock-in-instrumented-code] direct Unix.gettimeofday in instrumented code; read the clock through Netdiv_obs.Obs.Clock.now so spans and timings share one time base
+  lib/core/clock.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
+  2 finding(s)
+  [1]
+
+A traced run writes a Chrome trace that obs-summary validates and
+digests; solver sweeps and the optimizer stages appear as spans:
+
+  $ netdiv optimize --hosts 30 --degree 4 --services 3 --trace t.json | grep trace
+  wrote trace t.json
+  $ netdiv obs-summary t.json | grep format
+  format  chrome
+  $ netdiv obs-summary t.json | grep -c "trws.sweep\|optimize.solve"
+  2
+
+The JSONL exporter round-trips through the same validator:
+
+  $ netdiv optimize --hosts 30 --degree 4 --services 3 --trace t.jsonl > /dev/null
+  $ netdiv obs-summary t.jsonl | grep format
+  format  jsonl

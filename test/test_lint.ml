@@ -90,6 +90,30 @@ let test_nondeterminism_source () =
         let a () = Unix.gettimeofday ()\n\n\
         let b () = Sys.time ()\n")
 
+(* ----------------------------------- direct-clock-in-instrumented-code *)
+
+let test_direct_clock () =
+  check_rules "positive: gettimeofday in the optimizer pipeline"
+    [ "direct-clock-in-instrumented-code" ]
+    (lint "lib/core/optimize.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "positive: gettimeofday in the obs library itself"
+    [ "direct-clock-in-instrumented-code" ]
+    (lint "lib/obs/obs.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "positive: Sys.time in bin"
+    [ "direct-clock-in-instrumented-code" ]
+    (lint "bin/netdiv.ml" "let t () = Sys.time ()\n");
+  check_rules "near-miss: solver scope reports nondeterminism-source \
+               instead (rules are disjoint)"
+    [ "nondeterminism-source" ]
+    (lint "lib/mrf/s.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "near-miss: uninstrumented library" []
+    (lint "lib/vuln/feed.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "suppressed (the clock shim carries this exact comment)" []
+    (lint "lib/obs/obs.ml"
+       "(* netdiv-lint: allow direct-clock-in-instrumented-code — fixture \
+        shim justification *)\n\
+        let now () = Unix.gettimeofday ()\n")
+
 (* --------------------------------------------------- list-nth-in-loop *)
 
 let test_list_nth_in_loop () =
@@ -309,8 +333,8 @@ let test_rule_list () =
         true (List.mem required ids))
     [
       "spawn-outside-pool"; "toplevel-mutable-state"; "nondeterminism-source";
-      "list-nth-in-loop"; "alloc-in-loop"; "missing-mli"; "printf-in-lib";
-      "bad-suppression";
+      "direct-clock-in-instrumented-code"; "list-nth-in-loop";
+      "alloc-in-loop"; "missing-mli"; "printf-in-lib"; "bad-suppression";
     ]
 
 let () =
@@ -324,6 +348,8 @@ let () =
             test_toplevel_mutable_state;
           Alcotest.test_case "nondeterminism-source" `Quick
             test_nondeterminism_source;
+          Alcotest.test_case "direct-clock-in-instrumented-code" `Quick
+            test_direct_clock;
           Alcotest.test_case "list-nth-in-loop" `Quick test_list_nth_in_loop;
           Alcotest.test_case "alloc-in-loop" `Quick test_alloc_in_loop;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;

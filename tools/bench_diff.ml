@@ -10,6 +10,10 @@
 
    - [scalability_speedup.solve_1j_s]: the serial solve of the smoke
      instance — the paper's headline scalability cost (lower is better);
+   - [observability_overhead.solve_off_s]: the same solve with the
+     Netdiv_obs instrumentation compiled in but disabled — this is the
+     cross-commit form of the "tracing off costs <= 3%" contract (the
+     in-process form lives in bench/main.ml itself);
    - every [kernel_specialization.*_s] timing (lower is better) and
      [kernel_specialization.*_speedup] ratio (higher is better): the
      structure-specialized message kernels must keep their edge over the
@@ -120,7 +124,8 @@ let ends_with suffix s =
    list automatically.  [wall_s] is the section's own wall clock
    (instance construction included) — never a watched timing. *)
 let watched fresh =
-  ( [ ("scalability_speedup", "solve_1j_s", true) ]
+  ( [ ("scalability_speedup", "solve_1j_s", true);
+      ("observability_overhead", "solve_off_s", true) ]
   @ List.concat_map
       (fun s ->
         if s.s_name <> "kernel_specialization" then []
@@ -139,6 +144,7 @@ let watched fresh =
    and its timings are incomparable. *)
 let fingerprint = function
   | "scalability_speedup" -> Some "solver_energy"
+  | "observability_overhead" -> Some "solver_energy"
   | "kernel_specialization" -> Some "labels"
   | _ -> None
 

@@ -2,12 +2,14 @@
 # Repository gate: build everything, run the netdiv-lint static checker,
 # run the full test suite (alcotest, qcheck and the CLI cram test),
 # re-run the pool suite with the NETDIV_SANITIZE race sanitizer enabled,
-# run the fast benchmark smoke (parallel determinism, interning and
-# message-kernel sections, writes BENCH.json), diff the fresh report
-# against the committed baseline with tools/bench_diff (>25% regression
-# on watched metrics fails, snapshots land in bench_history/), and —
-# when a .ocamlformat file is present — verify formatting. Exits
-# non-zero on the first failure.
+# run the fast benchmark smoke (parallel determinism, interning,
+# message-kernel and observability-overhead sections, writes
+# BENCH.json), diff the fresh report against the committed baseline
+# with tools/bench_diff (>25% regression on watched metrics fails,
+# snapshots land in bench_history/), validate that a traced optimize
+# run emits a Chrome trace and a JSONL log that netdiv obs-summary
+# accepts, and — when a .ocamlformat file is present — verify
+# formatting. Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +47,27 @@ if [ -n "$baseline" ]; then
   dune exec tools/bench_diff.exe -- "$baseline" BENCH.json
   rm -f "$baseline"
 fi
+
+echo "== traced optimize (Chrome trace + JSONL must round-trip)"
+# the emitted traces must parse with the in-repo JSON reader and carry
+# the spans the observability layer promises: solver sweeps on the
+# default (TRW-S) path, pool parallel regions on the multi-job SA path.
+tracedir=$(mktemp -d)
+dune exec bin/netdiv.exe -- optimize --hosts 40 --degree 4 --services 3 \
+  --trace "$tracedir/trace.json" >/dev/null
+summary=$(dune exec bin/netdiv.exe -- obs-summary "$tracedir/trace.json")
+echo "$summary" | grep -q '^format  chrome' || {
+  echo "traced optimize did not produce a valid Chrome trace"; exit 1; }
+echo "$summary" | grep -q 'trws\.sweep' || {
+  echo "Chrome trace is missing trws.sweep spans"; exit 1; }
+dune exec bin/netdiv.exe -- optimize --hosts 40 --degree 4 --services 3 \
+  --solver sa --jobs 2 --trace "$tracedir/trace.jsonl" >/dev/null
+summary=$(dune exec bin/netdiv.exe -- obs-summary "$tracedir/trace.jsonl")
+echo "$summary" | grep -q '^format  jsonl' || {
+  echo "traced optimize did not produce a valid JSONL trace"; exit 1; }
+echo "$summary" | grep -q 'pool\.region' || {
+  echo "JSONL trace is missing pool.region spans"; exit 1; }
+rm -rf "$tracedir"
 
 if [ -f .ocamlformat ]; then
   echo "== dune fmt (check)"
