@@ -92,9 +92,12 @@ module Report = struct
   let json_float v =
     if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
 
+  (* The report lands via the shared atomic writer (temp + fsync +
+     rename): a benchmark killed mid-write must not leave a truncated
+     BENCH.json for tools/bench_diff to choke on. *)
   let write path =
-    let oc = open_out path in
-    Printf.fprintf oc
+    let b = Buffer.create 4096 in
+    Printf.bprintf b
       "{\n  \"full_sweep\": %b,\n  \"smoke\": %b,\n  \"mttc_runs\": %d,\n\
       \  \"sections\": [\n"
       full_sweep smoke mttc_runs;
@@ -102,16 +105,18 @@ module Report = struct
     let last = List.length all - 1 in
     List.iteri
       (fun i e ->
-        Printf.fprintf oc
+        Printf.bprintf b
           "    {\"name\": \"%s\", \"wall_s\": %s, \"top_heap_words\": %d"
           e.name (json_float e.wall_s) e.top_heap_words;
         List.iter
-          (fun (k, v) -> Printf.fprintf oc ", \"%s\": %s" k (json_float v))
+          (fun (k, v) -> Printf.bprintf b ", \"%s\": %s" k (json_float v))
           e.metrics;
-        Printf.fprintf oc "}%s\n" (if i = last then "" else ","))
+        Printf.bprintf b "}%s\n" (if i = last then "" else ","))
       all;
-    Printf.fprintf oc "  ],\n  \"failures\": %d\n}\n" !failures;
-    close_out oc
+    Printf.bprintf b "  ],\n  \"failures\": %d\n}\n" !failures;
+    match Netdiv_fault.Io.write_atomic ~path (Buffer.contents b) with
+    | Ok () -> ()
+    | Error msg -> fail (Printf.sprintf "cannot write %s: %s" path msg)
 end
 
 (* ------------------------------------------------- Tables II and III *)
@@ -809,7 +814,7 @@ let extension_anytime () =
   List.iter
     (fun seconds ->
       let budget = Option.map Runner.Budget.seconds seconds in
-      let result, outcome, _ =
+      let result, outcome, _, _ =
         Optimize.solve_encoded_outcome ?budget encoded
       in
       let gap =
@@ -1034,6 +1039,82 @@ let observability_overhead () =
            drift_pct)
   end
 
+(* --------------------------------- fault injection overhead (disabled) *)
+
+(* The robustness counterpart of observability_overhead: injection
+   points are compiled into the pool, the runner and the I/O layer, so
+   the disabled path must be free — one atomic load and a branch — and
+   a chaos run (faults actually firing) must still land on the exact
+   fault-free assignment after recovery. *)
+let fault_overhead () =
+  section "[Fault] injection overhead on the 4-zone segmented instance";
+  let module Fault = Netdiv_fault.Fault in
+  (* disabled-path microbenchmark, same budget as a disabled span *)
+  let p = Fault.point "bench.disabled" in
+  let checks = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for k = 1 to checks do
+    if Fault.should_fail ~key:k p then ignore (Sys.opaque_identity k)
+  done;
+  let check_ns = (Unix.gettimeofday () -. t0) /. float_of_int checks *. 1e9 in
+  Format.printf "disabled injection check: %.1f ns@." check_ns;
+  Report.metric "check_disabled_ns" check_ns;
+  if check_ns > 200.0 then
+    Report.fail
+      (Printf.sprintf "disabled fault check costs %.0f ns (> 200 ns budget)"
+         check_ns);
+  let net, _ = segmented_instance () in
+  (* untimed warmup captures the deterministic fault-free result *)
+  let ref_off = Optimize.run ~jobs:1 net [] in
+  let best_off = ref infinity in
+  for _round = 1 to 5 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Optimize.run ~jobs:1 net []);
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best_off then best_off := t
+  done;
+  Format.printf "solve, injection compiled in but disabled: %.3fs@." !best_off;
+  Report.metric "solve_off_s" !best_off;
+  Report.metric "solver_energy" ref_off.Optimize.energy;
+  (* chaos determinism: crash every parallel chunk; sequential recovery
+     must reproduce the fault-free assignment bit for bit *)
+  Fault.set_spec (Some "rate=1.0,only=pool.chunk");
+  Fault.reset ();
+  let chaos =
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.set_spec None;
+        Fault.reset ())
+      (fun () ->
+        let r = Optimize.run ~jobs:4 net [] in
+        Report.metric "chaos_faults_fired" (float_of_int (Fault.fired_count ()));
+        r)
+  in
+  if
+    not
+      (chaos.Optimize.energy = ref_off.Optimize.energy
+      && Assignment.equal chaos.Optimize.assignment ref_off.Optimize.assignment)
+  then Report.fail "solver result differs under injected chunk crashes";
+  (* same 3% envelope as tracing: the compiled-in checks must not show
+     up against the uninstrumented jobs=1 baseline.  tools/bench_diff
+     additionally gates solve_off_s across commits. *)
+  let base = !segmented_solve_1j_s in
+  if Float.is_nan base then
+    Report.fail "scalability_speedup did not run before fault_overhead"
+  else begin
+    let drift_pct = ((!best_off /. base) -. 1.0) *. 100.0 in
+    Format.printf "injection-off vs scalability jobs=1: %+.1f%% (gate: +3%%)@."
+      drift_pct;
+    Report.metric "off_vs_baseline_pct" drift_pct;
+    if drift_pct > 3.0 then
+      Report.fail
+        (Printf.sprintf
+           "injection-off solve is %.1f%% slower than the jobs=1 baseline \
+            (> 3%% budget)"
+           drift_pct)
+  end
+
 let interning_memory () =
   section "[Parallel] interned edge potentials on a 1,000-host MRF";
   let net =
@@ -1246,6 +1327,7 @@ let () =
   end;
   Report.timed "scalability_speedup" scalability_speedup;
   Report.timed "observability_overhead" observability_overhead;
+  Report.timed "fault_overhead" fault_overhead;
   Report.timed "interning_memory" interning_memory;
   Report.timed "kernel_specialization" kernel_specialization;
   if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;

@@ -133,8 +133,10 @@ let with_obs ~trace ~metrics f =
       Obs.set_enabled false;
       Option.iter
         (fun path ->
-          Obs_export.write_trace ~path;
-          Format.printf "wrote trace %s@." path)
+          match Obs_export.write_trace ~path with
+          | Ok () -> Format.printf "wrote trace %s@." path
+          | Error msg ->
+              Format.eprintf "netdiv: could not write trace %s: %s@." path msg)
         trace;
       if metrics then Format.printf "%a@." Obs_export.pp_summary ()
     in
@@ -166,8 +168,22 @@ let optimize_cmd =
          & info [ "solver" ] ~docv:"SOLVER"
              ~doc:"Solver: trws+icm, trws, bp, icm, sa or bnb.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Write an atomic best-assignment snapshot to $(docv) \
+                   every time the solve improves (routes through the \
+                   anytime harness).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Warm-start the solve from a checkpoint written by \
+                   $(b,--checkpoint); an invalid or mismatched file warns \
+                   and starts fresh.")
+  in
   let run hosts degree services products_per_service seed solver
-      time_budget jobs trace metrics =
+      time_budget jobs checkpoint resume trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let net =
       Workload.instance { hosts; degree; services; products_per_service; seed }
@@ -175,7 +191,7 @@ let optimize_cmd =
     Format.printf "%a@." Network.pp net;
     let report =
       Optimize.run ~solver ?budget:(budget_of time_budget)
-        ?jobs:(jobs_of jobs) net []
+        ?jobs:(jobs_of jobs) ?checkpoint ?resume net []
     in
     let encoded = Encode.encode net [] in
     let mono = Encode.assignment_energy encoded (Assignment.mono net) in
@@ -185,6 +201,12 @@ let optimize_cmd =
     in
     Format.printf "solver  %s@." (Optimize.solver_name solver);
     Format.printf "outcome %a@." Runner.pp_outcome report.Optimize.outcome;
+    if report.Optimize.retries > 0 then
+      Format.printf "retries %d@." report.Optimize.retries;
+    (* surface the replay spec whenever injection actually fired, so a
+       chaos run can be reproduced bit for bit from its own output *)
+    if Netdiv_fault.Fault.fired_count () > 0 then
+      Format.printf "faults  %s@." (Netdiv_fault.Fault.fired_spec ());
     Format.printf "optimal %a@." Optimize.pp_report report;
     Format.printf "mono    energy %.3f@.random  energy %.3f@." mono random
   in
@@ -193,7 +215,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ hosts $ degree $ services $ products $ seed $ solver
-      $ time_budget_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ time_budget_arg $ jobs_arg $ checkpoint $ resume $ trace_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------- casestudy *)
 
@@ -502,7 +525,8 @@ let lint_cmd =
         "Runs the netdiv-lint rules (spawn-outside-pool, \
          toplevel-mutable-state, nondeterminism-source, \
          direct-clock-in-instrumented-code, list-nth-in-loop, \
-         missing-mli, printf-in-lib) over the given paths and exits \
+         missing-mli, printf-in-lib, swallowed-exception) over the \
+         given paths and exits \
          non-zero if any finding survives the inline suppressions \
          ($(b,(* netdiv-lint: allow <rule> — <reason> *))).";
     ]
@@ -594,10 +618,9 @@ let export_cmd =
              ~doc:"Write the optimal assignment as a Graphviz DOT graph.")
   in
   let write path contents =
-    let oc = open_out_bin path in
-    output_string oc contents;
-    close_out oc;
-    Format.printf "wrote %s@." path
+    match Netdiv_fault.Io.write_atomic ~path contents with
+    | Ok () -> Format.printf "wrote %s@." path
+    | Error msg -> Format.eprintf "netdiv: could not write %s: %s@." path msg
   in
   let run network_out assignment_out feed_out dot_out =
     let net = Products.network () in

@@ -19,7 +19,64 @@ type report = {
   runtime_s : float;
   outcome : Runner.outcome;
   stage_timings : (string * float) list;
+  retries : int;
 }
+
+(* Checkpoint snapshots that could not be written (the solve continues;
+   only durability of intermediate state is lost). *)
+let c_ckpt_failed = Obs.Counter.make "optimize.checkpoint_failures"
+
+(* Resume is graceful by design: an unreadable, corrupt or mismatched
+   checkpoint must never kill a solve that could simply start fresh —
+   a warning on stderr is the whole failure mode. *)
+let load_resume path model =
+  match Netdiv_fault.Io.read_file path with
+  | Error msg ->
+      Printf.eprintf "netdiv: cannot read checkpoint %s: %s; starting fresh\n%!"
+        path msg;
+      None
+  | Ok s -> (
+      match Serial.checkpoint_of_string s with
+      | Error msg ->
+          Printf.eprintf
+            "netdiv: invalid checkpoint %s: %s; starting fresh\n%!" path msg;
+          None
+      | Ok ck ->
+          let module M = Netdiv_mrf.Mrf in
+          let lab = ck.Serial.ck_labeling in
+          let fits =
+            Array.length lab = M.n_nodes model
+            && Array.for_all (fun l -> l >= 0) lab
+            &&
+            let ok = ref true in
+            Array.iteri
+              (fun v l -> if l >= M.label_count model v then ok := false)
+              lab;
+            !ok
+          in
+          if fits then Some lab
+          else begin
+            Printf.eprintf
+              "netdiv: checkpoint %s does not fit this encoding; starting \
+               fresh\n\
+               %!"
+              path;
+            None
+          end)
+
+let save_checkpoint path (r : S.result) =
+  let ck =
+    {
+      Serial.ck_energy = r.S.energy;
+      ck_iterations = r.S.iterations;
+      ck_labeling = r.S.labeling;
+    }
+  in
+  match Netdiv_fault.Io.write_atomic ~path (Serial.checkpoint_to_string ck) with
+  | Ok () -> ()
+  | Error msg ->
+      Obs.Counter.incr c_ckpt_failed;
+      Printf.eprintf "netdiv: checkpoint write to %s failed: %s\n%!" path msg
 
 let solver_name = function
   | Trws -> "trws"
@@ -62,7 +119,7 @@ let cascade ?jobs solver ~trws_config ~bp_config =
   | Exact -> [ Runner.bnb (); Runner.trws_icm ~config:trws_config ?jobs () ]
 
 let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
-    ?jobs encoded =
+    ?jobs ?checkpoint ?resume encoded =
   let model = Encode.mrf encoded in
   let trws_config =
     match max_iters with
@@ -74,8 +131,8 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
     | None -> Bp_solver.default_config
     | Some m -> { Bp_solver.default_config with max_iters = m }
   in
-  match (budget, patience) with
-  | None, None -> (
+  match (budget, patience, checkpoint, resume) with
+  | None, None, None, None -> (
       (* direct path: with [jobs] absent these are the legacy serial
          trajectories, bit-for-bit; with [jobs] present the TRW-S
          variants decompose into components and SA fans its restarts
@@ -113,38 +170,42 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
       in
       ( result,
         (if result.S.converged then Runner.Converged else Runner.Stalled),
-        [ (solver_name solver, result.S.runtime_s) ] ))
+        [ (solver_name solver, result.S.runtime_s) ],
+        0 ))
   | _ ->
+      let init = Option.bind resume (fun path -> load_resume path model) in
+      let on_best = Option.map save_checkpoint checkpoint in
       let report =
-        Runner.run ?budget ?patience
+        Runner.run ?budget ?patience ?init ?on_best
           ~stages:(cascade ?jobs solver ~trws_config ~bp_config)
           model
       in
       ( report.Runner.result,
         report.Runner.outcome,
-        report.Runner.stage_timings )
+        report.Runner.stage_timings,
+        report.Runner.retries )
 
 let solve_encoded ?solver ?max_iters ?budget ?patience ?jobs encoded =
-  let result, _, _ =
+  let result, _, _, _ =
     solve_encoded_outcome ?solver ?max_iters ?budget ?patience ?jobs encoded
   in
   result
 
 let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
-    ?patience ?jobs net constraints =
-  let (encoded, result, outcome, stage_timings), runtime_s =
+    ?patience ?jobs ?checkpoint ?resume net constraints =
+  let (encoded, result, outcome, stage_timings, retries), runtime_s =
     S.timed (fun () ->
         let encoded =
           Obs.span ~name:"optimize.encode" (fun () ->
               Encode.encode ?prconst ?big_m ?preference ?edge_weight net
                 constraints)
         in
-        let result, outcome, stage_timings =
+        let result, outcome, stage_timings, retries =
           Obs.span ~name:"optimize.solve" (fun () ->
               solve_encoded_outcome ?solver ?max_iters ?budget ?patience
-                ?jobs encoded)
+                ?jobs ?checkpoint ?resume encoded)
         in
-        (encoded, result, outcome, stage_timings))
+        (encoded, result, outcome, stage_timings, retries))
   in
   let assignment, violated =
     Obs.span ~name:"optimize.decode" (fun () ->
@@ -161,6 +222,7 @@ let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
     runtime_s;
     outcome;
     stage_timings;
+    retries;
   }
 
 let refine ?prconst ?big_m ?preference ?edge_weight ~previous net
@@ -202,6 +264,7 @@ let refine ?prconst ?big_m ?preference ?edge_weight ~previous net
     outcome =
       (if result.S.converged then Runner.Converged else Runner.Stalled);
     stage_timings = [ ("icm", result.S.runtime_s) ];
+    retries = 0;
   }
 
 let pp_report ppf r =

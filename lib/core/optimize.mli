@@ -30,6 +30,9 @@ type report = {
           solver met its own stopping criterion *)
   stage_timings : (string * float) list;
       (** wall-clock seconds per solver stage, in execution order *)
+  retries : int;
+      (** stage attempts retried after recoverable failures (see
+          {!Netdiv_mrf.Runner.run}); 0 on a clean or direct-path run *)
 }
 
 val run :
@@ -42,6 +45,8 @@ val run :
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
   ?jobs:int ->
+  ?checkpoint:string ->
+  ?resume:string ->
   Network.t ->
   Constr.t list ->
   report
@@ -62,7 +67,19 @@ val run :
     connected components on separate domains, [Icm] becomes
     multi-restart ICM, [Sa] fans its restarts out.  The assignment is
     identical for every [jobs] value; omitting [jobs] keeps the
-    historical serial trajectories. *)
+    historical serial trajectories.
+
+    [checkpoint] names a file that receives an atomic best-labeling
+    snapshot ({!Serial.checkpoint_to_string}) every time the harness's
+    best strictly improves; a failed snapshot write warns and counts
+    ([optimize.checkpoint_failures]) but never aborts the solve.
+    [resume] reads such a file and warm-starts the cascade from it — an
+    unreadable, corrupt or wrong-encoding checkpoint warns and starts
+    fresh.  Either option routes the solve through the anytime harness
+    (like [budget]/[patience]).  Resuming an interrupted run with the
+    same parameters yields the same assignment as the uninterrupted
+    run: stages warm-start from the checkpointed labeling, and the
+    best-so-far merge prefers the newest equal-energy labeling. *)
 
 val refine :
   ?prconst:float ->
@@ -96,12 +113,16 @@ val solve_encoded_outcome :
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
   ?jobs:int ->
+  ?checkpoint:string ->
+  ?resume:string ->
   Encode.encoded ->
   Netdiv_mrf.Solver.result
   * Netdiv_mrf.Runner.outcome
   * (string * float) list
-(** Like {!solve_encoded} but also reports the outcome and per-stage
-    timings (the anytime-quality data the benches record). *)
+  * int
+(** Like {!solve_encoded} but also reports the outcome, per-stage
+    timings and retry count (the anytime-quality data the benches
+    record).  [checkpoint]/[resume] as in {!run}. *)
 
 val solver_name : solver -> string
 

@@ -296,3 +296,74 @@ let assignment_of_json net json =
 let assignment_of_string net s =
   let* json = Json.parse s in
   assignment_of_json net json
+
+(* --------------------------------------------------------- checkpoints *)
+
+type checkpoint = {
+  ck_energy : float;
+  ck_iterations : int;
+  ck_labeling : int array;
+}
+
+let checkpoint_version = 1.0
+
+let checkpoint_to_json ck =
+  Json.Object
+    [
+      ("netdiv_checkpoint", Json.Number checkpoint_version);
+      (* energy is advisory (the resume path re-evaluates the labeling
+         against its own encoding); keep the document parseable even if
+         a solver ever reports a non-finite energy *)
+      ( "energy",
+        if Float.is_finite ck.ck_energy then Json.Number ck.ck_energy
+        else Json.String (Float.to_string ck.ck_energy) );
+      ("iterations", Json.Number (float_of_int ck.ck_iterations));
+      ( "labeling",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun l -> Json.Number (float_of_int l))
+                ck.ck_labeling)) );
+    ]
+
+let checkpoint_to_string ?pretty ck =
+  Json.to_string ?pretty (checkpoint_to_json ck)
+
+let checkpoint_of_string s =
+  let* json = Json.parse s in
+  let* v =
+    Result.bind (field "netdiv_checkpoint" json) (as_number "netdiv_checkpoint")
+  in
+  if v <> checkpoint_version then
+    Error (Printf.sprintf "unsupported checkpoint version %g" v)
+  else
+    let* lab = Result.bind (field "labeling" json) (as_list "labeling") in
+    let* lab =
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest ->
+            let what = Printf.sprintf "labeling[%d]" i in
+            let* f = as_number what x in
+            if Float.is_integer f && f >= 0.0 && f < 1e9 then
+              go (i + 1) (int_of_float f :: acc) rest
+            else Error (Printf.sprintf "%s = %g is not a label index" what f)
+      in
+      go 0 [] lab
+    in
+    let energy =
+      match Json.member "energy" json with
+      | Some (Json.Number f) -> f
+      | _ -> Float.nan
+    in
+    let iterations =
+      match Json.member "iterations" json with
+      | Some (Json.Number f) when Float.is_integer f && f >= 0.0 ->
+          int_of_float f
+      | _ -> 0
+    in
+    Ok
+      {
+        ck_energy = energy;
+        ck_iterations = iterations;
+        ck_labeling = Array.of_list lab;
+      }

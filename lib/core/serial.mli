@@ -32,3 +32,26 @@ val assignment_of_json :
   Network.t -> Netdiv_vuln.Json.t -> (Assignment.t, string) result
 val assignment_of_string :
   Network.t -> string -> (Assignment.t, string) result
+
+(** {2 Solve checkpoints}
+
+    Periodic best-labeling snapshots written during long solves and read
+    back by [--resume]:
+    [{ "netdiv_checkpoint": 1, "energy": E, "iterations": N,
+       "labeling": [ ... ] }].
+    The labeling is in MRF variable order for the encoding that produced
+    it; {!Optimize} validates it against the current encoding on resume
+    and falls back to a fresh solve when it does not fit.  [energy] is
+    advisory (re-evaluated on resume). *)
+
+type checkpoint = {
+  ck_energy : float;       (** energy at snapshot time (advisory) *)
+  ck_iterations : int;     (** sweeps spent when the snapshot was taken *)
+  ck_labeling : int array; (** best labeling, MRF variable order *)
+}
+
+val checkpoint_to_string : ?pretty:bool -> checkpoint -> string
+
+val checkpoint_of_string : string -> (checkpoint, string) result
+(** Path-qualified errors ([labeling[7] = -2 is not a label index]);
+    never raises on malformed input. *)

@@ -1,0 +1,279 @@
+(* Deterministic fault injection, gated by NETDIV_FAULT the way
+   NETDIV_SANITIZE gates the pool race sanitizer.  See fault.mli for
+   the spec grammar and the determinism rules.
+
+   Decisions are stateless: a (point, key) pair fails iff the spec
+   names it explicitly (NAME@KEY) or a splitmix64 finalizer of
+   (seed, hash of name, key) falls under the configured rate.  The only
+   mutable pieces are the per-point hit counters (which supply keys for
+   call sites that have no natural stable key), the fired record, and
+   the injected clock skew — all cleared by [reset]. *)
+
+exception Injected of string * int
+
+type point = { p_name : string; p_hash : int64; p_hits : int Atomic.t }
+
+type spec = {
+  seed : int64;
+  rate : float;
+  only : string option;
+  stall_s : float;
+  entries : (string * int) list;
+}
+
+let empty_spec =
+  { seed = 0L; rate = 0.0; only = None; stall_s = 60.0; entries = [] }
+
+let spec_active s = s.rate > 0.0 || s.entries <> []
+
+(* --- spec parsing ------------------------------------------------- *)
+
+let parse_spec str : (spec, string) result =
+  let items =
+    String.split_on_char ',' str
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | item :: rest -> (
+        match String.index_opt item '=' with
+        | Some eq -> (
+            let k = String.sub item 0 eq in
+            let v = String.sub item (eq + 1) (String.length item - eq - 1) in
+            match k with
+            | "seed" -> (
+                match Int64.of_string_opt v with
+                | Some n -> go { acc with seed = n } rest
+                | None -> Error (Printf.sprintf "bad seed %S" v))
+            | "rate" -> (
+                match float_of_string_opt v with
+                | Some r when r >= 0.0 && r <= 1.0 ->
+                    go { acc with rate = r } rest
+                | _ -> Error (Printf.sprintf "bad rate %S (want 0..1)" v))
+            | "only" -> go { acc with only = Some v } rest
+            | "stall" -> (
+                match float_of_string_opt v with
+                | Some s when s >= 0.0 && Float.is_finite s ->
+                    go { acc with stall_s = s } rest
+                | _ -> Error (Printf.sprintf "bad stall %S" v))
+            | _ -> Error (Printf.sprintf "unknown item %S" item))
+        | None -> (
+            match String.index_opt item '@' with
+            | Some at -> (
+                let name = String.sub item 0 at in
+                let key =
+                  String.sub item (at + 1) (String.length item - at - 1)
+                in
+                match int_of_string_opt key with
+                | Some k when name <> "" ->
+                    go { acc with entries = (name, k) :: acc.entries } rest
+                | _ -> Error (Printf.sprintf "bad entry %S (want NAME@KEY)" item))
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown item %S (want key=value or NAME@KEY)" item)))
+  in
+  Result.map
+    (fun s -> { s with entries = List.rev s.entries })
+    (go empty_spec items)
+
+let parse_spec_errors str =
+  match parse_spec str with Ok _ -> None | Error e -> Some e
+
+(* --- active spec -------------------------------------------------- *)
+
+let warned_env = Atomic.make false
+
+let env_spec =
+  lazy
+    (match Sys.getenv_opt "NETDIV_FAULT" with
+    | None -> empty_spec
+    | Some s -> (
+        match parse_spec s with
+        | Ok spec -> spec
+        | Error msg ->
+            if not (Atomic.exchange warned_env true) then
+              Printf.eprintf
+                "netdiv: ignoring malformed NETDIV_FAULT (%s)\n%!" msg;
+            empty_spec))
+
+(* Tests override the environment through [set_spec], mirroring
+   Pool.set_sanitize.  [active] additionally caches whether the spec
+   can fire at all, so disabled-path checks are one atomic load. *)
+let override : spec option Atomic.t = Atomic.make None
+let active = Atomic.make false
+
+let current_spec () =
+  match Atomic.get override with
+  | Some s -> s
+  | None -> Lazy.force env_spec
+
+let refresh_active () = Atomic.set active (spec_active (current_spec ()))
+
+let set_spec = function
+  | None ->
+      Atomic.set override None;
+      refresh_active ()
+  | Some s -> (
+      match parse_spec s with
+      | Ok spec ->
+          Atomic.set override (Some spec);
+          refresh_active ()
+      | Error msg -> invalid_arg (Printf.sprintf "Fault.set_spec: %s" msg))
+
+(* The environment is consulted lazily on first use; arrange for the
+   cached [active] flag to pick it up without requiring every caller to
+   poke it first. *)
+let enabled () =
+  if Atomic.get active then true
+  else begin
+    (* cheap re-check covering the first call before any set_spec *)
+    let a = spec_active (current_spec ()) in
+    if a then Atomic.set active true;
+    a
+  end
+
+(* --- point registry ----------------------------------------------- *)
+
+(* splitmix64 finalizer — same mixing discipline Pool.split_seed uses
+   for deterministic per-chunk RNG streams. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let hash_name name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    name;
+  !h
+
+let registry : (string, point) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+let point name =
+  Mutex.lock registry_mu;
+  let p =
+    match Hashtbl.find_opt registry name with
+    | Some p -> p
+    | None ->
+        let p =
+          { p_name = name; p_hash = hash_name name; p_hits = Atomic.make 0 }
+        in
+        Hashtbl.add registry name p;
+        p
+  in
+  Mutex.unlock registry_mu;
+  p
+
+let point_name p = p.p_name
+
+(* --- firing record ------------------------------------------------ *)
+
+let record_mu = Mutex.create ()
+let record : (string * int) list ref = ref []
+let fired_set : (string * int, unit) Hashtbl.t = Hashtbl.create 16
+let skew = Atomic.make 0.0
+
+(* Record the firing unless this (point, key) already fired: one spec
+   entry models one transient fault, so recovery re-executions do not
+   trip over the same injection again.  Returns whether to fire. *)
+let claim name key =
+  Mutex.lock record_mu;
+  let fresh = not (Hashtbl.mem fired_set (name, key)) in
+  if fresh then begin
+    Hashtbl.replace fired_set (name, key) ();
+    record := (name, key) :: !record
+  end;
+  Mutex.unlock record_mu;
+  fresh
+
+let fired () = List.rev !record
+let fired_count () = List.length !record
+
+let fired_spec () =
+  fired ()
+  |> List.map (fun (name, key) -> Printf.sprintf "%s@%d" name key)
+  |> String.concat ","
+
+let reset () =
+  Mutex.lock record_mu;
+  record := [];
+  Hashtbl.reset fired_set;
+  Mutex.unlock record_mu;
+  Atomic.set skew 0.0;
+  Mutex.lock registry_mu;
+  Hashtbl.iter (fun _ p -> Atomic.set p.p_hits 0) registry;
+  Mutex.unlock registry_mu
+
+(* --- decisions ---------------------------------------------------- *)
+
+let prefixed prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let rate_hit spec p key =
+  spec.rate > 0.0
+  && (match spec.only with
+     | None -> true
+     | Some prefix -> prefixed prefix p.p_name)
+  &&
+  let h = mix64 (Int64.logxor spec.seed
+                   (mix64 (Int64.logxor p.p_hash (Int64.of_int key)))) in
+  (* top 53 bits -> uniform float in [0, 1) *)
+  let u = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53 in
+  u < spec.rate
+
+(* Auto-keys only advance while injection is armed: the disabled path
+   must cost one atomic load and a branch, nothing else. *)
+let decide ?key p =
+  if not (enabled ()) then None
+  else begin
+    let key =
+      match key with
+      | Some k -> k
+      | None -> Atomic.fetch_and_add p.p_hits 1
+    in
+    let spec = current_spec () in
+    let hit =
+      List.exists (fun (n, k) -> n = p.p_name && k = key) spec.entries
+      || rate_hit spec p key
+    in
+    if hit && claim p.p_name key then Some key else None
+  end
+
+let should_fail ?key p = Option.is_some (decide ?key p)
+
+let check ?key p =
+  match decide ?key p with
+  | Some k -> raise (Injected (p.p_name, k))
+  | None -> ()
+
+let is_injected = function Injected _ -> true | _ -> false
+
+(* --- clock stall -------------------------------------------------- *)
+
+(* The observability clock shim adds [clock_offset ()] to every read
+   (after its monotone clamp, so resetting the spec restores real
+   time).  Each firing of [clock.stall] advances the skew by the
+   spec's [stall=] seconds. *)
+let clock_point = lazy (point "clock.stall")
+
+let rec add_skew d =
+  let cur = Atomic.get skew in
+  if not (Atomic.compare_and_set skew cur (cur +. d)) then add_skew d
+
+let clock_offset () =
+  if not (enabled ()) then 0.0
+  else begin
+    if should_fail (Lazy.force clock_point) then
+      add_skew (current_spec ()).stall_s;
+    Atomic.get skew
+  end

@@ -1,0 +1,84 @@
+let p_read_truncate = Fault.point "io.read.truncate"
+let p_read_corrupt = Fault.point "io.read.corrupt"
+let p_write_truncate = Fault.point "io.write.truncate"
+let p_fsync = Fault.point "io.fsync"
+
+(* Reads and writes each consume one slot of a process-wide sequence
+   counter per operation family, giving the io.* points stable keys:
+   "the Nth checkpoint write" is the same write on every run with the
+   same command line. *)
+let read_seq = Atomic.make 0
+let write_seq = Atomic.make 0
+
+let temp_path path = path ^ ".tmp"
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      if not (Fault.enabled ()) then Ok contents
+      else begin
+        let key = Atomic.fetch_and_add read_seq 1 in
+        let contents =
+          if Fault.should_fail ~key p_read_truncate then
+            String.sub contents 0 (String.length contents / 2)
+          else contents
+        in
+        let contents =
+          if
+            Fault.should_fail ~key p_read_corrupt
+            && String.length contents > 0
+          then begin
+            let b = Bytes.of_string contents in
+            let i = String.length contents / 2 in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+            Bytes.to_string b
+          end
+          else contents
+        in
+        Ok contents
+      end
+
+let write_atomic ~path contents =
+  let tmp = temp_path path in
+  let key =
+    if Fault.enabled () then Atomic.fetch_and_add write_seq 1 else 0
+  in
+  match
+    let oc = open_out_bin tmp in
+    let ok =
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          if Fault.should_fail ~key p_write_truncate then begin
+            (* simulated crash mid-write: a partial temp file stays
+               behind, exactly the wreckage a real crash leaves *)
+            output_substring oc contents 0 (String.length contents / 2);
+            false
+          end
+          else begin
+            output_string oc contents;
+            flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc);
+            true
+          end)
+    in
+    if not ok then Error (Printf.sprintf "injected: truncated write to %s" tmp)
+    else if Fault.should_fail ~key p_fsync then begin
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "injected: fsync failure on %s" tmp)
+    end
+    else begin
+      Sys.rename tmp path;
+      Ok ()
+    end
+  with
+  | result -> result
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))

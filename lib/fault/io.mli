@@ -1,0 +1,29 @@
+(** Fault-aware file I/O: the one place the repository reads and
+    writes artifacts (traces, checkpoints, bench reports).
+
+    Writes are atomic — contents go to [path ^ ".tmp"], are flushed and
+    fsync'd, then renamed over [path] — so a crash (or an injected
+    fault) at any moment leaves either the previous artifact or the new
+    one, never a half-written file.  Reads and writes double as the
+    natural hosts for the [io.*] injection points (see {!Fault}):
+    truncated reads, bit corruption, torn writes, fsync failure. *)
+
+val read_file : string -> (string, string) result
+(** Read a whole file.  [Error] carries a human-readable reason; no
+    exception escapes.  Injection points: [io.read.truncate] (the tail
+    half of the content is dropped, as after a torn write by another
+    process) and [io.read.corrupt] (one byte is flipped).  Both leave
+    the file on disk untouched — they corrupt only what the caller
+    sees, which is exactly what downstream parsers must survive. *)
+
+val write_atomic : path:string -> string -> (unit, string) result
+(** Write contents to [path] atomically (temp file + rename).  On
+    [Error] the destination is untouched.  Injection points:
+    [io.write.truncate] (simulated crash mid-write: half the bytes land
+    in the temp file, which is left behind like a real crash would) and
+    [io.fsync] (durability failure after a complete write: the temp
+    file is removed and the destination keeps its old content). *)
+
+val temp_path : string -> string
+(** The temp-file name [write_atomic] uses for a destination — exposed
+    so tests and cleanup can find stragglers. *)

@@ -35,6 +35,10 @@ let rules =
     ( "printf-in-lib",
       "stdout printing from library code; libraries format via a caller's \
        formatter, only bin/ may print" );
+    ( "swallowed-exception",
+      "try ... with _ -> () discards a failure without logging, counting \
+       or re-raising; match the specific exception or suppress with the \
+       reason the discard is safe" );
     ( "bad-suppression",
       "malformed netdiv-lint suppression: unknown rule id or missing \
        written reason" );
@@ -296,6 +300,78 @@ let scan_tokens ctx (toks : Lexer.token array) =
   done;
   !out
 
+(* -------------------------------------------- swallowed exception rule *)
+
+(* Exception handlers whose catch-all arm is exactly [_ -> ()]: the
+   failure vanishes with no log line, no counter and no re-raise, which
+   is how a fault-injection run silently passes.  Detection is
+   token-shaped: a stack distinguishes the [with] of [try] from the
+   [with] of [match] and of record updates [{ r with ... }]; once inside
+   a try handler, the arm introduced by [with] itself or by a leading
+   [|] is checked for the pattern [_] with body exactly [()].  A guarded
+   arm ([_ when ...]) or a body that continues past [()] is deliberate
+   handling and is not flagged. *)
+let scan_swallowed ctx (toks : Lexer.token array) =
+  let out = ref [] in
+  let n = Array.length toks in
+  let stack = ref [] in
+  let in_handler = ref false in
+  (* paren/bracket depth, and the depth at which the active handler's
+     arms live: a closer that drops below it ends the handler, and a [|]
+     at a deeper depth belongs to some nested construct *)
+  let depth = ref 0 in
+  let handler_depth = ref 0 in
+  let swallow_arm i =
+    (* [i] points at the candidate arm's pattern *)
+    tok toks i = "_"
+    && seq2 toks (i + 1) "-" ">"
+    && seq2 toks (i + 3) "(" ")"
+    && tok toks (i + 5) <> ";"
+  in
+  let flag t =
+    out :=
+      finding ctx t "swallowed-exception"
+        "catch-all handler [_ -> ()] discards the exception and does \
+         nothing; match the specific exception, record the failure, or \
+         re-raise"
+      :: !out
+  in
+  for i = 0 to n - 1 do
+    let t = toks.(i) in
+    match t.Lexer.text with
+    | "try" ->
+        stack := `Try :: !stack;
+        in_handler := false
+    | "match" ->
+        stack := `Match :: !stack;
+        in_handler := false
+    | "{" -> stack := `Brace :: !stack
+    | "}" -> ( match !stack with `Brace :: rest -> stack := rest | _ -> ())
+    | "with" -> (
+        match !stack with
+        | `Try :: rest ->
+            stack := rest;
+            in_handler := true;
+            handler_depth := !depth;
+            if swallow_arm (i + 1) then flag t
+        | `Match :: rest ->
+            stack := rest;
+            in_handler := false
+        | `Brace :: _ | [] -> ())
+    | "|" when !in_handler && !depth = !handler_depth ->
+        if swallow_arm (i + 1) then flag t
+    | "(" | "[" -> incr depth
+    | ")" | "]" ->
+        decr depth;
+        if !depth < !handler_depth then in_handler := false
+    | "fun" | "function" | "in" | "done" | "end" ->
+        (* a nested binder or scope closer ends the run of arms we can
+           safely attribute to the try handler *)
+        in_handler := false
+    | _ -> ()
+  done;
+  !out
+
 (* ----------------------------------------- toplevel mutable state rule *)
 
 let item_keywords =
@@ -411,7 +487,9 @@ let lint_source ~path ?has_mli src =
   let lx = Lexer.tokenize src in
   let sups, bad = parse_suppressions ~path lx.Lexer.comments in
   let token_findings =
-    scan_tokens ctx lx.Lexer.tokens @ scan_toplevel_mutable ctx lx.Lexer.tokens
+    scan_tokens ctx lx.Lexer.tokens
+    @ scan_swallowed ctx lx.Lexer.tokens
+    @ scan_toplevel_mutable ctx lx.Lexer.tokens
   in
   let mli_findings =
     match has_mli with

@@ -234,6 +234,17 @@ let pot_words t = Array.length t.pot
 
 let table_class t id = t.classes.(id)
 
+let specialized t =
+  Array.exists (function Kernel.Generic -> false | _ -> true) t.classes
+
+(* Degradation rung for the anytime harness: same model, every table
+   forced onto the generic O(L²) kernel.  Cheap (shares all potential
+   storage with [t]) and bitwise-equivalent by the kernel contract —
+   used when a specialized solve keeps failing and the harness wants to
+   rule the specialized paths out. *)
+let despecialize t =
+  { t with classes = Array.map (fun _ -> Kernel.Generic) t.classes }
+
 type kernel_counts = {
   potts_tables : int;
   sparse_tables : int;

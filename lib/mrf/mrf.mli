@@ -83,6 +83,17 @@ val table_class : t -> int -> Kernel.t
 (** Message-kernel classification of an interned table (see
     {!Kernel.classify}); indexed by table id in [0 .. n_tables - 1]. *)
 
+val specialized : t -> bool
+(** Whether any table runs a structure-specialized kernel. *)
+
+val despecialize : t -> t
+(** A copy of the model with every table classified {!Kernel.Generic}.
+    Potential storage is shared with the original; results are bitwise
+    identical by the kernel equivalence contract.  This is the
+    middle rung of the anytime harness's degradation ladder: when a
+    specialized solve keeps failing, retry on the generic kernels
+    before falling back to ICM. *)
+
 type kernel_counts = {
   potts_tables : int;
   sparse_tables : int;

@@ -6,6 +6,7 @@
    time budget; unbudgeted runs are clock-independent. *)
 
 module Obs = Netdiv_obs.Obs
+module Fault = Netdiv_fault.Fault
 
 module Budget = struct
   type t = { seconds : float option; sweeps : int option }
@@ -35,6 +36,7 @@ type outcome =
   | Budget_exhausted
   | Stalled
   | Fell_back of string * outcome
+  | Degraded of string * outcome
 
 let rec pp_outcome ppf = function
   | Converged -> Format.pp_print_string ppf "converged"
@@ -42,11 +44,13 @@ let rec pp_outcome ppf = function
   | Stalled -> Format.pp_print_string ppf "stalled"
   | Fell_back (stage, rest) ->
       Format.fprintf ppf "fell back from %s; %a" stage pp_outcome rest
+  | Degraded (rung, rest) ->
+      Format.fprintf ppf "degraded to %s; %a" rung pp_outcome rest
 
 let rec outcome_converged = function
   | Converged -> true
   | Budget_exhausted | Stalled -> false
-  | Fell_back (_, rest) -> outcome_converged rest
+  | Fell_back (_, rest) | Degraded (_, rest) -> outcome_converged rest
 
 type stage = {
   name : string;
@@ -246,18 +250,75 @@ type run_report = {
   result : Solver.result;
   outcome : outcome;
   stage_timings : (string * float) list;
+  retries : int;
 }
 
-let run ?(budget = Budget.unlimited) ?patience
+(* Retry / degradation telemetry and the [runner.stage] injection
+   point.  Attempt keys come from a process-wide counter: the harness
+   runs stages single-threaded, so the sequence is deterministic and a
+   recorded schedule replays exactly. *)
+let c_retries = Obs.Counter.make "runner.retries"
+let c_degraded = Obs.Counter.make "runner.degraded"
+let p_stage = Fault.point "runner.stage"
+let attempt_seq = Atomic.make 0
+
+(* The failures a retry can meaningfully absorb: injected faults and
+   genuinely transient environment errors.  Everything else —
+   [Pool.Race], [Invalid_argument], [Assert_failure] — is a programmer
+   error or a sanitizer report and must propagate unchanged. *)
+let recoverable = function
+  | Fault.Injected _ | Out_of_memory | Sys_error _ -> true
+  | _ -> false
+
+(* Degradation ladder rungs, climbed when retries on the current rung
+   keep failing: the model as given, then the same model forced onto
+   generic kernels (rules the specialized message paths out), then
+   plain ICM warm-started from the best labeling so far. *)
+let rung_name = function
+  | 1 -> "generic-kernel"
+  | 2 -> "icm-fallback"
+  | r -> "rung-" ^ string_of_int r
+
+let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
+    ?(backoff_s = 0.0) ?init ?on_best
     ?(on_progress = fun (_ : progress) -> ()) ~stages mrf =
   if stages = [] then invalid_arg "Runner.run: empty cascade";
   let t0 = Obs.Clock.now () in
   let deadline = Option.map (fun s -> t0 +. s) budget.Budget.seconds in
   let done_sweeps = ref 0 in
   let best : Solver.result option ref = ref None in
+  (match init with
+  | None -> ()
+  | Some lab ->
+      (* resume support: a checkpointed labeling seeds the cascade's
+         best-so-far, so stages warm-start from it and the watchdog can
+         always fall back to it *)
+      best :=
+        Some
+          {
+            Solver.labeling = Array.copy lab;
+            energy = Mrf.energy mrf lab;
+            lower_bound = neg_infinity;
+            iterations = 0;
+            converged = false;
+            runtime_s = 0.0;
+          });
   let timings = ref [] in
   let exhausted = ref false in
   let fell = ref [] in
+  let retries_used = ref 0 in
+  let rung = ref 0 in
+  let rungs_entered = ref [] in
+  let degraded_model = lazy (Mrf.despecialize mrf) in
+  let icm_fallback = icm () in
+  let escalate () =
+    (* skip the generic-kernel rung when there is nothing to
+       despecialize — it would re-run the identical computation *)
+    let next = if !rung = 0 && not (Mrf.specialized mrf) then 2 else !rung + 1 in
+    rung := next;
+    rungs_entered := rung_name next :: !rungs_entered;
+    Obs.Counter.incr c_degraded
+  in
   let rec go = function
     | [] -> assert false
     | stage :: rest ->
@@ -306,12 +367,83 @@ let run ?(budget = Budget.unlimited) ?patience
           end;
           on_progress { stage = stage.name; iter; energy; bound }
         in
-        let init = Option.map (fun r -> r.Solver.labeling) !best in
-        let r =
+        let warm = Option.map (fun r -> r.Solver.labeling) !best in
+        (* One attempt on the current degradation rung.  The injected
+           [runner.stage] check sits before the solve so a scheduled
+           fault kills the attempt, not the harness. *)
+        let solve_once () =
+          if Fault.enabled () then
+            Fault.check ~key:(Atomic.fetch_and_add attempt_seq 1) p_stage;
+          let model = if !rung >= 1 then Lazy.force degraded_model else mrf in
+          let s = if !rung >= 2 then icm_fallback else stage in
           Obs.span
-            ~name:("runner.stage:" ^ stage.name)
-            (fun () -> stage.solve ~interrupt ~on_progress:progress ~init mrf)
+            ~name:("runner.stage:" ^ s.name)
+            (fun () -> s.solve ~interrupt ~on_progress:progress ~init:warm model)
         in
+        (* Retry-with-backoff, escalating the ladder when a rung's
+           retries are spent.  Backoff waits run against the same
+           deadline as solve time — a retrying run is still anytime. *)
+        let rec attempt tries_left =
+          match solve_once () with
+          | r -> Some r
+          | exception exn when recoverable exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              Obs.Counter.incr c_retries;
+              incr retries_used;
+              if tries_left > 0 then begin
+                if backoff_s > 0.0 then
+                  Unix.sleepf
+                    (backoff_s *. float_of_int (1 lsl (retries - tries_left)));
+                attempt (tries_left - 1)
+              end
+              else if !rung < 2 then begin
+                escalate ();
+                attempt retries
+              end
+              else if Option.is_some !best then
+                (* watchdog: the whole ladder failed, but an anytime
+                   labeling exists — abandon the stage, keep the result *)
+                None
+              else Printexc.raise_with_backtrace exn bt
+        in
+        let outcome_of = function
+          | None ->
+              (* stage abandoned after exhausting every rung *)
+              fell := stage.name :: !fell;
+              if rest <> [] then go rest else Stalled
+          | Some r ->
+              done_sweeps := !done_sweeps + r.Solver.iterations;
+              let prev = !best in
+              let merged =
+                match prev with
+                | None -> r
+                | Some b ->
+                    let better =
+                      if r.Solver.energy <= b.Solver.energy then r else b
+                    in
+                    {
+                      better with
+                      Solver.lower_bound =
+                        max r.Solver.lower_bound b.Solver.lower_bound;
+                    }
+              in
+              best := Some merged;
+              (match on_best with
+              | Some f
+                when (match prev with
+                     | None -> true
+                     | Some b -> merged.Solver.energy < b.Solver.energy) ->
+                  f merged
+              | _ -> ());
+              if r.Solver.converged then Converged
+              else if !exhausted then Budget_exhausted
+              else if rest <> [] then begin
+                fell := stage.name :: !fell;
+                go rest
+              end
+              else Stalled
+        in
+        let r = attempt retries in
         (* one measurement feeds both sinks: the report's stage_timings
            list (public API) and the metrics registry — previously two
            separate gettimeofday code paths *)
@@ -320,32 +452,14 @@ let run ?(budget = Budget.unlimited) ?patience
         Obs.Histogram.record
           (Obs.Histogram.make ("runner.stage." ^ stage.name))
           stage_elapsed;
-        done_sweeps := !done_sweeps + r.Solver.iterations;
-        let merged =
-          match !best with
-          | None -> r
-          | Some b ->
-              let better =
-                if r.Solver.energy <= b.Solver.energy then r else b
-              in
-              {
-                better with
-                Solver.lower_bound =
-                  max r.Solver.lower_bound b.Solver.lower_bound;
-              }
-        in
-        best := Some merged;
-        if r.Solver.converged then Converged
-        else if !exhausted then Budget_exhausted
-        else if rest <> [] then begin
-          fell := stage.name :: !fell;
-          go rest
-        end
-        else Stalled
+        outcome_of r
   in
   let base = go stages in
   let outcome =
     List.fold_left (fun o name -> Fell_back (name, o)) base !fell
+  in
+  let outcome =
+    List.fold_left (fun o name -> Degraded (name, o)) outcome !rungs_entered
   in
   let result =
     match !best with Some r -> r | None -> assert false
@@ -358,4 +472,4 @@ let run ?(budget = Budget.unlimited) ?patience
       converged = outcome_converged outcome;
     }
   in
-  { result; outcome; stage_timings = List.rev !timings }
+  { result; outcome; stage_timings = List.rev !timings; retries = !retries_used }

@@ -36,6 +36,12 @@ type outcome =
       (** a stage stalled; the cascade degraded to the next one.  The
           string names the abandoned stage; the payload is the eventual
           outcome of the rest of the cascade. *)
+  | Degraded of string * outcome
+      (** stage failures forced the harness down its degradation ladder;
+          the string names the rung entered (["generic-kernel"]: same
+          model on generic message kernels; ["icm-fallback"]: plain ICM
+          warm-started from the best labeling).  Recorded outermost-last:
+          the deepest rung entered is the outermost wrapper. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** ["converged"], ["budget exhausted"], ["stalled"], or
@@ -111,11 +117,18 @@ type run_report = {
   outcome : outcome;
   stage_timings : (string * float) list;
       (** wall-clock seconds per stage, in execution order *)
+  retries : int;
+      (** stage attempts that died on a recoverable failure and were
+          retried (or escalated down the ladder); 0 on a clean run *)
 }
 
 val run :
   ?budget:Budget.t ->
   ?patience:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?init:int array ->
+  ?on_best:(Solver.result -> unit) ->
   ?on_progress:(progress -> unit) ->
   stages:stage list ->
   Mrf.t ->
@@ -128,6 +141,27 @@ val run :
     exhausts its own iteration cap falls through to the next stage,
     wrapping the eventual outcome in [Fell_back]; when no stage remains
     the run ends [Stalled].
+
+    {b Recovery.}  A stage attempt that dies on a {e recoverable}
+    failure — an injected fault ({!Netdiv_fault.Fault.Injected}),
+    [Out_of_memory], [Sys_error] — is retried up to [retries] times
+    (default 2) with exponential backoff starting at [backoff_s]
+    seconds (default 0; waits count against the deadline).  When a
+    rung's retries are spent the harness climbs its degradation ladder:
+    the model forced onto generic kernels ({!Mrf.despecialize}; skipped
+    when nothing is specialized), then plain ICM warm-started from the
+    best labeling so far.  Rungs entered are recorded as [Degraded]
+    wrappers on the outcome and counted in the [runner.retries] /
+    [runner.degraded] metrics.  If every rung fails and a best-so-far
+    (or [init]) labeling exists, the stage is abandoned and the run
+    keeps its anytime result; with nothing to fall back on the failure
+    propagates.  Non-recoverable exceptions ([Pool.Race], programmer
+    errors) always propagate unchanged.
+
+    [init] seeds the best-so-far labeling before any stage runs (the
+    resume path: stages warm-start from it and it is the watchdog's
+    fallback).  [on_best] fires in the harness domain each time the
+    merged best strictly improves — the checkpoint hook.
 
     The returned labeling is always feasible (every stage is anytime),
     and with [Budget.seconds 0.0] each stage returns within its first

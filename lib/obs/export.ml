@@ -80,10 +80,7 @@ let write_trace ~path =
     if Filename.check_suffix path ".jsonl" then jsonl_string ()
     else chrome_string ()
   in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents)
+  Netdiv_fault.Io.write_atomic ~path contents
 
 (* ------------------------------------------------------------ summary *)
 

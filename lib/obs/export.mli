@@ -21,9 +21,11 @@ val jsonl_string : unit -> string
 (** The current event buffers as newline-delimited JSON, one event per
     line (same object shape as {!chrome_string}). *)
 
-val write_trace : path:string -> unit
+val write_trace : path:string -> (unit, string) result
 (** Write the current event buffers to [path]: JSONL when the file name
-    ends in [.jsonl], the Chrome document otherwise. *)
+    ends in [.jsonl], the Chrome document otherwise.  The write is
+    atomic (temp file + rename, via {!Netdiv_fault.Io.write_atomic});
+    on [Error] any previous trace at [path] is untouched. *)
 
 val span_rollup : Obs.event list -> (string * int * float * float) list
 (** Aggregate well-nested [Begin]/[End] pairs per name:

@@ -23,11 +23,17 @@ module Clock = struct
        gettimeofday read for telemetry and harness timing. *)
     let t = Unix.gettimeofday () in
     let r = Domain.DLS.get last in
-    if t > !r then begin
-      r := t;
-      t
-    end
-    else !r
+    let t =
+      if t > !r then begin
+        r := t;
+        t
+      end
+      else !r
+    in
+    (* Injected clock stalls land AFTER the monotone clamp: clearing
+       the fault spec restores real time instead of leaving the skew
+       captured in the per-domain [last] refs forever. *)
+    t +. Netdiv_fault.Fault.clock_offset ()
 end
 
 (* Global enable flag.  An [Atomic] rather than a [ref] so domains

@@ -11,6 +11,7 @@
 exception Race of string
 
 module Obs = Netdiv_obs.Obs
+module Fault = Netdiv_fault.Fault
 
 (* Pool telemetry (all no-ops until Obs.set_enabled true): regions and
    chunks dispatched, per-chunk and per-domain busy time, and GC
@@ -22,6 +23,20 @@ let c_gc_minor = Obs.Counter.make "pool.gc_minor"
 let c_gc_major = Obs.Counter.make "pool.gc_major"
 let h_chunk_busy = Obs.Histogram.make "pool.chunk_busy_s"
 let h_domain_busy = Obs.Histogram.make "pool.domain_busy_s"
+
+(* Fault-recovery telemetry: injected chunk crashes seen and chunks
+   re-executed sequentially to completion. *)
+let c_chunk_faults = Obs.Counter.make "pool.chunk_faults"
+let c_chunk_recovered = Obs.Counter.make "pool.chunk_recovered"
+
+(* Injection points (armed only under NETDIV_FAULT; see Netdiv_fault).
+   [pool.chunk] crashes a chunk body; [pool.alloc] fails the output
+   allocation of a mapping combinator.  Chunk keys combine a region
+   sequence number with the chunk index, both deterministic program
+   quantities, so a recorded schedule replays exactly. *)
+let p_chunk = Fault.point "pool.chunk"
+let p_alloc = Fault.point "pool.alloc"
+let region_seq = Atomic.make 0
 
 (* Wrap one combinator invocation: a "pool.region" span in the calling
    domain plus GC minor/major collection deltas (as observed by the
@@ -300,12 +315,47 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
       let chi = clo + q + (if c < r then 1 else 0) in
       (clo, chi)
     in
+    (* Injected chunk crashes are recoverable: the guard swallows them,
+       notes the chunk, and the region re-executes those chunks
+       sequentially after the parallel phase.  Chunk boundaries alone
+       determine results, so a recovered region computes exactly what a
+       fault-free region would — only the schedule differs.  Anything
+       that is not an injected fault ([Race], programmer errors, real
+       OS failures) still aborts the region through [record_failure]. *)
+    let fault_on = Fault.enabled () in
+    let rseq = if fault_on then Atomic.fetch_and_add region_seq 1 else 0 in
+    let crash_mu = Mutex.create () in
+    let crashed = ref [] in
+    let guarded =
+      if not fault_on then body
+      else fun c clo chi ->
+        match
+          Fault.check ~key:((rseq lsl 12) lor c) p_chunk;
+          body c clo chi
+        with
+        | () -> ()
+        | exception exn when Fault.is_injected exn ->
+            Obs.Counter.incr c_chunk_faults;
+            Mutex.protect crash_mu (fun () -> crashed := c :: !crashed)
+    in
+    let recover () =
+      (* ascending chunk order: deterministic, and (point, key) pairs
+         fire at most once, so the re-execution cannot trip over the
+         same injection again *)
+      List.iter
+        (fun c ->
+          let clo, chi = chunk_bounds c in
+          body c clo chi;
+          Obs.Counter.incr c_chunk_recovered)
+        (List.sort compare !crashed)
+    in
     if jobs = 1 then begin
       let t0 = if obs_on then Obs.Clock.now () else 0.0 in
       for c = 0 to chunks - 1 do
         let clo, chi = chunk_bounds c in
-        body c clo chi
+        guarded c clo chi
       done;
+      if fault_on then recover ();
       if obs_on then Obs.Histogram.record h_domain_busy (Obs.Clock.now () -. t0)
     end
     else begin
@@ -318,7 +368,7 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
           if c >= chunks then continue := false
           else if Option.is_none (Atomic.get failed) then begin
             let clo, chi = chunk_bounds c in
-            try body c clo chi
+            try guarded c clo chi
             with exn ->
               let bt = Printexc.get_raw_backtrace () in
               record_failure failed c exn bt
@@ -341,7 +391,7 @@ let run_chunks ~jobs ~chunks ~lo ~hi body =
       Array.iter Domain.join domains;
       match Atomic.get failed with
       | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
-      | None -> ()
+      | None -> if fault_on then recover ()
     end
 
 let parallel_for ?jobs ?chunks ?cost ~lo ~hi f =
@@ -378,6 +428,10 @@ let map_range ?jobs ?chunks ?cost ~lo ~hi f =
   if n <= 0 then [||]
   else begin
     observe_region @@ fun () ->
+    (* injected allocation failure: the whole region fails before any
+       work is dispatched; recovery belongs to the caller (the anytime
+       harness retries the stage) *)
+    Fault.check p_alloc;
     let jobs = resolve_jobs ?jobs () in
     let explicit_chunks =
       match chunks with Some c when c >= 1 -> Some c | _ -> None
@@ -418,6 +472,7 @@ let map_reduce ?jobs ?chunks ?cost ~lo ~hi ~map ~reduce ~init =
   if n <= 0 then init
   else begin
     observe_region @@ fun () ->
+    Fault.check p_alloc;
     let jobs = resolve_jobs ?jobs () in
     let explicit_chunks =
       match chunks with Some c when c >= 1 -> Some c | _ -> None

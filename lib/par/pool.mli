@@ -26,7 +26,23 @@
     that never runs, the sanitizer sees aliasing no lexical rule can.
     Sanitized runs always dispatch through chunks (the serial fast path
     is disabled) and pay a mutex per tracked event, so the mode is meant
-    for tests and debugging, never production runs. *)
+    for tests and debugging, never production runs.
+
+    {2 Fault recovery}
+
+    Under [NETDIV_FAULT] (see {!Netdiv_fault.Fault}) the pool hosts two
+    injection points: [pool.chunk] crashes a chunk body and
+    [pool.alloc] fails a mapping combinator before any work is
+    dispatched.  An injected chunk crash is {e recovered}: the pool
+    notes the chunk, lets the remaining chunks finish, and re-executes
+    the crashed chunks sequentially in ascending chunk order after the
+    parallel phase.  Chunk boundaries alone determine results, so a
+    recovered region returns exactly what a fault-free region would;
+    the recovery is visible only through the [pool.chunk_faults] /
+    [pool.chunk_recovered] counters in {!Netdiv_obs}.  Exceptions that
+    are not injected faults — {!Race}, programmer errors, real OS
+    failures — keep their historical behavior: the region aborts and
+    the lowest failing chunk's exception is re-raised in the caller. *)
 
 exception Race of string
 (** Raised (and re-raised in the calling domain, lowest failing chunk

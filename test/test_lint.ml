@@ -238,6 +238,46 @@ let test_printf_in_lib () =
        "(* netdiv-lint: allow printf-in-lib — fixture debug aid *)\n\
         let show x = Printf.printf \"%d\" x\n")
 
+(* ------------------------------------------------ swallowed-exception *)
+
+let test_swallowed_exception () =
+  check_rules "positive: try ... with _ -> ()"
+    [ "swallowed-exception" ]
+    (lint "lib/sim/e.ml" "let f g = try g () with _ -> ()\n");
+  check_rules "positive: leading bar form"
+    [ "swallowed-exception" ]
+    (lint "lib/sim/e.ml" "let f g = try g () with | _ -> ()\n");
+  check_rules "positive: catch-all arm after a specific one"
+    [ "swallowed-exception" ]
+    (lint "lib/sim/e.ml"
+       "let f g = try g () with Not_found -> () | _ -> ()\n");
+  check_rules "positive: applies outside lib too"
+    [ "swallowed-exception" ]
+    (lint "bin/netdiv.ml" "let f g = try g () with _ -> ()\n");
+  check_rules "near-miss: specific exception discarded deliberately" []
+    (lint "lib/sim/e.ml" "let f g = try g () with Not_found -> ()\n");
+  check_rules "near-miss: catch-all that re-raises" []
+    (lint "lib/sim/e.ml" "let f g = try g () with e -> raise e\n");
+  check_rules "near-miss: guarded catch-all" []
+    (lint "lib/sim/e.ml"
+       "let f g = try g () with _ when quiet -> () | e -> raise e\n");
+  check_rules "near-miss: body continues past unit" []
+    (lint "lib/sim/e.ml"
+       "let f g = try g () with _ -> (); Log.warn \"failed\"\n");
+  check_rules "near-miss: match catch-all is not an exception handler" []
+    (lint "lib/sim/e.ml" "let f x = match x with Some () -> () | _ -> ()\n");
+  check_rules "near-miss: record update with is not a handler" []
+    (lint "lib/sim/e.ml" "let f r = { r with x = () }\n");
+  check_rules "near-miss: match nested in a try body keeps its arms" []
+    (lint "lib/sim/e.ml"
+       "let f g x = try (match g x with Some () -> () | _ -> ()) with\n\
+       \  | Not_found -> raise Exit\n");
+  check_rules "suppressed" []
+    (lint "lib/sim/e.ml"
+       "(* netdiv-lint: allow swallowed-exception — fixture, best-effort \
+        cleanup *)\n\
+        let f g = try g () with _ -> ()\n")
+
 (* ---------------------------------------------------- bad-suppression *)
 
 let test_bad_suppression () =
@@ -334,7 +374,8 @@ let test_rule_list () =
     [
       "spawn-outside-pool"; "toplevel-mutable-state"; "nondeterminism-source";
       "direct-clock-in-instrumented-code"; "list-nth-in-loop";
-      "alloc-in-loop"; "missing-mli"; "printf-in-lib"; "bad-suppression";
+      "alloc-in-loop"; "missing-mli"; "printf-in-lib"; "swallowed-exception";
+      "bad-suppression";
     ]
 
 let () =
@@ -354,6 +395,8 @@ let () =
           Alcotest.test_case "alloc-in-loop" `Quick test_alloc_in_loop;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
+          Alcotest.test_case "swallowed-exception" `Quick
+            test_swallowed_exception;
           Alcotest.test_case "bad-suppression" `Quick test_bad_suppression;
           Alcotest.test_case "rule list" `Quick test_rule_list;
         ] );

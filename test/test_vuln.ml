@@ -335,6 +335,42 @@ let prop_json_roundtrip =
       | Ok v' -> Json.equal v v'
       | Error _ -> false)
 
+(* Fuzz: feed the parser every proper prefix of a valid document — the
+   shape a torn write or a fault-injected truncated read produces.  No
+   input may escape as an exception; the parse must come back Ok (a
+   prefix of a number literal can be a shorter valid number) or an
+   Error with a written reason.  Container documents are unbalanced in
+   every proper prefix, so there the parse must always be an Error. *)
+let prop_json_truncation =
+  QCheck2.Test.make ~count:200 ~name:"fuzz: truncated documents" json_gen
+    (fun v ->
+      let s = Json.to_string v in
+      let container =
+        match v with Json.Object _ | Json.List _ -> true | _ -> false
+      in
+      let ok = ref true in
+      for cut = 0 to String.length s - 1 do
+        match Json.parse (String.sub s 0 cut) with
+        | Ok _ -> if container then ok := false
+        | Error msg -> if msg = "" then ok := false
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+(* Fuzz: single-byte corruption (the io.read.corrupt fault) anywhere in
+   a valid document must parse or fail cleanly, never raise. *)
+let prop_json_byte_flip =
+  QCheck2.Test.make ~count:500 ~name:"fuzz: byte flips"
+    QCheck2.Gen.(triple json_gen (int_bound 4096) (int_range 1 255))
+    (fun (v, pos, mask) ->
+      let b = Bytes.of_string (Json.to_string v) in
+      let i = pos mod Bytes.length b in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+      match Json.parse (Bytes.to_string b) with
+      | Ok _ -> true
+      | Error msg -> msg <> ""
+      | exception _ -> false)
+
 (* ----------------------------------------------------------------- feed *)
 
 let sample_feed =
@@ -713,6 +749,8 @@ let () =
           Alcotest.test_case "print round-trip" `Quick
             test_json_print_roundtrip;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_truncation;
+          QCheck_alcotest.to_alcotest prop_json_byte_flip;
         ] );
       ( "feed",
         [

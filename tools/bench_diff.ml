@@ -125,7 +125,8 @@ let ends_with suffix s =
    (instance construction included) — never a watched timing. *)
 let watched fresh =
   ( [ ("scalability_speedup", "solve_1j_s", true);
-      ("observability_overhead", "solve_off_s", true) ]
+      ("observability_overhead", "solve_off_s", true);
+      ("fault_overhead", "solve_off_s", true) ]
   @ List.concat_map
       (fun s ->
         if s.s_name <> "kernel_specialization" then []
@@ -145,6 +146,7 @@ let watched fresh =
 let fingerprint = function
   | "scalability_speedup" -> Some "solver_energy"
   | "observability_overhead" -> Some "solver_energy"
+  | "fault_overhead" -> Some "solver_energy"
   | "kernel_specialization" -> Some "labels"
   | _ -> None
 

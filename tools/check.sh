@@ -8,8 +8,10 @@
 # with tools/bench_diff (>25% regression on watched metrics fails,
 # snapshots land in bench_history/), validate that a traced optimize
 # run emits a Chrome trace and a JSONL log that netdiv obs-summary
-# accepts, and — when a .ocamlformat file is present — verify
-# formatting. Exits non-zero on the first failure.
+# accepts, run the chaos gate (a fixed NETDIV_FAULT schedule must
+# recover to the fault-free assignment and replay bitwise), and — when
+# a .ocamlformat file is present — verify formatting. Exits non-zero
+# on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,9 +40,11 @@ if git show HEAD:BENCH.json >/dev/null 2>&1; then
 fi
 NETDIV_BENCH_SMOKE=1 NETDIV_BENCH_RUNS=20 dune exec bench/main.exe
 
-# timestamped local history for bisecting perf changes (untracked)
+# timestamped local history for bisecting perf changes (untracked);
+# write-then-rename so an interrupted gate never leaves a torn snapshot
 mkdir -p bench_history
-cp BENCH.json "bench_history/BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
+snap="bench_history/BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
+cp BENCH.json "$snap.tmp" && mv "$snap.tmp" "$snap"
 
 if [ -n "$baseline" ]; then
   echo "== bench regression gate (vs HEAD BENCH.json, 25% tolerance)"
@@ -68,6 +72,42 @@ echo "$summary" | grep -q '^format  jsonl' || {
 echo "$summary" | grep -q 'pool\.region' || {
   echo "JSONL trace is missing pool.region spans"; exit 1; }
 rm -rf "$tracedir"
+
+echo "== chaos gate (fault injection, recovery, replay determinism)"
+# A fixed NETDIV_FAULT schedule crashes every dispatched pool chunk,
+# kills the first runner stage attempt and tears the first checkpoint
+# write.  The solve must still complete with the fault-free assignment
+# (pool recovery + stage retry), report its retry count and fired
+# schedule, and replaying the recorded schedule must reproduce the run
+# bitwise (modulo wall-clock, which sed strips).
+chaosdir=$(mktemp -d)
+chaos_run() {
+  rm -f "$chaosdir/ck.json" "$chaosdir/ck.json.tmp"
+  NETDIV_FAULT="$1" dune exec bin/netdiv.exe -- optimize --hosts 1000 \
+    --degree 10 --services 5 --solver sa --jobs 4 \
+    --checkpoint "$chaosdir/ck.json" | sed 's/, [0-9.]*s$//'
+}
+chaos_run "" >"$chaosdir/clean.out"
+chaos_run "rate=1.0,only=pool.chunk,runner.stage@0,io.write.truncate@0" \
+  >"$chaosdir/chaos.out"
+grep -q '^retries' "$chaosdir/chaos.out" || {
+  echo "chaos run did not record a stage retry"; exit 1; }
+schedule=$(sed -n 's/^faults  *//p' "$chaosdir/chaos.out")
+[ -n "$schedule" ] || {
+  echo "chaos run did not report its fault schedule"; exit 1; }
+case "$schedule" in
+  *pool.chunk@*) ;;
+  *) echo "chaos run did not crash a pool chunk"; exit 1;;
+esac
+grep '^optimal' "$chaosdir/clean.out" >"$chaosdir/clean.energy"
+grep '^optimal' "$chaosdir/chaos.out" >"$chaosdir/chaos.energy"
+cmp -s "$chaosdir/clean.energy" "$chaosdir/chaos.energy" || {
+  echo "chaos run diverged from the fault-free solve"; exit 1; }
+chaos_run "$schedule" >"$chaosdir/replay1.out"
+chaos_run "$schedule" >"$chaosdir/replay2.out"
+cmp "$chaosdir/replay1.out" "$chaosdir/replay2.out" || {
+  echo "fault replay is not deterministic"; exit 1; }
+rm -rf "$chaosdir"
 
 if [ -f .ocamlformat ]; then
   echo "== dune fmt (check)"
