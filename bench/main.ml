@@ -33,7 +33,14 @@ module Topology = Netdiv_casestudy.Topology
 module Products = Netdiv_casestudy.Products
 module Experiments = Netdiv_casestudy.Experiments
 
+(* tier selection: the env vars are the historical CI interface, the
+   --full / --smoke flags the human one (dune exec bench/main.exe --
+   --full); either spelling wins *)
+let argv_flag name = Array.exists (String.equal name) Sys.argv
+
 let full_sweep =
+  argv_flag "--full"
+  ||
   match Sys.getenv_opt "NETDIV_BENCH_FULL" with
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
@@ -44,9 +51,29 @@ let mttc_runs =
   | None -> 1000
 
 let smoke =
+  argv_flag "--smoke"
+  ||
   match Sys.getenv_opt "NETDIV_BENCH_SMOKE" with
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
+
+(* Min-of-N-cycles timing (the ci_bench discipline): report the fastest
+   of [rounds] timed cycles, a major collection before each.  The
+   minimum is the repetition least disturbed by the scheduler and the
+   collector — single-shot timings of ~50 ms solves wobble by more than
+   the speedups being measured. *)
+let bench_rounds = if full_sweep then 5 else 3
+
+let best_of ?(rounds = bench_rounds) f =
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best then best := t
+  done;
+  !best
 
 let section title =
   Format.printf "@.======================================================@.";
@@ -840,11 +867,11 @@ let extension_anytime () =
 
 (* The 4-zone segmented instance shared by the speedup and the
    observability-overhead sections: four mutually isolated zones
-   (air-gapped ICS cells).  The component decomposition is the
-   solver's unit of parallelism, so this is the workload where extra
-   domains can actually pay; a single connected instance solves inline
-   regardless of [jobs] — TRW-S sweeps are sequential by construction.
-   Both sections must build the exact same instance so their
+   (air-gapped ICS cells).  The component decomposition is this
+   section's unit of parallelism — one domain per air-gapped zone; the
+   single-component regime has its own section
+   ([intra_component_speedup]) exercising the partitioned schedules.
+   Both sections here must build the exact same instance so their
    solver_energy fingerprints stay comparable. *)
 let segmented_instance () =
   let zones = 4 and zone_hosts = 200 in
@@ -939,13 +966,21 @@ let scalability_speedup () =
   let a = reference.Optimize.assignment in
   (* entry and target must share a zone: nothing crosses an air gap *)
   let entry = 0 and target = zone_hosts - 1 in
+  (* one untimed run captures the (domain-count-invariant) statistics;
+     the timing is min-of-N — at smoke scale both domain counts run the
+     batch inline, so a single-shot ratio was pure timer noise and the
+     mttc_speedup_4d metric wobbled below 1.0 *)
   let mttc domains =
-    let t0 = Unix.gettimeofday () in
     let stats =
       Engine.mttc_parallel ~domains ~seed:11 ~runs:mttc_runs a ~entry ~target
         ()
     in
-    (Unix.gettimeofday () -. t0, stats)
+    let t =
+      best_of (fun () ->
+          Engine.mttc_parallel ~domains ~seed:11 ~runs:mttc_runs a ~entry
+            ~target ())
+    in
+    (t, stats)
   in
   let t1, s1 = mttc 1 in
   let t4, s4 = mttc 4 in
@@ -958,6 +993,105 @@ let scalability_speedup () =
   Report.metric "mttc_speedup_4d" (t1 /. t4);
   if s1 <> s4 then
     Report.fail "mttc_parallel statistics depend on the domain count"
+
+(* --------------------- intra-component parallel inference speedup *)
+
+(* Single-component zoned instance: unlike [segmented_instance] the
+   zones are joined by gateway links, so the whole model is ONE
+   connected MRF component — the paper's hard case, where
+   across-component parallelism has nothing to split and the
+   partitioned TRW-S / chromatic BP schedules must carry the load.  At
+   the --full tier the instance holds 10,000 hosts (50,000 MRF nodes);
+   the smoke tier shrinks it to 1,500 hosts while keeping the node
+   count above the partitioning threshold so the parallel code paths
+   still execute. *)
+let intra_instance () =
+  let zones, zone_hosts, n_services, n_products =
+    if full_sweep then (10, 1000, 5, 4) else (5, 300, 3, 4)
+  in
+  let n_hosts = zones * zone_hosts in
+  let z =
+    Netdiv_graph.Topologies.zoned
+      ~rng:(Random.State.make [| 23 |])
+      ~zone_sizes:(Array.make zones zone_hosts)
+      ()
+  in
+  let services =
+    Array.init n_services (fun sv ->
+        { Network.sv_name = Printf.sprintf "svc%d" sv;
+          sv_products =
+            Array.init n_products (fun k -> Printf.sprintf "p%d" k);
+          sv_similarity =
+            Workload.synthetic_similarity
+              ~rng:(Random.State.make [| 7; sv |])
+              ~products:n_products })
+  in
+  let hosts =
+    Array.init n_hosts (fun h ->
+        { Network.h_name = Printf.sprintf "h%d" h;
+          h_services = List.init n_services (fun sv -> (sv, [||])) })
+  in
+  Network.create ~graph:z.Netdiv_graph.Topologies.graph ~services ~hosts
+
+let intra_component_speedup () =
+  section
+    (Printf.sprintf
+       "[Parallel] intra-component speedup (single-component zoned \
+        instance, %s tier)"
+       (if full_sweep then "full" else "smoke"));
+  let net = intra_instance () in
+  let job_counts = [ 1; 2; 4 ] in
+  (* warmups capture the deterministic per-jobs results; the timings are
+     min-of-N taken round-robin across job counts (see best_of) so no
+     row pays the heap debt of earlier ones *)
+  let reports =
+    List.map (fun jobs -> (jobs, Optimize.run ~jobs net [])) job_counts
+  in
+  let best = Hashtbl.create 8 in
+  List.iter (fun jobs -> Hashtbl.replace best jobs infinity) job_counts;
+  for _round = 1 to bench_rounds do
+    List.iter
+      (fun jobs ->
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        ignore (Optimize.run ~jobs net []);
+        let t = Unix.gettimeofday () -. t0 in
+        if t < Hashtbl.find best jobs then Hashtbl.replace best jobs t)
+      job_counts
+  done;
+  let _, reference = List.hd reports in
+  let t_serial = Hashtbl.find best 1 in
+  Format.printf "%-6s %10s %9s %14s@." "jobs" "time (s)" "speedup" "energy";
+  List.iter
+    (fun (jobs, report) ->
+      let t = Hashtbl.find best jobs in
+      Format.printf "%-6d %10.3f %8.2fx %14.2f@." jobs t (t_serial /. t)
+        report.Optimize.energy;
+      Report.metric (Printf.sprintf "solve_%dj_s" jobs) t;
+      Report.metric (Printf.sprintf "speedup_%dj" jobs) (t_serial /. t);
+      (* the hard gate of the whole exercise: the partitioned schedules
+         must be bitwise job-count-invariant, not merely close *)
+      if
+        not
+          (report.Optimize.energy = reference.Optimize.energy
+          && Assignment.equal report.Optimize.assignment
+               reference.Optimize.assignment)
+      then
+        Report.fail
+          (Printf.sprintf
+             "intra-component result at --jobs %d differs from --jobs 1"
+             jobs))
+    reports;
+  Report.metric "solver_energy" reference.Optimize.energy;
+  (* the >= 2x target is only measurable where 4 cores exist; the
+     determinism checks above run unconditionally *)
+  let cores = Domain.recommended_domain_count () in
+  Report.metric "cores" (float_of_int cores);
+  let s4 = t_serial /. Hashtbl.find best 4 in
+  if full_sweep && cores >= 4 && s4 < 2.0 then
+    Report.fail
+      (Printf.sprintf
+         "intra-component speedup at 4 jobs is %.2fx (< 2.0x target)" s4)
 
 (* ------------------------------- observability overhead (tracing off) *)
 
@@ -1325,9 +1459,13 @@ let () =
     Report.timed "extension_segmentation" extension_segmentation;
     Report.timed "extension_anytime" extension_anytime
   end;
+  (* intra_component_speedup runs after the overhead sections: the
+     obs/fault 3%-drift gates compare against scalability's jobs=1 time
+     and assume an undisturbed heap between the paired measurements *)
   Report.timed "scalability_speedup" scalability_speedup;
   Report.timed "observability_overhead" observability_overhead;
   Report.timed "fault_overhead" fault_overhead;
+  Report.timed "intra_component_speedup" intra_component_speedup;
   Report.timed "interning_memory" interning_memory;
   Report.timed "kernel_specialization" kernel_specialization;
   if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;

@@ -95,7 +95,7 @@ let cascade ?jobs solver ~trws_config ~bp_config =
   match solver with
   | Trws -> [ Runner.trws ~config:trws_config ?jobs () ]
   | Trws_icm -> [ Runner.trws_icm ~config:trws_config ?jobs () ]
-  | Bp -> [ Runner.bp ~config:bp_config () ]
+  | Bp -> [ Runner.bp ~config:bp_config ?jobs () ]
   | Icm -> (
       match jobs with
       | None ->
@@ -146,7 +146,11 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
       let result =
         match solver with
         | Trws -> trws_solve model
-        | Bp -> Bp_solver.solve ~config:bp_config model
+        | Bp -> (
+            match jobs with
+            | None -> Bp_solver.solve ~config:bp_config model
+            | Some _ ->
+                Bp_solver.solve_chromatic ~config:bp_config ?jobs model)
         | Icm -> Icm_solver.solve model
         | Sa -> (
             match jobs with

@@ -26,9 +26,10 @@ let rules =
       "List.nth inside a for/while loop: O(n) per access turns the loop \
        quadratic (the exact class fixed in lib/sim/engine.ml)" );
     ( "alloc-in-loop",
-      "Array.make/Array.init/Array.copy inside a for/while body in hot \
-       solver code (lib/mrf, lib/bayes); allocate scratch once outside \
-       the loop and reuse it" );
+      "Array.make/Array.init/Array.copy or Float.Array.create/make \
+       inside a for/while body in hot solver code (lib/mrf, lib/bayes); \
+       allocate scratch (including message slabs) once outside the loop \
+       and reuse it" );
     ( "missing-mli",
       "library module without an interface file; every lib/ module must \
        state its exported surface" );
@@ -269,6 +270,7 @@ let scan_tokens ctx (toks : Lexer.token array) =
     if
       hot_path ctx && !loop_depth > 0
       && seq2 toks i "Array" "."
+      && not (seq2 toks (i - 2) "Float" ".")
       &&
       let f = tok toks (i + 2) in
       f = "make" || f = "init" || f = "copy"
@@ -279,6 +281,19 @@ let scan_tokens ctx (toks : Lexer.token array) =
             scratch buffer out of the loop (the exact class fixed in \
             lib/mrf/bp.ml's message update)"
            (tok toks (i + 2)));
+    if
+      hot_path ctx && !loop_depth > 0
+      && seq3 toks i "Float" "." "Array"
+      && tok toks (i + 3) = "."
+      &&
+      let f = tok toks (i + 4) in
+      f = "create" || f = "make" || f = "init" || f = "copy"
+    then
+      add t "alloc-in-loop"
+        (Printf.sprintf
+           "Float.Array.%s inside a loop body allocates an unboxed slab \
+            per iteration; hoist it out of the sweep and reuse it"
+           (tok toks (i + 4)));
     if ctx.in_lib then begin
       if seq3 toks i "Printf" "." "printf" || seq3 toks i "Format" "." "printf"
       then

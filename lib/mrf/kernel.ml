@@ -2,6 +2,11 @@
    the contract and DESIGN.md ("Message kernels") for the classification
    rules and the bitwise-equivalence argument. *)
 
+external ( .%() ) : floatarray -> int -> float = "%floatarray_safe_get"
+
+external ( .%()<- ) : floatarray -> int -> float -> unit
+  = "%floatarray_safe_set"
+
 type t =
   | Potts of { off : float; diag : float array }
   | Const_sparse of {
@@ -116,18 +121,18 @@ let classify ~ku ~kv tab =
   end
 
 type scratch = {
-  h : float array;
-  fresh : float array;
-  sel_v : float array;
+  h : floatarray;
+  fresh : floatarray;
+  sel_v : floatarray;
   sel_i : int array;
 }
 
 let make_scratch ~max_labels =
   let k = max 1 max_labels in
   {
-    h = Array.make k 0.0;
-    fresh = Array.make k 0.0;
-    sel_v = Array.make (k + 1) infinity;
+    h = Float.Array.make k 0.0;
+    fresh = Float.Array.make k 0.0;
+    sel_v = Float.Array.make (k + 1) infinity;
     sel_i = Array.make (k + 1) (-1);
   }
 
@@ -139,7 +144,7 @@ let update cls ~pot ~p0 ~src_is_u ~k_src ~k_out ~scratch ~out ~out_off =
          the OTHER labels, which is m0 unless the argmin is itself *)
       let m0 = ref infinity and m1 = ref infinity and arg0 = ref (-1) in
       for x = 0 to k_src - 1 do
-        let v = h.(x) in
+        let v = h.%(x) in
         if v < !m0 then begin
           m1 := !m0;
           m0 := v;
@@ -150,10 +155,10 @@ let update cls ~pot ~p0 ~src_is_u ~k_src ~k_out ~scratch ~out ~out_off =
       let vmin = ref infinity in
       for xo = 0 to k_out - 1 do
         let excl = if xo = !arg0 then !m1 else !m0 in
-        let same = h.(xo) +. diag.(xo) in
+        let same = h.%(xo) +. diag.(xo) in
         let other = excl +. off in
         let c = if same < other then same else other in
-        out.(out_off + xo) <- c;
+        out.%(out_off + xo) <- c;
         if c < !vmin then vmin := c
       done;
       !vmin
@@ -168,19 +173,19 @@ let update cls ~pot ~p0 ~src_is_u ~k_src ~k_out ~scratch ~out ~out_off =
       let keep = min (max_line_nnz + 1) k_src in
       let sv = scratch.sel_v and si = scratch.sel_i in
       for t = 0 to keep - 1 do
-        sv.(t) <- infinity;
+        sv.%(t) <- infinity;
         si.(t) <- -1
       done;
       for x = 0 to k_src - 1 do
-        let v = h.(x) in
-        if v < sv.(keep - 1) then begin
+        let v = h.%(x) in
+        if v < sv.%(keep - 1) then begin
           let t = ref (keep - 1) in
-          while !t > 0 && sv.(!t - 1) > v do
-            sv.(!t) <- sv.(!t - 1);
+          while !t > 0 && sv.%(!t - 1) > v do
+            sv.%(!t) <- sv.%(!t - 1);
             si.(!t) <- si.(!t - 1);
             decr t
           done;
-          sv.(!t) <- v;
+          sv.%(!t) <- v;
           si.(!t) <- x
         end
       done;
@@ -198,17 +203,17 @@ let update cls ~pot ~p0 ~src_is_u ~k_src ~k_out ~scratch ~out ~out_off =
             if di.(d) = s then dev := true
           done;
           if not !dev then begin
-            plain := sv.(!t);
+            plain := sv.%(!t);
             found := true
           end;
           incr t
         done;
         let best = ref (!plain +. base) in
         for d = 0 to nd - 1 do
-          let c = h.(di.(d)) +. dv.(d) in
+          let c = h.%(di.(d)) +. dv.(d) in
           if c < !best then best := c
         done;
-        out.(out_off + xo) <- !best;
+        out.%(out_off + xo) <- !best;
         if !best < !vmin then vmin := !best
       done;
       !vmin
@@ -218,17 +223,17 @@ let update cls ~pot ~p0 ~src_is_u ~k_src ~k_out ~scratch ~out ~out_off =
         let best = ref infinity in
         if src_is_u then
           for xs = 0 to k_src - 1 do
-            let c = h.(xs) +. pot.(p0 + (xs * k_out) + xo) in
+            let c = h.%(xs) +. pot.(p0 + (xs * k_out) + xo) in
             if c < !best then best := c
           done
         else begin
           let r0 = p0 + (xo * k_src) in
           for xs = 0 to k_src - 1 do
-            let c = h.(xs) +. pot.(r0 + xs) in
+            let c = h.%(xs) +. pot.(r0 + xs) in
             if c < !best then best := c
           done
         end;
-        out.(out_off + xo) <- !best;
+        out.%(out_off + xo) <- !best;
         if !best < !vmin then vmin := !best
       done;
       !vmin

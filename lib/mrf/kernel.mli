@@ -28,7 +28,21 @@
     commutative for non-NaN floats) and perform the same [+.] on the
     same operands — monotonicity of IEEE rounding does the rest.  Any
     table containing a non-finite entry is classified [Generic] so that
-    NaN propagation semantics never change. *)
+    NaN propagation semantics never change.
+
+    Message storage is {e unboxed}: [update] reads its reduction input
+    from and writes its output into [floatarray] slabs ([Float.Array]),
+    so solver message buffers are flat runs of doubles with no per-cell
+    boxing and the kernels stream over contiguous memory.  The
+    [( .%() )] / [( .%()<- )] index operators below are the shared
+    accessors for those slabs. *)
+
+external ( .%() ) : floatarray -> int -> float = "%floatarray_safe_get"
+(** [slab.%(i)] — bounds-checked unboxed read from a float slab. *)
+
+external ( .%()<- ) : floatarray -> int -> float -> unit
+  = "%floatarray_safe_set"
+(** [slab.%(i) <- v] — bounds-checked unboxed store into a float slab. *)
 
 type t =
   | Potts of { off : float; diag : float array }
@@ -63,17 +77,18 @@ val message_cost : t -> k_src:int -> k_out:int -> int
     by callers to build {!Netdiv_par.Pool} cost hints. *)
 
 type scratch = {
-  h : float array;  (** caller-filled reduction input, length ≥ k_src *)
-  fresh : float array;
+  h : floatarray;  (** caller-filled reduction input, length ≥ k_src *)
+  fresh : floatarray;
       (** kernel output staging for damped updates (BP), length ≥ max L *)
-  sel_v : float array;  (** internal: smallest-values selection buffer *)
+  sel_v : floatarray;  (** internal: smallest-values selection buffer *)
   sel_i : int array;  (** internal: matching indices *)
 }
 
 val make_scratch : max_labels:int -> scratch
 (** Preallocates every buffer [update] may need for label counts up to
-    [max_labels]; one scratch per solver state, reused across all
-    messages so the hot path never allocates. *)
+    [max_labels]; one scratch per solver {e worker} (each parallel chunk
+    owns its own), reused across all messages so the hot path never
+    allocates. *)
 
 val update :
   t ->
@@ -83,7 +98,7 @@ val update :
   k_src:int ->
   k_out:int ->
   scratch:scratch ->
-  out:float array ->
+  out:floatarray ->
   out_off:int ->
   float
 (** [update cls ~pot ~p0 ~src_is_u ~k_src ~k_out ~scratch ~out ~out_off]

@@ -320,6 +320,35 @@ let opposite t ~edge i =
   else if t.ev.(edge) = i then t.eu.(edge)
   else invalid_arg "Mrf.opposite: node not on edge"
 
+(* Greedy first-fit coloring in node order.  Deterministic: colors
+   depend only on the frozen incidence structure, never on job counts,
+   so the chromatic-BP schedule built on top inherits the pool's
+   reproducibility contract.  [mark] is stamped with the current node id
+   instead of being cleared between nodes, keeping the pass O(n + m). *)
+let greedy_coloring t =
+  let n = t.n in
+  let color = Array.make n (-1) in
+  let ncolors = ref 0 in
+  (* first-fit needs at most (max degree + 1) <= n colors *)
+  let mark = Array.make (n + 1) (-1) in
+  for i = 0 to n - 1 do
+    let lo = t.inc_off.(i) and hi = t.inc_off.(i + 1) in
+    for k = lo to hi - 1 do
+      let code = t.inc.(k) in
+      let e = code / 2 in
+      let j = if code land 1 = 1 then t.ev.(e) else t.eu.(e) in
+      let cj = color.(j) in
+      if cj >= 0 then mark.(cj) <- i
+    done;
+    let c = ref 0 in
+    while mark.(!c) = i do
+      incr c
+    done;
+    color.(i) <- !c;
+    if !c >= !ncolors then ncolors := !c + 1
+  done;
+  (color, max 1 !ncolors)
+
 (* Internal accessors used by the solvers in this library; exposed through
    a semi-private interface. *)
 let internal_arrays t =

@@ -105,12 +105,17 @@ let trws_icm ?config ?icm_config ?jobs () =
         });
   }
 
-let bp ?config () =
+(* As with TRW-S: [jobs = None] keeps the historical sequential sweep;
+   [Some j] selects the chromatic schedule, whose result is job-count
+   invariant (same coloring whatever [j]). *)
+let bp ?config ?jobs () =
   {
     name = "bp";
     solve =
       (fun ~interrupt ~on_progress ~init:_ mrf ->
-        Bp.solve ?config ~interrupt ~on_progress mrf);
+        match jobs with
+        | None -> Bp.solve ?config ~interrupt ~on_progress mrf
+        | Some _ -> Bp.solve_chromatic ?config ~interrupt ~on_progress ?jobs mrf);
   }
 
 let icm ?config () =

@@ -70,7 +70,11 @@ val trws_icm :
     the TRW-S dual bound.  [converged] requires both to converge.
     [jobs] parallelizes the TRW-S part as in {!trws}. *)
 
-val bp : ?config:Bp.config -> unit -> stage
+val bp : ?config:Bp.config -> ?jobs:int -> unit -> stage
+(** With [jobs] the sweeps run the chromatic parallel schedule
+    ({!Bp.solve_chromatic}); the result is job-count-invariant.  Without
+    it, the historical sequential {!Bp.solve}. *)
+
 val icm : ?config:Icm.config -> unit -> stage
 
 val icm_restarts :

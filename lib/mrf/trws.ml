@@ -1,4 +1,6 @@
 module Obs = Netdiv_obs.Obs
+module Pool = Netdiv_par.Pool
+open Kernel
 
 (* Telemetry handles (shared with Bp via the names, all no-ops until
    Obs.set_enabled true): message updates by kernel class, per-sweep
@@ -19,11 +21,15 @@ let default_config =
 
 (* Message state: for edge e = (u,v), [fw] holds the message into v
    (length labels.(v)) and [bw] the message into u (length labels.(u)),
-   stored flat with per-edge offsets. *)
+   stored flat with per-edge offsets.  Messages, unaries and the bound
+   aggregation scratch live on unboxed [floatarray] slabs so the kernels
+   stream over contiguous doubles; everything here is immutable topology
+   or slab storage shared by all workers — per-worker mutable scratch
+   lives in {!workspace}. *)
 type state = {
   labels : int array;
   unary_off : int array;
-  unary : float array;
+  unary : floatarray;  (* unboxed copy of the model's unaries *)
   eu : int array;
   ev : int array;
   etab : int array;
@@ -33,13 +39,11 @@ type state = {
   inc : int array;
   fw_off : int array;
   bw_off : int array;
-  fw : float array;
-  bw : float array;
+  fw : floatarray;
+  bw : floatarray;
   classes : Kernel.t array;
-  scratch : Kernel.scratch;
-  lb_agg : float array;  (* lower_bound scratch: gamma-weighted unaries *)
-  lb_dp : float array;   (* lower_bound scratch: chain DP, current *)
-  lb_dp' : float array;  (* lower_bound scratch: chain DP, next *)
+  lb_agg : floatarray;  (* lower_bound slab: gamma-weighted unaries *)
+  chain_best : floatarray;  (* lower_bound slab: per-chain DP minimum *)
   gamma : float array;
   chains : int array array;
       (* monotonic chain decomposition: each chain is the sequence of its
@@ -47,6 +51,17 @@ type state = {
          belongs to exactly one chain; node [i] lies on
          [max(#lower, #higher)] chains. *)
   isolated : int list;  (* nodes with no incident edges *)
+}
+
+(* Per-worker scratch: one per parallel chunk so partitioned sweeps never
+   share a theta buffer or kernel scratch across domains.  Allocated per
+   solve, reused across all messages, so the hot path never allocates
+   (minor GCs are stop-the-world across ALL domains). *)
+type workspace = {
+  theta : floatarray;
+  ks : Kernel.scratch;
+  dp : floatarray;  (* lower_bound chain DP, current *)
+  dp' : floatarray;  (* lower_bound chain DP, next *)
 }
 
 let make_state mrf =
@@ -118,6 +133,7 @@ let make_state mrf =
       chains := Array.of_list (List.rev (walk e [])) :: !chains
     end
   done;
+  let chains = Array.of_list !chains in
   let isolated = ref [] in
   for i = 0 to n - 1 do
     if inc_off.(i + 1) = inc_off.(i) then isolated := i :: !isolated
@@ -125,7 +141,7 @@ let make_state mrf =
   {
     labels;
     unary_off;
-    unary;
+    unary = Float.Array.init unary_off.(n) (fun k -> unary.(k));
     eu;
     ev;
     etab;
@@ -135,28 +151,35 @@ let make_state mrf =
     inc;
     fw_off;
     bw_off;
-    fw = Array.make fw_off.(m) 0.0;
-    bw = Array.make bw_off.(m) 0.0;
+    fw = Float.Array.make fw_off.(m) 0.0;
+    bw = Float.Array.make bw_off.(m) 0.0;
     classes;
-    scratch = Kernel.make_scratch ~max_labels:(Array.fold_left max 1 labels);
     (* per-iteration bound scratch lives in the state: allocating it in
        [lower_bound] made every iteration churn the minor heap, and
        minor collections are stop-the-world across ALL domains — the
        per-component solves then serialized on the GC barrier *)
-    lb_agg = Array.make unary_off.(n) 0.0;
-    lb_dp = Array.make (Array.fold_left max 1 labels) 0.0;
-    lb_dp' = Array.make (Array.fold_left max 1 labels) 0.0;
+    lb_agg = Float.Array.make unary_off.(n) 0.0;
+    chain_best = Float.Array.make (Array.length chains) 0.0;
     gamma;
-    chains = Array.of_list !chains;
+    chains;
     isolated = !isolated;
   }
 
+let make_workspace st =
+  let kmax = Array.fold_left max 1 st.labels in
+  {
+    theta = Float.Array.make kmax 0.0;
+    ks = Kernel.make_scratch ~max_labels:kmax;
+    dp = Float.Array.make kmax 0.0;
+    dp' = Float.Array.make kmax 0.0;
+  }
+
 (* Aggregate node i's unary plus all incoming messages into [theta]. *)
-let aggregate st i theta =
+let aggregate st i (theta : floatarray) =
   let k = st.labels.(i) in
   let u0 = st.unary_off.(i) in
   for x = 0 to k - 1 do
-    theta.(x) <- st.unary.(u0 + x)
+    theta.%(x) <- st.unary.%(u0 + x)
   done;
   for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
     let code = st.inc.(p) in
@@ -169,59 +192,72 @@ let aggregate st i theta =
     let off = if bwd then st.bw_off.(e) else st.fw_off.(e) in
     let msg = if bwd then st.bw else st.fw in
     for x = 0 to k - 1 do
-      theta.(x) <- theta.(x) +. msg.(off + x)
+      theta.%(x) <- theta.%(x) +. msg.%(off + x)
     done
   done
 
-(* One sweep.  [forward] selects direction: process nodes in increasing
-   order updating messages to higher neighbours, or the mirror image. *)
-let sweep st n theta forward =
-  let process i =
-    aggregate st i theta;
-    let k = st.labels.(i) in
-    let g = st.gamma.(i) in
-    for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
-      let code = st.inc.(p) in
-      let e = code / 2 in
-      let i_is_u = code land 1 = 1 in
-      let j = if i_is_u then st.ev.(e) else st.eu.(e) in
-      if (forward && j > i) || ((not forward) && j < i) then begin
-        let kj = st.labels.(j) in
-        let p0 = st.pot_off.(st.etab.(e)) in
-        (* message into i along e (to be subtracted) and out of i (to
-           be written); scalar ifs keep this allocation-free *)
-        let in_off = if i_is_u then st.bw_off.(e) else st.fw_off.(e) in
-        let in_msg = if i_is_u then st.bw else st.fw in
-        let out_off = if i_is_u then st.fw_off.(e) else st.bw_off.(e) in
-        let out_msg = if i_is_u then st.fw else st.bw in
-        (* reduction input: reparameterized node cost minus the reverse
-           message.  Precomputed once so every kernel — including the
-           generic scan — reads it O(L) times instead of recomputing it
-           O(L²) times. *)
-        let h = st.scratch.Kernel.h in
-        for xi = 0 to k - 1 do
-          h.(xi) <- (g *. theta.(xi)) -. in_msg.(in_off + xi)
-        done;
-        let vmin =
-          Kernel.update
-            st.classes.(st.etab.(e))
-            ~pot:st.pot ~p0 ~src_is_u:i_is_u ~k_src:k ~k_out:kj
-            ~scratch:st.scratch ~out:out_msg ~out_off
-        in
-        (* normalize so the smallest entry is zero *)
-        for xj = 0 to kj - 1 do
-          out_msg.(out_off + xj) <- out_msg.(out_off + xj) -. vmin
-        done
-      end
-    done
-  in
+(* Update node [i]'s outgoing messages in direction [forward] (toward
+   higher neighbours when [forward], lower otherwise), restricted to
+   neighbours [j] with [(plo <= j < phi) = inside].  The sequential
+   sweep passes the full range with [inside:true] (no restriction); the
+   partitioned schedule runs the [inside:true] case per partition in
+   parallel — all written messages then lie strictly inside the caller's
+   partition, so distinct chunks never touch the same slab slot — and
+   the [inside:false] case sequentially as the boundary-merge pass. *)
+let process_node st ws ~forward ~inside ~plo ~phi i =
+  let theta = ws.theta in
+  aggregate st i theta;
+  let k = st.labels.(i) in
+  let g = st.gamma.(i) in
+  for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+    let code = st.inc.(p) in
+    let e = code / 2 in
+    let i_is_u = code land 1 = 1 in
+    let j = if i_is_u then st.ev.(e) else st.eu.(e) in
+    if
+      (if forward then j > i else j < i)
+      && (j >= plo && j < phi) = inside
+    then begin
+      let kj = st.labels.(j) in
+      let p0 = st.pot_off.(st.etab.(e)) in
+      (* message into i along e (to be subtracted) and out of i (to
+         be written); scalar ifs keep this allocation-free *)
+      let in_off = if i_is_u then st.bw_off.(e) else st.fw_off.(e) in
+      let in_msg = if i_is_u then st.bw else st.fw in
+      let out_off = if i_is_u then st.fw_off.(e) else st.bw_off.(e) in
+      let out_msg = if i_is_u then st.fw else st.bw in
+      (* reduction input: reparameterized node cost minus the reverse
+         message.  Precomputed once so every kernel — including the
+         generic scan — reads it O(L) times instead of recomputing it
+         O(L²) times. *)
+      let h = ws.ks.Kernel.h in
+      for xi = 0 to k - 1 do
+        h.%(xi) <- (g *. theta.%(xi)) -. in_msg.%(in_off + xi)
+      done;
+      let vmin =
+        Kernel.update
+          st.classes.(st.etab.(e))
+          ~pot:st.pot ~p0 ~src_is_u:i_is_u ~k_src:k ~k_out:kj ~scratch:ws.ks
+          ~out:out_msg ~out_off
+      in
+      (* normalize so the smallest entry is zero *)
+      for xj = 0 to kj - 1 do
+        out_msg.%(out_off + xj) <- out_msg.%(out_off + xj) -. vmin
+      done
+    end
+  done
+
+(* One sequential sweep.  [forward] selects direction: process nodes in
+   increasing order updating messages to higher neighbours, or the
+   mirror image. *)
+let sweep st ws n forward =
   if forward then
     for i = 0 to n - 1 do
-      process i
+      process_node st ws ~forward:true ~inside:true ~plo:0 ~phi:n i
     done
   else
     for i = n - 1 downto 0 do
-      process i
+      process_node st ws ~forward:false ~inside:true ~plo:0 ~phi:n i
     done
 
 (* TRW dual bound for the monotonic-chain decomposition: the energy is
@@ -229,26 +265,35 @@ let sweep st n theta forward =
    theta_hat_i and reparameterized edge costs; the bound is the sum of the
    chains' independent minima, computed by dynamic programming along each
    chain.  Valid for any message state (each chain min <= the chain's value
-   at the true optimum), and tight at TRW-S fixed points on trees. *)
-let lower_bound st n _m theta =
-  (* cache gamma-weighted aggregated unaries *)
+   at the true optimum), and tight at TRW-S fixed points on trees.
+
+   Split into three passes so the partitioned schedule can parallelize
+   the first two: [fill_agg] writes node [i]'s gamma-weighted aggregate
+   (slots disjoint per node), [chain_dp] writes chain [ci]'s minimum into
+   the [chain_best] slab (slots disjoint per chain), and [lb_sum] folds
+   the per-chain minima in chain order — so the bound is bitwise
+   identical whatever the chunking. *)
+let fill_agg st ws i =
+  aggregate st i ws.theta;
+  let off = st.unary_off.(i) in
+  for x = 0 to st.labels.(i) - 1 do
+    st.lb_agg.%(off + x) <- st.gamma.(i) *. ws.theta.%(x)
+  done
+
+let chain_dp st ws ci =
+  let chain = st.chains.(ci) in
   let agg = st.lb_agg in
-  for i = 0 to n - 1 do
-    aggregate st i theta;
-    let off = st.unary_off.(i) in
-    for x = 0 to st.labels.(i) - 1 do
-      agg.(off + x) <- st.gamma.(i) *. theta.(x)
-    done
+  let dp = ws.dp in
+  let dp' = ws.dp' in
+  let e0 = chain.(0) in
+  let first = if st.eu.(e0) < st.ev.(e0) then st.eu.(e0) else st.ev.(e0) in
+  let k0 = st.labels.(first) in
+  for x = 0 to k0 - 1 do
+    dp.%(x) <- agg.%(st.unary_off.(first) + x)
   done;
-  let lo_node e =
-    let u = st.eu.(e) and v = st.ev.(e) in
-    if u < v then u else v
-  in
-  let acc = ref 0.0 in
-  let dp = st.lb_dp in
-  let dp' = st.lb_dp' in
+  let prev_k = ref k0 in
   (* The per-edge DP transition is written out inline with the running
-     minimum accumulated directly in the [dp'] float array: a local
+     minimum accumulated directly in the [dp'] slab: a local
      float-returning closure (boxed return per call without flambda) or
      a [float ref] minimum (boxed store per assignment) here made every
      bound evaluation allocate ~10^5 minor words, and under multicore
@@ -258,66 +303,74 @@ let lower_bound st n _m theta =
        pot[xu,xv] - fw[xv] - bw[xu]
      with (xu, xv) = (x, y) when u < v and (y, x) otherwise. *)
   Array.iter
-    (fun chain ->
-      let first = lo_node chain.(0) in
-      let k0 = st.labels.(first) in
-      for x = 0 to k0 - 1 do
-        dp.(x) <- agg.(st.unary_off.(first) + x)
+    (fun e ->
+      let u = st.eu.(e) and v = st.ev.(e) in
+      let kv = st.labels.(v) in
+      let pbase = st.pot_off.(st.etab.(e)) in
+      let fw0 = st.fw_off.(e) and bw0 = st.bw_off.(e) in
+      let hi = if u < v then v else u in
+      let kh = st.labels.(hi) in
+      for y = 0 to kh - 1 do
+        dp'.%(y) <- infinity
       done;
-      let prev_k = ref k0 in
-      Array.iter
-        (fun e ->
-          let u = st.eu.(e) and v = st.ev.(e) in
-          let kv = st.labels.(v) in
-          let pbase = st.pot_off.(st.etab.(e)) in
-          let fw0 = st.fw_off.(e) and bw0 = st.bw_off.(e) in
-          let hi = if u < v then v else u in
-          let kh = st.labels.(hi) in
+      if u < v then
+        for x = 0 to !prev_k - 1 do
+          let base = dp.%(x) -. st.bw.%(bw0 + x) in
+          let prow = pbase + (x * kv) in
           for y = 0 to kh - 1 do
-            dp'.(y) <- infinity
-          done;
-          if u < v then
-            for x = 0 to !prev_k - 1 do
-              let base = dp.(x) -. st.bw.(bw0 + x) in
-              let prow = pbase + (x * kv) in
-              for y = 0 to kh - 1 do
-                let c = base +. st.pot.(prow + y) -. st.fw.(fw0 + y) in
-                if c < dp'.(y) then dp'.(y) <- c
-              done
-            done
-          else
-            for x = 0 to !prev_k - 1 do
-              let base = dp.(x) -. st.fw.(fw0 + x) in
-              for y = 0 to kh - 1 do
-                let c =
-                  base +. st.pot.(pbase + (y * kv) + x) -. st.bw.(bw0 + y)
-                in
-                if c < dp'.(y) then dp'.(y) <- c
-              done
-            done;
-          let hoff = st.unary_off.(hi) in
+            let c = base +. st.pot.(prow + y) -. st.fw.%(fw0 + y) in
+            if c < dp'.%(y) then dp'.%(y) <- c
+          done
+        done
+      else
+        for x = 0 to !prev_k - 1 do
+          let base = dp.%(x) -. st.fw.%(fw0 + x) in
           for y = 0 to kh - 1 do
-            dp'.(y) <- dp'.(y) +. agg.(hoff + y)
-          done;
-          Array.blit dp' 0 dp 0 kh;
-          prev_k := kh)
-        chain;
-      let best = ref infinity in
-      for x = 0 to !prev_k - 1 do
-        if dp.(x) < !best then best := dp.(x)
+            let c =
+              base +. st.pot.(pbase + (y * kv) + x) -. st.bw.%(bw0 + y)
+            in
+            if c < dp'.%(y) then dp'.%(y) <- c
+          done
+        done;
+      let hoff = st.unary_off.(hi) in
+      for y = 0 to kh - 1 do
+        dp'.%(y) <- dp'.%(y) +. agg.%(hoff + y)
       done;
-      acc := !acc +. !best)
-    st.chains;
+      Float.Array.blit dp' 0 dp 0 kh;
+      prev_k := kh)
+    chain;
+  let best = ref infinity in
+  for x = 0 to !prev_k - 1 do
+    if dp.%(x) < !best then best := dp.%(x)
+  done;
+  (* routed through the pool so a sanitized region catches two chunks
+     claiming the same chain *)
+  Pool.write_slab st.chain_best ci !best
+
+let lb_sum st =
+  let acc = ref 0.0 in
+  for ci = 0 to Array.length st.chains - 1 do
+    acc := !acc +. st.chain_best.%(ci)
+  done;
   List.iter
     (fun i ->
       let best = ref infinity in
       for x = 0 to st.labels.(i) - 1 do
-        let c = st.unary.(st.unary_off.(i) + x) in
+        let c = st.unary.%(st.unary_off.(i) + x) in
         if c < !best then best := c
       done;
       acc := !acc +. !best)
     st.isolated;
   !acc
+
+let lower_bound st ws n =
+  for i = 0 to n - 1 do
+    fill_agg st ws i
+  done;
+  for ci = 0 to Array.length st.chains - 1 do
+    chain_dp st ws ci
+  done;
+  lb_sum st
 
 (* Message updates one full iteration (forward + backward sweep)
    performs, split by kernel class: each edge's two directed messages
@@ -336,12 +389,13 @@ let count_messages st m =
 
 (* Greedy decoding in node order: condition on already decoded lower
    neighbours, use incoming messages from undecoded higher ones. *)
-let decode st n theta x =
+let decode st ws n x =
+  let theta = ws.theta in
   for i = 0 to n - 1 do
     let k = st.labels.(i) in
     let u0 = st.unary_off.(i) in
     for xi = 0 to k - 1 do
-      theta.(xi) <- st.unary.(u0 + xi)
+      theta.%(xi) <- st.unary.%(u0 + xi)
     done;
     for p = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
       let code = st.inc.(p) in
@@ -356,92 +410,105 @@ let decode st n theta x =
             if i_is_u then st.pot.(p0 + (xi * kj) + x.(j))
             else st.pot.(p0 + (x.(j) * k) + xi)
           in
-          theta.(xi) <- theta.(xi) +. pair
+          theta.%(xi) <- theta.%(xi) +. pair
         done
       end
       else begin
         let off = if i_is_u then st.bw_off.(e) else st.fw_off.(e) in
         let msg = if i_is_u then st.bw else st.fw in
         for xi = 0 to k - 1 do
-          theta.(xi) <- theta.(xi) +. msg.(off + xi)
+          theta.%(xi) <- theta.%(xi) +. msg.%(off + xi)
         done
       end
     done;
     let best = ref 0 in
     for xi = 1 to k - 1 do
-      if theta.(xi) < theta.(!best) then best := xi
+      if theta.%(xi) < theta.%(!best) then best := xi
     done;
     x.(i) <- !best
   done
+
+(* Shared iteration loop: sweeps, convergence bookkeeping, telemetry.
+   [sweep_pair] performs one forward+backward iteration; [bound]
+   computes the dual bound for the current messages.  The sequential and
+   partitioned schedules differ only in these two callbacks, so the
+   stopping logic — and therefore the iteration count for identical
+   message trajectories — is shared by construction. *)
+let run_loop ~config ~interrupt ~on_progress mrf st ws n m ~sweep_pair ~bound
+    =
+  (* enablement is sampled once per solve; per-iteration work below is
+     a handful of counter adds and begin/end span records, all
+     allocation-free, and zero when disabled *)
+  let obs_on = Obs.enabled () in
+  let msg_potts, msg_sparse, msg_generic =
+    if obs_on then count_messages st m else (0, 0, 0)
+  in
+  let x = Array.make n 0 in
+  let best_x = Array.make n 0 in
+  decode st ws n best_x;
+  let best_energy = ref (Mrf.energy mrf best_x) in
+  let prev_energy = ref !best_energy in
+  let best_bound = ref neg_infinity in
+  let stall = ref 0 in
+  let iters = ref 0 in
+  let converged = ref false in
+  (try
+     for it = 1 to config.max_iters do
+       if interrupt () then raise Exit;
+       iters := it;
+       Obs.begin_span "trws.sweep";
+       sweep_pair ();
+       Obs.end_span "trws.sweep";
+       if obs_on then begin
+         Obs.Counter.add c_msg_potts msg_potts;
+         Obs.Counter.add c_msg_sparse msg_sparse;
+         Obs.Counter.add c_msg_generic msg_generic
+       end;
+       if it mod config.bound_every = 0 || it = config.max_iters then begin
+         Obs.begin_span "trws.bound";
+         let lb = bound () in
+         decode st ws n x;
+         Obs.end_span "trws.bound";
+         let e = Mrf.energy mrf x in
+         if e < !best_energy then begin
+           best_energy := e;
+           Array.blit x 0 best_x 0 n
+         end;
+         let bound_progress = lb -. !best_bound in
+         if lb > !best_bound then best_bound := lb;
+         let energy_progress = !prev_energy -. !best_energy in
+         prev_energy := !best_energy;
+         Obs.sample ~name:"trws.energy" !best_energy;
+         Obs.sample ~name:"trws.lower_bound" !best_bound;
+         on_progress ~iter:it ~energy:!best_energy ~bound:!best_bound;
+         if
+           bound_progress < config.tolerance
+           && energy_progress < config.tolerance
+         then incr stall
+         else stall := 0;
+         if
+           !stall >= config.patience
+           || !best_energy -. !best_bound < config.tolerance
+         then begin
+           converged := true;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  (best_x, !best_energy, !best_bound, !iters, !converged)
 
 let solve ?(config = default_config) ?(interrupt = fun () -> false)
     ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) mrf =
   let run () =
     let st = make_state mrf in
+    let ws = make_workspace st in
     let n = Mrf.n_nodes mrf and m = Mrf.n_edges mrf in
-    (* enablement is sampled once per solve; per-iteration work below is
-       a handful of counter adds and begin/end span records, all
-       allocation-free, and zero when disabled *)
-    let obs_on = Obs.enabled () in
-    let msg_potts, msg_sparse, msg_generic =
-      if obs_on then count_messages st m else (0, 0, 0)
-    in
-    let theta = Array.make (Mrf.max_label_count mrf) 0.0 in
-    let x = Array.make n 0 in
-    let best_x = Array.make n 0 in
-    decode st n theta best_x;
-    let best_energy = ref (Mrf.energy mrf best_x) in
-    let prev_energy = ref !best_energy in
-    let best_bound = ref neg_infinity in
-    let stall = ref 0 in
-    let iters = ref 0 in
-    let converged = ref false in
-    (try
-       for it = 1 to config.max_iters do
-         if interrupt () then raise Exit;
-         iters := it;
-         Obs.begin_span "trws.sweep";
-         sweep st n theta true;
-         sweep st n theta false;
-         Obs.end_span "trws.sweep";
-         if obs_on then begin
-           Obs.Counter.add c_msg_potts msg_potts;
-           Obs.Counter.add c_msg_sparse msg_sparse;
-           Obs.Counter.add c_msg_generic msg_generic
-         end;
-         if it mod config.bound_every = 0 || it = config.max_iters then begin
-           Obs.begin_span "trws.bound";
-           let lb = lower_bound st n m theta in
-           decode st n theta x;
-           Obs.end_span "trws.bound";
-           let e = Mrf.energy mrf x in
-           if e < !best_energy then begin
-             best_energy := e;
-             Array.blit x 0 best_x 0 n
-           end;
-           let bound_progress = lb -. !best_bound in
-           if lb > !best_bound then best_bound := lb;
-           let energy_progress = !prev_energy -. !best_energy in
-           prev_energy := !best_energy;
-           Obs.sample ~name:"trws.energy" !best_energy;
-           Obs.sample ~name:"trws.lower_bound" !best_bound;
-           on_progress ~iter:it ~energy:!best_energy ~bound:!best_bound;
-           if
-             bound_progress < config.tolerance
-             && energy_progress < config.tolerance
-           then incr stall
-           else stall := 0;
-           if
-             !stall >= config.patience
-             || !best_energy -. !best_bound < config.tolerance
-           then begin
-             converged := true;
-             raise Exit
-           end
-         end
-       done
-     with Exit -> ());
-    (best_x, !best_energy, !best_bound, !iters, !converged)
+    run_loop ~config ~interrupt ~on_progress mrf st ws n m
+      ~sweep_pair:(fun () ->
+        sweep st ws n true;
+        sweep st ws n false)
+      ~bound:(fun () -> lower_bound st ws n)
   in
   let (labeling, energy, lb, iterations, converged), runtime_s =
     Solver.timed (fun () -> Obs.span ~name:"trws.solve" run)
@@ -454,6 +521,148 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
     converged;
     runtime_s;
   }
+
+(* Partition count for the partitioned schedule: a function of the model
+   size ONLY — never of the job count — so results are job-count
+   invariant by construction (partition boundaries play the role the
+   pool's chunk boundaries play elsewhere).  Small components are not
+   worth partitioning: the boundary pass is pure overhead there. *)
+let default_parts n = if n < 4096 then 1 else 16
+
+let solve_partitioned ?(config = default_config)
+    ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) ?parts ?jobs mrf =
+  let n = Mrf.n_nodes mrf in
+  let parts =
+    match parts with
+    | Some p -> max 1 (min p (max 1 n))
+    | None -> default_parts n
+  in
+  if parts <= 1 then solve ~config ~interrupt ~on_progress mrf
+  else begin
+    let run () =
+      let st = make_state mrf in
+      let m = Mrf.n_edges mrf in
+      let team = Pool.Team.create ?jobs () in
+      Fun.protect
+        ~finally:(fun () -> Pool.Team.stop team)
+        (fun () ->
+          let wss = Array.init parts (fun _ -> make_workspace st) in
+          let ws0 = wss.(0) in
+          (* partition bounds: mirror of the pool's chunk_span (even
+             split, remainder over the first partitions), so the bounds
+             Team.run hands each chunk are exactly these *)
+          let part_off = Array.make (parts + 1) 0 in
+          let q = n / parts and r = n mod parts in
+          for p = 0 to parts - 1 do
+            part_off.(p + 1) <- part_off.(p) + q + (if p < r then 1 else 0)
+          done;
+          let part_of = Array.make n 0 in
+          for p = 0 to parts - 1 do
+            for i = part_off.(p) to part_off.(p + 1) - 1 do
+              part_of.(i) <- p
+            done
+          done;
+          (* nodes with at least one cross-partition edge, ascending:
+             the boundary-merge pass walks exactly these *)
+          let is_cross i =
+            let plo = part_off.(part_of.(i))
+            and phi = part_off.(part_of.(i) + 1) in
+            let c = ref false in
+            for k = st.inc_off.(i) to st.inc_off.(i + 1) - 1 do
+              let code = st.inc.(k) in
+              let e = code / 2 in
+              let j = if code land 1 = 1 then st.ev.(e) else st.eu.(e) in
+              if j < plo || j >= phi then c := true
+            done;
+            !c
+          in
+          let ncross = ref 0 in
+          for i = 0 to n - 1 do
+            if is_cross i then incr ncross
+          done;
+          let cross = Array.make (max 1 !ncross) 0 in
+          let cur = ref 0 in
+          for i = 0 to n - 1 do
+            if is_cross i then begin
+              cross.(!cur) <- i;
+              incr cur
+            end
+          done;
+          let ncross = !ncross in
+          (* One half-sweep: all partitions run their intra-partition
+             node updates in parallel (each chunk's writes stay inside
+             its own slab stripe), then the sequential boundary pass
+             recomputes every cross-partition message in global node
+             order.  Both phases depend only on [parts], never on the
+             job count. *)
+          let half forward =
+            Pool.Team.run team ~chunks:parts ~lo:0 ~hi:n (fun c clo chi ->
+                let ws = wss.(c) in
+                if forward then
+                  for i = clo to chi - 1 do
+                    process_node st ws ~forward:true ~inside:true ~plo:clo
+                      ~phi:chi i
+                  done
+                else
+                  for i = chi - 1 downto clo do
+                    process_node st ws ~forward:false ~inside:true ~plo:clo
+                      ~phi:chi i
+                  done);
+            Obs.begin_span "trws.boundary";
+            if forward then
+              for k = 0 to ncross - 1 do
+                let i = cross.(k) in
+                let p = part_of.(i) in
+                process_node st ws0 ~forward:true ~inside:false
+                  ~plo:part_off.(p)
+                  ~phi:part_off.(p + 1)
+                  i
+              done
+            else
+              for k = ncross - 1 downto 0 do
+                let i = cross.(k) in
+                let p = part_of.(i) in
+                process_node st ws0 ~forward:false ~inside:false
+                  ~plo:part_off.(p)
+                  ~phi:part_off.(p + 1)
+                  i
+              done;
+            Obs.end_span "trws.boundary"
+          in
+          let bound () =
+            Pool.Team.run team ~chunks:parts ~lo:0 ~hi:n (fun c clo chi ->
+                let ws = wss.(c) in
+                for i = clo to chi - 1 do
+                  fill_agg st ws i
+                done);
+            let nch = Array.length st.chains in
+            Pool.Team.run team ~chunks:parts ~lo:0 ~hi:nch
+              (fun c clo chi ->
+                let ws = wss.(c) in
+                for ci = clo to chi - 1 do
+                  chain_dp st ws ci
+                done);
+            lb_sum st
+          in
+          run_loop ~config ~interrupt ~on_progress mrf st ws0 n m
+            ~sweep_pair:(fun () ->
+              half true;
+              half false)
+            ~bound)
+    in
+    let (labeling, energy, lb, iterations, converged), runtime_s =
+      Solver.timed (fun () -> Obs.span ~name:"trws.solve" run)
+    in
+    {
+      Solver.labeling;
+      energy;
+      lower_bound = lb;
+      iterations;
+      converged;
+      runtime_s;
+    }
+  end
 
 (* Connected components of the MRF graph (union-find with path
    compression; the smaller root id wins so component ids follow node
@@ -494,7 +703,15 @@ let solve_components ?(config = default_config)
           Hashtbl.add id_of_root r id;
           id)
   done;
-  if !n_comps <= 1 then solve ~config ~interrupt ~on_progress mrf
+  if !n_comps <= 1 then begin
+    (* A single large component is exactly where across-component
+       parallelism does nothing: go intra-component when the caller
+       asked for parallel solving at all. *)
+    match jobs with
+    | None -> solve ~config ~interrupt ~on_progress mrf
+    | Some _ ->
+        solve_partitioned ~config ~interrupt ~on_progress ?jobs mrf
+  end
   else begin
     let run () =
       let n_comps = !n_comps in

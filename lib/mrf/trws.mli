@@ -38,6 +38,30 @@ val solve :
     [on_progress] fires after every bound computation with the running
     best energy and dual bound. *)
 
+val solve_partitioned :
+  ?config:config ->
+  ?interrupt:(unit -> bool) ->
+  ?on_progress:(iter:int -> energy:float -> bound:float -> unit) ->
+  ?parts:int ->
+  ?jobs:int ->
+  Mrf.t ->
+  Solver.result
+(** Intra-component parallel TRW-S: the node ordering is split into
+    [parts] contiguous partitions (default: 1 below 4096 nodes, 16
+    above — a function of the model size {e only}).  Each half-sweep
+    runs the partitions' intra-partition message updates in parallel on
+    a persistent {!Netdiv_par.Pool.Team} — a message between two nodes
+    of the same partition is written by exactly one partition, so chunk
+    writes are disjoint by construction — then recomputes every
+    cross-partition message sequentially in global node order (the
+    deterministic boundary-merge pass).  The dual bound parallelizes the
+    same way (per-node aggregation, then per-chain DP) and is summed in
+    chain order, so bound, messages, decode and therefore energy depend
+    only on [parts], never on the job count.  With [parts = 1] this is
+    {e bitwise identical} to {!solve}.  Worker domains are created once
+    per solve and parked between regions, so a 10µs partition phase
+    costs a broadcast, not a domain spawn. *)
+
 val solve_components :
   ?config:config ->
   ?interrupt:(unit -> bool) ->
@@ -51,7 +75,10 @@ val solve_components :
     components, the merged result — labeling, energy sum, bound sum,
     max iteration count, conjunction of convergence flags — is
     independent of the job count.  With a single component this
-    delegates to {!solve} unchanged.  [interrupt] must be safe to call
+    delegates to {!solve} when [jobs] is omitted, and to
+    {!solve_partitioned} when the caller asked for parallelism — intra-
+    component partitioning is exactly the schedule for the
+    one-big-component case.  [interrupt] must be safe to call
     from multiple domains (wall-clock reads are; mutable counters are
     not); [on_progress] fires once, after the merge, when the model has
     more than one component. *)

@@ -67,6 +67,25 @@ val write : 'a array -> int -> 'a -> unit
     Use it for [parallel_for] bodies that fill a caller-allocated array;
     [map_range]'s own stores are tracked automatically. *)
 
+val write_slab : floatarray -> int -> float -> unit
+(** {!write} for unboxed float slabs.  Slab slots live in their own
+    offset space (directed-edge offsets, per-node scratch offsets), which
+    in general is not the loop-index space, so only the overlapping-write
+    check applies: a slot written by two distinct chunks of the same
+    region raises {!Race}; the chunk-boundary check of {!write} is
+    skipped.  Outside a sanitized region this is [Float.Array.set]. *)
+
+val set_hardware_jobs : int option -> unit
+(** Test-only override of the hardware parallelism clamp.
+    [set_hardware_jobs (Some n)] makes the pool and {!Team} behave as if
+    [Domain.recommended_domain_count () = n] — on a single-core CI box
+    this is the only way to actually exercise the cross-domain machinery
+    (worker parking, chunk claiming, failure propagation).
+    [set_hardware_jobs None] restores the runtime's own count.  Call it
+    only between parallel regions, never from inside one; results are
+    unaffected either way because chunk boundaries never depend on the
+    domain count. *)
+
 val resolve_jobs : ?jobs:int -> unit -> int
 (** Number of worker domains to use.  Picks the first available of:
     [jobs] argument (when >= 1), the [NETDIV_JOBS] environment variable
@@ -152,3 +171,50 @@ val map_reduce :
     results are combined left-to-right in chunk order starting from
     [init], so the result is job-count-invariant provided [reduce] is
     associative with [init] as identity. *)
+
+(** {2 Persistent worker team}
+
+    The combinators above spawn domains per region — fine for regions
+    carrying tens of milliseconds of work, hopeless for intra-component
+    solver schedules where one region (a TRW-S partition phase, one
+    chromatic-BP color class) is 10µs–1ms of work repeated thousands of
+    times per solve.  A {!Team.t} amortizes the spawn: its worker
+    domains are created once (per solve) and parked on a condition
+    variable; each {!Team.run} costs one broadcast plus a chunk-claim
+    loop plus a counter join.
+
+    The determinism contract matches the combinators: chunk boundaries
+    are a function of [chunks], [lo], [hi] alone; chunks are claimed
+    dynamically; the lowest failing chunk's exception is re-raised in
+    the caller.  Under the sanitizer every loop index is claim-checked
+    exactly as in {!parallel_for}, and bodies may route stores through
+    {!write} / {!write_slab}.  There is {e no} fault-injection point
+    inside a team: team bodies update shared slabs in place, so
+    re-executing a crashed chunk would not be idempotent — teams are
+    reserved for regions whose writes are disjoint by construction. *)
+
+module Team : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawns [min (resolve_jobs ?jobs ()) hardware] minus one worker
+      domains (the caller is the remaining participant) and parks them.
+      With a resolved size of 1 no domain is spawned and every {!run}
+      executes inline in the caller. *)
+
+  val size : t -> int
+  (** Participating domains, caller included; always >= 1. *)
+
+  val run :
+    t -> chunks:int -> lo:int -> hi:int -> (int -> int -> int -> unit) -> unit
+  (** [run t ~chunks ~lo ~hi body] executes [body c clo chi] for every
+      chunk [c] covering [lo, hi), exactly like the chunk dispatch of
+      {!parallel_for} but on the parked workers.  [body] must confine
+      its writes so that distinct chunks never write the same slot.
+      Not reentrant: do not call [run] from inside a team body. *)
+
+  val stop : t -> unit
+  (** Wakes and joins the worker domains.  Idempotent.  A team must be
+      stopped before the program exits; {!run} after [stop] executes
+      inline in the caller. *)
+end

@@ -284,10 +284,17 @@ let mttc_parallel ?(domains = 4) ~seed ?(strategy = Best_exploit)
       ~stop:(fun h -> h = target)
   in
   (* every run owns an rng keyed by its index and the pool returns
-     results in index order, so the stats are domain-count-invariant *)
+     results in index order, so the stats are domain-count-invariant.
+     500/host per run, not 200: a run's epidemic phase revisits each
+     infected host's incident edges every tick, so 200 underestimated
+     the work enough that borderline batches were split into chunks too
+     fine to amortize dispatch.  The raised hint keeps smoke-sized
+     batches (hundreds of hosts, tens of runs) under the pool's
+     sequential cutoff — inline, paying zero domain overhead — and
+     makes production batches chunk coarser. *)
   let n_hosts = Graph.n_nodes (Network.graph (Assignment.network a)) in
   let results =
-    Netdiv_par.Pool.map_range ~jobs:domains ~cost:(200 * n_hosts) ~lo:0
+    Netdiv_par.Pool.map_range ~jobs:domains ~cost:(500 * n_hosts) ~lo:0
       ~hi:runs one_run
   in
   let samples =

@@ -171,12 +171,33 @@ let test_alloc_in_loop () =
        \  for _ = 0 to n - 1 do\n\
        \    ignore (Array.init 4 Fun.id)\n\
        \  done\n");
+  check_rules "positive: Float.Array.create inside for (one finding)"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/trws.ml"
+       "let f n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Float.Array.create 4)\n\
+       \  done\n");
+  check_rules "positive: Float.Array.make inside while"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/bp.ml"
+       "let f n =\n\
+       \  while !going do\n\
+       \    ignore (Float.Array.make n 0.0)\n\
+       \  done\n");
   check_rules "near-miss: allocation before the loop" []
     (lint "lib/mrf/bp.ml"
        "let f n =\n\
        \  let scratch = Array.make 4 0.0 in\n\
        \  for i = 0 to n - 1 do\n\
        \    scratch.(0) <- float_of_int i\n\
+       \  done\n");
+  check_rules "near-miss: slab allocated before the sweep" []
+    (lint "lib/mrf/trws.ml"
+       "let f n =\n\
+       \  let slab = Float.Array.create n in\n\
+       \  for i = 0 to n - 1 do\n\
+       \    Float.Array.set slab i 0.0\n\
        \  done\n");
   check_rules "near-miss: hot dirs only (lib/sim is exempt)" []
     (lint "lib/sim/engine.ml"

@@ -125,6 +125,7 @@ let ends_with suffix s =
    (instance construction included) — never a watched timing. *)
 let watched fresh =
   ( [ ("scalability_speedup", "solve_1j_s", true);
+      ("intra_component_speedup", "solve_1j_s", true);
       ("observability_overhead", "solve_off_s", true);
       ("fault_overhead", "solve_off_s", true) ]
   @ List.concat_map
@@ -145,6 +146,7 @@ let watched fresh =
    and its timings are incomparable. *)
 let fingerprint = function
   | "scalability_speedup" -> Some "solver_energy"
+  | "intra_component_speedup" -> Some "solver_energy"
   | "observability_overhead" -> Some "solver_energy"
   | "fault_overhead" -> Some "solver_energy"
   | "kernel_specialization" -> Some "labels"

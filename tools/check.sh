@@ -25,10 +25,13 @@ dune build @lint
 echo "== dune runtest"
 dune runtest
 
-echo "== pool tests under NETDIV_SANITIZE=1"
-# dune does not track env vars, so run the test binary directly: the
-# sanitizer must stay silent on the whole (race-free) pool suite.
+echo "== pool + mrf tests under NETDIV_SANITIZE=1"
+# dune does not track env vars, so run the test binaries directly: the
+# sanitizer must stay silent on the whole (race-free) pool suite and on
+# the MRF suite, which exercises the partitioned TRW-S and chromatic BP
+# schedules across job counts.
 NETDIV_SANITIZE=1 dune exec test/test_par.exe -- --compact
+NETDIV_SANITIZE=1 dune exec test/test_mrf.exe -- --compact
 
 echo "== bench smoke (parallel determinism + interning + kernels)"
 # keep the committed report as the regression baseline before the run
