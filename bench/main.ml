@@ -1377,6 +1377,47 @@ let kernel_specialization () =
   run "potts" potts_table "potts";
   run "sparse" sparse_table "const-sparse"
 
+(* ------------------------------------------------- lint analysis *)
+
+(* Whole-repo static analysis cost: lexing, symbol tables, the call
+   graph and the effect fixpoint over lib/ and bin/ with the usual
+   reference roots.  The wall budget is deliberately generous — the
+   analysis runs in well under a second today — so the gate only trips
+   on a super-linear regression in the resolver or the fixpoint, not on
+   machine noise. *)
+let lint_analysis () =
+  section "[Lint] whole-repo interprocedural effect analysis";
+  if Sys.file_exists "lib" && Sys.file_exists "bin" then begin
+    let module Lint = Netdiv_lint.Lint in
+    let paths = [ "lib"; "bin" ] in
+    let ref_paths = Lint.default_ref_paths paths in
+    let report = ref None in
+    let t =
+      best_of (fun () ->
+          report := Some (Lint.analyze_paths ~ref_paths paths))
+    in
+    (match !report with
+    | Some r ->
+        Format.printf
+          "analyzed %d files, %d bindings, %d raw findings: best of %d runs \
+           %.4fs@."
+          r.Lint.r_files r.Lint.r_bindings
+          (List.length r.Lint.r_findings)
+          bench_rounds t;
+        Report.metric "lint_files" (float_of_int r.Lint.r_files);
+        Report.metric "lint_bindings" (float_of_int r.Lint.r_bindings)
+    | None -> ());
+    Report.metric "lint_full_s" t;
+    let budget_s = 5.0 in
+    if t > budget_s then
+      Report.fail
+        (Printf.sprintf "lint analysis took %.2fs (budget %.1fs)" t budget_s)
+  end
+  else
+    (* dune exec may copy the bench into a sandbox without the sources;
+       report the skip rather than measuring nothing silently *)
+    Format.printf "skipped: lib/ and bin/ are not visible from the cwd@."
+
 (* ------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -1468,6 +1509,7 @@ let () =
   Report.timed "intra_component_speedup" intra_component_speedup;
   Report.timed "interning_memory" interning_memory;
   Report.timed "kernel_specialization" kernel_specialization;
+  Report.timed "lint_analysis" lint_analysis;
   if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;
   let json_path =
     Option.value (Sys.getenv_opt "NETDIV_BENCH_JSON") ~default:"BENCH.json"

@@ -493,7 +493,47 @@ let lint_cmd =
     Arg.(value & flag
          & info [ "list-rules" ] ~doc:"Print the shipped rules and exit.")
   in
-  let run list_rules paths =
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Accepted-findings file; only findings not listed there \
+                   fail the run, and stale entries are reported.")
+  in
+  let write_baseline =
+    Arg.(value & opt (some string) None
+         & info [ "write-baseline" ] ~docv:"FILE"
+             ~doc:"Write the current findings as a baseline skeleton \
+                   (reasons left as TODO) and exit 0.")
+  in
+  let explain =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"SYMBOL"
+             ~doc:"Print the witness call chain(s) behind the taint \
+                   findings on SYMBOL (qualified name or suffix).")
+  in
+  let refs =
+    Arg.(value & opt_all string []
+         & info [ "refs" ] ~docv:"DIR"
+             ~doc:"Extra reference roots whose uses count for \
+                   unused-export but are not themselves linted \
+                   (default: test bench examples tools siblings of the \
+                   first path).")
+  in
+  (* exit codes are part of the contract (cram-tested): 0 clean, 1 new
+     findings, 2 usage or parse error — so errors print to stderr and
+     exit directly instead of going through cmdliner's `Error (124). *)
+  let usage_error fmt =
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "netdiv: %s@." msg;
+        exit 2)
+      fmt
+  in
+  let run list_rules format baseline write_baseline explain refs paths =
     let module Lint = Netdiv_lint.Lint in
     if list_rules then begin
       List.iter
@@ -501,19 +541,79 @@ let lint_cmd =
         Lint.rules;
       `Ok ()
     end
-    else
-      match List.filter (fun p -> not (Sys.file_exists p)) paths with
-      | missing :: _ ->
-          `Error (false, Printf.sprintf "no such file or directory: %s" missing)
-      | [] -> (
-          match Lint.lint_paths paths with
-          | [] -> `Ok ()
-          | findings ->
+    else begin
+      if format <> "text" && format <> "json" then
+        usage_error "unknown --format %S (expected text or json)" format;
+      (match List.filter (fun p -> not (Sys.file_exists p)) paths with
+      | missing :: _ -> usage_error "no such file or directory: %s" missing
+      | [] -> ());
+      let ref_paths =
+        match refs with [] -> Lint.default_ref_paths paths | l -> l
+      in
+      let report = Lint.analyze_paths ~ref_paths paths in
+      match explain with
+      | Some sym -> (
+          match Lint.explain report sym with
+          | [] ->
+              usage_error
+                "no finding with a witness chain matches %S (chains exist \
+                 only for unsuppressed interprocedural findings)"
+                sym
+          | fs ->
               List.iter
-                (fun f -> Format.printf "%a@." Lint.pp_finding f)
-                findings;
-              Format.printf "%d finding(s)@." (List.length findings);
-              exit 1)
+                (fun (f : Lint.finding) ->
+                  Format.printf "%a@.%a" Lint.pp_finding f Lint.pp_chain
+                    f.Lint.chain)
+                fs;
+              `Ok ())
+      | None -> (
+          match write_baseline with
+          | Some file ->
+              let oc = open_out_bin file in
+              output_string oc (Lint.baseline_template report.Lint.r_findings);
+              close_out oc;
+              Format.printf
+                "wrote %d entr%s to %s; fill in the TODO reasons@."
+                (List.length report.Lint.r_findings)
+                (if List.length report.Lint.r_findings = 1 then "y" else "ies")
+                file;
+              `Ok ()
+          | None ->
+              let entries =
+                match baseline with
+                | None -> []
+                | Some file ->
+                    if not (Sys.file_exists file) then
+                      usage_error "baseline file not found: %s" file;
+                    let ic = open_in_bin file in
+                    let text = really_input_string ic (in_channel_length ic) in
+                    close_in ic;
+                    (match Lint.baseline_of_string text with
+                    | Ok e -> e
+                    | Error msg -> usage_error "%s: %s" file msg)
+              in
+              let fresh, baselined, stale =
+                Lint.apply_baseline entries report.Lint.r_findings
+              in
+              (match format with
+              | "json" ->
+                  print_string
+                    (Lint.report_to_json ~fresh ~baselined ~stale report)
+              | _ ->
+                  List.iter
+                    (fun f -> Format.printf "%a@." Lint.pp_finding f)
+                    fresh;
+                  if fresh <> [] || baselined > 0 || stale <> [] then
+                    Format.printf "%d finding(s), %d baselined, %d stale \
+                                   baseline entr%s@."
+                      (List.length fresh) baselined (List.length stale)
+                      (if List.length stale = 1 then "y" else "ies");
+                  List.iter
+                    (fun s -> Format.printf "stale baseline entry: %s@." s)
+                    stale);
+              if fresh <> [] then exit 1;
+              `Ok ())
+    end
   in
   let doc =
     "statically check the sources for concurrency/determinism hazards"
@@ -522,16 +622,26 @@ let lint_cmd =
     [
       `S Manpage.s_description;
       `P
-        "Runs the netdiv-lint rules (spawn-outside-pool, \
+        "Runs the netdiv-lint surface rules (spawn-outside-pool, \
          toplevel-mutable-state, nondeterminism-source, \
          direct-clock-in-instrumented-code, list-nth-in-loop, \
-         missing-mli, printf-in-lib, swallowed-exception) over the \
-         given paths and exits \
-         non-zero if any finding survives the inline suppressions \
-         ($(b,(* netdiv-lint: allow <rule> — <reason> *))).";
+         missing-mli, printf-in-lib, swallowed-exception, \
+         float-equality-in-kernel) and the interprocedural rules \
+         (nondet-taint, impure-in-parallel-region, unused-export) over \
+         the given paths.  Findings can be silenced by inline \
+         suppressions ($(b,(* netdiv-lint: allow <rule> — <reason> *))) \
+         or accepted in a $(b,--baseline) file; both require a written \
+         reason.";
+      `P
+        "Exit codes: 0 when clean (or all findings baselined), 1 when \
+         new findings remain, 2 on usage or parse errors.";
     ]
   in
-  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(ret (const run $ list_rules $ paths))
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(
+      ret
+        (const run $ list_rules $ format $ baseline $ write_baseline $ explain
+       $ refs $ paths))
 
 (* ------------------------------------------------------------------ rank *)
 

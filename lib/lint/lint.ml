@@ -1,10 +1,31 @@
 (* netdiv-lint rule engine.  See lint.mli for the contract and DESIGN.md
    ("Concurrency discipline") for the rationale behind each rule. *)
 
-type finding = { file : string; line : int; rule : string; message : string }
+type chain_step = { c_name : string; c_file : string; c_line : int }
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+  symbol : string option;
+      (* qualified binding name for interprocedural findings *)
+  chain : chain_step list;  (* taint call chain, source last *)
+}
+
+let mk ~file ~line ~rule ~message =
+  { file; line; rule; message; symbol = None; chain = [] }
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let pp_chain ppf steps =
+  List.iteri
+    (fun i (s : chain_step) ->
+      Format.fprintf ppf "%s%s (%s:%d)@\n"
+        (if i = 0 then "" else String.make (2 * i) ' ' ^ "-> ")
+        s.c_name s.c_file s.c_line)
+    steps
 
 let rules =
   [
@@ -43,6 +64,22 @@ let rules =
     ( "bad-suppression",
       "malformed netdiv-lint suppression: unknown rule id or missing \
        written reason" );
+    ( "float-equality-in-kernel",
+      "= or <> applied to float operands in lib/mrf kernel code; energies \
+       and bounds must compare via an explicit epsilon or Float.equal \
+       with a suppression reason" );
+    ( "nondet-taint",
+      "a lib/mrf, lib/sim or lib/core binding transitively reaches a \
+       nondeterminism source (clock or global Random) through the call \
+       graph; run with --explain SYMBOL for the chain" );
+    ( "impure-in-parallel-region",
+      "a function passed into Pool.parallel_for/map_range/map_reduce or \
+       Team.run mutates module-toplevel state or spawns its own domain; \
+       chunk workers must only write their own slices" );
+    ( "unused-export",
+      ".mli-declared value never referenced outside its module (including \
+       test/, bench/, examples/ and tools/); drop it from the interface \
+       or suppress with the reason it is public API" );
   ]
 
 let rule_ids = List.map fst rules
@@ -135,7 +172,7 @@ let parse_directive ~path ~line body =
      closer; expected shape: allow[-file] <rule> <separator> <reason> *)
   let body = String.trim body in
   let word, rest = split_first_ws body in
-  let bad message = Error { file = path; line; rule = "bad-suppression"; message } in
+  let bad message = Error (mk ~file:path ~line ~rule:"bad-suppression" ~message) in
   let file_wide =
     match word with
     | "allow" -> Some false
@@ -214,7 +251,7 @@ let seq3 toks i a b c = seq2 toks i a b && tok toks (i + 2) = c
 (* --------------------------------------------------------- token rules *)
 
 let finding ctx (t : Lexer.token) rule message =
-  { file = ctx.path; line = t.Lexer.line; rule; message }
+  mk ~file:ctx.path ~line:t.Lexer.line ~rule ~message
 
 (* Single forward pass for the sequence-matching rules; [loop_depth]
    tracks for/while nesting for list-nth-in-loop. *)
@@ -495,6 +532,114 @@ let scan_toplevel_mutable ctx (toks : Lexer.token array) =
     !out
   end
 
+(* ------------------------------------------- float equality in kernels *)
+
+(* Structural [=] (binders: [let x =], [type t =], record fields, optional
+   argument defaults) must not be confused with the comparison operator.
+   A small stack arms one binder [=] per [let]/[and]/[type]/... and per
+   record field (re-armed at each [;] inside the brace), at the
+   paren/brace depth where the keyword appeared; any other [=], and every
+   [<>], is a comparison whose operands we test for float-ness.  Only
+   literal or well-known float operands are flagged — an unannotated
+   [a = b] stays silent, which keeps the rule precise at the cost of
+   recall (ISSUE 8 asks for float {e expressions}, and in this codebase
+   energies are compared against literals or [infinity]). *)
+let scan_float_eq ctx (toks : Lexer.token array) =
+  if ctx.lib_dir <> Some "mrf" then []
+  else begin
+    let out = ref [] in
+    let n = Array.length toks in
+    let depth = ref 0 in
+    (* depths at which the next [=] is structural, not a comparison *)
+    let binders = ref [] in
+    (* depths of open record braces, for field re-arming at [;] *)
+    let braces = ref [] in
+    let arm () =
+      match !binders with
+      | d :: _ when d = !depth -> ()
+      | _ -> binders := !depth :: !binders
+    in
+    let glued i = tok toks (i + 1) <> "" && toks.(i).Lexer.line = toks.(i + 1).Lexer.line
+                  && toks.(i).Lexer.col + String.length toks.(i).Lexer.text
+                     = toks.(i + 1).Lexer.col in
+    let float_lit s =
+      String.length s > 0
+      && s.[0] >= '0' && s.[0] <= '9'
+      && (String.contains s '.'
+          || ((String.contains s 'e' || String.contains s 'E')
+             && not (String.length s > 1 && (s.[1] = 'x' || s.[1] = 'X'))))
+    in
+    let float_operand i =
+      let s = tok toks i in
+      float_lit s
+      || (List.mem s
+            [ "infinity"; "neg_infinity"; "nan"; "epsilon_float";
+              "max_float"; "min_float" ]
+         && (tok toks (i - 1) <> "."
+            || tok toks (i - 2) = "Float"
+            || tok toks (i - 2) = "Stdlib"))
+    in
+    (* skip a unary minus in operand position: [x = -1.0] *)
+    let operand_after i = if tok toks i = "-" then i + 1 else i in
+    let flag t op =
+      out :=
+        finding ctx t "float-equality-in-kernel"
+          (Printf.sprintf
+             "float %s comparison in kernel code; exact equality on \
+              computed energies is representation-dependent — use \
+              Float.equal for intentional bitwise tests or an explicit \
+              epsilon"
+             op)
+        :: !out
+    in
+    for i = 0 to n - 1 do
+      let t = toks.(i) in
+      match t.Lexer.text with
+      | "let" | "and" | "type" | "external" | "module" | "method" | "for" ->
+          arm ()
+      | "(" | "[" ->
+          incr depth;
+          (* [?(arg = default)] arms a binder for the default's [=] *)
+          if tok toks (i - 1) = "?" then arm ()
+      | "{" ->
+          incr depth;
+          braces := !depth :: !braces;
+          arm ()
+      | ")" | "]" | "}" ->
+          decr depth;
+          binders := List.filter (fun d -> d <= !depth) !binders;
+          braces := List.filter (fun d -> d <= !depth) !braces
+      | ";" -> (
+          (* a new record field re-arms the field [=] *)
+          match !braces with
+          | d :: _ when d = !depth -> arm ()
+          | _ -> ())
+      | "=" ->
+          let operator_adjacent =
+            (List.mem (tok toks (i - 1)) [ "<"; ">"; "!"; "="; ":" ]
+            && glued (i - 1))
+            || (tok toks (i + 1) = "=" && glued i)
+          in
+          if not operator_adjacent then begin
+            let structural =
+              match !binders with
+              | d :: rest when d = !depth ->
+                  binders := rest;
+                  true
+              | _ -> false
+            in
+            if (not structural)
+               && (float_operand (i - 1) || float_operand (operand_after (i + 1)))
+            then flag t "="
+          end
+      | "<" when tok toks (i + 1) = ">" && glued i ->
+          if float_operand (i - 1) || float_operand (operand_after (i + 2))
+          then flag t "<>"
+      | _ -> ()
+    done;
+    !out
+  end
+
 (* -------------------------------------------------------------- driver *)
 
 let lint_source ~path ?has_mli src =
@@ -505,6 +650,7 @@ let lint_source ~path ?has_mli src =
     scan_tokens ctx lx.Lexer.tokens
     @ scan_swallowed ctx lx.Lexer.tokens
     @ scan_toplevel_mutable ctx lx.Lexer.tokens
+    @ scan_float_eq ctx lx.Lexer.tokens
   in
   let mli_findings =
     match has_mli with
@@ -512,10 +658,10 @@ let lint_source ~path ?has_mli src =
       when ctx.in_lib
            && Filename.check_suffix path ".ml"
            && not (Filename.check_suffix path ".pp.ml") ->
-        [ { file = path; line = 1; rule = "missing-mli";
-            message =
+        [ mk ~file:path ~line:1 ~rule:"missing-mli"
+            ~message:
               "library module has no .mli; state the exported surface \
-               (add an interface file)" } ]
+               (add an interface file)" ]
     | _ -> []
   in
   let kept =
@@ -554,3 +700,569 @@ let rec collect_ml path acc =
 let lint_paths paths =
   let files = List.rev (List.fold_left (fun acc p -> collect_ml p acc) [] paths) in
   List.concat_map lint_file files
+
+(* ----------------------------------- interprocedural analysis (ISSUE 8) *)
+
+type report = {
+  r_findings : finding list;
+  r_files : int;  (* analyzed files (reference roots excluded) *)
+  r_bindings : int;  (* total bindings in the symbol graph *)
+}
+
+(* Layers whose results the paper reports as bitwise-reproducible; a
+   transitive clock/Random reach here breaks the --jobs invariance gates
+   even when the source token sits in another directory. *)
+let taint_dirs = [ "mrf"; "sim"; "core" ]
+
+let par_combinators = [ "parallel_for"; "map_range"; "map_reduce" ]
+
+let qname (b : Symbols.binding) = Symbols.qualified_name b
+
+let import_chain steps =
+  List.map
+    (fun (s : Effects.chain_step) ->
+      { c_name = s.Effects.c_name; c_file = s.Effects.c_file;
+        c_line = s.Effects.c_line })
+    steps
+
+(* nondet-taint: only [Via] witnesses are reported — a direct source in
+   the binding's own body is already a call-site finding of the surface
+   rules, and reporting it twice would force double suppressions. *)
+let taint_findings (eff : Effects.t) analyzed_paths =
+  let repo = eff.Effects.repo in
+  let out = ref [] in
+  Array.iter
+    (fun (b : Symbols.binding) ->
+      let ctx = classify b.Symbols.b_file in
+      let in_scope =
+        Hashtbl.mem analyzed_paths b.Symbols.b_file
+        && match ctx.lib_dir with
+           | Some d -> List.mem d taint_dirs
+           | None -> false
+      in
+      if in_scope then
+        List.iter
+          (fun e ->
+            let s = Effects.summary eff b.Symbols.b_id in
+            match List.assoc_opt e s.Effects.wit with
+            | Some (Effects.Via _) ->
+                let steps = import_chain (Effects.chain eff b.Symbols.b_id e) in
+                let source_descr =
+                  match List.rev steps with
+                  | last :: _ -> last.c_name
+                  | [] -> Effects.eff_name e
+                in
+                let hops = max 1 (List.length steps - 2) in
+                out :=
+                  {
+                    file = b.Symbols.b_file;
+                    line = b.Symbols.b_line;
+                    rule = "nondet-taint";
+                    message =
+                      Printf.sprintf
+                        "%s transitively reaches %s (%s, %d call%s deep); \
+                         results must depend only on explicit seeds — \
+                         break the chain or suppress at the source \
+                         (netdiv lint --explain %s)"
+                        (qname b) source_descr (Effects.eff_name e) hops
+                        (if hops = 1 then "" else "s")
+                        (qname b);
+                    symbol = Some (qname b);
+                    chain = steps;
+                  }
+                  :: !out
+            | _ -> ())
+          [ Effects.Clock; Effects.Random ])
+    repo.Symbols.bindings;
+  !out
+
+(* impure-in-parallel-region: inside the argument extent of a Pool
+   combinator or [Team.run], any resolved callee whose summary carries
+   Mutate or Spawn, plus direct mutations in inline closure bodies. *)
+let region_findings ~barrier (eff : Effects.t) analyzed_paths =
+  let repo = eff.Effects.repo in
+  let out = ref [] in
+  Array.iter
+    (fun (fs : Symbols.file_syms) ->
+      let ctx = classify fs.Symbols.f_path in
+      if Hashtbl.mem analyzed_paths fs.Symbols.f_path && not ctx.is_pool then begin
+        let toks = fs.Symbols.f_lex.Lexer.tokens in
+        let tk i = tok toks i in
+        Array.iteri
+          (fun bi (b : Symbols.binding) ->
+            let hi = b.Symbols.b_hi in
+            for i = b.Symbols.b_lo to hi - 1 do
+              let is_comb =
+                (List.mem (tk i) par_combinators
+                && (tk (i - 1) <> "."
+                   || tk (i - 2) = "Pool"
+                   || tk (i - 2) = "Netdiv_par"))
+                || (tk i = "run" && tk (i - 1) = "." && tk (i - 2) = "Team")
+              in
+              if is_comb then begin
+                (* argument extent: to the call's end at depth 0 *)
+                let d = ref 0 and j = ref (i + 1) and stop = ref false in
+                while (not !stop) && !j < hi do
+                  (match tk !j with
+                  | "(" | "[" -> incr d
+                  | ")" | "]" ->
+                      decr d;
+                      if !d < 0 then stop := true
+                  | ";" | "in" when !d = 0 -> stop := true
+                  | _ -> ());
+                  if not !stop then incr j
+                done;
+                let rhi = !j in
+                let seen = Hashtbl.create 8 in
+                Array.iter
+                  (fun (r : Symbols.reference) ->
+                    if r.Symbols.r_tok > i && r.Symbols.r_tok < rhi then
+                      List.iter
+                        (fun id ->
+                          let cb = repo.Symbols.bindings.(id) in
+                          let cctx = classify cb.Symbols.b_file in
+                          (* a non-function binding referenced in the
+                             region is a read of an already-evaluated
+                             value, not a call *)
+                          if (not cctx.is_pool) && cb.Symbols.b_func then
+                            List.iter
+                              (fun (e, verb) ->
+                                if
+                                  Effects.has eff id e
+                                  && not (Hashtbl.mem seen (id, verb))
+                                then begin
+                                  Hashtbl.replace seen (id, verb) ();
+                                  let steps =
+                                    import_chain (Effects.chain eff id e)
+                                  in
+                                  out :=
+                                    {
+                                      file = fs.Symbols.f_path;
+                                      line = r.Symbols.r_line;
+                                      rule = "impure-in-parallel-region";
+                                      message =
+                                        Printf.sprintf
+                                          "%s, passed into a parallel \
+                                           region, %s; chunk workers must \
+                                           only write their own slices \
+                                           (netdiv lint --explain %s)"
+                                          (qname cb) verb (qname cb);
+                                      symbol = Some (qname cb);
+                                      chain = steps;
+                                    }
+                                    :: !out
+                                end)
+                              [
+                                (Effects.Mutate,
+                                 "mutates module-toplevel state");
+                                (Effects.Spawn, "spawns its own domain");
+                              ])
+                        (Symbols.resolve repo fs r))
+                  fs.Symbols.f_refs.(bi);
+                List.iter
+                  (fun (s : Effects.source) ->
+                    if s.Effects.s_eff = Effects.Mutate then
+                      out :=
+                        {
+                          file = fs.Symbols.f_path;
+                          line = s.Effects.s_line;
+                          rule = "impure-in-parallel-region";
+                          message =
+                            Printf.sprintf
+                              "parallel-region closure %s; chunk workers \
+                               must only write their own slices"
+                              s.Effects.s_descr;
+                          symbol = Some (qname b);
+                          chain = [];
+                        }
+                        :: !out)
+                  (Effects.direct_sources ~barrier fs b ~lo:(i + 1) ~hi:rhi
+                     repo)
+              end
+            done)
+          fs.Symbols.f_bindings
+      end)
+    repo.Symbols.files;
+  !out
+
+(* unused-export: an .mli-declared value with no reference from any other
+   file.  Primary evidence is resolution-based (a reference in another
+   file resolving to the backing binding); the fallback matches
+   (last-module, name) pairs for references that resolve to nothing,
+   which keeps misses of the resolver from producing false findings.
+   Operator exports are skipped — their use sites are bare symbols the
+   reference scanner cannot attribute. *)
+let unused_export_findings (repo : Symbols.repo) analyzed =
+  let used_ids = Hashtbl.create 256 in
+  let used_pairs = Hashtbl.create 256 in
+  Array.iter
+    (fun (fs : Symbols.file_syms) ->
+      Array.iter
+        (fun refs ->
+          Array.iter
+            (fun (r : Symbols.reference) ->
+              match Symbols.resolve repo fs r with
+              | [] -> (
+                  match List.rev (Symbols.normalize_path fs r.Symbols.r_path) with
+                  | last :: _ ->
+                      Hashtbl.replace used_pairs (last, r.Symbols.r_name) ()
+                  | [] ->
+                      List.iter
+                        (fun o ->
+                          match List.rev (Symbols.normalize_path fs o) with
+                          | last :: _ ->
+                              Hashtbl.replace used_pairs
+                                (last, r.Symbols.r_name) ()
+                          | [] -> ())
+                        fs.Symbols.f_opens)
+              | ids ->
+                  List.iter
+                    (fun id ->
+                      let b = repo.Symbols.bindings.(id) in
+                      if b.Symbols.b_file <> fs.Symbols.f_path then
+                        Hashtbl.replace used_ids id ())
+                    ids)
+            refs)
+        fs.Symbols.f_refs)
+    repo.Symbols.files;
+  let out = ref [] in
+  List.iter
+    (fun (fs : Symbols.file_syms) ->
+      let mli_path = fs.Symbols.f_path ^ "i" in
+      List.iter
+        (fun (v : Symbols.mli_val) ->
+          if not v.Symbols.v_operator then begin
+            let by_id =
+              Array.exists
+                (fun (b : Symbols.binding) ->
+                  b.Symbols.b_name = v.Symbols.v_name
+                  && b.Symbols.b_module = v.Symbols.v_module
+                  && b.Symbols.b_id >= 0
+                  && Hashtbl.mem used_ids b.Symbols.b_id)
+                fs.Symbols.f_bindings
+            in
+            let by_pair =
+              match List.rev v.Symbols.v_module with
+              | last :: _ -> Hashtbl.mem used_pairs (last, v.Symbols.v_name)
+              | [] -> false
+            in
+            if not (by_id || by_pair) then
+              let q =
+                String.concat "." (v.Symbols.v_module @ [ v.Symbols.v_name ])
+              in
+              out :=
+                {
+                  file = mli_path;
+                  line = v.Symbols.v_line;
+                  rule = "unused-export";
+                  message =
+                    Printf.sprintf
+                      "%s is exported but never referenced outside its \
+                       module; drop it from the interface or suppress \
+                       with the reason it is public API"
+                      q;
+                  symbol = Some q;
+                  chain = [];
+                }
+                :: !out
+          end)
+        fs.Symbols.f_mli)
+    analyzed;
+  !out
+
+let compare_findings a b =
+  compare
+    (a.file, a.line, a.rule, a.message, a.symbol)
+    (b.file, b.line, b.rule, b.message, b.symbol)
+
+let analyze_sources ?(refs = []) files =
+  let sup_tbl = Hashtbl.create 32 in
+  let bad = ref [] in
+  let note_sups path (lx : Lexer.t) =
+    let sups, b = parse_suppressions ~path lx.Lexer.comments in
+    let prev = Option.value (Hashtbl.find_opt sup_tbl path) ~default:[] in
+    Hashtbl.replace sup_tbl path (sups @ prev);
+    bad := b @ !bad
+  in
+  let lexed =
+    List.map
+      (fun (path, src, mli) ->
+        let lx = Lexer.tokenize src in
+        note_sups path lx;
+        let mli_lex =
+          Option.map
+            (fun m ->
+              let mlx = Lexer.tokenize m in
+              note_sups (path ^ "i") mlx;
+              mlx)
+            mli
+        in
+        (path, lx, mli_lex, mli <> None))
+      files
+  in
+  let analyzed =
+    List.map
+      (fun (path, lx, mli_lex, _) -> Symbols.parse_lexed ~path lx ?mli:mli_lex ())
+      lexed
+  in
+  let ref_syms = List.map (fun (path, src) -> Symbols.parse_file ~path src) refs in
+  (* reference roots join the symbol graph (their uses resolve, keeping
+     unused-export honest about test/bench consumers) but no rule scans
+     them: [analyzed_paths] gates every reporting pass *)
+  let repo = Symbols.build (analyzed @ ref_syms) in
+  let analyzed_paths = Hashtbl.create 32 in
+  List.iter
+    (fun (fs : Symbols.file_syms) ->
+      Hashtbl.replace analyzed_paths fs.Symbols.f_path ())
+    analyzed;
+  let barrier ~path ~line ~rule =
+    match Hashtbl.find_opt sup_tbl path with
+    | None -> false
+    | Some sups ->
+        List.exists
+          (fun s ->
+            s.s_rule = rule
+            && (s.s_file_wide || (line >= s.s_lo && line <= s.s_hi)))
+          sups
+  in
+  let eff = Effects.analyze ~barrier repo in
+  let surface =
+    List.concat_map
+      (fun (path, lx, _, has_mli) ->
+        let ctx = classify path in
+        let token_findings =
+          scan_tokens ctx lx.Lexer.tokens
+          @ scan_swallowed ctx lx.Lexer.tokens
+          @ scan_toplevel_mutable ctx lx.Lexer.tokens
+          @ scan_float_eq ctx lx.Lexer.tokens
+        in
+        let mli_findings =
+          if
+            (not has_mli) && ctx.in_lib
+            && Filename.check_suffix path ".ml"
+            && not (Filename.check_suffix path ".pp.ml")
+          then
+            [ mk ~file:path ~line:1 ~rule:"missing-mli"
+                ~message:
+                  "library module has no .mli; state the exported surface \
+                   (add an interface file)" ]
+          else []
+        in
+        token_findings @ mli_findings)
+      lexed
+  in
+  let inter =
+    taint_findings eff analyzed_paths
+    @ region_findings ~barrier eff analyzed_paths
+    @ unused_export_findings repo analyzed
+  in
+  let kept =
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt sup_tbl f.file with
+        | None -> true
+        | Some sups -> not (suppressed sups f))
+      (surface @ inter)
+  in
+  {
+    r_findings = List.sort_uniq compare_findings (kept @ !bad);
+    r_files = List.length files;
+    r_bindings = Array.length repo.Symbols.bindings;
+  }
+
+let default_ref_paths paths =
+  match paths with
+  | [] -> []
+  | first :: _ ->
+      let parent = Filename.dirname first in
+      List.filter
+        (fun p -> Sys.file_exists p && Sys.is_directory p)
+        (List.map
+           (Filename.concat parent)
+           [ "test"; "bench"; "examples"; "tools" ])
+
+let analyze_paths ?(ref_paths = []) paths =
+  let files =
+    List.rev (List.fold_left (fun acc p -> collect_ml p acc) [] paths)
+  in
+  let load path =
+    let mli =
+      if Sys.file_exists (path ^ "i") then Some (read_file (path ^ "i"))
+      else None
+    in
+    (path, read_file path, mli)
+  in
+  let refs =
+    List.concat_map
+      (fun root ->
+        List.rev_map
+          (fun p -> (p, read_file p))
+          (collect_ml root []))
+      ref_paths
+  in
+  analyze_sources ~refs (List.map load files)
+
+let explain report sym =
+  List.filter
+    (fun f ->
+      f.chain <> []
+      &&
+      match f.symbol with
+      | Some s -> s = sym || String.ends_with ~suffix:("." ^ sym) s
+      | None -> false)
+    report.r_findings
+
+(* ------------------------------------------------- JSON and baselines *)
+
+module J = Netdiv_vuln.Json
+
+let finding_to_json f =
+  let base =
+    [
+      ("file", J.String f.file);
+      ("line", J.Number (float_of_int f.line));
+      ("rule", J.String f.rule);
+      ("message", J.String f.message);
+    ]
+  in
+  let sym = match f.symbol with Some s -> [ ("symbol", J.String s) ] | None -> [] in
+  let chain =
+    match f.chain with
+    | [] -> []
+    | steps ->
+        [
+          ( "chain",
+            J.List
+              (List.map
+                 (fun s ->
+                   J.Object
+                     [
+                       ("name", J.String s.c_name);
+                       ("file", J.String s.c_file);
+                       ("line", J.Number (float_of_int s.c_line));
+                     ])
+                 steps) );
+        ]
+  in
+  J.Object (base @ sym @ chain)
+
+let report_to_json ?(fresh = []) ?(baselined = 0) ?(stale = []) report =
+  J.to_string ~pretty:true
+    (J.Object
+       [
+         ("version", J.Number 1.);
+         ("files", J.Number (float_of_int report.r_files));
+         ("bindings", J.Number (float_of_int report.r_bindings));
+         ("findings", J.List (List.map finding_to_json fresh));
+         ("baselined", J.Number (float_of_int baselined));
+         ("stale_baseline", J.List (List.map (fun s -> J.String s) stale));
+       ])
+  ^ "\n"
+
+type baseline_entry = {
+  e_file : string;
+  e_rule : string;
+  e_symbol : string option;
+  e_line : int option;
+  e_reason : string;
+}
+
+let baseline_of_string text =
+  match J.parse text with
+  | Error msg -> Error ("baseline is not valid JSON: " ^ msg)
+  | Ok j -> (
+      match Option.bind (J.member "findings" j) J.to_list with
+      | None -> Error "baseline must be an object with a \"findings\" list"
+      | Some entries ->
+          let parse_entry i e =
+            let str k = Option.bind (J.member k e) J.to_str in
+            let num k = Option.bind (J.member k e) J.to_float in
+            match (str "file", str "rule", str "reason") with
+            | Some e_file, Some e_rule, Some e_reason
+              when is_reason_text e_reason ->
+                Ok
+                  {
+                    e_file;
+                    e_rule;
+                    e_symbol = str "symbol";
+                    e_line = Option.map int_of_float (num "line");
+                    e_reason;
+                  }
+            | Some _, Some _, _ ->
+                Error
+                  (Printf.sprintf
+                     "baseline entry %d has no written reason; every \
+                      accepted finding must say why it is acceptable"
+                     i)
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "baseline entry %d needs string fields \"file\", \
+                      \"rule\" and \"reason\""
+                     i)
+          in
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | e :: rest -> (
+                match parse_entry i e with
+                | Ok entry -> go (i + 1) (entry :: acc) rest
+                | Error _ as err -> err)
+          in
+          go 0 [] entries)
+
+let baseline_matches entry f =
+  entry.e_file = f.file
+  && entry.e_rule = f.rule
+  && (match entry.e_symbol with
+     | Some s -> f.symbol = Some s
+     | None -> true)
+  && match entry.e_line with Some l -> l = f.line | None -> true
+
+(* Returns (fresh findings, baselined count, stale entries).  A stale
+   entry — one matching no current finding — is reported so the baseline
+   shrinks as violations are fixed instead of fossilizing. *)
+let apply_baseline entries findings =
+  let hit = Array.make (List.length entries) false in
+  let fresh =
+    List.filter
+      (fun f ->
+        let matched = ref false in
+        List.iteri
+          (fun i e ->
+            if baseline_matches e f then begin
+              hit.(i) <- true;
+              matched := true
+            end)
+          entries;
+        not !matched)
+      findings
+  in
+  let stale =
+    List.filteri (fun i _ -> not hit.(i)) entries
+    |> List.map (fun e ->
+           Printf.sprintf "%s [%s]%s" e.e_file e.e_rule
+             (match e.e_symbol with Some s -> " " ^ s | None -> ""))
+  in
+  (fresh, List.length findings - List.length fresh, stale)
+
+let baseline_template findings =
+  J.to_string ~pretty:true
+    (J.Object
+       [
+         ("version", J.Number 1.);
+         ( "findings",
+           J.List
+             (List.map
+                (fun f ->
+                  let sym =
+                    match f.symbol with
+                    | Some s -> [ ("symbol", J.String s) ]
+                    | None -> [ ("line", J.Number (float_of_int f.line)) ]
+                  in
+                  J.Object
+                    ([ ("file", J.String f.file); ("rule", J.String f.rule) ]
+                    @ sym
+                    @ [ ("reason", J.String "TODO: justify or fix") ]))
+                findings) );
+       ])
+  ^ "\n"

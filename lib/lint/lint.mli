@@ -1,14 +1,18 @@
-(** netdiv-lint: a dependency-free concurrency/determinism checker for
-    this repository's own OCaml sources.
+(** netdiv-lint: a concurrency/determinism checker for this repository's
+    own OCaml sources, with no dependencies outside the repository
+    (no ppx, no compiler-libs; JSON goes through {!Netdiv_vuln.Json}).
 
     The paper's reported numbers (optimal assignments, d_bn, MTTC) are
     reproducible only while every solver path stays deterministic under
     any domain count.  The type system cannot express that contract, so
     this module enforces the mechanically checkable part of it: a
     comment/string-aware surface lexer ({!Lexer}) feeds a small rule
-    engine, and each rule reports findings as [file:line] pairs.
+    engine, and each rule reports findings as [file:line] pairs.  On top
+    of the per-line rules, {!analyze_paths} runs the interprocedural
+    passes ({!Symbols} call graph, {!Effects} fixpoint) whose rules see
+    through call chains.
 
-    {2 Rules}
+    {2 Surface rules}
 
     - [spawn-outside-pool]: [Domain.spawn] anywhere but [lib/par/pool.ml].
     - [toplevel-mutable-state]: module-toplevel [ref] / [Hashtbl.create] /
@@ -30,6 +34,28 @@
     - [missing-mli]: a [lib/] module with no interface file.
     - [printf-in-lib]: stdout printing from library code.
     - [bad-suppression]: a malformed suppression comment.
+    - [float-equality-in-kernel]: [=]/[<>] with a float literal (or
+      [infinity]/[nan]/...) operand in [lib/mrf]; computed energies must
+      compare through an epsilon or an intentional [Float.equal].
+
+    {2 Interprocedural rules} (only via {!analyze_paths}/{!analyze_sources})
+
+    - [nondet-taint]: a [lib/mrf]/[lib/sim]/[lib/core] binding whose
+      transitive call closure reaches a clock read or global [Random]
+      use.  Only transitive reaches are reported (a direct source is
+      already a surface finding); each finding carries the witness call
+      chain, printable with [--explain].
+    - [impure-in-parallel-region]: a callee passed into
+      [Pool.parallel_for]/[map_range]/[map_reduce] or [Team.run] whose
+      summary mutates module-toplevel state or spawns a domain, or an
+      inline closure body doing so directly.
+    - [unused-export]: an [.mli]-declared value never referenced from
+      outside its module, counting reference roots ([test/], [bench/],
+      [examples/], [tools/]) as consumers.
+
+    Suppressions double as effect {e barriers}: a reasoned suppression
+    at a source line certifies it, so the sanctioned clock shim in
+    [lib/obs] does not taint every instrumented caller.
 
     {2 Suppressions}
 
@@ -42,15 +68,25 @@
     The reason is mandatory: a suppression without one is itself reported
     under [bad-suppression]. *)
 
+type chain_step = { c_name : string; c_file : string; c_line : int }
+
 type finding = {
   file : string;
   line : int;
   rule : string;
   message : string;
+  symbol : string option;
+      (** qualified binding name, for interprocedural findings *)
+  chain : chain_step list;
+      (** witness call chain (tainted binding first, source last);
+          empty for surface findings *)
 }
 
 val pp_finding : Format.formatter -> finding -> unit
 (** Renders as [file:line: [rule] message]. *)
+
+val pp_chain : Format.formatter -> chain_step list -> unit
+(** Renders a witness chain one step per line, indented with [->]. *)
 
 val rules : (string * string) list
 (** Shipped rule ids with a one-line description each. *)
@@ -69,4 +105,72 @@ val lint_file : string -> finding list
 val lint_paths : string list -> finding list
 (** Recursively lints every [.ml] file under the given files/directories,
     in sorted filename order, skipping dot- and underscore-prefixed
-    directory entries ([_build], [.git]). *)
+    directory entries ([_build], [.git]).  Surface rules only; the CLI
+    uses {!analyze_paths}. *)
+
+(** {2 Whole-repo analysis} *)
+
+type report = {
+  r_findings : finding list;
+      (** suppression-filtered, sorted by (file, line, rule) *)
+  r_files : int;  (** analyzed files, reference roots excluded *)
+  r_bindings : int;  (** bindings in the symbol graph *)
+}
+
+val analyze_sources :
+  ?refs:(string * string) list ->
+  (string * string * string option) list ->
+  report
+(** [analyze_sources files] runs surface and interprocedural rules over
+    in-memory sources; each file is [(path, source, mli_source)].
+    [refs] are reference-only roots: they join the symbol graph so their
+    uses count for [unused-export], but no rule reports on them.  A file
+    given without an [.mli] source is treated as having none (so
+    [missing-mli] applies to lib modules; pass [Some ""] to model an
+    interface that exports nothing). *)
+
+val analyze_paths : ?ref_paths:string list -> string list -> report
+(** Disk-backed {!analyze_sources}: collects [.ml] files under [paths]
+    with their sibling [.mli]s, and reference files under [ref_paths]. *)
+
+val default_ref_paths : string list -> string list
+(** The conventional reference roots for a repository checkout: the
+    [test]/[bench]/[examples]/[tools] siblings of the first path's
+    parent directory, filtered to those that exist. *)
+
+val explain : report -> string -> finding list
+(** Findings carrying a witness chain whose symbol matches the given
+    name exactly or by [.]-suffix ([explain r "solve"] matches
+    ["Trws.solve"]). *)
+
+(** {2 JSON output and baselines} *)
+
+val report_to_json :
+  ?fresh:finding list -> ?baselined:int -> ?stale:string list ->
+  report -> string
+(** Machine-readable report: [{"version", "files", "bindings",
+    "findings", "baselined", "stale_baseline"}].  [fresh] is the
+    post-baseline finding list to emit. *)
+
+type baseline_entry = {
+  e_file : string;
+  e_rule : string;
+  e_symbol : string option;
+  e_line : int option;
+  e_reason : string;  (** mandatory, like suppression reasons *)
+}
+
+val baseline_of_string : string -> (baseline_entry list, string) result
+(** Parses a baseline file ([{"findings": [{file, rule, symbol?, line?,
+    reason}]}]); an entry without a written reason is an error. *)
+
+val apply_baseline :
+  baseline_entry list -> finding list ->
+  finding list * int * string list
+(** [(fresh, baselined, stale)]: findings no entry matches, the count
+    absorbed by the baseline, and rendered entries that matched nothing
+    (fix them by deleting the entry). *)
+
+val baseline_template : finding list -> string
+(** Serializes findings as a baseline skeleton with TODO reasons, for
+    [--write-baseline]. *)

@@ -1,0 +1,113 @@
+(** Structural symbol tables and an over-approximate call graph for
+    netdiv-lint's interprocedural passes.
+
+    Built on the {!Lexer} token stream, this module recognizes just
+    enough OCaml structure to answer two questions per repository:
+
+    - which top-level [let]-bindings (and [external]s) does each file
+      define, under which module path, and which token span is each
+      binding's body;
+    - which other bindings may each body reference (an over-approximate
+      call graph: every identifier that resolves is an edge; unresolved
+      identifiers — locals, stdlib, pattern variables — are dropped).
+
+    It is deliberately not a parser: structure is recovered from the
+    ocamlformat-shaped column discipline the repository follows (items
+    at column 0, plus two per enclosing [struct]/[sig]), with a resync
+    rule so that syntax it cannot model (nested [let module], functor
+    bodies, objects) derails at most the enclosing binding and never the
+    rest of the file.  Everything downstream treats the result as an
+    over-approximation: missing edges are possible only for constructs
+    the repository's own style forbids, spurious edges are harmless
+    (they widen effect summaries, never shrink them). *)
+
+type binding = {
+  b_id : int;  (** global index once {!build} has run; -1 before *)
+  b_file : string;
+  b_module : string list;
+      (** module path inside the file, starting with the file's own
+          module name, e.g. [["Obs"; "Clock"]] for [Obs.Clock.now] *)
+  b_name : string;
+      (** value name; operator definitions are spelled as their
+          concatenated symbol, e.g. [".%()"] or ["let*"]; anonymous
+          toplevel bindings ([let () = ...]) are ["(init)"] *)
+  b_line : int;
+  b_lo : int;  (** first token index of the binding body *)
+  b_hi : int;  (** one past the last token index of the body *)
+  b_func : bool;
+      (** has parameters or a [fun]/[function] body — a call-time
+          binding; [false] means a value evaluated once at module
+          init, through which per-call effects must not propagate *)
+}
+
+type reference = {
+  r_path : string list;  (** module qualifiers, [[]] for a bare name *)
+  r_name : string;
+  r_line : int;
+  r_tok : int;  (** token index of the first path component *)
+}
+
+type mli_val = {
+  v_name : string;
+  v_module : string list;  (** like {!binding.b_module} *)
+  v_line : int;
+  v_operator : bool;  (** declared as [val ( op ) : ...] *)
+}
+
+type file_syms = {
+  f_path : string;
+  f_modname : string;  (** capitalized basename, ["Pool"] for pool.ml *)
+  f_lex : Lexer.t;
+  f_bindings : binding array;
+  f_refs : reference array array;  (** per binding, same indexing *)
+  f_opens : string list list;
+  f_aliases : (string * string list) list;
+      (** [module X = P.Q] and functor applications [module X = F (A)],
+          recorded as X -> head path *)
+  f_mli : mli_val list;  (** exports, when a sibling .mli was supplied *)
+}
+
+type repo = {
+  files : file_syms array;
+  bindings : binding array;  (** all bindings, indexed by [b_id] *)
+  file_of : int array;  (** binding id -> index into [files] *)
+  by_suffix : (string, int list) Hashtbl.t;
+      (** resolution index: ["Mod.Sub.name"] suffix keys -> binding ids *)
+}
+
+val module_name_of_path : string -> string
+(** ["lib/par/pool.ml"] -> ["Pool"]. *)
+
+val parse_lexed : path:string -> Lexer.t -> ?mli:Lexer.t -> unit -> file_syms
+(** Builds the symbol table for one already-lexed file; [mli] supplies
+    the sibling interface's exports. *)
+
+val parse_file : path:string -> ?mli:string -> string -> file_syms
+(** [parse_file ~path src] lexes and parses; [mli] is the interface
+    source text if one exists. *)
+
+val build : file_syms list -> repo
+(** Assigns global binding ids and freezes the resolution index. *)
+
+val resolve : repo -> file_syms -> reference -> int list
+(** All binding ids the reference may denote, [[]] when it resolves to
+    nothing the repository defines (stdlib, locals the parser missed).
+    Qualified paths are matched by module-path suffix after expanding
+    file-local aliases and dropping [Netdiv_*]/[Stdlib] wrapper
+    components; bare names resolve within the defining file (latest
+    definition at or above the use line, i.e. shadow-aware) and through
+    that file's [open]s. *)
+
+val qualified_name : binding -> string
+(** ["Obs.Clock.now"] — module path and name joined with dots. *)
+
+val normalize_path : file_syms -> string list -> string list
+(** Expands a file-local module alias at the head and drops
+    [Netdiv_*]/[Stdlib] library-wrapper components, so
+    [["Obs"; "Clock"]] comes back for a use spelled through
+    [module Obs = Netdiv_obs.Obs]. *)
+
+val ref_at : file_syms -> binding -> int -> reference option
+(** The recorded reference whose first token is exactly the given token
+    index, if any; used to ask "is this token a real reference or a
+    local the parser already discharged?". *)

@@ -24,8 +24,8 @@ let optimality_gap r =
 (* render non-finite floats as words so nan/-inf never leak into reports *)
 let pp_float ppf v =
   if Float.is_nan v then Format.pp_print_string ppf "undefined"
-  else if v = neg_infinity then Format.pp_print_string ppf "none"
-  else if v = infinity then Format.pp_print_string ppf "unbounded"
+  else if Float.equal v neg_infinity then Format.pp_print_string ppf "none"
+  else if Float.equal v infinity then Format.pp_print_string ppf "unbounded"
   else Format.fprintf ppf "%.6f" v
 
 let pp_result ppf r =

@@ -98,13 +98,14 @@ parallel-reachable):
   lib/sim/bad.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
   lib/sim/bad.ml:1: [spawn-outside-pool] Domain.spawn outside lib/par/pool.ml; use Netdiv_par.Pool combinators instead
   lib/sim/bad.ml:2: [nondeterminism-source] Unix.gettimeofday in solver/sim code; wall-clock reads belong in the anytime harness only
-  3 finding(s)
+  3 finding(s), 0 baselined, 0 stale baseline entries
   [1]
 
 An interface file and reasoned suppressions make the same tree lint
 clean; a suppression without a written reason is itself a finding:
 
   $ cat > lib/sim/bad.mli <<'ML'
+  > (* netdiv-lint: allow-file unused-export — cram fixture; nothing links against it *)
   > val go : (unit -> unit) -> unit Domain.t
   > val now : unit -> float
   > ML
@@ -124,14 +125,77 @@ clean; a suppression without a written reason is itself a finding:
   lib/sim/unreasoned.ml:1: [bad-suppression] suppression of spawn-outside-pool has no written reason; say why the violation is acceptable
   lib/sim/unreasoned.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
   lib/sim/unreasoned.ml:2: [spawn-outside-pool] Domain.spawn outside lib/par/pool.ml; use Netdiv_par.Pool combinators instead
-  3 finding(s)
+  3 finding(s), 0 baselined, 0 stale baseline entries
+  [1]
+  $ rm lib/sim/unreasoned.ml
+
+The interprocedural pass sees through call chains: a helper wrapping the
+clock taints its callers, however many hops away, and --explain prints
+the witness chain for any tainted symbol:
+
+  $ cat > lib/sim/tick.ml <<'ML'
+  > let tick () = Unix.gettimeofday ()
+  > ML
+  $ cat > lib/sim/solve.ml <<'ML'
+  > let phase () = Tick.tick () +. 1.0
+  > let solve () = int_of_float (phase ())
+  > ML
+  $ netdiv lint lib
+  lib/sim/solve.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
+  lib/sim/solve.ml:1: [nondet-taint] Solve.phase transitively reaches Unix.gettimeofday (nondet-clock, 1 call deep); results must depend only on explicit seeds — break the chain or suppress at the source (netdiv lint --explain Solve.phase)
+  lib/sim/solve.ml:2: [nondet-taint] Solve.solve transitively reaches Unix.gettimeofday (nondet-clock, 2 calls deep); results must depend only on explicit seeds — break the chain or suppress at the source (netdiv lint --explain Solve.solve)
+  lib/sim/tick.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
+  lib/sim/tick.ml:1: [nondeterminism-source] Unix.gettimeofday in solver/sim code; wall-clock reads belong in the anytime harness only
+  5 finding(s), 0 baselined, 0 stale baseline entries
   [1]
 
-Missing paths are rejected up front:
+  $ netdiv lint --explain Solve.solve lib
+  lib/sim/solve.ml:2: [nondet-taint] Solve.solve transitively reaches Unix.gettimeofday (nondet-clock, 2 calls deep); results must depend only on explicit seeds — break the chain or suppress at the source (netdiv lint --explain Solve.solve)
+  Solve.solve (lib/sim/solve.ml:2)
+    -> Solve.phase (lib/sim/solve.ml:1)
+      -> Tick.tick (lib/sim/tick.ml:1)
+        -> Unix.gettimeofday (lib/sim/tick.ml:1)
+
+Accepted findings live in a checked-in baseline: --write-baseline emits
+a template (reasons must be filled in by hand), a matching baseline
+turns exit 1 into exit 0, and entries that no longer match are reported
+as stale so the baseline only ever shrinks:
+
+  $ netdiv lint --write-baseline accepted.json lib
+  wrote 5 entries to accepted.json; fill in the TODO reasons
+  $ netdiv lint --baseline accepted.json lib
+  0 finding(s), 5 baselined, 0 stale baseline entries
+
+  $ rm lib/sim/tick.ml lib/sim/solve.ml
+  $ netdiv lint --baseline accepted.json lib
+  0 finding(s), 0 baselined, 5 stale baseline entries
+  stale baseline entry: lib/sim/solve.ml [missing-mli]
+  stale baseline entry: lib/sim/solve.ml [nondet-taint] Solve.phase
+  stale baseline entry: lib/sim/solve.ml [nondet-taint] Solve.solve
+  stale baseline entry: lib/sim/tick.ml [missing-mli]
+  stale baseline entry: lib/sim/tick.ml [nondeterminism-source]
+
+--format json emits the machine-readable report the CI gate consumes:
+
+  $ netdiv lint --format json --baseline accepted.json lib | grep -E '"findings"|"baselined"'
+    "findings": [],
+    "baselined": 0,
+
+Usage and parse errors exit 2, distinct from exit 1 for findings: an
+unknown format, a baseline entry with no written reason, a missing path:
+
+  $ netdiv lint --format yaml lib
+  netdiv: unknown --format "yaml" (expected text or json)
+  [2]
+
+  $ printf '{"findings": [{"file": "x.ml", "rule": "nondet-taint"}]}\n' > noreason.json
+  $ netdiv lint --baseline noreason.json lib
+  netdiv: noreason.json: baseline entry 0 has no written reason; every accepted finding must say why it is acceptable
+  [2]
 
   $ netdiv lint no/such/dir
   netdiv: no such file or directory: no/such/dir
-  [124]
+  [2]
 
 Telemetry timestamps outside the solver scope must go through the
 Netdiv_obs clock shim; the dedicated rule reports direct reads:
@@ -143,7 +207,7 @@ Netdiv_obs clock shim; the dedicated rule reports direct reads:
   $ netdiv lint lib/core/clock.ml
   lib/core/clock.ml:1: [direct-clock-in-instrumented-code] direct Unix.gettimeofday in instrumented code; read the clock through Netdiv_obs.Obs.Clock.now so spans and timings share one time base
   lib/core/clock.ml:1: [missing-mli] library module has no .mli; state the exported surface (add an interface file)
-  2 finding(s)
+  2 finding(s), 0 baselined, 0 stale baseline entries
   [1]
 
 A traced run writes a Chrome trace that obs-summary validates and

@@ -17,7 +17,10 @@
    - every [kernel_specialization.*_s] timing (lower is better) and
      [kernel_specialization.*_speedup] ratio (higher is better): the
      structure-specialized message kernels must keep their edge over the
-     generic O(L^2) update.
+     generic O(L^2) update;
+   - [lint_analysis.lint_full_s]: the whole-repo interprocedural effect
+     analysis (lower is better), fingerprinted by the number of
+     analyzed bindings — the workload is the repository itself.
 
    Metrics missing from the baseline are reported informationally and
    never fail: that is how a new metric enters the history.  Each
@@ -127,7 +130,8 @@ let watched fresh =
   ( [ ("scalability_speedup", "solve_1j_s", true);
       ("intra_component_speedup", "solve_1j_s", true);
       ("observability_overhead", "solve_off_s", true);
-      ("fault_overhead", "solve_off_s", true) ]
+      ("fault_overhead", "solve_off_s", true);
+      ("lint_analysis", "lint_full_s", true) ]
   @ List.concat_map
       (fun s ->
         if s.s_name <> "kernel_specialization" then []
@@ -150,6 +154,9 @@ let fingerprint = function
   | "observability_overhead" -> Some "solver_energy"
   | "fault_overhead" -> Some "solver_energy"
   | "kernel_specialization" -> Some "labels"
+  (* the lint workload is the repository itself: a commit that changes
+     the number of analyzed bindings redefined the benchmark *)
+  | "lint_analysis" -> Some "lint_bindings"
   | _ -> None
 
 let workload_changed baseline fresh sec =

@@ -1,5 +1,7 @@
 #!/bin/sh
-# Repository gate: build everything, run the netdiv-lint static checker,
+# Repository gate: build everything, run the netdiv-lint static checker
+# (surface + interprocedural effect analysis, diffed against the
+# checked-in lint_baseline.json),
 # run the full test suite (alcotest, qcheck and the CLI cram test),
 # re-run the pool suite with the NETDIV_SANITIZE race sanitizer enabled,
 # run the fast benchmark smoke (parallel determinism, interning,
@@ -19,7 +21,12 @@ cd "$(dirname "$0")/.."
 echo "== dune build"
 dune build
 
-echo "== netdiv lint (concurrency/determinism gate)"
+echo "== netdiv lint (effect analysis gate, baseline-diffed)"
+# the @lint alias runs
+#   netdiv lint --format json --baseline lint_baseline.json lib bin
+# with test/bench/examples/tools as reference roots; any finding that is
+# neither suppressed inline nor accepted (with a reason) in the
+# checked-in baseline fails the gate
 dune build @lint
 
 echo "== dune runtest"
