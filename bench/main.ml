@@ -1288,7 +1288,91 @@ let interning_memory () =
   Report.metric "pot_words_interned" (float_of_int interned);
   Report.metric "pot_words_unshared" (float_of_int unshared);
   Report.metric "live_words_interned" (float_of_int live_interned);
-  Report.metric "live_words_saved" (float_of_int saved)
+  Report.metric "live_words_saved" (float_of_int saved);
+  let fp = Mrf.footprint model in
+  Format.printf "%a@." Mrf.pp_footprint fp;
+  Report.metric "words_per_host" (float_of_int fp.Mrf.f_words /. 1000.0);
+  Report.metric "words_per_edge" fp.Mrf.f_words_per_edge
+
+(* ------------------------------------------ hierarchical 100k scale *)
+
+(* The 100k-host tentpole: a zoned instance streamed zone-by-zone into
+   the compact CSR encoder and solved by block-coordinate zone
+   decomposition.  The full tier runs the paper-scale 100,000-host
+   instance; smoke a 4,000-host miniature of the same shape.  Gates:
+   compact words/host at scale must be at most half of what the flat
+   boxed-record layout uses at 1/10 scale; the zoned dual bound must
+   stay a valid lower bound (checked against the flat solver on a small
+   instance); multi-zone results must not depend on the job count; and
+   the pre-allocation estimate must not under-predict the real model. *)
+let hierarchical_scale () =
+  section "[Hierarchical] zoned instance at scale (CSR model + solve_zoned)";
+  let module Mrf = Netdiv_mrf.Mrf in
+  let module Trws = Netdiv_mrf.Trws in
+  let module Solver = Netdiv_mrf.Solver in
+  let hosts = if full_sweep then 100_000 else 4_000 in
+  let zones = if full_sweep then 100 else 8 in
+  let p = { Workload.default_zoned with z_hosts = hosts; z_zones = zones } in
+  Format.printf "%a@." Workload.pp_zoned_params p;
+  let est = Workload.estimate_zoned_words p in
+  let t0 = Unix.gettimeofday () in
+  let model, zone_of = Workload.stream_zoned p in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let fp = Mrf.footprint model in
+  Format.printf "%a@." Mrf.pp_footprint fp;
+  let words_per_host = float_of_int fp.Mrf.f_words /. float_of_int hosts in
+  (* flat baseline at 1/10 scale: the boxed layout this model replaced *)
+  let tenth =
+    { p with Workload.z_hosts = hosts / 10; z_zones = max 1 (zones / 10) }
+  in
+  let small_model, _ = Workload.stream_zoned tenth in
+  let small_fp = Mrf.footprint small_model in
+  let flat_per_host_tenth =
+    float_of_int small_fp.Mrf.f_flat_words
+    /. float_of_int tenth.Workload.z_hosts
+  in
+  let t1 = Unix.gettimeofday () in
+  let result = Trws.solve_zoned ~zone_of ~jobs:4 model in
+  let solve_s = Unix.gettimeofday () -. t1 in
+  let gap =
+    (result.Solver.energy -. result.Solver.lower_bound)
+    /. Float.max 1.0 (Float.abs result.Solver.energy)
+  in
+  Format.printf
+    "generate %.3fs  solve %.3fs  energy %a  bound %a  gap %.2e  rounds \
+     %d@.words/host %.1f compact vs %.1f flat at 1/10 scale@."
+    gen_s solve_s Solver.pp_float result.Solver.energy Solver.pp_float
+    result.Solver.lower_bound gap result.Solver.iterations words_per_host
+    flat_per_host_tenth;
+  (* validity and determinism gates on a small instance *)
+  let sp = { Workload.default_zoned with z_hosts = 1000; z_zones = 4 } in
+  let sm, szone = Workload.stream_zoned sp in
+  let flat = Trws.solve sm in
+  let zoned1 = Trws.solve_zoned ~zone_of:szone ~jobs:1 sm in
+  let zoned4 = Trws.solve_zoned ~zone_of:szone ~jobs:4 sm in
+  if
+    not
+      (zoned1.Solver.energy = zoned4.Solver.energy
+      && zoned1.Solver.lower_bound = zoned4.Solver.lower_bound
+      && zoned1.Solver.labeling = zoned4.Solver.labeling)
+  then Report.fail "solve_zoned result depends on the job count";
+  if zoned1.Solver.lower_bound > flat.Solver.energy +. 1e-9 then
+    Report.fail "zoned dual bound exceeds the flat solver's energy";
+  if words_per_host > 0.5 *. flat_per_host_tenth then
+    Report.fail "compact words/host exceed half the flat layout at 1/10 scale";
+  if est < fp.Mrf.f_words then
+    Report.fail "estimate_zoned_words under-predicts the real footprint";
+  Report.metric "hosts" (float_of_int hosts);
+  Report.metric "zones" (float_of_int zones);
+  Report.metric "gen_s" gen_s;
+  Report.metric "solve_s" solve_s;
+  Report.metric "words_per_host" words_per_host;
+  Report.metric "words_per_edge" fp.Mrf.f_words_per_edge;
+  Report.metric "flat_words_per_host_tenth" flat_per_host_tenth;
+  Report.metric "dual_gap" gap;
+  Report.metric "solver_energy" result.Solver.energy;
+  Report.metric "zoned_small_energy" zoned1.Solver.energy;
+  Report.metric "flat_small_energy" flat.Solver.energy
 
 (* ------------------------------------- message-kernel specialization *)
 
@@ -1508,6 +1592,7 @@ let () =
   Report.timed "fault_overhead" fault_overhead;
   Report.timed "intra_component_speedup" intra_component_speedup;
   Report.timed "interning_memory" interning_memory;
+  Report.timed "hierarchical_scale" hierarchical_scale;
   Report.timed "kernel_specialization" kernel_specialization;
   Report.timed "lint_analysis" lint_analysis;
   if not smoke then Report.timed "micro_benchmarks" micro_benchmarks;

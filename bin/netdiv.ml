@@ -19,6 +19,9 @@ module Topology = Netdiv_casestudy.Topology
 module Products = Netdiv_casestudy.Products
 module Experiments = Netdiv_casestudy.Experiments
 module Runner = Netdiv_mrf.Runner
+module Mrf = Netdiv_mrf.Mrf
+module Trws = Netdiv_mrf.Trws
+module Solver = Netdiv_mrf.Solver
 module Obs = Netdiv_obs.Obs
 module Obs_export = Netdiv_obs.Export
 module Json = Netdiv_vuln.Json
@@ -777,7 +780,31 @@ let scalability_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Run the paper's full parameter ranges.")
   in
-  let run sweep full time_budget jobs trace metrics =
+  let hosts_arg =
+    Arg.(value & opt (some int) None
+         & info [ "hosts" ] ~docv:"N"
+             ~doc:
+               "Solve one zoned instance of $(docv) hosts instead of \
+                sweeping: the instance is streamed zone-by-zone into the \
+                compact MRF encoder and solved by block-coordinate zone \
+                decomposition.  This is the 100k-host entry point.")
+  in
+  let zones_arg =
+    Arg.(value & opt (some int) None
+         & info [ "zones" ] ~docv:"Z"
+             ~doc:
+               "Zone count for $(b,--hosts) mode (default: one zone per \
+                1000 hosts, at least one).")
+  in
+  let mem_budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "mem-budget" ] ~docv:"MIB"
+             ~doc:
+               "Fail fast before any allocation when the predicted peak \
+                model+solver footprint of $(b,--hosts) mode exceeds \
+                $(docv) mebibytes.")
+  in
+  let run sweep full hosts zones mem_budget time_budget jobs trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let budget = budget_of time_budget in
     let jobs = jobs_of jobs in
@@ -802,6 +829,58 @@ let scalability_cmd =
       let t, marker = time_one hosts degree services in
       Format.printf "%6d %8.3f%s@." label t marker
     in
+    let hosts_mode n =
+      if n < 1 then `Error (false, "netdiv scalability: --hosts must be >= 1")
+      else begin
+        let z = match zones with Some z -> z | None -> max 1 (n / 1000) in
+        if z < 1 then
+          `Error (false, "netdiv scalability: --zones must be >= 1")
+        else begin
+          let p =
+            { Workload.default_zoned with z_hosts = n; z_zones = min z n }
+          in
+          Format.printf "# %a@." Workload.pp_zoned_params p;
+          let words = Workload.estimate_zoned_words p in
+          let mib w = float_of_int (w * 8) /. (1024. *. 1024.) in
+          match mem_budget with
+          | Some cap when mib words > cap ->
+              `Error
+                ( false,
+                  Format.asprintf
+                    "netdiv scalability: predicted footprint %.1f MiB (%d \
+                     words: compact model + message slabs for %d \
+                     variables across %d zones) exceeds --mem-budget \
+                     %.1f MiB; nothing was allocated.  Raise the budget \
+                     or lower --hosts."
+                    (mib words) words
+                    (n * p.Workload.z_services)
+                    p.Workload.z_zones cap )
+          | _ ->
+              let t0 = Obs.Clock.now () in
+              let model, zone_of = Workload.stream_zoned p in
+              let gen_s = Obs.Clock.now () -. t0 in
+              let fp = Mrf.footprint model in
+              Format.printf "%a@." Mrf.pp_footprint fp;
+              let result = Trws.solve_zoned ~zone_of ?jobs model in
+              let gap =
+                (result.Solver.energy -. result.Solver.lower_bound)
+                /. Float.max 1.0 (Float.abs result.Solver.energy)
+              in
+              Format.printf
+                "energy %a  bound %a  gap %.2e  rounds %d%s@.generate \
+                 %.3fs  solve %.3fs  words/host %.1f@."
+                Solver.pp_float result.Solver.energy Solver.pp_float
+                result.Solver.lower_bound gap result.Solver.iterations
+                (if result.Solver.converged then "" else "  (not converged)")
+                gen_s result.Solver.runtime_s
+                (float_of_int fp.Mrf.f_words /. float_of_int n);
+              `Ok ()
+        end
+      end
+    in
+    match hosts with
+    | Some n -> hosts_mode n
+    | None ->
     (match sweep with
     | "hosts" ->
         let sizes =
@@ -824,14 +903,15 @@ let scalability_cmd =
         Format.printf "# services (1000 hosts, degree 20): time in seconds@.";
         List.iter (fun s -> row s 1000 20 s) services
     | other -> Format.printf "unknown sweep dimension %S@." other);
-    ()
+    `Ok ()
   in
   let doc = "runtime sweeps over random networks (paper Tables VII-IX)" in
   Cmd.v
     (Cmd.info "scalability" ~doc)
     Term.(
-      const run $ sweep $ full $ time_budget_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      ret
+        (const run $ sweep $ full $ hosts_arg $ zones_arg $ mem_budget_arg
+       $ time_budget_arg $ jobs_arg $ trace_arg $ metrics_arg))
 
 (* ----------------------------------------------------------- obs-summary *)
 

@@ -243,3 +243,42 @@ let labeling_of e a =
     e.slots
 
 let assignment_energy e a = Mrf.energy e.model (labeling_of e a)
+
+(* Size the encoding without building it: counts the slots and the
+   (link, shared service) pairs the edge loop of [encode] would emit,
+   plus one big-M edge per applicable combination constraint.  Tables
+   are bounded by one similarity matrix per service plus one per
+   constraint edge. *)
+let estimate_words net constraints =
+  let n_hosts = Network.n_hosts net in
+  let nodes = ref 0 and max_labels = ref 1 in
+  for h = 0 to n_hosts - 1 do
+    let services = Network.host_services net h in
+    nodes := !nodes + Array.length services;
+    Array.iter
+      (fun s ->
+        max_labels :=
+          max !max_labels
+            (Array.length (Network.candidates net ~host:h ~service:s)))
+      services
+  done;
+  let edges = ref 0 in
+  Graph.iter_edges
+    (fun u v ->
+      Array.iter
+        (fun s -> if Network.runs_service net ~host:v ~service:s then incr edges)
+        (Network.host_services net u))
+    (Network.graph net);
+  let scope_hosts = function Constr.Host _ -> 1 | Constr.All -> n_hosts in
+  let combos =
+    List.fold_left
+      (fun acc -> function
+        | Constr.Fix _ -> acc
+        | Constr.Requires { scope; _ } | Constr.Forbids { scope; _ } ->
+            acc + scope_hosts scope)
+      0 constraints
+  in
+  Mrf.estimate_words ~nodes:!nodes
+    ~edges:(!edges + combos)
+    ~max_labels:!max_labels
+    ~tables:(Network.n_services net + combos)

@@ -119,7 +119,7 @@ let cascade ?jobs solver ~trws_config ~bp_config =
   | Exact -> [ Runner.bnb (); Runner.trws_icm ~config:trws_config ?jobs () ]
 
 let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
-    ?jobs ?checkpoint ?resume encoded =
+    ?jobs ?zone_of ?checkpoint ?resume encoded =
   let model = Encode.mrf encoded in
   let trws_config =
     match max_iters with
@@ -138,10 +138,17 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
          variants decompose into components and SA fans its restarts
          over the pool — both job-count-invariant *)
       let trws_solve model =
-        match jobs with
-        | None -> Trws_solver.solve ~config:trws_config model
-        | Some _ ->
-            Trws_solver.solve_components ~config:trws_config ?jobs model
+        match zone_of with
+        | Some z ->
+            (* hierarchical path: block-coordinate zone decomposition;
+               deterministic in the zone map, invariant in [jobs] *)
+            Trws_solver.solve_zoned ~config:trws_config ~zone_of:z ?jobs
+              model
+        | None -> (
+            match jobs with
+            | None -> Trws_solver.solve ~config:trws_config model
+            | Some _ ->
+                Trws_solver.solve_components ~config:trws_config ?jobs model)
       in
       let result =
         match solver with
@@ -189,14 +196,16 @@ let solve_encoded_outcome ?(solver = Trws_icm) ?max_iters ?budget ?patience
         report.Runner.stage_timings,
         report.Runner.retries )
 
-let solve_encoded ?solver ?max_iters ?budget ?patience ?jobs encoded =
+let solve_encoded ?solver ?max_iters ?budget ?patience ?jobs ?zone_of
+    encoded =
   let result, _, _, _ =
-    solve_encoded_outcome ?solver ?max_iters ?budget ?patience ?jobs encoded
+    solve_encoded_outcome ?solver ?max_iters ?budget ?patience ?jobs ?zone_of
+      encoded
   in
   result
 
 let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
-    ?patience ?jobs ?checkpoint ?resume net constraints =
+    ?patience ?jobs ?zone_of ?checkpoint ?resume net constraints =
   let (encoded, result, outcome, stage_timings, retries), runtime_s =
     S.timed (fun () ->
         let encoded =
@@ -207,7 +216,7 @@ let run ?solver ?prconst ?big_m ?preference ?edge_weight ?max_iters ?budget
         let result, outcome, stage_timings, retries =
           Obs.span ~name:"optimize.solve" (fun () ->
               solve_encoded_outcome ?solver ?max_iters ?budget ?patience
-                ?jobs ?checkpoint ?resume encoded)
+                ?jobs ?zone_of ?checkpoint ?resume encoded)
         in
         (encoded, result, outcome, stage_timings, retries))
   in

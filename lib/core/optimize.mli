@@ -45,6 +45,7 @@ val run :
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
   ?jobs:int ->
+  ?zone_of:int array ->
   ?checkpoint:string ->
   ?resume:string ->
   Network.t ->
@@ -68,6 +69,14 @@ val run :
     multi-restart ICM, [Sa] fans its restarts out.  The assignment is
     identical for every [jobs] value; omitting [jobs] keeps the
     historical serial trajectories.
+
+    [zone_of] (one zone id per MRF variable, e.g. the second component
+    of {!Netdiv_workload.Workload.stream_zoned}) routes the TRW-S stage
+    of the direct path ([Trws]/[Trws_icm] without [budget]/[patience]/
+    [checkpoint]/[resume]) through block-coordinate zone decomposition
+    ({!Netdiv_mrf.Trws.solve_zoned}) — the 100k-host configuration.  The
+    result is a function of the zone map only, never of [jobs]; other
+    solvers and the anytime harness ignore it.
 
     [checkpoint] names a file that receives an atomic best-labeling
     snapshot ({!Serial.checkpoint_to_string}) every time the harness's
@@ -102,10 +111,12 @@ val solve_encoded :
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
   ?jobs:int ->
+  ?zone_of:int array ->
   Encode.encoded ->
   Netdiv_mrf.Solver.result
 (** Lower-level entry point on a pre-built encoding (used by the
-    scalability benches, which time encode and solve separately). *)
+    scalability benches, which time encode and solve separately).
+    [zone_of] as in {!run}. *)
 
 val solve_encoded_outcome :
   ?solver:solver ->
@@ -113,6 +124,7 @@ val solve_encoded_outcome :
   ?budget:Netdiv_mrf.Runner.Budget.t ->
   ?patience:float ->
   ?jobs:int ->
+  ?zone_of:int array ->
   ?checkpoint:string ->
   ?resume:string ->
   Encode.encoded ->

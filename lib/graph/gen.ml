@@ -54,7 +54,13 @@ let erdos_renyi ~rng ~n ~p =
 
 let avg_degree ~rng ~n ~degree = gnm ~rng ~n ~m:(n * degree / 2)
 
-let connected_avg_degree ~rng ~n ~degree =
+(* Streaming form of [connected_avg_degree]: each accepted edge is
+   handed to [f] (with [u < v]) instead of being consed into a resident
+   list, so a caller can emit a zone's links straight into a compact
+   encoder.  The RNG draw sequence is identical to the materialized
+   variant, which is implemented on top — the same seed yields the same
+   edge set either way. *)
+let iter_connected_avg_degree ~rng ~n ~degree f =
   let m = n * degree / 2 in
   if n > 0 && m < n - 1 then
     invalid_arg "Gen.connected_avg_degree: degree too small for connectivity";
@@ -68,13 +74,15 @@ let connected_avg_degree ~rng ~n ~degree =
     perm.(j) <- tmp
   done;
   let seen = Hashtbl.create (2 * m) in
-  let edges = ref [] in
   let add u v =
-    let key = if u < v then (u, v) else (v, u) in
-    if u <> v && not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
-      edges := key :: !edges;
-      true
+    if u <> v then begin
+      let lo = min u v and hi = max u v in
+      if not (Hashtbl.mem seen (lo, hi)) then begin
+        Hashtbl.add seen (lo, hi) ();
+        f lo hi;
+        true
+      end
+      else false
     end
     else false
   in
@@ -87,7 +95,12 @@ let connected_avg_degree ~rng ~n ~degree =
     let u = Random.State.int rng n in
     let v = Random.State.int rng n in
     if add u v then incr count
-  done;
+  done
+
+let connected_avg_degree ~rng ~n ~degree =
+  let edges = ref [] in
+  iter_connected_avg_degree ~rng ~n ~degree (fun u v ->
+      edges := (u, v) :: !edges);
   Graph.of_edges ~n !edges
 
 let line n =

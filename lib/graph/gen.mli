@@ -22,6 +22,15 @@ val connected_avg_degree : rng:Random.State.t -> n:int -> degree:int -> Graph.t
     tree is laid down first and the remaining edges are sampled uniformly.
     Requires [degree >= 2] so that [m >= n-1]. *)
 
+val iter_connected_avg_degree :
+  rng:Random.State.t -> n:int -> degree:int -> (int -> int -> unit) -> unit
+(** Streaming form of {!connected_avg_degree}: calls [f u v] (with
+    [u < v]) once per accepted edge instead of materializing a
+    {!Graph.t}, so large instances can be emitted straight into a
+    compact encoder without a resident edge list.  Draws the same RNG
+    sequence as {!connected_avg_degree} — the same seed produces the
+    same edge set either way. *)
+
 val line : int -> Graph.t
 (** Path graph [0 - 1 - ... - (n-1)]. *)
 

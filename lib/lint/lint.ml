@@ -48,9 +48,10 @@ let rules =
        quadratic (the exact class fixed in lib/sim/engine.ml)" );
     ( "alloc-in-loop",
       "Array.make/Array.init/Array.copy or Float.Array.create/make \
-       inside a for/while body in hot solver code (lib/mrf, lib/bayes); \
-       allocate scratch (including message slabs) once outside the loop \
-       and reuse it" );
+       inside a for/while body in hot solver code (lib/mrf, lib/bayes), \
+       or a tuple/record built from Mrf.Compact accessor results there; \
+       allocate scratch (including message slabs) once outside the loop, \
+       and keep accessor reads in scalar lets instead of re-boxing them" );
     ( "missing-mli",
       "library module without an interface file; every lib/ module must \
        state its exported surface" );
@@ -253,18 +254,76 @@ let seq3 toks i a b c = seq2 toks i a b && tok toks (i + 2) = c
 let finding ctx (t : Lexer.token) rule message =
   mk ~file:ctx.path ~line:t.Lexer.line ~rule ~message
 
+(* Paren/brace frame for the boxed-construction extension of
+   alloc-in-loop: each open [(] or [{] remembers whether it opened
+   inside a loop, whether a [Compact] accessor is called inside it, and
+   (for parens) whether it holds a top-level tuple comma.  A paren frame
+   closing with both marks is a boxed tuple of accessor results; a brace
+   frame closing with the Compact mark is a boxed record of them.  The
+   Compact mark propagates outward on pop, so the accessor may sit
+   inside a nested call's own parentheses. *)
+type frame = {
+  fr_tok : Lexer.token;
+  fr_brace : bool;
+  fr_in_loop : bool;
+  mutable fr_compact : bool;
+  mutable fr_comma : bool;
+}
+
 (* Single forward pass for the sequence-matching rules; [loop_depth]
    tracks for/while nesting for list-nth-in-loop. *)
 let scan_tokens ctx (toks : Lexer.token array) =
   let out = ref [] in
   let add t rule msg = out := finding ctx t rule msg :: !out in
   let loop_depth = ref 0 in
+  let frames = ref [] in
+  let push t ~brace =
+    frames :=
+      { fr_tok = t; fr_brace = brace; fr_in_loop = !loop_depth > 0;
+        fr_compact = false; fr_comma = false }
+      :: !frames
+  in
+  let pop ~brace =
+    match !frames with
+    | f :: rest when f.fr_brace = brace ->
+        frames := rest;
+        if f.fr_compact then
+          (match rest with parent :: _ -> parent.fr_compact <- true | [] -> ());
+        Some f
+    | _ -> None
+  in
   let n = Array.length toks in
   for i = 0 to n - 1 do
     let t = toks.(i) in
     (match t.Lexer.text with
     | "for" | "while" -> incr loop_depth
     | "done" -> if !loop_depth > 0 then decr loop_depth
+    | "(" -> push t ~brace:false
+    | "{" -> push t ~brace:true
+    | "," -> (
+        match !frames with
+        | f :: _ when not f.fr_brace -> f.fr_comma <- true
+        | _ -> ())
+    | "Compact" -> (
+        if tok toks (i + 1) = "." then
+          match !frames with f :: _ -> f.fr_compact <- true | [] -> ())
+    | ")" -> (
+        match pop ~brace:false with
+        | Some f when hot_path ctx && f.fr_in_loop && f.fr_compact && f.fr_comma
+          ->
+            add f.fr_tok "alloc-in-loop"
+              "tuple of Compact accessor results inside a loop body boxes \
+               what the CSR layout keeps flat; keep the fields in scalar \
+               lets"
+        | _ -> ())
+    | "}" -> (
+        match pop ~brace:true with
+        | Some f when hot_path ctx && f.fr_in_loop && f.fr_compact ->
+            add f.fr_tok "alloc-in-loop"
+              "record built from Compact accessor results inside a loop \
+               body re-boxes the compact representation; keep the fields \
+               in scalar lets"
+        | _ -> ())
     | _ -> ());
     if (not ctx.is_pool) && seq3 toks i "Domain" "." "spawn" then
       add t "spawn-outside-pool"

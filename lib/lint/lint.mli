@@ -30,7 +30,12 @@
     - [alloc-in-loop]: [Array.make]/[Array.init]/[Array.copy] inside a
       [for]/[while] body in the measured hot directories ([lib/mrf],
       [lib/bayes]); per-iteration allocation there is GC pressure the
-      bench pays for directly — hoist a scratch buffer.
+      bench pays for directly — hoist a scratch buffer.  Also flags a
+      tuple or record literal built around [Mrf.Compact] accessor calls
+      inside such a loop: packing [Compact.neighbor]/[Compact.edge]
+      reads into a boxed value re-creates, per iteration, exactly the
+      per-edge records the CSR layout removed — keep the fields in
+      scalar [let]s.
     - [missing-mli]: a [lib/] module with no interface file.
     - [printf-in-lib]: stdout printing from library code.
     - [bad-suppression]: a malformed suppression comment.

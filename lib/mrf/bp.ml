@@ -47,7 +47,7 @@ type workspace = { theta : floatarray; ks : Kernel.scratch }
 
 let make_state mrf =
   let {
-    Mrf.i_labels = labels;
+    Mrf.Compact.i_labels = labels;
     i_unary_off = unary_off;
     i_unary = unary;
     i_eu = eu;
@@ -57,9 +57,10 @@ let make_state mrf =
     i_pot = pot;
     i_inc_off = inc_off;
     i_inc = inc;
+    i_col = _;
     i_classes = classes;
   } =
-    Mrf.internal_arrays mrf
+    Mrf.Compact.arrays mrf
   in
   let n = Array.length labels and m = Array.length eu in
   let fw_off = Array.make (m + 1) 0 and bw_off = Array.make (m + 1) 0 in

@@ -12,21 +12,8 @@ type t = {
   pot : float array;           (* flat concatenation of the tables *)
   inc_off : int array;         (* n+1 CSR offsets into inc *)
   inc : int array;             (* encoded incidences: edge*2 + (1 if node=u) *)
+  col : int array;             (* opposite endpoint per incidence slot *)
   classes : Kernel.t array;    (* per-table message-kernel classification *)
-}
-
-type internals = {
-  i_labels : int array;
-  i_unary_off : int array;
-  i_unary : float array;
-  i_eu : int array;
-  i_ev : int array;
-  i_etab : int array;
-  i_pot_off : int array;
-  i_pot : float array;
-  i_inc_off : int array;
-  i_inc : int array;
-  i_classes : Kernel.t array;
 }
 
 (* Shape-and-content-based interning of pairwise tables.  Physical
@@ -53,12 +40,27 @@ module Builder = struct
     b_labels : int array;
     b_unary_off : int array;
     b_unary : float array;
-    mutable b_edges : (int * int * float array) list;
+    (* Compact growable edge storage: three parallel int slots per edge
+       instead of a boxed (u, v, cost) cons list.  At 100k-host scale the
+       transient list (~12 words/edge) would outweigh the frozen model;
+       the slots are exactly what the frozen form keeps. *)
+    mutable b_eu : int array;
+    mutable b_ev : int array;
+    mutable b_etab : int array;
     mutable b_m : int;
+    (* Pairwise tables are interned as edges arrive.  Ids are assigned in
+       first-use add_edge order — the same order the historical
+       build-time pass produced, so frozen models are bit-identical. *)
+    b_interned : int Table_tbl.t;
+    mutable b_tables : float array array;
+    mutable b_sku : int array;   (* row count of table id *)
+    mutable b_skv : int array;   (* column count of table id *)
+    mutable b_ntab : int;
     mutable built : bool;
   }
 
   let create ~label_counts =
+    let edges_hint = 0 in
     let n = Array.length label_counts in
     Array.iteri
       (fun i k ->
@@ -70,12 +72,20 @@ module Builder = struct
     for i = 0 to n - 1 do
       off.(i + 1) <- off.(i) + label_counts.(i)
     done;
+    let cap = max 0 edges_hint in
     {
       b_labels = Array.copy label_counts;
       b_unary_off = off;
       b_unary = Array.make off.(n) 0.0;
-      b_edges = [];
+      b_eu = Array.make cap 0;
+      b_ev = Array.make cap 0;
+      b_etab = Array.make cap 0;
       b_m = 0;
+      b_interned = Table_tbl.create 16;
+      b_tables = [||];
+      b_sku = [||];
+      b_skv = [||];
+      b_ntab = 0;
       built = false;
     }
 
@@ -97,13 +107,59 @@ module Builder = struct
       invalid_arg "Mrf.Builder.set_unary: wrong vector length";
     Array.blit costs 0 b.b_unary b.b_unary_off.(node) (Array.length costs)
 
+  let grow_edges_to b cap' =
+    let g a =
+      let a' = Array.make cap' 0 in
+      Array.blit a 0 a' 0 b.b_m;
+      a'
+    in
+    b.b_eu <- g b.b_eu;
+    b.b_ev <- g b.b_ev;
+    b.b_etab <- g b.b_etab
+
+  let grow_edges b = grow_edges_to b (max 8 (2 * Array.length b.b_eu))
+
+  (* Presize the edge slots for a streamed instance of known size, so
+     the builder never reallocates mid-stream. *)
+  let reserve_edges b hint =
+    if hint > Array.length b.b_eu then grow_edges_to b hint
+
+  let intern_table b ~ku ~kv cost =
+    match Table_tbl.find_opt b.b_interned (kv, cost) with
+    | Some id -> id
+    | None ->
+        let id = b.b_ntab in
+        if id = Array.length b.b_tables then begin
+          let cap' = max 8 (2 * id) in
+          let gt = Array.make cap' [||] in
+          Array.blit b.b_tables 0 gt 0 id;
+          b.b_tables <- gt;
+          let gi a =
+            let a' = Array.make cap' 0 in
+            Array.blit a 0 a' 0 id;
+            a'
+          in
+          b.b_sku <- gi b.b_sku;
+          b.b_skv <- gi b.b_skv
+        end;
+        Table_tbl.add b.b_interned (kv, cost) id;
+        b.b_tables.(id) <- cost;
+        b.b_sku.(id) <- ku;
+        b.b_skv.(id) <- kv;
+        b.b_ntab <- id + 1;
+        id
+
   let add_edge b u v cost =
     check_node b u;
     check_node b v;
     if u = v then invalid_arg "Mrf.Builder.add_edge: self-edge";
     if Array.length cost <> b.b_labels.(u) * b.b_labels.(v) then
       invalid_arg "Mrf.Builder.add_edge: cost matrix size mismatch";
-    b.b_edges <- (u, v, cost) :: b.b_edges;
+    if b.b_m = Array.length b.b_eu then grow_edges b;
+    let id = intern_table b ~ku:b.b_labels.(u) ~kv:b.b_labels.(v) cost in
+    b.b_eu.(b.b_m) <- u;
+    b.b_ev.(b.b_m) <- v;
+    b.b_etab.(b.b_m) <- id;
     b.b_m <- b.b_m + 1
 
   let build ?(specialize = true) b =
@@ -111,40 +167,15 @@ module Builder = struct
     b.built <- true;
     let n = Array.length b.b_labels in
     let m = b.b_m in
-    let eu = Array.make m 0 and ev = Array.make m 0 in
-    let ecost = Array.make m [||] in
-    List.iteri
-      (fun idx (u, v, cost) ->
-        let e = m - 1 - idx in
-        eu.(e) <- u;
-        ev.(e) <- v;
-        ecost.(e) <- cost)
-      b.b_edges;
-    (* Hash-cons the pairwise tables: edges carrying equal-shape,
-       equal-content matrices share one table id, and the distinct
-       tables are packed into a single flat array for the solver hot
-       loops.  Table ids are assigned in first-use edge order, so they
-       depend only on the sequence of [add_edge] calls. *)
-    let interned = Table_tbl.create (max 16 (m / 4)) in
-    let rev_tables = ref [] in
-    let rev_shapes = ref [] in
-    let n_tables = ref 0 in
-    let etab = Array.make m 0 in
-    for e = 0 to m - 1 do
-      let cost = ecost.(e) in
-      let kv = b.b_labels.(ev.(e)) in
-      match Table_tbl.find_opt interned (kv, cost) with
-      | Some id -> etab.(e) <- id
-      | None ->
-          let id = !n_tables in
-          incr n_tables;
-          Table_tbl.add interned (kv, cost) id;
-          rev_tables := cost :: !rev_tables;
-          rev_shapes := (b.b_labels.(eu.(e)), kv) :: !rev_shapes;
-          etab.(e) <- id
-    done;
-    let tables = Array.of_list (List.rev !rev_tables) in
-    let shapes = Array.of_list (List.rev !rev_shapes) in
+    (* The builder already holds the frozen layout: trim the growable
+       slots to size.  Tables were hash-consed at [add_edge] time —
+       edges carrying equal-shape, equal-content matrices share one
+       table id, assigned in first-use edge order, so ids depend only on
+       the sequence of [add_edge] calls. *)
+    let trim a = if Array.length a = m then a else Array.sub a 0 m in
+    let eu = trim b.b_eu and ev = trim b.b_ev and etab = trim b.b_etab in
+    let n_tables = b.b_ntab in
+    let tables = Array.sub b.b_tables 0 n_tables in
     (* Classify each distinct table once: the solvers dispatch every
        message update on this tag, replacing the O(L^2) scan with an
        O(L) Potts or O(L + nnz) sparse kernel where the structure
@@ -152,17 +183,15 @@ module Builder = struct
     let classes =
       if specialize then
         Array.mapi
-          (fun id tab ->
-            let ku, kv = shapes.(id) in
-            Kernel.classify ~ku ~kv tab)
+          (fun id tab -> Kernel.classify ~ku:b.b_sku.(id) ~kv:b.b_skv.(id) tab)
           tables
       else Array.map (fun _ -> Kernel.Generic) tables
     in
-    let pot_off = Array.make (!n_tables + 1) 0 in
-    for id = 0 to !n_tables - 1 do
+    let pot_off = Array.make (n_tables + 1) 0 in
+    for id = 0 to n_tables - 1 do
       pot_off.(id + 1) <- pot_off.(id) + Array.length tables.(id)
     done;
-    let pot = Array.make pot_off.(!n_tables) 0.0 in
+    let pot = Array.make pot_off.(n_tables) 0.0 in
     Array.iteri
       (fun id tab -> Array.blit tab 0 pot pot_off.(id) (Array.length tab))
       tables;
@@ -199,6 +228,13 @@ module Builder = struct
         slice;
       Array.blit slice 0 inc lo (hi - lo)
     done;
+    (* CSR neighbor column: the opposite endpoint of each incidence
+       slot, so hot loops reach a neighbor id in one load instead of a
+       code decode plus a dependent eu/ev load. *)
+    let col = Array.make inc_off.(n) 0 in
+    for k = 0 to inc_off.(n) - 1 do
+      col.(k) <- opposite_of inc.(k)
+    done;
     {
       n;
       labels = b.b_labels;
@@ -213,6 +249,7 @@ module Builder = struct
       pot;
       inc_off;
       inc;
+      col;
       classes;
     }
 end
@@ -334,10 +371,7 @@ let greedy_coloring t =
   for i = 0 to n - 1 do
     let lo = t.inc_off.(i) and hi = t.inc_off.(i + 1) in
     for k = lo to hi - 1 do
-      let code = t.inc.(k) in
-      let e = code / 2 in
-      let j = if code land 1 = 1 then t.ev.(e) else t.eu.(e) in
-      let cj = color.(j) in
+      let cj = color.(t.col.(k)) in
       if cj >= 0 then mark.(cj) <- i
     done;
     let c = ref 0 in
@@ -349,22 +383,153 @@ let greedy_coloring t =
   done;
   (color, max 1 !ncolors)
 
-(* Internal accessors used by the solvers in this library; exposed through
-   a semi-private interface. *)
-let internal_arrays t =
-  {
-    i_labels = t.labels;
-    i_unary_off = t.unary_off;
-    i_unary = t.unary;
-    i_eu = t.eu;
-    i_ev = t.ev;
-    i_etab = t.etab;
-    i_pot_off = t.pot_off;
-    i_pot = t.pot;
-    i_inc_off = t.inc_off;
-    i_inc = t.inc;
-    i_classes = t.classes;
+(* Reparameterization: same structure, different unary slab.  Shares
+   every other array with [t]; the caller's array is used directly.
+   This is what the zoned solver uses to push per-round Lagrangian
+   penalties into a zone submodel without rebuilding it. *)
+let with_unaries t u =
+  if Array.length u <> Array.length t.unary then
+    invalid_arg "Mrf.with_unaries: wrong unary length";
+  { t with unary = u }
+
+module Compact = struct
+  type arrays = {
+    i_labels : int array;
+    i_unary_off : int array;
+    i_unary : float array;
+    i_eu : int array;
+    i_ev : int array;
+    i_etab : int array;
+    i_pot_off : int array;
+    i_pot : float array;
+    i_inc_off : int array;
+    i_inc : int array;
+    i_col : int array;
+    i_classes : Kernel.t array;
   }
+
+  let arrays t =
+    {
+      i_labels = t.labels;
+      i_unary_off = t.unary_off;
+      i_unary = t.unary;
+      i_eu = t.eu;
+      i_ev = t.ev;
+      i_etab = t.etab;
+      i_pot_off = t.pot_off;
+      i_pot = t.pot;
+      i_inc_off = t.inc_off;
+      i_inc = t.inc;
+      i_col = t.col;
+      i_classes = t.classes;
+    }
+
+  let[@inline] degree t i = t.inc_off.(i + 1) - t.inc_off.(i)
+  let[@inline] row_start t i = t.inc_off.(i)
+  let[@inline] row_stop t i = t.inc_off.(i + 1)
+  let[@inline] neighbor t k = t.col.(k)
+  let[@inline] edge t k = t.inc.(k) lsr 1
+  let[@inline] node_is_u t k = t.inc.(k) land 1 = 1
+end
+
+(* ---- memory accounting ------------------------------------------------- *)
+
+type footprint = {
+  f_nodes : int;
+  f_edges : int;
+  f_tables : int;
+  f_words : int;
+  f_words_per_node : float;
+  f_words_per_edge : float;
+  f_flat_words : int;
+}
+
+(* one header word per array plus one word per element (floats are
+   unboxed inside float arrays) *)
+let words_of_len len = len + 1
+
+let kernel_payload_words = function
+  | Kernel.Generic -> 0
+  | Kernel.Potts { diag; _ } -> 3 + words_of_len (Array.length diag)
+  | Kernel.Const_sparse { col_idx; col_val; row_idx; row_val; _ } ->
+      let nested a =
+        Array.fold_left (fun acc x -> acc + words_of_len (Array.length x)) 1 a
+      in
+      8 + nested col_idx + nested col_val + nested row_idx + nested row_val
+
+let footprint t =
+  let compact =
+    words_of_len t.n (* labels *)
+    + words_of_len (t.n + 1) (* unary_off *)
+    + words_of_len (Array.length t.unary)
+    + (3 * words_of_len t.m) (* eu, ev, etab *)
+    + words_of_len (Array.length t.pot_off)
+    + words_of_len (Array.length t.pot)
+    + words_of_len (t.n + 1) (* inc_off *)
+    + (2 * words_of_len (Array.length t.inc)) (* inc + col *)
+    (* the interned caller tables are retained alongside the flat copy *)
+    + Array.fold_left
+        (fun acc tab -> acc + words_of_len (Array.length tab))
+        (words_of_len (Array.length t.tables))
+        t.tables
+    + Array.fold_left
+        (fun acc c -> acc + kernel_payload_words c)
+        (words_of_len (Array.length t.classes))
+        t.classes
+  in
+  (* What the same model costs in the pre-compact layout this module
+     replaced: a boxed (u, v, cost) record per edge in a cons list, an
+     unshared cost matrix per edge, and per-node adjacency lists of
+     boxed (edge, is_u) pairs.  Node-side storage is identical, so the
+     ratio isolates the edge-structure win. *)
+  let flat =
+    words_of_len t.n
+    + words_of_len (t.n + 1)
+    + words_of_len (Array.length t.unary)
+    + (t.m * (4 + 3)) (* 3-field edge block + cons cell *)
+    + pot_words_unshared t
+    + t.m (* header per unshared matrix copy *)
+    + (2 * t.m * (3 + 3)) (* (edge, is_u) tuple + cons cell per incidence *)
+  in
+  {
+    f_nodes = t.n;
+    f_edges = t.m;
+    f_tables = Array.length t.tables;
+    f_words = compact;
+    f_words_per_node = (if t.n = 0 then 0.0 else float compact /. float t.n);
+    f_words_per_edge = (if t.m = 0 then 0.0 else float compact /. float t.m);
+    f_flat_words = flat;
+  }
+
+let pp_footprint ppf f =
+  Format.fprintf ppf
+    "mrf footprint: %d nodes, %d edges, %d tables, %d words (%.1f/node, \
+     %.1f/edge); flat layout would use %d words (%.1fx)"
+    f.f_nodes f.f_edges f.f_tables f.f_words f.f_words_per_node
+    f.f_words_per_edge f.f_flat_words
+    (if f.f_words = 0 then 1.0 else float f.f_flat_words /. float f.f_words)
+
+(* Pre-build sizing for fail-fast memory budgeting: the words a compact
+   model of the given shape will occupy, plus the TRW-S solve-time slabs
+   (messages, reparameterized unaries, bound aggregation) — the peak a
+   [solve] on that model commits to. *)
+let estimate_words ~nodes ~edges ~max_labels ~tables =
+  let n = nodes and m = edges and l = max_labels in
+  let model =
+    (3 * (n + 1)) (* labels, unary_off, inc_off *)
+    + (n * l) (* unary *)
+    + (3 * m) (* eu, ev, etab *)
+    + (tables + 1)
+    + (2 * tables * l * l) (* flat pot + retained caller tables *)
+    + (4 * m) (* inc + col *)
+  in
+  let solve =
+    (2 * m * l) (* fw/bw message slabs *)
+    + (2 * (m + 1)) (* per-direction offsets *)
+    + (2 * n * l) (* reparameterized unary + bound aggregation slabs *)
+    + (4 * n) (* chain bookkeeping, labeling, coloring scratch *)
+  in
+  model + solve
 
 let pp_stats ppf t =
   let k = kernel_counts t in

@@ -26,6 +26,12 @@ module Builder : sig
   val create : label_counts:int array -> b
   (** One entry per node; every count must be at least 1. *)
 
+  val reserve_edges : b -> int -> unit
+  (** Presizes the builder's compact edge slots (three ints per edge,
+      otherwise grown by doubling) — call with the expected edge count
+      before streaming a large instance so the builder never
+      reallocates.  Never shrinks. *)
+
   val add_unary : b -> node:int -> label:int -> float -> unit
   (** Adds (accumulates) a cost onto one unary entry. *)
 
@@ -36,7 +42,11 @@ module Builder : sig
   val add_edge : b -> int -> int -> float array -> unit
   (** [add_edge b u v cost] adds an edge with pairwise cost matrix [cost]
       of size [k_u * k_v], row-major by [u]'s label.  The matrix is shared,
-      not copied.  Parallel edges are allowed (their costs add).
+      not copied, and hash-consed immediately: an edge whose matrix has
+      the shape and content of an earlier one stores only the earlier
+      table's id, so a streamed million-edge instance holds three ints
+      per edge plus one table per {e distinct} matrix.  Parallel edges
+      are allowed (their costs add).
       @raise Invalid_argument on self-edges or size mismatch. *)
 
   val build : ?specialize:bool -> b -> t
@@ -133,28 +143,86 @@ val greedy_coloring : t -> int array * int
     parallel region.  The result depends only on the frozen model,
     never on job counts. *)
 
+val with_unaries : t -> float array -> t
+(** [with_unaries t u] is [t] with its unary slab replaced by [u]
+    (length must equal the current slab's).  Every other array is
+    shared, and [u] is used directly, not copied — O(1) words.  This is
+    the reparameterization hook the zoned solver uses to push per-round
+    Lagrangian penalties into a zone submodel without rebuilding it. *)
+
 val pp_stats : Format.formatter -> t -> unit
+
+(** {2 Memory accounting} *)
+
+type footprint = {
+  f_nodes : int;
+  f_edges : int;
+  f_tables : int;  (** distinct interned pairwise tables *)
+  f_words : int;  (** resident words of the frozen compact model *)
+  f_words_per_node : float;
+  f_words_per_edge : float;
+  f_flat_words : int;
+      (** words the same model would occupy in the pre-compact layout
+          (boxed per-edge records, unshared cost matrices, per-node
+          adjacency lists of boxed pairs) *)
+}
+
+val footprint : t -> footprint
+(** Exact word counts of the frozen model (headers included, floats
+    unboxed), plus what the replaced boxed layout would have used — the
+    compaction win is [f_flat_words / f_words]. *)
+
+val pp_footprint : Format.formatter -> footprint -> unit
+
+val estimate_words : nodes:int -> edges:int -> max_labels:int -> tables:int -> int
+(** Pre-build sizing for fail-fast memory budgeting: words a compact
+    model of the given shape will occupy {e plus} the TRW-S solve-time
+    slabs (messages, reparameterized unaries, bound aggregation) — the
+    peak commitment of building and solving the instance.  Multiply by
+    8 for bytes. *)
 
 (**/**)
 
-type internals = {
-  i_labels : int array;      (** label count per node *)
-  i_unary_off : int array;   (** n+1 prefix sums over labels *)
-  i_unary : float array;     (** flat unary costs *)
-  i_eu : int array;          (** edge endpoints, u side *)
-  i_ev : int array;          (** edge endpoints, v side *)
-  i_etab : int array;        (** per-edge interned table id *)
-  i_pot_off : int array;     (** n_tables+1 prefix sums into [i_pot] *)
-  i_pot : float array;       (** flat concatenation of distinct tables *)
-  i_inc_off : int array;     (** n+1 CSR offsets into [i_inc] *)
-  i_inc : int array;         (** incidences: edge*2 + (1 if node=u) *)
-  i_classes : Kernel.t array;  (** per-table kernel classification *)
-}
+(** Flat CSR views for the solvers in this library: zero-allocation
+    access to the frozen storage.  [row_ptr] is [i_inc_off], and for an
+    incidence slot [k] in [row_start t i .. row_stop t i - 1],
+    {!Compact.neighbor} is the opposite endpoint (one load from the
+    neighbor column), {!Compact.edge} the edge id and
+    {!Compact.node_is_u} the orientation.  All arrays are owned by the
+    model — read-only, safe to share across domains. *)
+module Compact : sig
+  type arrays = {
+    i_labels : int array;      (** label count per node *)
+    i_unary_off : int array;   (** n+1 prefix sums over labels *)
+    i_unary : float array;     (** flat unary costs *)
+    i_eu : int array;          (** edge endpoints, u side *)
+    i_ev : int array;          (** edge endpoints, v side *)
+    i_etab : int array;        (** per-edge interned table id *)
+    i_pot_off : int array;     (** n_tables+1 prefix sums into [i_pot] *)
+    i_pot : float array;       (** flat concatenation of distinct tables *)
+    i_inc_off : int array;     (** n+1 CSR row pointers into [i_inc] *)
+    i_inc : int array;         (** incidences: edge*2 + (1 if node=u) *)
+    i_col : int array;         (** opposite endpoint per incidence slot *)
+    i_classes : Kernel.t array;  (** per-table kernel classification *)
+  }
 
-val internal_arrays : t -> internals
-(** Flat internal storage for the solvers in this library.  The
-    pairwise entry of edge [e] for labels [(xu, xv)] is
-    [i_pot.(i_pot_off.(i_etab.(e)) + xu * k_v + xv)].  All arrays are
-    owned by the model — read-only, safe to share across domains. *)
+  val arrays : t -> arrays
+  (** The solvers destructure this once per solve and then index raw
+      arrays in their hot loops.  The pairwise entry of edge [e] for
+      labels [(xu, xv)] is
+      [i_pot.(i_pot_off.(i_etab.(e)) + xu * k_v + xv)]. *)
+
+  val degree : t -> int -> int
+  val row_start : t -> int -> int
+  val row_stop : t -> int -> int
+
+  val neighbor : t -> int -> int
+  (** Opposite endpoint at incidence slot [k] — keep the result scalar
+      in sweep bodies; packing it into a tuple or record re-boxes what
+      this accessor exists to keep flat (netdiv-lint flags it). *)
+
+  val edge : t -> int -> int
+  val node_is_u : t -> int -> bool
+end
 
 (**/**)

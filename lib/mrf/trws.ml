@@ -66,7 +66,7 @@ type workspace = {
 
 let make_state mrf =
   let {
-    Mrf.i_labels = labels;
+    Mrf.Compact.i_labels = labels;
     i_unary_off = unary_off;
     i_unary = unary;
     i_eu = eu;
@@ -76,9 +76,10 @@ let make_state mrf =
     i_pot = pot;
     i_inc_off = inc_off;
     i_inc = inc;
+    i_col = col;
     i_classes = classes;
   } =
-    Mrf.internal_arrays mrf
+    Mrf.Compact.arrays mrf
   in
   let n = Array.length labels and m = Array.length eu in
   let fw_off = Array.make (m + 1) 0 and bw_off = Array.make (m + 1) 0 in
@@ -93,9 +94,8 @@ let make_state mrf =
     (* walk the incidence slice backwards so the per-node edge lists come
        out sorted by opposite endpoint *)
     for k = inc_off.(i + 1) - 1 downto inc_off.(i) do
-      let code = inc.(k) in
-      let e = code / 2 in
-      let j = if code land 1 = 1 then ev.(e) else eu.(e) in
+      let e = inc.(k) lsr 1 in
+      let j = col.(k) in
       if j < i then begin
         incr lower;
         backward.(i) <- e :: backward.(i)
@@ -808,6 +808,356 @@ let solve_components ?(config = default_config)
       Solver.labeling;
       energy;
       lower_bound = bound;
+      iterations;
+      converged;
+      runtime_s;
+    }
+  end
+
+(* ---- block-coordinate zone decomposition ------------------------------- *)
+
+(* Fallback zone assignment when the caller has none: deterministic BFS
+   growth over the model's CSR adjacency, the MRF-side mirror of
+   Graph.Cut.greedy_partition.  Zones are grown one at a time from the
+   lowest unassigned node, absorbing neighbors in incidence order until
+   the zone reaches its quota — a function of the frozen model only. *)
+let greedy_zone_partition mrf ~zones =
+  let n = Mrf.n_nodes mrf in
+  let zones = max 1 (min zones (max 1 n)) in
+  let zone = Array.make (max 1 n) (-1) in
+  let base = n / zones and extra = n mod zones in
+  let queue = Queue.create () in
+  let scan = ref 0 in
+  for z = 0 to zones - 1 do
+    let remaining = ref (base + if z < extra then 1 else 0) in
+    Queue.clear queue;
+    while !remaining > 0 do
+      if Queue.is_empty queue then begin
+        while zone.(!scan) >= 0 do
+          incr scan
+        done;
+        zone.(!scan) <- z;
+        decr remaining;
+        Queue.add !scan queue
+      end
+      else begin
+        let u = Queue.pop queue in
+        for k = Mrf.Compact.row_start mrf u to Mrf.Compact.row_stop mrf u - 1
+        do
+          let v = Mrf.Compact.neighbor mrf k in
+          if !remaining > 0 && zone.(v) < 0 then begin
+            zone.(v) <- z;
+            decr remaining;
+            Queue.add v queue
+          end
+        done
+      end
+    done
+  done;
+  zone
+
+let default_zone_rounds = 8
+let default_zone_step = 0.25
+
+(* Lagrangian (dual) decomposition over zones.  Zone slaves own their
+   interior edges and unaries plus the running boundary penalties; each
+   boundary edge (u, v) is its own two-variable slave
+   min_{xu, xv} [ pot(xu, xv) - lam_u(xu) - lam_v(xv) ], so for any
+   labeling the slave objectives sum exactly to E and
+
+     sum_z bound(zone slave) + sum_boundary min(edge slave)  <=  min E
+
+   is a valid global lower bound even though each zone bound is itself a
+   TRW-S dual bound rather than an exact minimum.  After each round the
+   multipliers move one subgradient step toward agreement between the
+   zone argmin and the edge-slave argmin, in global boundary-edge order
+   with a deterministic diminishing step — so the trajectory is a
+   function of the zone map only, never of the job count, and rounds
+   stop early when every boundary edge agrees. *)
+let solve_zoned ?(config = default_config) ?(interrupt = fun () -> false)
+    ?(on_progress = fun ~iter:_ ~energy:_ ~bound:_ -> ()) ?zones ?zone_of
+    ?(rounds = default_zone_rounds) ?(step = default_zone_step) ?jobs mrf =
+  let n = Mrf.n_nodes mrf and m = Mrf.n_edges mrf in
+  (* normalize the zone map: dense ids in order of first appearance *)
+  let zone_of, nz =
+    match zone_of with
+    | Some z ->
+        if Array.length z <> n then
+          invalid_arg "Trws.solve_zoned: zone_of has wrong length";
+        let dense = Array.make (max 1 n) 0 in
+        let id_of = Hashtbl.create 16 in
+        let next = ref 0 in
+        for i = 0 to n - 1 do
+          if z.(i) < 0 then
+            invalid_arg "Trws.solve_zoned: negative zone id";
+          dense.(i) <-
+            (match Hashtbl.find_opt id_of z.(i) with
+            | Some id -> id
+            | None ->
+                let id = !next in
+                incr next;
+                Hashtbl.add id_of z.(i) id;
+                id)
+        done;
+        (dense, max 1 !next)
+    | None ->
+        let zones =
+          match zones with
+          | Some z -> max 1 (min z (max 1 n))
+          | None -> default_parts n
+        in
+        if zones <= 1 then (Array.make (max 1 n) 0, 1)
+        else (greedy_zone_partition mrf ~zones, zones)
+  in
+  if nz <= 1 then solve ~config ~interrupt ~on_progress mrf
+  else begin
+    let run () =
+      let {
+        Mrf.Compact.i_labels = g_labels;
+        i_eu = g_eu;
+        i_ev = g_ev;
+        i_etab = g_etab;
+        i_pot_off = g_pot_off;
+        i_pot = g_pot;
+        _;
+      } =
+        Mrf.Compact.arrays mrf
+      in
+      (* zone membership, local indices, per-zone node lists in global
+         node order *)
+      let sizes = Array.make nz 0 in
+      let local = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let z = zone_of.(i) in
+        local.(i) <- sizes.(z);
+        sizes.(z) <- sizes.(z) + 1
+      done;
+      let nodes = Array.init nz (fun z -> Array.make (max 1 sizes.(z)) 0) in
+      for i = 0 to n - 1 do
+        nodes.(zone_of.(i)).(local.(i)) <- i
+      done;
+      let builders =
+        Array.init nz (fun z ->
+            Mrf.Builder.create
+              ~label_counts:
+                (Array.init sizes.(z) (fun li ->
+                     g_labels.(nodes.(z).(li)))))
+      in
+      Array.iteri
+        (fun z ns ->
+          if sizes.(z) > 0 then
+            Array.iteri
+              (fun li gi ->
+                let k = g_labels.(gi) in
+                Mrf.Builder.set_unary builders.(z) ~node:li
+                  (Array.init k (fun label -> Mrf.unary mrf ~node:gi ~label)))
+              ns)
+        nodes;
+      (* first pass: count interior edges per zone and boundary edges *)
+      let interior = Array.make nz 0 in
+      let nb = ref 0 in
+      for e = 0 to m - 1 do
+        let zu = zone_of.(g_eu.(e)) and zv = zone_of.(g_ev.(e)) in
+        if zu = zv then interior.(zu) <- interior.(zu) + 1 else incr nb
+      done;
+      let nb = !nb in
+      Array.iteri (fun z c -> Mrf.Builder.reserve_edges builders.(z) c)
+        interior;
+      (* second pass: interior edges stream into their zone builder in
+         global edge order (interned tables pass through shared, so
+         sub-model interning is cheap); boundary edges are recorded in
+         global edge order — the order every multiplier update uses *)
+      let be = Array.make (max 1 nb) 0 in
+      let cur = ref 0 in
+      for e = 0 to m - 1 do
+        let u = g_eu.(e) and v = g_ev.(e) in
+        if zone_of.(u) = zone_of.(v) then
+          Mrf.Builder.add_edge builders.(zone_of.(u)) local.(u) local.(v)
+            (Mrf.edge_cost mrf e)
+        else begin
+          be.(!cur) <- e;
+          incr cur
+        end
+      done;
+      let subs = Array.map Mrf.Builder.build builders in
+      (* per-zone effective unary slabs: base copy + running penalties;
+         each zone model is wrapped once and re-reads the slab every
+         round *)
+      let base =
+        Array.map (fun s -> (Mrf.Compact.arrays s).Mrf.Compact.i_unary) subs
+      in
+      let eff = Array.map Array.copy base in
+      let wrapped =
+        Array.init nz (fun z -> Mrf.with_unaries subs.(z) eff.(z))
+      in
+      let sub_uoff =
+        Array.map
+          (fun s -> (Mrf.Compact.arrays s).Mrf.Compact.i_unary_off)
+          subs
+      in
+      (* boundary-edge metadata, flat in boundary order *)
+      let b_u = Array.make (max 1 nb) 0 and b_v = Array.make (max 1 nb) 0 in
+      let b_ku = Array.make (max 1 nb) 0 and b_kv = Array.make (max 1 nb) 0 in
+      let b_uoff = Array.make (max 1 nb) 0 in
+      let b_voff = Array.make (max 1 nb) 0 in
+      let b_p0 = Array.make (max 1 nb) 0 in
+      let lam_off = Array.make (nb + 1) 0 in
+      for bi = 0 to nb - 1 do
+        let e = be.(bi) in
+        let u = g_eu.(e) and v = g_ev.(e) in
+        b_u.(bi) <- u;
+        b_v.(bi) <- v;
+        b_ku.(bi) <- g_labels.(u);
+        b_kv.(bi) <- g_labels.(v);
+        b_uoff.(bi) <- sub_uoff.(zone_of.(u)).(local.(u));
+        b_voff.(bi) <- sub_uoff.(zone_of.(v)).(local.(v));
+        b_p0.(bi) <- g_pot_off.(g_etab.(e));
+        lam_off.(bi + 1) <- lam_off.(bi) + g_labels.(u) + g_labels.(v)
+      done;
+      let lam = Array.make (max 1 lam_off.(nb)) 0.0 in
+      let team = Pool.Team.create ?jobs () in
+      Fun.protect
+        ~finally:(fun () -> Pool.Team.stop team)
+        (fun () ->
+          let dummy =
+            {
+              Solver.labeling = [||];
+              energy = infinity;
+              lower_bound = neg_infinity;
+              iterations = 0;
+              converged = false;
+              runtime_s = 0.0;
+            }
+          in
+          let results = Array.make nz dummy in
+          let solve_zone z =
+            Pool.write results z (solve ~config ~interrupt wrapped.(z))
+          in
+          let xhat = Array.make n 0 in
+          let best_x = Array.make n 0 in
+          let best_energy = ref infinity in
+          let best_bound = ref neg_infinity in
+          let iters = ref 0 in
+          let converged = ref false in
+          (* scalar scratch for the edge-slave argmin, hoisted out of
+             the round loop *)
+          let sl_best = ref 0.0 in
+          let sl_bu = ref 0 and sl_bv = ref 0 in
+          (try
+             for r = 0 to rounds - 1 do
+               if interrupt () then raise Exit;
+               iters := r + 1;
+               (* refresh effective unaries: base + current penalties *)
+               Array.iteri
+                 (fun z b -> Array.blit b 0 eff.(z) 0 (Array.length b))
+                 base;
+               for bi = 0 to nb - 1 do
+                 let lo = lam_off.(bi) in
+                 let ku = b_ku.(bi) and kv = b_kv.(bi) in
+                 let zu = zone_of.(b_u.(bi)) and zv = zone_of.(b_v.(bi)) in
+                 let uo = b_uoff.(bi) and vo = b_voff.(bi) in
+                 for l = 0 to ku - 1 do
+                   eff.(zu).(uo + l) <- eff.(zu).(uo + l) +. lam.(lo + l)
+                 done;
+                 for l = 0 to kv - 1 do
+                   eff.(zv).(vo + l) <- eff.(zv).(vo + l) +. lam.(lo + ku + l)
+                 done
+               done;
+               (* zone-interior solves in parallel; each chunk writes
+                  only its own result slots *)
+               Obs.begin_span "trws.zones";
+               Pool.Team.run team ~chunks:nz ~lo:0 ~hi:nz (fun _c clo chi ->
+                   for z = clo to chi - 1 do
+                     solve_zone z
+                   done);
+               Obs.end_span "trws.zones";
+               for z = 0 to nz - 1 do
+                 let ns = nodes.(z) and r = results.(z) in
+                 for li = 0 to sizes.(z) - 1 do
+                   xhat.(ns.(li)) <- r.Solver.labeling.(li)
+                 done
+               done;
+               (* boundary reconciliation: edge-slave minima complete
+                  the dual bound; disagreeing multipliers take one
+                  diminishing subgradient step, in global order *)
+               Obs.begin_span "trws.boundary";
+               let zb = ref 0.0 in
+               for z = 0 to nz - 1 do
+                 zb := !zb +. results.(z).Solver.lower_bound
+               done;
+               let eb = ref 0.0 in
+               let disagree = ref 0 in
+               let step_r = step /. float_of_int (r + 1) in
+               for bi = 0 to nb - 1 do
+                 let lo = lam_off.(bi) in
+                 let ku = b_ku.(bi) and kv = b_kv.(bi) in
+                 let p0 = b_p0.(bi) in
+                 sl_best := infinity;
+                 sl_bu := 0;
+                 sl_bv := 0;
+                 for xu = 0 to ku - 1 do
+                   for xv = 0 to kv - 1 do
+                     let c =
+                       g_pot.(p0 + (xu * kv) + xv)
+                       -. lam.(lo + xu)
+                       -. lam.(lo + ku + xv)
+                     in
+                     if c < !sl_best then begin
+                       sl_best := c;
+                       sl_bu := xu;
+                       sl_bv := xv
+                     end
+                   done
+                 done;
+                 eb := !eb +. !sl_best;
+                 let xu = xhat.(b_u.(bi)) and xv = xhat.(b_v.(bi)) in
+                 if xu <> !sl_bu then begin
+                   incr disagree;
+                   lam.(lo + xu) <- lam.(lo + xu) +. step_r;
+                   lam.(lo + !sl_bu) <- lam.(lo + !sl_bu) -. step_r
+                 end;
+                 if xv <> !sl_bv then begin
+                   incr disagree;
+                   lam.(lo + ku + xv) <- lam.(lo + ku + xv) +. step_r;
+                   lam.(lo + ku + !sl_bv) <- lam.(lo + ku + !sl_bv) -. step_r
+                 end
+               done;
+               Obs.end_span "trws.boundary";
+               let lb = !zb +. !eb in
+               if lb > !best_bound then best_bound := lb;
+               (* the concatenated zone labelings are always a feasible
+                  primal point of the full model *)
+               let e = Mrf.energy mrf xhat in
+               if e < !best_energy then begin
+                 best_energy := e;
+                 Array.blit xhat 0 best_x 0 n
+               end;
+               Obs.sample ~name:"trws.energy" !best_energy;
+               Obs.sample ~name:"trws.lower_bound" !best_bound;
+               on_progress ~iter:(r + 1) ~energy:!best_energy
+                 ~bound:!best_bound;
+               if
+                 !disagree = 0
+                 && Array.for_all (fun r -> r.Solver.converged) results
+               then begin
+                 converged := true;
+                 raise Exit
+               end;
+               if !best_energy -. !best_bound < config.tolerance then begin
+                 converged := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          (best_x, !best_energy, !best_bound, !iters, !converged))
+    in
+    let (labeling, energy, lb, iterations, converged), runtime_s =
+      Solver.timed (fun () -> Obs.span ~name:"trws.zoned" run)
+    in
+    {
+      Solver.labeling;
+      energy;
+      lower_bound = lb;
       iterations;
       converged;
       runtime_s;

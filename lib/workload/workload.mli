@@ -33,3 +33,48 @@ val synthetic_similarity :
     Jaccard-like draw in (0, 0.7]. *)
 
 val pp_params : Format.formatter -> params -> unit
+
+(** {1 Zoned streaming instances}
+
+    100k-host instances never exist as one resident object graph:
+    {!stream_zoned} emits each zone's topology straight into the compact
+    MRF encoder ({!Netdiv_mrf.Mrf.Builder}) via
+    {!Netdiv_graph.Gen.iter_connected_avg_degree}, so peak memory is the
+    growing compact model plus one zone's generator state.  The zone
+    structure mirrors segmented ICS networks: dense connected zones
+    joined by a few gateway links between consecutive zones. *)
+
+type zoned_params = {
+  z_hosts : int;           (** total hosts, split across zones ±1 *)
+  z_zones : int;           (** zone count; hosts are zone-contiguous *)
+  z_degree : int;          (** average degree inside a zone; < 2 means
+                               edgeless zones *)
+  z_gateway_links : int;   (** distinct host links between consecutive
+                               zones *)
+  z_services : int;        (** services per host (all hosts run all) *)
+  z_products : int;        (** products per service *)
+  z_seed : int;
+}
+
+val default_zoned : zoned_params
+(** 10k hosts, 10 zones, degree 8, 4 gateway links, 5 services x 4
+    products. *)
+
+val stream_zoned : ?prconst:float -> zoned_params -> Netdiv_mrf.Mrf.t * int array
+(** [stream_zoned p] builds the diversification MRF of a zoned instance
+    directly — one variable per (host, service) slot at
+    [host * z_services + service], every unary the constant preference
+    cost [prconst] (default 0.01), one pairwise similarity edge per
+    (link, service) — and returns it with the per-variable zone map
+    (ready for {!Netdiv_mrf.Trws.solve_zoned}).  Each service shares one
+    similarity matrix across all its edges, so the model interns exactly
+    [z_services] tables.  Deterministic in [z_seed].
+    @raise Invalid_argument for non-positive sizes or
+    [z_zones > z_hosts]. *)
+
+val estimate_zoned_words : zoned_params -> int
+(** Predicted peak words ({!Netdiv_mrf.Mrf.estimate_words}) for building
+    and solving [stream_zoned p] — what [--mem-budget] checks before any
+    allocation happens. *)
+
+val pp_zoned_params : Format.formatter -> zoned_params -> unit

@@ -219,6 +219,62 @@ let test_alloc_in_loop () =
        \    ignore (Array.make 4 0.0)\n\
        \  done\n")
 
+(* Boxed-construction extension: tuples/records packed from Mrf.Compact
+   accessor results inside sweep loops re-box what the CSR layout keeps
+   flat. *)
+let test_compact_boxing_in_loop () =
+  check_rules "positive: tuple of accessor results inside for"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/trws.ml"
+       "let f t k n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Mrf.Compact.neighbor t k, Mrf.Compact.edge t k)\n\
+       \  done\n");
+  check_rules "positive: record built from accessors inside while"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/bp.ml"
+       "let f t k =\n\
+       \  while !going do\n\
+       \    ignore { nb = Compact.neighbor t k; e = Compact.edge t k }\n\
+       \  done\n");
+  check_rules "positive: accessor nested in a call inside the tuple"
+    [ "alloc-in-loop" ]
+    (lint "lib/mrf/trws.ml"
+       "let f t k n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (decode (Mrf.Compact.edge t k), k)\n\
+       \  done\n");
+  check_rules "near-miss: scalar lets do not box" []
+    (lint "lib/mrf/trws.ml"
+       "let f t k n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    let j = Mrf.Compact.neighbor t k in\n\
+       \    let e = Mrf.Compact.edge t k in\n\
+       \    visit j e\n\
+       \  done\n");
+  check_rules "near-miss: tuple without accessor results" []
+    (lint "lib/mrf/trws.ml"
+       "let f a b n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (a, b)\n\
+       \  done\n");
+  check_rules "near-miss: tuple of accessors outside any loop" []
+    (lint "lib/mrf/trws.ml"
+       "let f t k = (Mrf.Compact.neighbor t k, Mrf.Compact.edge t k)\n");
+  check_rules "near-miss: hot dirs only (lib/graph is exempt)" []
+    (lint "lib/graph/cut.ml"
+       "let f t k n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    ignore (Mrf.Compact.neighbor t k, Mrf.Compact.edge t k)\n\
+       \  done\n");
+  check_rules "suppressed" []
+    (lint "lib/mrf/trws.ml"
+       "let f t k n =\n\
+       \  for _ = 0 to n - 1 do\n\
+       \    (* netdiv-lint: allow alloc-in-loop — fixture, cold decode loop *)\n\
+       \    ignore (Mrf.Compact.neighbor t k, Mrf.Compact.edge t k)\n\
+       \  done\n")
+
 (* -------------------------------------------------------- missing-mli *)
 
 let test_missing_mli () =
@@ -771,6 +827,8 @@ let () =
             test_direct_clock;
           Alcotest.test_case "list-nth-in-loop" `Quick test_list_nth_in_loop;
           Alcotest.test_case "alloc-in-loop" `Quick test_alloc_in_loop;
+          Alcotest.test_case "alloc-in-loop (Compact boxing)" `Quick
+            test_compact_boxing_in_loop;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "printf-in-lib" `Quick test_printf_in_lib;
           Alcotest.test_case "swallowed-exception" `Quick

@@ -658,6 +658,151 @@ let test_parallel_schedules_on_structured_kernels () =
           bg.Solver.labeling bs.Solver.labeling
       done)
 
+(* ---------------------------------------------------- zoned decomposition *)
+
+let test_compact_accessors () =
+  let m = random_mrf (rng 60) 15 3 0.3 in
+  for i = 0 to Mrf.n_nodes m - 1 do
+    let inc = Mrf.incident m i in
+    Alcotest.(check int)
+      (Printf.sprintf "degree of %d" i)
+      (Array.length inc) (Mrf.Compact.degree m i);
+    Array.iteri
+      (fun s (e, is_u) ->
+        let k = Mrf.Compact.row_start m i + s in
+        Alcotest.(check int) "edge id" e (Mrf.Compact.edge m k);
+        Alcotest.(check bool) "orientation" is_u (Mrf.Compact.node_is_u m k);
+        Alcotest.(check int) "neighbor column" (Mrf.opposite m ~edge:e i)
+          (Mrf.Compact.neighbor m k))
+      inc;
+    Alcotest.(check int) "row extent"
+      (Mrf.Compact.row_stop m i - Mrf.Compact.row_start m i)
+      (Mrf.Compact.degree m i)
+  done
+
+let test_footprint () =
+  let m = random_mrf (rng 61) 25 3 0.25 in
+  let f = Mrf.footprint m in
+  Alcotest.(check int) "nodes" (Mrf.n_nodes m) f.Mrf.f_nodes;
+  Alcotest.(check int) "edges" (Mrf.n_edges m) f.Mrf.f_edges;
+  Alcotest.(check bool) "positive words" true (f.Mrf.f_words > 0);
+  Alcotest.(check bool) "per-node positive" true
+    (f.Mrf.f_words_per_node > 0.0);
+  (* this model's tables are all distinct (random), still the boxed
+     layout pays list/tuple overhead the compact layout doesn't *)
+  Alcotest.(check bool) "flat layout is larger" true
+    (f.Mrf.f_flat_words > f.Mrf.f_words / 2);
+  (* heavy interning: one shared table, many edges -> compact wins big *)
+  let shared = Array.make 9 0.25 in
+  let b = Mrf.Builder.create ~label_counts:(Array.make 40 3) in
+  Mrf.Builder.reserve_edges b 80;
+  for u = 0 to 38 do
+    Mrf.Builder.add_edge b u (u + 1) shared
+  done;
+  let mi = Mrf.Builder.build b in
+  let fi = Mrf.footprint mi in
+  Alcotest.(check int) "one interned table" 1 fi.Mrf.f_tables;
+  Alcotest.(check bool) "interned compact under half of flat" true
+    (2 * fi.Mrf.f_words < fi.Mrf.f_flat_words);
+  let est =
+    Mrf.estimate_words ~nodes:40 ~edges:39 ~max_labels:3 ~tables:1
+  in
+  Alcotest.(check bool) "estimate covers the model" true
+    (est >= fi.Mrf.f_words)
+
+let test_with_unaries () =
+  let m = random_mrf (rng 62) 8 3 0.4 in
+  let x = Array.make 8 1 in
+  let e0 = Mrf.energy m x in
+  let u = Array.init (8 * 3) (fun k -> Mrf.unary m ~node:(k / 3) ~label:(k mod 3)) in
+  let shifted = Array.map (fun c -> c +. 0.5) u in
+  let m' = Mrf.with_unaries m shifted in
+  Alcotest.(check (float 1e-9)) "energy shifts by n * 0.5" (e0 +. 4.0)
+    (Mrf.energy m' x);
+  Alcotest.(check (float 1e-9)) "original untouched" e0 (Mrf.energy m x);
+  match Mrf.with_unaries m [| 0.0 |] with
+  | _ -> Alcotest.fail "accepted wrong unary length"
+  | exception Invalid_argument _ -> ()
+
+let test_solve_zoned_single_zone_matches_solve () =
+  (* one zone must be the sequential solver, bit for bit — whether the
+     zone count is given explicitly, via a constant zone map, or falls
+     out of the size default *)
+  for seed = 70 to 74 do
+    let m = random_mrf (rng seed) 30 3 0.15 in
+    let base = Trws.solve m in
+    List.iter
+      (fun (label, r) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s energy bitwise seed=%d" label seed)
+          true
+          (base.Solver.energy = r.Solver.energy);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s bound bitwise seed=%d" label seed)
+          true
+          (base.Solver.lower_bound = r.Solver.lower_bound);
+        Alcotest.(check (array int))
+          (Printf.sprintf "%s labeling seed=%d" label seed)
+          base.Solver.labeling r.Solver.labeling;
+        Alcotest.(check int)
+          (Printf.sprintf "%s iterations seed=%d" label seed)
+          base.Solver.iterations r.Solver.iterations)
+      [
+        ("zones=1", Trws.solve_zoned ~zones:1 ~jobs:1 m);
+        ("constant zone map", Trws.solve_zoned ~zone_of:(Array.make 30 7) m);
+        ("size default", Trws.solve_zoned m);
+      ]
+  done
+
+let test_solve_zoned_jobs_invariant () =
+  with_hardware_jobs 4 (fun () ->
+      for seed = 75 to 78 do
+        let m = random_mrf (rng seed) 40 3 0.12 in
+        let zone_of = Array.init 40 (fun i -> i / 10) in
+        let r1 = Trws.solve_zoned ~zone_of ~jobs:1 m in
+        List.iter
+          (fun jobs ->
+            let r = Trws.solve_zoned ~zone_of ~jobs m in
+            Alcotest.(check bool)
+              (Printf.sprintf "energy bitwise seed=%d jobs=%d" seed jobs)
+              true
+              (r1.Solver.energy = r.Solver.energy);
+            Alcotest.(check bool)
+              (Printf.sprintf "bound bitwise seed=%d jobs=%d" seed jobs)
+              true
+              (r1.Solver.lower_bound = r.Solver.lower_bound);
+            Alcotest.(check (array int))
+              (Printf.sprintf "labeling seed=%d jobs=%d" seed jobs)
+              r1.Solver.labeling r.Solver.labeling;
+            Alcotest.(check int)
+              (Printf.sprintf "iterations seed=%d jobs=%d" seed jobs)
+              r1.Solver.iterations r.Solver.iterations)
+          [ 2; 4 ];
+        (* dual decomposition must keep the sandwich *)
+        Alcotest.(check (float 1e-9)) "labeling consistent with energy"
+          r1.Solver.energy
+          (Mrf.energy m r1.Solver.labeling);
+        Alcotest.(check bool) "bound below energy" true
+          (r1.Solver.lower_bound <= r1.Solver.energy +. 1e-9)
+      done)
+
+let test_solve_zoned_bound_valid () =
+  (* zone bound + edge-slave minima must stay below the true optimum on
+     instances small enough to enumerate *)
+  for seed = 80 to 84 do
+    let m = random_mrf (rng seed) 7 3 0.5 in
+    let exact = Brute.solve m in
+    let r = Trws.solve_zoned ~zones:3 ~rounds:6 m in
+    Alcotest.(check bool)
+      (Printf.sprintf "bound below optimum seed=%d" seed)
+      true
+      (r.Solver.lower_bound <= exact.Solver.energy +. 1e-7);
+    Alcotest.(check bool)
+      (Printf.sprintf "primal above optimum seed=%d" seed)
+      true
+      (r.Solver.energy >= exact.Solver.energy -. 1e-9)
+  done
+
 (* ------------------------------------------------------------- property *)
 
 let mrf_gen =
@@ -756,6 +901,20 @@ let () =
             test_bp_chromatic_jobs_invariant;
           Alcotest.test_case "parallel schedules on structured kernels"
             `Quick test_parallel_schedules_on_structured_kernels;
+        ] );
+      ( "zoned",
+        [
+          Alcotest.test_case "compact accessors agree with incident" `Quick
+            test_compact_accessors;
+          Alcotest.test_case "footprint accounting" `Quick test_footprint;
+          Alcotest.test_case "with_unaries reparameterization" `Quick
+            test_with_unaries;
+          Alcotest.test_case "zoned trws, zones=1 = solve" `Quick
+            test_solve_zoned_single_zone_matches_solve;
+          Alcotest.test_case "zoned trws jobs-invariant" `Quick
+            test_solve_zoned_jobs_invariant;
+          Alcotest.test_case "zoned bound stays valid" `Quick
+            test_solve_zoned_bound_valid;
         ] );
       ( "properties",
         [

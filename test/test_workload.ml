@@ -4,6 +4,7 @@ open Netdiv_workload.Workload
 module Network = Netdiv_core.Network
 module Graph = Netdiv_graph.Graph
 module Traversal = Netdiv_graph.Traversal
+module Mrf = Netdiv_mrf.Mrf
 
 let test_default_shape () =
   let net = instance default in
@@ -77,6 +78,69 @@ let test_optimizable () =
   Alcotest.(check bool) "beats mono" true
     (report.Netdiv_core.Optimize.energy < mono_energy)
 
+(* ------------------------------------------------- zoned streaming *)
+
+let zp =
+  { z_hosts = 200; z_zones = 5; z_degree = 4; z_gateway_links = 3;
+    z_services = 3; z_products = 4; z_seed = 7 }
+
+let test_stream_zoned_shape () =
+  let model, zone_of = stream_zoned zp in
+  Alcotest.(check int) "variables = hosts * services" 600 (Mrf.n_nodes model);
+  Alcotest.(check int) "one shared table per service" 3 (Mrf.n_tables model);
+  Alcotest.(check int) "zone map covers every variable" 600
+    (Array.length zone_of);
+  (* hosts are generated zone by zone, so the per-variable zone map is
+     nondecreasing and every zone is populated *)
+  let counts = Array.make zp.z_zones 0 in
+  Array.iteri
+    (fun i z ->
+      Alcotest.(check bool) "zone id in range" true (z >= 0 && z < 5);
+      if i > 0 then
+        Alcotest.(check bool) "zone-contiguous" true (zone_of.(i - 1) <= z);
+      counts.(z) <- counts.(z) + 1)
+    zone_of;
+  Array.iter (fun c -> Alcotest.(check int) "balanced zones" 120 c) counts;
+  Alcotest.(check bool) "connected within budget" true (Mrf.n_edges model > 0)
+
+let test_stream_zoned_deterministic () =
+  let a, za = stream_zoned zp and b, zb = stream_zoned zp in
+  Alcotest.(check bool) "same zone map" true (za = zb);
+  Alcotest.(check bool) "same compact arrays" true
+    (Mrf.Compact.arrays a = Mrf.Compact.arrays b)
+
+let test_stream_zoned_estimate () =
+  (* the pre-allocation estimate must bound what streaming then builds,
+     or --mem-budget would reject instances that actually fit *)
+  let model, _ = stream_zoned zp in
+  let fp = Mrf.footprint model in
+  let est = estimate_zoned_words zp in
+  Alcotest.(check bool) "estimate bounds footprint" true
+    (est >= fp.Mrf.f_words);
+  Alcotest.(check bool) "interned tables beat flat storage" true
+    (fp.Mrf.f_words < fp.Mrf.f_flat_words)
+
+let test_stream_zoned_invalid () =
+  List.iter
+    (fun p ->
+      match stream_zoned p with
+      | _ -> Alcotest.fail "accepted bad zoned parameter"
+      | exception Invalid_argument _ -> ())
+    [ { zp with z_zones = 0 }; { zp with z_hosts = 0 };
+      { zp with z_zones = zp.z_hosts + 1 }; { zp with z_services = 0 } ]
+
+let test_encode_estimate_bounds () =
+  (* same contract on the constraint-encoding path: the estimate behind
+     netdiv's --mem-budget must dominate the encoded model's footprint *)
+  let net =
+    instance { hosts = 60; degree = 6; services = 3;
+               products_per_service = 4; seed = 3 }
+  in
+  let est = Netdiv_core.Encode.estimate_words net [] in
+  let fp = Mrf.footprint (Netdiv_core.Encode.mrf (Netdiv_core.Encode.encode net [])) in
+  Alcotest.(check bool) "estimate bounds encoded footprint" true
+    (est >= fp.Mrf.f_words)
+
 let () =
   Alcotest.run "workload"
     [
@@ -91,5 +155,17 @@ let () =
           Alcotest.test_case "cross-family zero" `Quick
             test_cross_family_zero;
           Alcotest.test_case "optimizable" `Quick test_optimizable;
+        ] );
+      ( "zoned",
+        [
+          Alcotest.test_case "stream shape" `Quick test_stream_zoned_shape;
+          Alcotest.test_case "stream deterministic" `Quick
+            test_stream_zoned_deterministic;
+          Alcotest.test_case "stream estimate bounds" `Quick
+            test_stream_zoned_estimate;
+          Alcotest.test_case "stream invalid params" `Quick
+            test_stream_zoned_invalid;
+          Alcotest.test_case "encode estimate bounds" `Quick
+            test_encode_estimate_bounds;
         ] );
     ]

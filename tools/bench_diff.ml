@@ -3,9 +3,9 @@
 
      dune exec tools/bench_diff.exe -- BASELINE.json FRESH.json
 
-   Reads two BENCH.json reports (the hand-rolled format bench/main.ml
-   writes), compares the watched metrics and exits nonzero when the
-   fresh run regresses beyond the tolerance (default 25%, override with
+   Reads two BENCH.json reports (via the shared Bench_json scanner),
+   compares the watched metrics and exits nonzero when the fresh run
+   regresses beyond the tolerance (default 25%, override with
    NETDIV_BENCH_TOL, e.g. 0.10).  Watched:
 
    - [scalability_speedup.solve_1j_s]: the serial solve of the smoke
@@ -20,7 +20,13 @@
      generic O(L^2) update;
    - [lint_analysis.lint_full_s]: the whole-repo interprocedural effect
      analysis (lower is better), fingerprinted by the number of
-     analyzed bindings — the workload is the repository itself.
+     analyzed bindings — the workload is the repository itself;
+   - [hierarchical_scale.solve_s] and [hierarchical_scale.words_per_host]:
+     the zoned 100k-tier solve time and the compact model's memory
+     density (both lower is better) — the storage contract of the CSR
+     refactor;
+   - [interning_memory.words_per_host]: the same density on the classic
+     1,000-host encoding.
 
    Metrics missing from the baseline are reported informationally and
    never fail: that is how a new metric enters the history.  Each
@@ -31,7 +37,10 @@
    and the section is skipped with a note instead of failing — the
    commit that redefines a benchmark is the new baseline.  tools/
    check.sh snapshots each fresh report into bench_history/ so local
-   regressions can be bisected by timestamp. *)
+   regressions can be bisected by timestamp (tools/bench_page renders
+   that history as a static trend page). *)
+
+module J = Bench_json
 
 let tolerance =
   match Sys.getenv_opt "NETDIV_BENCH_TOL" with
@@ -42,81 +51,6 @@ let tolerance =
           prerr_endline "bench_diff: ignoring malformed NETDIV_BENCH_TOL";
           0.25)
   | None -> 0.25
-
-type section = { s_name : string; metrics : (string * float) list }
-
-(* Scanner for the writer's own output: a stream of ["key": value]
-   pairs, where a ["name"] key opens a new section and numeric values
-   attach to the currently open one.  This is not a JSON parser — it
-   relies on bench/main.ml emitting code-controlled identifiers with no
-   escapes, which is exactly the writer's documented contract. *)
-let parse_sections src =
-  let len = String.length src in
-  let sections = ref [] in
-  let cur_name = ref None in
-  let cur = ref [] in
-  let flush () =
-    (match !cur_name with
-    | Some n -> sections := { s_name = n; metrics = List.rev !cur } :: !sections
-    | None -> ());
-    cur_name := None;
-    cur := []
-  in
-  let i = ref 0 in
-  while !i < len do
-    if src.[!i] <> '"' then incr i
-    else begin
-      let j = String.index_from src (!i + 1) '"' in
-      let key = String.sub src (!i + 1) (j - !i - 1) in
-      i := j + 1;
-      while !i < len && (src.[!i] = ' ' || src.[!i] = '\n') do
-        incr i
-      done;
-      if !i < len && src.[!i] = ':' then begin
-        incr i;
-        while !i < len && src.[!i] = ' ' do
-          incr i
-        done;
-        if !i < len && src.[!i] = '"' then begin
-          (* string value: only "name" carries one *)
-          let k = String.index_from src (!i + 1) '"' in
-          let v = String.sub src (!i + 1) (k - !i - 1) in
-          i := k + 1;
-          if key = "name" then begin
-            flush ();
-            cur_name := Some v
-          end
-        end
-        else begin
-          let start = !i in
-          while
-            !i < len
-            && not (src.[!i] = ',' || src.[!i] = '}' || src.[!i] = '\n')
-          do
-            incr i
-          done;
-          match
-            float_of_string_opt (String.trim (String.sub src start (!i - start)))
-          with
-          | Some v when Option.is_some !cur_name -> cur := (key, v) :: !cur
-          | _ -> ()
-        end
-      end
-    end
-  done;
-  flush ();
-  List.rev !sections
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let find sections section key =
-  List.find_map
-    (fun s -> if s.s_name = section then List.assoc_opt key s.metrics else None)
-    sections
 
 let ends_with suffix s =
   let ls = String.length s and lf = String.length suffix in
@@ -131,18 +65,21 @@ let watched fresh =
       ("intra_component_speedup", "solve_1j_s", true);
       ("observability_overhead", "solve_off_s", true);
       ("fault_overhead", "solve_off_s", true);
-      ("lint_analysis", "lint_full_s", true) ]
+      ("lint_analysis", "lint_full_s", true);
+      ("hierarchical_scale", "solve_s", true);
+      ("hierarchical_scale", "words_per_host", true);
+      ("interning_memory", "words_per_host", true) ]
   @ List.concat_map
       (fun s ->
-        if s.s_name <> "kernel_specialization" then []
+        if s.J.s_name <> "kernel_specialization" then []
         else
           List.filter_map
             (fun (k, _) ->
               if k = "wall_s" then None
-              else if ends_with "_s" k then Some (s.s_name, k, true)
-              else if ends_with "_speedup" k then Some (s.s_name, k, false)
+              else if ends_with "_s" k then Some (s.J.s_name, k, true)
+              else if ends_with "_speedup" k then Some (s.J.s_name, k, false)
               else None)
-            s.metrics)
+            s.J.metrics)
       fresh )
 
 (* Workload fingerprint per watched section: if this metric differs
@@ -154,6 +91,10 @@ let fingerprint = function
   | "observability_overhead" -> Some "solver_energy"
   | "fault_overhead" -> Some "solver_energy"
   | "kernel_specialization" -> Some "labels"
+  (* the smoke and full tiers run different zoned instances; the solver
+     energy separates them *)
+  | "hierarchical_scale" -> Some "solver_energy"
+  | "interning_memory" -> Some "edges"
   (* the lint workload is the repository itself: a commit that changes
      the number of analyzed bindings redefined the benchmark *)
   | "lint_analysis" -> Some "lint_bindings"
@@ -163,7 +104,7 @@ let workload_changed baseline fresh sec =
   match fingerprint sec with
   | None -> None
   | Some key -> (
-      match (find baseline sec key, find fresh sec key) with
+      match (J.find baseline sec key, J.find fresh sec key) with
       | Some b, Some f when b <> f -> Some (key, b, f)
       | _ -> None)
 
@@ -175,8 +116,8 @@ let () =
         prerr_endline "usage: bench_diff BASELINE.json FRESH.json";
         exit 2
   in
-  let baseline = parse_sections (read_file baseline_path) in
-  let fresh = parse_sections (read_file fresh_path) in
+  let baseline = J.parse_sections (J.read_file baseline_path) in
+  let fresh = J.parse_sections (J.read_file fresh_path) in
   if fresh = [] then begin
     Printf.eprintf "bench_diff: no sections found in %s\n" fresh_path;
     exit 2
@@ -197,7 +138,7 @@ let () =
               sec fp b f
           end
       | None -> (
-      match (find baseline sec key, find fresh sec key) with
+      match (J.find baseline sec key, J.find fresh sec key) with
       | _, None -> ()
       | None, Some f ->
           Printf.printf "  new     %s.%s = %g (no baseline)\n" sec key f

@@ -1,0 +1,92 @@
+(* Shared reader for the BENCH.json reports bench/main.ml writes — used
+   by bench_diff (regression gate) and bench_page (trend page).
+
+   The scanner is not a JSON parser: it reads a stream of ["key": value]
+   pairs where a ["name"] key opens a new section and numeric values
+   attach to the currently open one.  It relies on bench/main.ml
+   emitting code-controlled identifiers with no escapes, which is
+   exactly the writer's documented contract. *)
+
+type section = { s_name : string; metrics : (string * float) list }
+
+let parse_sections src =
+  let len = String.length src in
+  let sections = ref [] in
+  let cur_name = ref None in
+  let cur = ref [] in
+  let flush () =
+    (match !cur_name with
+    | Some n -> sections := { s_name = n; metrics = List.rev !cur } :: !sections
+    | None -> ());
+    cur_name := None;
+    cur := []
+  in
+  let i = ref 0 in
+  while !i < len do
+    if src.[!i] <> '"' then incr i
+    else begin
+      let j = String.index_from src (!i + 1) '"' in
+      let key = String.sub src (!i + 1) (j - !i - 1) in
+      i := j + 1;
+      while !i < len && (src.[!i] = ' ' || src.[!i] = '\n') do
+        incr i
+      done;
+      if !i < len && src.[!i] = ':' then begin
+        incr i;
+        while !i < len && src.[!i] = ' ' do
+          incr i
+        done;
+        if !i < len && src.[!i] = '"' then begin
+          (* string value: only "name" carries one *)
+          let k = String.index_from src (!i + 1) '"' in
+          let v = String.sub src (!i + 1) (k - !i - 1) in
+          i := k + 1;
+          if key = "name" then begin
+            flush ();
+            cur_name := Some v
+          end
+        end
+        else begin
+          let start = !i in
+          while
+            !i < len
+            && not (src.[!i] = ',' || src.[!i] = '}' || src.[!i] = '\n')
+          do
+            incr i
+          done;
+          match
+            float_of_string_opt (String.trim (String.sub src start (!i - start)))
+          with
+          | Some v when Option.is_some !cur_name -> cur := (key, v) :: !cur
+          | _ -> ()
+        end
+      end
+    end
+  done;
+  flush ();
+  List.rev !sections
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find sections section key =
+  List.find_map
+    (fun s -> if s.s_name = section then List.assoc_opt key s.metrics else None)
+    sections
+
+(* Tier of a report, read off the header the writer emits before the
+   first section ("full_sweep": ..., "smoke": ...). *)
+let tier src =
+  let has needle =
+    let nl = String.length needle and sl = String.length src in
+    let rec go i =
+      i + nl <= sl && (String.sub src i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  if has "\"smoke\": true" then "smoke"
+  else if has "\"full_sweep\": true" then "full"
+  else "default"

@@ -1,0 +1,222 @@
+(* bench_page: render the local benchmark history as one static,
+   dependency-free HTML page.
+
+     dune exec tools/bench_page.exe -- [HISTORY_DIR] [OUT.html]
+
+   Reads every bench_history/BENCH_*.json snapshot (the files
+   tools/check.sh writes after each bench smoke), groups the runs by
+   tier (smoke / full / default — their workloads differ, so their
+   series must not be mixed), and emits one inline-SVG sparkline per
+   (section, metric) series.  No JavaScript, no external assets: the
+   page is a single self-contained file, safe to open from disk or to
+   publish as a CI artifact.  Defaults: HISTORY_DIR = bench_history,
+   OUT = HISTORY_DIR/index.html. *)
+
+module J = Bench_json
+
+type run = { r_label : string; r_tier : string; r_sections : J.section list }
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let load_runs dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare (* BENCH_<utc-timestamp>.json sorts by time *)
+  in
+  List.filter_map
+    (fun f ->
+      match J.read_file (Filename.concat dir f) with
+      | src ->
+          let label = Filename.chop_suffix f ".json" in
+          let label =
+            (* BENCH_20260808T120000Z -> 2026-08-08 12:00 *)
+            if String.length label >= 19 then
+              Printf.sprintf "%s-%s-%s %s:%s"
+                (String.sub label 6 4) (String.sub label 10 2)
+                (String.sub label 12 2) (String.sub label 15 2)
+                (String.sub label 17 2)
+            else label
+          in
+          Some { r_label = label; r_tier = J.tier src;
+                 r_sections = J.parse_sections src }
+      | exception Sys_error _ -> None)
+    files
+
+(* One sparkline: values drawn left-to-right, vertical span normalized
+   to the series' own min..max (a flat series draws a midline).  Each
+   point carries its run label and value as a hover tooltip. *)
+let sparkline buf points =
+  let w = 260 and h = 44 and pad = 4 in
+  let vals = List.map snd points in
+  let lo = List.fold_left Float.min infinity vals in
+  let hi = List.fold_left Float.max neg_infinity vals in
+  let n = List.length points in
+  let x i =
+    if n <= 1 then float_of_int (w / 2)
+    else
+      float_of_int pad
+      +. float_of_int (i * (w - (2 * pad))) /. float_of_int (n - 1)
+  in
+  let y v =
+    if hi <= lo then float_of_int (h / 2)
+    else
+      float_of_int (h - pad)
+      -. ((v -. lo) /. (hi -. lo) *. float_of_int (h - (2 * pad)))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">" w h w h);
+  if n > 1 then begin
+    Buffer.add_string buf "<polyline fill=\"none\" stroke=\"#3465a4\" \
+                           stroke-width=\"1.5\" points=\"";
+    List.iteri
+      (fun i (_, v) ->
+        Buffer.add_string buf (Printf.sprintf "%.1f,%.1f " (x i) (y v)))
+      points;
+    Buffer.add_string buf "\"/>"
+  end;
+  List.iteri
+    (fun i (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.2\" \
+            fill=\"#204a87\"><title>%s: %g</title></circle>"
+           (x i) (y v) (html_escape label) v))
+    points;
+  Buffer.add_string buf "</svg>"
+
+let render buf tier runs =
+  Buffer.add_string buf
+    (Printf.sprintf "<h2>%s tier (%d runs)</h2>\n" (html_escape tier)
+       (List.length runs));
+  (* section/metric universe in first-appearance order across runs *)
+  let order = ref [] in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (k, _) ->
+              if not (Hashtbl.mem seen (s.J.s_name, k)) then begin
+                Hashtbl.add seen (s.J.s_name, k) ();
+                order := (s.J.s_name, k) :: !order
+              end)
+            s.J.metrics)
+        r.r_sections)
+    runs;
+  let pairs = List.rev !order in
+  (* group by section while keeping first-appearance order for both
+     sections and their metrics (a metric first seen in a later run
+     joins its section's existing group) *)
+  let by_section =
+    let sec_order = ref [] and tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (sec, k) ->
+        match Hashtbl.find_opt tbl sec with
+        | None ->
+            Hashtbl.add tbl sec (ref [ k ]);
+            sec_order := sec :: !sec_order
+        | Some ks -> ks := k :: !ks)
+      pairs;
+    List.rev_map (fun s -> (s, List.rev !(Hashtbl.find tbl s))) !sec_order
+  in
+  List.iter
+    (fun (sec, keys) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<h3>%s</h3>\n<table>\n" (html_escape sec));
+      Buffer.add_string buf
+        "<tr><th>metric</th><th>trend</th><th>last</th><th>min</th>\
+         <th>max</th></tr>\n";
+      List.iter
+        (fun key ->
+          let points =
+            List.filter_map
+              (fun r ->
+                Option.map
+                  (fun v -> (r.r_label, v))
+                  (J.find r.r_sections sec key))
+              runs
+          in
+          if points <> [] then begin
+            let vals = List.map snd points in
+            let last = List.nth vals (List.length vals - 1) in
+            let lo = List.fold_left Float.min infinity vals in
+            let hi = List.fold_left Float.max neg_infinity vals in
+            Buffer.add_string buf
+              (Printf.sprintf "<tr><td>%s</td><td>" (html_escape key));
+            sparkline buf points;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "</td><td>%g</td><td>%g</td><td>%g</td></tr>\n" last lo hi)
+          end)
+        keys;
+      Buffer.add_string buf "</table>\n")
+    by_section
+
+let () =
+  let dir, out =
+    match Sys.argv with
+    | [| _ |] -> ("bench_history", Filename.concat "bench_history" "index.html")
+    | [| _; d |] -> (d, Filename.concat d "index.html")
+    | [| _; d; o |] -> (d, o)
+    | _ ->
+        prerr_endline "usage: bench_page [HISTORY_DIR] [OUT.html]";
+        exit 2
+  in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "bench_page: no history directory %s\n" dir;
+    exit 2
+  end;
+  let runs = load_runs dir in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+     <title>netdiv benchmark history</title>\n<style>\n\
+     body { font: 14px/1.4 system-ui, sans-serif; margin: 2em; \
+     color: #222; }\n\
+     table { border-collapse: collapse; margin-bottom: 1.5em; }\n\
+     th, td { border: 1px solid #ccc; padding: 2px 8px; \
+     text-align: right; }\n\
+     th { background: #eee; } td:first-child { text-align: left; \
+     font-family: monospace; }\n\
+     h2 { border-bottom: 2px solid #3465a4; }\n\
+     </style></head><body>\n<h1>netdiv benchmark history</h1>\n";
+  if runs = [] then
+    Buffer.add_string buf
+      "<p>No snapshots yet — run tools/check.sh to record one.</p>\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<p>%d snapshot(s) from <code>%s</code>; hover a point for the \
+          run's timestamp and value.  Series are split by bench tier \
+          because the tiers run different workloads.</p>\n"
+         (List.length runs) (html_escape dir));
+    List.iter
+      (fun tier ->
+        match List.filter (fun r -> r.r_tier = tier) runs with
+        | [] -> ()
+        | rs -> render buf tier rs)
+      [ "smoke"; "default"; "full" ]
+  end;
+  Buffer.add_string buf "</body></html>\n";
+  let oc = open_out_bin out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "bench_page: wrote %s (%d runs)\n" out (List.length runs)

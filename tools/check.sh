@@ -56,6 +56,11 @@ mkdir -p bench_history
 snap="bench_history/BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
 cp BENCH.json "$snap.tmp" && mv "$snap.tmp" "$snap"
 
+# static trend page over the accumulated snapshots (inline SVG, no
+# dependencies) — open bench_history/index.html to eyeball regressions
+echo "== bench trend page"
+dune exec tools/bench_page.exe
+
 if [ -n "$baseline" ]; then
   echo "== bench regression gate (vs HEAD BENCH.json, 25% tolerance)"
   dune exec tools/bench_diff.exe -- "$baseline" BENCH.json
