@@ -24,6 +24,8 @@ module Trws = Netdiv_mrf.Trws
 module Solver = Netdiv_mrf.Solver
 module Obs = Netdiv_obs.Obs
 module Obs_export = Netdiv_obs.Export
+module Recorder = Netdiv_obs.Recorder
+module Obs_report = Netdiv_obs.Report
 module Json = Netdiv_vuln.Json
 
 open Cmdliner
@@ -152,6 +154,48 @@ let with_obs ~trace ~metrics f =
         raise e
   end
 
+let flight_record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-record" ] ~docv:"FILE"
+        ~doc:
+          "Keep a fixed-size convergence flight recorder installed for \
+           the solve and dump its frames to $(docv) as JSON.  O(capacity) \
+           memory whatever the instance size — cheap enough to leave on \
+           at 100k hosts where $(b,--trace) is too heavy.  The dump also \
+           happens on degradation, watchdog abandonment and escaping \
+           exceptions; read it back with $(b,netdiv report).")
+
+(* Installs a flight recorder around [f] when requested.  The anytime
+   runner dumps with its outcome as the reason; paths that bypass the
+   runner (the zoned scalability solve) are covered by the completion
+   dump here, which defers to any more specific dump already written. *)
+let with_flight_record ~flight f =
+  match flight with
+  | None -> f ()
+  | Some path ->
+      let r = Recorder.create ~dump_path:path "netdiv" in
+      let dump reason =
+        match Recorder.dump ~reason r with
+        | Ok () -> Format.printf "wrote flight record %s@." path
+        | Error msg ->
+            Format.eprintf "netdiv: could not write flight record %s: %s@."
+              path msg
+      in
+      Recorder.with_recorder r (fun () ->
+          match f () with
+          | v ->
+              (match Recorder.last_dump r with
+              | Some reason ->
+                  Format.printf "wrote flight record %s (%s)@." path reason
+              | None -> dump "completed");
+              v
+          | exception e ->
+              if Recorder.last_dump r = None then
+                dump (Printexc.to_string e);
+              raise e)
+
 let optimize_cmd =
   let hosts =
     Arg.(value & opt int 200 & info [ "hosts" ] ~docv:"N" ~doc:"Host count.")
@@ -186,8 +230,9 @@ let optimize_cmd =
                    and starts fresh.")
   in
   let run hosts degree services products_per_service seed solver
-      time_budget jobs checkpoint resume trace metrics =
+      time_budget jobs checkpoint resume flight trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
+    with_flight_record ~flight @@ fun () ->
     let net =
       Workload.instance { hosts; degree; services; products_per_service; seed }
     in
@@ -218,8 +263,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ hosts $ degree $ services $ products $ seed $ solver
-      $ time_budget_arg $ jobs_arg $ checkpoint $ resume $ trace_arg
-      $ metrics_arg)
+      $ time_budget_arg $ jobs_arg $ checkpoint $ resume $ flight_record_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------- casestudy *)
 
@@ -804,8 +849,10 @@ let scalability_cmd =
                 model+solver footprint of $(b,--hosts) mode exceeds \
                 $(docv) mebibytes.")
   in
-  let run sweep full hosts zones mem_budget time_budget jobs trace metrics =
+  let run sweep full hosts zones mem_budget time_budget jobs flight trace
+      metrics =
     with_obs ~trace ~metrics @@ fun () ->
+    with_flight_record ~flight @@ fun () ->
     let budget = budget_of time_budget in
     let jobs = jobs_of jobs in
     let time_one hosts degree services =
@@ -911,7 +958,218 @@ let scalability_cmd =
     Term.(
       ret
         (const run $ sweep $ full $ hosts_arg $ zones_arg $ mem_budget_arg
-       $ time_budget_arg $ jobs_arg $ trace_arg $ metrics_arg))
+       $ time_budget_arg $ jobs_arg $ flight_record_arg $ trace_arg
+       $ metrics_arg))
+
+(* ---------------------------------------------------- trace/dump readers *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* A Chrome trace is one JSON document carrying a traceEvents list;
+   anything else is treated as JSONL, one event object per line.
+   Validation is strict — this doubles as the CI round-trip check for
+   the exporters. *)
+let load_trace contents =
+  match Json.parse contents with
+  | Ok json -> (
+      match Option.bind (Json.member "traceEvents" json) Json.to_list with
+      | Some events -> Ok ("chrome", events)
+      | None -> Error "single JSON document without a traceEvents list")
+  | Error _ ->
+      let rec go lineno acc = function
+        | [] -> Ok ("jsonl", List.rev acc)
+        | line :: rest ->
+            if String.trim line = "" then go (lineno + 1) acc rest
+            else (
+              match Json.parse line with
+              | Ok ev -> go (lineno + 1) (ev :: acc) rest
+              | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+      in
+      go 1 [] (String.split_on_char '\n' contents)
+
+(* JSON numbers cannot carry non-finite floats, so the exporters write
+   them as strings ("inf", "-inf", "nan"); accept both shapes here. *)
+let json_num j =
+  match Json.to_float j with
+  | Some v -> Some v
+  | None -> Option.bind (Json.to_str j) float_of_string_opt
+
+(* Decode one Chrome/JSONL trace-event object back into an {!Obs.event}
+   so `netdiv report` and `netdiv obs-summary` can reuse the in-process
+   analyses ({!Obs_report.hot_spans}, {!Obs_report.kernel_throughput})
+   on data read from disk.  [ts] is microseconds in the trace format. *)
+let event_of_json ev =
+  let str k = Option.bind (Json.member k ev) Json.to_str in
+  let num k = Option.bind (Json.member k ev) json_num in
+  match (str "name", str "ph") with
+  | Some name, Some ph ->
+      (match ph with
+      | "B" -> Some Obs.Begin
+      | "E" -> Some Obs.End
+      | "i" -> Some Obs.Instant
+      | "C" -> Some Obs.Sample
+      | _ -> None)
+      |> Option.map (fun kind ->
+             {
+               Obs.kind;
+               name;
+               ts = (match num "ts" with Some us -> us /. 1e6 | None -> 0.0);
+               tid = (match num "tid" with Some t -> int_of_float t | None -> 0);
+               value =
+                 (match
+                    Option.bind (Json.path [ "args"; "value" ] ev) json_num
+                  with
+                 | Some v -> v
+                 | None -> 0.0);
+             })
+  | _ -> None
+
+(* Decode one flight-recorder frame object (see {!Recorder.dump_string}
+   for the writer side).  [None] on any missing or mistyped field — the
+   caller treats that as a malformed dump, not a skippable frame. *)
+let frame_of_json j =
+  let f k = Option.bind (Json.member k j) json_num in
+  let i k = Option.map int_of_float (f k) in
+  let b k = Option.bind (Json.member k j) Json.to_bool in
+  let s k = Option.bind (Json.member k j) Json.to_str in
+  match s "k" with
+  | Some "sweep" -> (
+      match
+        ( f "t", i "iter", f "energy", f "bound", f "residual",
+          i "msg_potts", i "msg_sparse", i "msg_generic" )
+      with
+      | ( Some t, Some iter, Some energy, Some bound, Some residual,
+          Some mp, Some ms, Some mg ) ->
+          Some
+            (Recorder.Sweep
+               {
+                 Recorder.s_t = t;
+                 s_iter = iter;
+                 s_energy = energy;
+                 s_bound = bound;
+                 s_residual = residual;
+                 s_msg_potts = mp;
+                 s_msg_sparse = ms;
+                 s_msg_generic = mg;
+               })
+      | _ -> None)
+  | Some "zone" -> (
+      match
+        (f "t", i "round", i "zone", f "energy", f "bound", i "iters",
+         b "converged")
+      with
+      | Some t, Some round, Some zone, Some energy, Some bound, Some iters,
+        Some converged ->
+          Some
+            (Recorder.Zone
+               {
+                 Recorder.z_t = t;
+                 z_round = round;
+                 z_zone = zone;
+                 z_energy = energy;
+                 z_bound = bound;
+                 z_iterations = iters;
+                 z_converged = converged;
+               })
+      | _ -> None)
+  | Some "boundary" -> (
+      match
+        (f "t", i "round", i "disagree", f "edge_bound", f "zone_bound",
+         f "step")
+      with
+      | Some t, Some round, Some disagree, Some eb, Some zb, Some step ->
+          Some
+            (Recorder.Boundary
+               {
+                 Recorder.b_t = t;
+                 b_round = round;
+                 b_disagree = disagree;
+                 b_edge_bound = eb;
+                 b_zone_bound = zb;
+                 b_step = step;
+               })
+      | _ -> None)
+  | Some "mark" -> (
+      match (f "t", s "label") with
+      | Some t, Some label ->
+          Some (Recorder.Mark { Recorder.mk_t = t; mk_label = label })
+      | _ -> None)
+  | _ -> None
+
+(* ---------------------------------------------------------------- report *)
+
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder dump written by $(b,--flight-record), or a \
+             trace file written by $(b,--trace) (Chrome JSON or .jsonl).")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Rows in the hot-span table (trace input only).")
+  in
+  let run file top =
+    let contents = read_file file in
+    match Json.parse contents with
+    | Ok json when Json.member "netdiv_recorder" json <> None -> (
+        match Option.bind (Json.member "frames" json) Json.to_list with
+        | None ->
+            `Error
+              (false, Printf.sprintf "%s: recorder dump lacks a frames list" file)
+        | Some frames_json ->
+            let frames = List.filter_map frame_of_json frames_json in
+            if List.length frames <> List.length frames_json then
+              `Error
+                ( false,
+                  Printf.sprintf "%s: malformed frame in flight-recorder dump"
+                    file )
+            else begin
+              let str k = Option.bind (Json.member k json) Json.to_str in
+              let int_of k =
+                Option.map int_of_float
+                  (Option.bind (Json.member k json) Json.to_float)
+              in
+              Format.printf "recorder %s@."
+                (Option.value ~default:"?" (str "name"));
+              Format.printf "reason   %s@."
+                (Option.value ~default:"?" (str "reason"));
+              (match (int_of "recorded", int_of "capacity", int_of "dropped")
+               with
+              | Some r, Some c, Some d ->
+                  Format.printf "frames   %d recorded, capacity %d, %d dropped@."
+                    r c d
+              | _ -> ());
+              Format.printf "%a@." Obs_report.pp_convergence frames;
+              `Ok ()
+            end)
+    | _ -> (
+        (* not a recorder dump: fall back to the trace formats and report
+           profiling attribution instead of convergence *)
+        match load_trace contents with
+        | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+        | Ok (format, events_json) ->
+            let events = List.filter_map event_of_json events_json in
+            Format.printf "format  %s (%d events)@." format
+              (List.length events);
+            Format.printf "%a@." (Obs_report.pp_hot_spans ~k:top) events;
+            if Obs_report.kernel_throughput events <> [] then
+              Format.printf "%a@." Obs_report.pp_throughput events;
+            `Ok ())
+  in
+  let doc =
+    "render convergence and profiling reports from a flight-recorder dump \
+     or trace"
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ file $ top))
 
 (* ----------------------------------------------------------- obs-summary *)
 
@@ -923,36 +1181,8 @@ let obs_summary_cmd =
       & info [] ~docv:"TRACE"
           ~doc:"Trace file written by $(b,--trace) (Chrome JSON or .jsonl).")
   in
-  let read_file path =
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    s
-  in
-  (* A Chrome trace is one JSON document carrying a traceEvents list;
-     anything else is treated as JSONL, one event object per line.
-     Validation is strict — this doubles as the CI round-trip check for
-     the exporters. *)
-  let load contents =
-    match Json.parse contents with
-    | Ok json -> (
-        match Option.bind (Json.member "traceEvents" json) Json.to_list with
-        | Some events -> Ok ("chrome", events)
-        | None -> Error "single JSON document without a traceEvents list")
-    | Error _ ->
-        let rec go lineno acc = function
-          | [] -> Ok ("jsonl", List.rev acc)
-          | line :: rest ->
-              if String.trim line = "" then go (lineno + 1) acc rest
-              else (
-                match Json.parse line with
-                | Ok ev -> go (lineno + 1) (ev :: acc) rest
-                | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
-        in
-        go 1 [] (String.split_on_char '\n' contents)
-  in
   let run file =
-    match load (read_file file) with
+    match load_trace (read_file file) with
     | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
     | Ok (format, events) -> (
         let malformed = ref None in
@@ -1005,6 +1235,13 @@ let obs_summary_cmd =
                 (fun (n, c) -> Format.printf "  %-34s %8d@." n c)
                 names
             end;
+            (* profiling attribution shares the `netdiv report` code
+               path: decode the validated events and roll them up *)
+            let decoded = List.filter_map event_of_json events in
+            if Obs_report.hot_spans decoded <> [] then
+              Format.printf "%a@." (Obs_report.pp_hot_spans ~k:10) decoded;
+            if Obs_report.kernel_throughput decoded <> [] then
+              Format.printf "%a@." Obs_report.pp_throughput decoded;
             `Ok ())
   in
   let doc = "validate and digest a trace file written by --trace" in
@@ -1019,6 +1256,6 @@ let main =
     (Cmd.info "netdiv" ~version:"1.0.0" ~doc)
     [ similarity_cmd; optimize_cmd; casestudy_cmd; simulate_cmd;
       scalability_cmd; metrics_cmd; feed_cmd; export_cmd; rank_cmd;
-      verify_cmd; lint_cmd; obs_summary_cmd ]
+      verify_cmd; lint_cmd; obs_summary_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,5 @@
 module Obs = Netdiv_obs.Obs
+module Recorder = Netdiv_obs.Recorder
 module Pool = Netdiv_par.Pool
 open Kernel
 
@@ -222,8 +223,10 @@ let decode st ws n x =
 let run_loop ~config ~interrupt ~on_progress mrf st n ~sweep_once ~decode_all
     =
   let obs_on = Obs.enabled () in
+  let rec_on = Recorder.installed () in
   let msg_potts, msg_sparse, msg_generic =
-    if obs_on then count_messages st (Mrf.n_edges mrf) else (0, 0, 0)
+    if obs_on || rec_on then count_messages st (Mrf.n_edges mrf)
+    else (0, 0, 0)
   in
   let x = Array.make n 0 in
   let best_x = Array.make n 0 in
@@ -251,6 +254,9 @@ let run_loop ~config ~interrupt ~on_progress mrf st n ~sweep_once ~decode_all
        end;
        Obs.sample ~name:"bp.energy" !best_energy;
        Obs.sample ~name:"bp.delta" delta;
+       if rec_on then
+         Recorder.sweep ~iter:it ~energy:!best_energy ~bound:neg_infinity
+           ~residual:delta ~msg_potts ~msg_sparse ~msg_generic;
        on_progress ~iter:it ~energy:!best_energy ~bound:neg_infinity;
        if delta < config.tolerance then begin
          converged := true;
@@ -258,6 +264,16 @@ let run_loop ~config ~interrupt ~on_progress mrf st n ~sweep_once ~decode_all
        end
      done
    with Exit -> ());
+  if obs_on then begin
+    (* per-solve message totals as samples — the exported trace carries
+       the kernel-class mix for the report's throughput table *)
+    Obs.sample ~name:"mrf.messages.potts"
+      (float_of_int (msg_potts * !iters));
+    Obs.sample ~name:"mrf.messages.const_sparse"
+      (float_of_int (msg_sparse * !iters));
+    Obs.sample ~name:"mrf.messages.generic"
+      (float_of_int (msg_generic * !iters))
+  end;
   (best_x, !best_energy, !iters, !converged)
 
 let solve ?(config = default_config) ?(interrupt = fun () -> false)

@@ -6,6 +6,7 @@
    time budget; unbudgeted runs are clock-independent. *)
 
 module Obs = Netdiv_obs.Obs
+module Recorder = Netdiv_obs.Recorder
 module Fault = Netdiv_fault.Fault
 
 module Budget = struct
@@ -264,6 +265,19 @@ type run_report = {
    recorded schedule replays exactly. *)
 let c_retries = Obs.Counter.make "runner.retries"
 let c_degraded = Obs.Counter.make "runner.degraded"
+let c_dump_errors = Obs.Counter.make "runner.dump_errors"
+
+(* Flush the installed flight recorder (if any) to its dump path (if
+   any): every degradation, watchdog abandonment, escaping exception
+   and completed run ships its black box.  A failed dump must never
+   mask the solve outcome, so the error is only counted. *)
+let dump_black_box reason =
+  match Recorder.current () with
+  | None -> ()
+  | Some r -> (
+      match Recorder.dump ~reason r with
+      | Ok () -> ()
+      | Error _ -> Obs.Counter.incr c_dump_errors)
 let p_stage = Fault.point "runner.stage"
 let attempt_seq = Atomic.make 0
 
@@ -322,11 +336,16 @@ let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
     let next = if !rung = 0 && not (Mrf.specialized mrf) then 2 else !rung + 1 in
     rung := next;
     rungs_entered := rung_name next :: !rungs_entered;
-    Obs.Counter.incr c_degraded
+    Obs.Counter.incr c_degraded;
+    Recorder.mark ("degrade:" ^ rung_name next);
+    (* flush immediately: if the degraded rung dies too, the black box
+       already tells the story up to this point *)
+    dump_black_box "degraded"
   in
   let rec go = function
     | [] -> assert false
     | stage :: rest ->
+        Recorder.mark ("stage:" ^ stage.name);
         let stage_start = Obs.Clock.now () in
         (* stall detection: wall clock since the last global improvement *)
         let last_gain = ref stage_start in
@@ -395,6 +414,7 @@ let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
               let bt = Printexc.get_raw_backtrace () in
               Obs.Counter.incr c_retries;
               incr retries_used;
+              Recorder.mark ("retry:" ^ stage.name);
               if tries_left > 0 then begin
                 if backoff_s > 0.0 then
                   Unix.sleepf
@@ -405,11 +425,17 @@ let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
                 escalate ();
                 attempt retries
               end
-              else if Option.is_some !best then
+              else if Option.is_some !best then begin
                 (* watchdog: the whole ladder failed, but an anytime
                    labeling exists — abandon the stage, keep the result *)
+                Recorder.mark ("watchdog:" ^ stage.name);
+                dump_black_box "watchdog";
                 None
-              else Printexc.raise_with_backtrace exn bt
+              end
+              else begin
+                dump_black_box (Printexc.to_string exn);
+                Printexc.raise_with_backtrace exn bt
+              end
         in
         let outcome_of = function
           | None ->
@@ -448,7 +474,9 @@ let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
               end
               else Stalled
         in
+        let g0 = Gc.quick_stat () in
         let r = attempt retries in
+        let g1 = Gc.quick_stat () in
         (* one measurement feeds both sinks: the report's stage_timings
            list (public API) and the metrics registry — previously two
            separate gettimeofday code paths *)
@@ -457,6 +485,14 @@ let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
         Obs.Histogram.record
           (Obs.Histogram.make ("runner.stage." ^ stage.name))
           stage_elapsed;
+        (* allocation attribution per stage, as seen by this domain:
+           which rung of the cascade actually churns the heap *)
+        Obs.Histogram.record
+          (Obs.Histogram.make ("runner.stage_minor_words." ^ stage.name))
+          (g1.Gc.minor_words -. g0.Gc.minor_words);
+        Obs.Histogram.record
+          (Obs.Histogram.make ("runner.stage_major_words." ^ stage.name))
+          (g1.Gc.major_words -. g0.Gc.major_words);
         outcome_of r
   in
   let base = go stages in
@@ -477,4 +513,5 @@ let run ?(budget = Budget.unlimited) ?patience ?(retries = 2)
       converged = outcome_converged outcome;
     }
   in
+  dump_black_box (Format.asprintf "%a" pp_outcome outcome);
   { result; outcome; stage_timings = List.rev !timings; retries = !retries_used }

@@ -1,4 +1,5 @@
 module Obs = Netdiv_obs.Obs
+module Recorder = Netdiv_obs.Recorder
 
 (* Acceptance telemetry: proposals and accepted moves are tallied in
    plain local ints inside each restart (restarts may run on pool
@@ -119,9 +120,16 @@ let solve ?(config = default_config) ?(interrupt = fun () -> false)
                end
              done
            done;
-           if sequential then
+           if sequential then begin
+             (* the flight recorder shares the progress callback's
+                gating: parallel restarts run on pool workers, whose
+                completion order must not reach caller state *)
+             Recorder.sweep ~iter:!sweeps ~energy:!local_best_energy
+               ~bound:neg_infinity ~residual:!temp ~msg_potts:0 ~msg_sparse:0
+               ~msg_generic:0;
              on_progress ~iter:!sweeps ~energy:!local_best_energy
-               ~bound:neg_infinity;
+               ~bound:neg_infinity
+           end;
            temp := !temp *. config.cooling
          done
        with Exit -> ());

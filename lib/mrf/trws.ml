@@ -1,4 +1,5 @@
 module Obs = Netdiv_obs.Obs
+module Recorder = Netdiv_obs.Recorder
 module Pool = Netdiv_par.Pool
 open Kernel
 
@@ -440,8 +441,12 @@ let run_loop ~config ~interrupt ~on_progress mrf st ws n m ~sweep_pair ~bound
      a handful of counter adds and begin/end span records, all
      allocation-free, and zero when disabled *)
   let obs_on = Obs.enabled () in
+  (* the flight recorder is sampled once per solve too: installation
+     never changes inside a solve (only [Recorder.suspended] around
+     whole parallel regions does, and those wrap whole solves) *)
+  let rec_on = Recorder.installed () in
   let msg_potts, msg_sparse, msg_generic =
-    if obs_on then count_messages st m else (0, 0, 0)
+    if obs_on || rec_on then count_messages st m else (0, 0, 0)
   in
   let x = Array.make n 0 in
   let best_x = Array.make n 0 in
@@ -480,6 +485,10 @@ let run_loop ~config ~interrupt ~on_progress mrf st ws n m ~sweep_pair ~bound
          prev_energy := !best_energy;
          Obs.sample ~name:"trws.energy" !best_energy;
          Obs.sample ~name:"trws.lower_bound" !best_bound;
+         if rec_on then
+           Recorder.sweep ~iter:it ~energy:!best_energy ~bound:!best_bound
+             ~residual:(Float.max bound_progress energy_progress)
+             ~msg_potts ~msg_sparse ~msg_generic;
          on_progress ~iter:it ~energy:!best_energy ~bound:!best_bound;
          if
            bound_progress < config.tolerance
@@ -496,6 +505,17 @@ let run_loop ~config ~interrupt ~on_progress mrf st ws n m ~sweep_pair ~bound
        end
      done
    with Exit -> ());
+  if obs_on then begin
+    (* per-solve message totals as samples, so an exported trace (not
+       just the live registry) carries the kernel-class mix — the
+       report's throughput table sums these *)
+    Obs.sample ~name:"mrf.messages.potts"
+      (float_of_int (msg_potts * !iters));
+    Obs.sample ~name:"mrf.messages.const_sparse"
+      (float_of_int (msg_sparse * !iters));
+    Obs.sample ~name:"mrf.messages.generic"
+      (float_of_int (msg_generic * !iters))
+  end;
   (best_x, !best_energy, !best_bound, !iters, !converged)
 
 let solve ?(config = default_config) ?(interrupt = fun () -> false)
@@ -776,8 +796,12 @@ let solve_components ?(config = default_config)
          job count, so the merged labeling, the energy sum and the bound
          sum are job-count-invariant. *)
       let results =
-        Netdiv_par.Pool.map_range ?jobs ~cost ~lo:0 ~hi:n_comps (fun c ->
-            solve ~config ~interrupt subs.(c))
+        (* pool workers AND the participating caller domain would record
+           component sweep frames in chunk-claim order — suspend the
+           flight recorder so its contents stay schedule-independent *)
+        Recorder.suspended (fun () ->
+            Netdiv_par.Pool.map_range ?jobs ~cost ~lo:0 ~hi:n_comps (fun c ->
+                solve ~config ~interrupt subs.(c)))
       in
       let x = Array.make n 0 in
       Array.iteri
@@ -798,6 +822,19 @@ let solve_components ?(config = default_config)
         Array.fold_left (fun acc r -> max acc r.Solver.iterations) 0 results
       in
       let converged = Array.for_all (fun r -> r.Solver.converged) results in
+      if Recorder.installed () then begin
+        (* the per-component results are in component order whatever the
+           job count, so recording them here — not inside the solves the
+           suspension above muted — keeps the black box deterministic *)
+        Array.iteri
+          (fun c (r : Solver.result) ->
+            Recorder.zone ~round:0 ~zone:c ~energy:r.Solver.energy
+              ~bound:r.Solver.lower_bound ~iterations:r.Solver.iterations
+              ~converged:r.Solver.converged)
+          results;
+        Recorder.sweep ~iter:iterations ~energy ~bound ~residual:0.0
+          ~msg_potts:0 ~msg_sparse:0 ~msg_generic:0
+      end;
       (x, energy, bound, iterations, converged)
     in
     let (labeling, energy, bound, iterations, converged), runtime_s =
@@ -1039,6 +1076,7 @@ let solve_zoned ?(config = default_config) ?(interrupt = fun () -> false)
           let best_bound = ref neg_infinity in
           let iters = ref 0 in
           let converged = ref false in
+          let rec_on = Recorder.installed () in
           (* scalar scratch for the edge-slave argmin, hoisted out of
              the round loop *)
           let sl_best = ref 0.0 in
@@ -1066,10 +1104,16 @@ let solve_zoned ?(config = default_config) ?(interrupt = fun () -> false)
                (* zone-interior solves in parallel; each chunk writes
                   only its own result slots *)
                Obs.begin_span "trws.zones";
-               Pool.Team.run team ~chunks:nz ~lo:0 ~hi:nz (fun _c clo chi ->
-                   for z = clo to chi - 1 do
-                     solve_zone z
-                   done);
+               (* zone sub-solves claim chunks dynamically (and the
+                  caller participates): suspend the flight recorder so
+                  the orchestrator-level frames below stay the only —
+                  and deterministic — record of this round *)
+               Recorder.suspended (fun () ->
+                   Pool.Team.run team ~chunks:nz ~lo:0 ~hi:nz
+                     (fun _c clo chi ->
+                       for z = clo to chi - 1 do
+                         solve_zone z
+                       done));
                Obs.end_span "trws.zones";
                for z = 0 to nz - 1 do
                  let ns = nodes.(z) and r = results.(z) in
@@ -1124,6 +1168,7 @@ let solve_zoned ?(config = default_config) ?(interrupt = fun () -> false)
                done;
                Obs.end_span "trws.boundary";
                let lb = !zb +. !eb in
+               let prev_bound = !best_bound and prev_energy = !best_energy in
                if lb > !best_bound then best_bound := lb;
                (* the concatenated zone labelings are always a feasible
                   primal point of the full model *)
@@ -1134,6 +1179,28 @@ let solve_zoned ?(config = default_config) ?(interrupt = fun () -> false)
                end;
                Obs.sample ~name:"trws.energy" !best_energy;
                Obs.sample ~name:"trws.lower_bound" !best_bound;
+               if rec_on then begin
+                 (* per-round black box: one frame per zone, the
+                    boundary reconciliation, and a round-level sweep
+                    frame — all orchestrator-side, so the recording is a
+                    function of the zone map only *)
+                 for z = 0 to nz - 1 do
+                   let res = results.(z) in
+                   Recorder.zone ~round:(r + 1) ~zone:z
+                     ~energy:res.Solver.energy ~bound:res.Solver.lower_bound
+                     ~iterations:res.Solver.iterations
+                     ~converged:res.Solver.converged
+                 done;
+                 Recorder.boundary ~round:(r + 1) ~disagree:!disagree
+                   ~edge_bound:!eb ~zone_bound:!zb ~step:step_r;
+                 Recorder.sweep ~iter:(r + 1) ~energy:!best_energy
+                   ~bound:!best_bound
+                   ~residual:
+                     (Float.max
+                        (prev_energy -. !best_energy)
+                        (!best_bound -. prev_bound))
+                   ~msg_potts:0 ~msg_sparse:0 ~msg_generic:0
+               end;
                on_progress ~iter:(r + 1) ~energy:!best_energy
                  ~bound:!best_bound;
                if

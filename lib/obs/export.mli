@@ -14,6 +14,15 @@
     consumers.  Non-finite sample values are emitted as JSON strings
     (["inf"], ["nan"]) so the output always parses. *)
 
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars) —
+    shared by every hand-rolled writer in the library. *)
+
+val json_float : float -> string
+(** A float as a JSON value: [%.17g] round-trippable text, with
+    non-finite values emitted as strings (["inf"], ["nan"]) so the
+    output always parses. *)
+
 val chrome_string : unit -> string
 (** The current event buffers as one Chrome [trace_event] document. *)
 

@@ -40,8 +40,10 @@ end
    spawned while the program toggles it still see a well-defined value
    under the OCaml 5 memory model. *)
 let on = Atomic.make false
-let set_enabled b = Atomic.set on b
 let enabled () = Atomic.get on
+
+(* [set_enabled] lives below the metrics registry: the first enable
+   lazily installs a GC alarm feeding the [gc.major_cycles] counter. *)
 
 (* ------------------------------------------------------------- events *)
 
@@ -254,6 +256,19 @@ module Histogram = struct
   let reset_all () =
     Mutex.protect lock (fun () -> Hashtbl.iter (fun _ h -> clear h) table)
 end
+
+(* GC attribution: a Gc alarm ticks a counter at the end of every major
+   cycle on the installing domain, so a metrics dump shows how many
+   full collections a run paid for.  Installed once, on the first
+   enable — an alarm on a never-enabled process would be pure noise —
+   and never removed: the counter add itself is gated on [on]. *)
+let c_gc_major_cycles = Counter.make "gc.major_cycles"
+let gc_alarm_installed = Atomic.make false
+
+let set_enabled b =
+  if b && not (Atomic.exchange gc_alarm_installed true) then
+    ignore (Gc.create_alarm (fun () -> Counter.incr c_gc_major_cycles));
+  Atomic.set on b
 
 type metric =
   | Counter_v of { name : string; count : int }

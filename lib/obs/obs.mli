@@ -40,8 +40,10 @@ end
 val set_enabled : bool -> unit
 (** Turn recording on or off globally.  Call it before spawning any
     parallel region; the flag is an atomic, so domains spawned after the
-    write observe it.  Disabling does not clear recorded data — see
-    {!reset}. *)
+    write observe it.  The first enable installs a GC alarm that ticks
+    the [gc.major_cycles] counter at the end of every major collection
+    cycle, attributing full-GC pressure to the run.  Disabling does not
+    clear recorded data — see {!reset}. *)
 
 val enabled : unit -> bool
 (** Whether recording is currently on (one atomic load — callers may

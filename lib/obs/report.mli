@@ -1,0 +1,66 @@
+(** Convergence and profiling report analysis, shared by the
+    [netdiv report] and [netdiv obs-summary] subcommands.
+
+    Everything operates on already-captured data — {!Obs.event} lists
+    decoded from a trace and {!Recorder.frame} lists decoded from a
+    flight-recorder dump — so the two CLI entry points render through
+    one code path.  JSON parsing stays in [bin/] (with the repo's
+    dependency-free reader); this library never reads files. *)
+
+(** {1 Trace-event analyses} *)
+
+val hot_spans :
+  ?k:int -> Obs.event list -> (string * int * float * float) list
+(** Top-[k] (default 10) spans by total time:
+    [(name, count, total_s, max_s)], descending. *)
+
+val pp_hot_spans : ?k:int -> Format.formatter -> Obs.event list -> unit
+
+type throughput = {
+  k_class : string;  (** kernel class: potts / const_sparse / generic *)
+  k_messages : float;  (** messages of this class across the trace *)
+  k_sweep_s : float;  (** total sweep-span wall time (the denominator) *)
+  k_per_s : float;  (** messages per sweep second ([0.] if no sweeps) *)
+}
+
+val kernel_throughput : Obs.event list -> throughput list
+(** Per-kernel-class message throughput: solvers sample their per-solve
+    message totals under [mrf.messages.<class>], and sweeps run under
+    [trws.sweep]/[bp.sweep] spans; the ratio is messages per sweep
+    second.  Sorted by descending message count. *)
+
+val pp_throughput : Format.formatter -> Obs.event list -> unit
+(** Renders {!kernel_throughput}; prints nothing when the trace carries
+    no message samples. *)
+
+(** {1 Flight-recorder analyses} *)
+
+type milestone = { m_gap_pct : float; m_t : float; m_iter : int }
+
+val gap_milestones : Recorder.frame list -> milestone list
+(** Time-to-gap curve: for each threshold (50/20/10/5/2/1/0.5/0.1%),
+    the first sweep frame whose relative gap
+    [(energy - bound) / max 1 |energy|] is at or below it.  Thresholds
+    never reached are omitted. *)
+
+type zone_gap = {
+  z_zone : int;
+  z_energy : float;
+  z_bound : float;
+  z_gap : float;  (** absolute energy - bound for this zone *)
+  z_converged : bool;
+}
+
+val zone_attribution : Recorder.frame list -> zone_gap list
+(** Per-zone gap attribution from the last recorded round of a zoned
+    solve, ranked by descending gap — the order in which zones are
+    worth re-solving.  Empty for non-zoned solves. *)
+
+val diagnose : Recorder.frame list -> string
+(** One-line stall/convergence diagnosis: boundary-disagreement trend
+    for zoned solves, best-energy/bound flatness for monolithic ones. *)
+
+val pp_convergence : Format.formatter -> Recorder.frame list -> unit
+(** The full convergence report: diagnosis, marks, time-to-gap table,
+    zone gap attribution, boundary-reconciliation trajectory and a
+    sweep-frame digest. *)

@@ -21,6 +21,8 @@ let c_regions = Obs.Counter.make "pool.regions"
 let c_chunks = Obs.Counter.make "pool.chunks"
 let c_gc_minor = Obs.Counter.make "pool.gc_minor"
 let c_gc_major = Obs.Counter.make "pool.gc_major"
+let c_gc_minor_words = Obs.Counter.make "pool.gc_minor_words"
+let c_gc_major_words = Obs.Counter.make "pool.gc_major_words"
 let h_chunk_busy = Obs.Histogram.make "pool.chunk_busy_s"
 let h_domain_busy = Obs.Histogram.make "pool.domain_busy_s"
 
@@ -54,6 +56,12 @@ let observe_region f =
       (g1.Gc.minor_collections - g0.Gc.minor_collections);
     Obs.Counter.add c_gc_major
       (g1.Gc.major_collections - g0.Gc.major_collections);
+    (* allocation attribution, words not collections: a region can
+       allocate heavily yet get lucky on collection timing *)
+    Obs.Counter.add c_gc_minor_words
+      (int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words));
+    Obs.Counter.add c_gc_major_words
+      (int_of_float (g1.Gc.major_words -. g0.Gc.major_words));
     r
   end
 

@@ -218,10 +218,72 @@ digests; solver sweeps and the optimizer stages appear as spans:
   $ netdiv obs-summary t.json | grep format
   format  chrome
   $ netdiv obs-summary t.json | grep -c "trws.sweep\|optimize.solve"
-  2
+  4
 
 The JSONL exporter round-trips through the same validator:
 
   $ netdiv optimize --hosts 30 --degree 4 --services 3 --trace t.jsonl > /dev/null
   $ netdiv obs-summary t.jsonl | grep format
   format  jsonl
+
+The flight-recorder report is a pure function of the dump: a fixed
+black-box fixture renders the same post-mortem every time, with gap
+milestones, per-zone attribution and boundary reconciliation rounds:
+
+  $ cat > blackbox.json <<'EOF'
+  > {"netdiv_recorder":1,"name":"fixture","reason":"completed",
+  > "capacity":64,"recorded":10,"dropped":0,"frames":[
+  > {"k":"mark","t":0.000,"label":"stage:trws"},
+  > {"k":"sweep","t":0.001,"iter":0,"energy":120.0,"bound":20.0,"residual":9.0,"msg_potts":64,"msg_sparse":0,"msg_generic":32},
+  > {"k":"sweep","t":0.002,"iter":1,"energy":60.0,"bound":40.0,"residual":2.5,"msg_potts":64,"msg_sparse":0,"msg_generic":32},
+  > {"k":"sweep","t":0.003,"iter":2,"energy":50.0,"bound":49.0,"residual":0.4,"msg_potts":64,"msg_sparse":0,"msg_generic":32},
+  > {"k":"sweep","t":0.004,"iter":3,"energy":50.0,"bound":49.9,"residual":0.01,"msg_potts":64,"msg_sparse":0,"msg_generic":32},
+  > {"k":"zone","t":0.005,"round":0,"zone":0,"energy":30.0,"bound":29.0,"iters":12,"converged":true},
+  > {"k":"zone","t":0.005,"round":0,"zone":1,"energy":20.0,"bound":16.0,"iters":20,"converged":false},
+  > {"k":"boundary","t":0.006,"round":0,"disagree":4,"edge_bound":1.0,"zone_bound":45.0,"step":0.5},
+  > {"k":"boundary","t":0.007,"round":1,"disagree":0,"edge_bound":1.5,"zone_bound":46.0,"step":0.25},
+  > {"k":"mark","t":0.008,"label":"stage:done"}
+  > ]}
+  > EOF
+  $ netdiv report blackbox.json
+  recorder fixture
+  reason   completed
+  frames   10 recorded, capacity 64, 0 dropped
+  diagnosis: zones agree on every boundary edge (primal/dual reconciled)
+  marks:
+      0.000000s  stage:trws
+      0.008000s  stage:done
+  time to gap:
+       gap<=          t_s     iter
+         50%     0.002000        1
+         20%     0.003000        2
+         10%     0.003000        2
+          5%     0.003000        2
+          2%     0.003000        2
+          1%     0.004000        3
+        0.5%     0.004000        3
+  zone gap attribution (re-solve the top zones first):
+      zone           energy            bound          gap converged
+         1        20.000000        16.000000     4.000000 false
+         0        30.000000        29.000000     1.000000 true
+  boundary reconciliation:
+     round   disagree       zone_bound       edge_bound         step
+         0          4        45.000000         1.000000          0.5
+         1          0        46.000000         1.500000         0.25
+  sweep frames: 4 (last: iter 3, energy 50.000000, bound 49.900000)
+  
+
+A real traced-and-recorded run ties the two together: the completion
+dump lands where --flight-record points and the report parses it:
+
+  $ netdiv optimize --hosts 30 --degree 4 --services 3 --flight-record fr.json | grep flight
+  wrote flight record fr.json
+  $ netdiv report fr.json | grep -c "^recorder netdiv\|^reason   completed"
+  2
+
+A malformed dump is rejected with a parse error, not a crash:
+
+  $ echo '{"netdiv_recorder":1,"frames":[{"k":"sweep"}]}' > bad.json
+  $ netdiv report bad.json
+  netdiv: bad.json: malformed frame in flight-recorder dump
+  [124]

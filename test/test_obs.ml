@@ -351,6 +351,257 @@ let test_runner_stage_metrics () =
     "runner stage span present" true
     (List.mem "B:runner.stage:trws" (shape (Obs.events ())))
 
+(* --------------------------------------------------- flight recorder *)
+
+module Recorder = Netdiv_obs.Recorder
+module Obs_report = Netdiv_obs.Report
+module Fault = Netdiv_fault.Fault
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_recorder_ring_wraparound () =
+  let r = Recorder.create ~capacity:4 "ring" in
+  Recorder.with_recorder r (fun () ->
+      for i = 0 to 9 do
+        Recorder.sweep ~iter:i ~energy:(float_of_int i) ~bound:0.0
+          ~residual:0.0 ~msg_potts:i ~msg_sparse:0 ~msg_generic:0
+      done);
+  Alcotest.(check string) "name round-trips" "ring" (Recorder.name r);
+  Alcotest.(check int) "capacity round-trips" 4 (Recorder.capacity r);
+  Alcotest.(check int) "recorded counts every frame" 10 (Recorder.recorded r);
+  Alcotest.(check int) "dropped = recorded - capacity" 6 (Recorder.dropped r);
+  let iters =
+    List.filter_map
+      (function Recorder.Sweep s -> Some s.Recorder.s_iter | _ -> None)
+      (Recorder.frames r)
+  in
+  Alcotest.(check (list int))
+    "last capacity frames survive, oldest first" [ 6; 7; 8; 9 ] iters;
+  (* capacity is clamped, never zero *)
+  let tiny = Recorder.create ~capacity:0 "tiny" in
+  Recorder.with_recorder tiny (fun () ->
+      Recorder.mark "a";
+      Recorder.mark "b");
+  Alcotest.(check int) "clamped capacity retains one frame" 1
+    (List.length (Recorder.frames tiny))
+
+let test_recorder_install_and_suspend () =
+  let r = Recorder.create "inst" in
+  Recorder.mark "outside";
+  Alcotest.(check int) "record is a no-op without installation" 0
+    (Recorder.recorded r);
+  Recorder.with_recorder r (fun () ->
+      Alcotest.(check bool) "installed inside" true (Recorder.installed ());
+      Recorder.mark "inside";
+      Recorder.suspended (fun () ->
+          Alcotest.(check bool) "blank under suspended" false
+            (Recorder.installed ());
+          Recorder.mark "suppressed"));
+  Alcotest.(check bool) "uninstalled after" false (Recorder.installed ());
+  (try Recorder.with_recorder r (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  Alcotest.(check bool) "uninstalled after a raise" false
+    (Recorder.installed ());
+  Alcotest.(check int) "only the installed mark was recorded" 1
+    (Recorder.recorded r)
+
+let test_recorder_dump_parses () =
+  let r = Recorder.create ~capacity:8 "dump" in
+  Recorder.with_recorder r (fun () ->
+      Recorder.mark "stage:trws";
+      Recorder.sweep ~iter:1 ~energy:3.5 ~bound:neg_infinity ~residual:0.25
+        ~msg_potts:10 ~msg_sparse:4 ~msg_generic:0;
+      Recorder.zone ~round:1 ~zone:0 ~energy:2.0 ~bound:1.0 ~iterations:7
+        ~converged:true;
+      Recorder.boundary ~round:1 ~disagree:3 ~edge_bound:(-0.5)
+        ~zone_bound:1.5 ~step:0.25);
+  let json =
+    match Json.parse (Recorder.dump_string ~reason:"unit" r) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "dump does not parse: %s" msg
+  in
+  Alcotest.(check (option string))
+    "reason field" (Some "unit")
+    (Option.bind (Json.member "reason" json) Json.to_str);
+  Alcotest.(check (option (float 0.0)))
+    "version marker" (Some 1.0)
+    (Option.bind (Json.member "netdiv_recorder" json) Json.to_float);
+  let frames =
+    match Option.bind (Json.member "frames" json) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no frames list"
+  in
+  Alcotest.(check int) "one object per frame" 4 (List.length frames);
+  let kinds =
+    List.filter_map (fun f -> Option.bind (Json.member "k" f) Json.to_str)
+      frames
+  in
+  Alcotest.(check (list string))
+    "frame kinds in record order"
+    [ "mark"; "sweep"; "zone"; "boundary" ]
+    kinds;
+  (* the non-finite bound crossed the JSON boundary as a string *)
+  let sweep = List.nth frames 1 in
+  (match Json.member "bound" sweep with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail "non-finite bound not serialized as a string");
+  (* a dump with neither path nor dump_path is Ok and writes nothing *)
+  (match Recorder.dump ~reason:"nowhere" r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "pathless dump failed: %s" msg);
+  Alcotest.(check (option string))
+    "pathless dump does not count as written" None (Recorder.last_dump r)
+
+let test_recorder_dump_on_degradation () =
+  let path = Filename.temp_file "netdiv_rec" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r = Recorder.create ~dump_path:path "degrade" in
+  Fault.set_spec (Some "runner.stage@0,runner.stage@1,runner.stage@2");
+  Fault.reset ();
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        Fault.set_spec None;
+        Fault.reset ())
+      (fun () ->
+        Recorder.with_recorder r (fun () ->
+            Runner.run
+              ~budget:(Runner.Budget.seconds 30.0)
+              ~stages:[ Runner.trws () ]
+              (tiny_mrf ())))
+  in
+  (match report.Runner.outcome with
+  | Runner.Degraded _ -> ()
+  | o ->
+      Alcotest.failf "expected a degraded outcome, got %a" Runner.pp_outcome o);
+  (* the runner dumped the black box, first on degradation and finally
+     with the run's outcome as the reason *)
+  (match Recorder.last_dump r with
+  | Some reason ->
+      Alcotest.(check bool)
+        "last dump carries the degraded outcome" true
+        (String.length reason >= 8 && String.sub reason 0 8 = "degraded")
+  | None -> Alcotest.fail "no dump was written");
+  let json =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "on-disk dump does not parse: %s" msg
+  in
+  let labels =
+    match Option.bind (Json.member "frames" json) Json.to_list with
+    | Some frames ->
+        List.filter_map
+          (fun f -> Option.bind (Json.member "label" f) Json.to_str)
+          frames
+    | None -> Alcotest.fail "on-disk dump has no frames"
+  in
+  Alcotest.(check bool)
+    "degradation mark present" true
+    (List.exists
+       (fun l ->
+         String.length l >= 8 && String.sub l 0 8 = "degrade:")
+       labels);
+  Alcotest.(check bool)
+    "retry marks present" true
+    (List.exists
+       (fun l -> String.length l >= 6 && String.sub l 0 6 = "retry:")
+       labels)
+
+(* two 4-node chains and an isolated node: three components, so
+   [Trws.solve_components] exercises the suspended parallel region and
+   the deterministic per-component zone frames *)
+let components_mrf () =
+  let b = Mrf.Builder.create ~label_counts:(Array.make 9 3) in
+  let rng = Random.State.make [| 77 |] in
+  for i = 0 to 8 do
+    Mrf.Builder.set_unary b ~node:i
+      (Array.init 3 (fun _ -> Random.State.float rng 1.0))
+  done;
+  List.iter
+    (fun (u, v) ->
+      Mrf.Builder.add_edge b u v
+        (Array.init 9 (fun _ -> Random.State.float rng 1.0)))
+    [ (0, 1); (1, 2); (2, 3); (4, 5); (5, 6); (6, 7) ];
+  Mrf.Builder.build b
+
+let test_recorder_parallel_sanitized () =
+  Pool.set_sanitize (Some true);
+  Fun.protect ~finally:(fun () -> Pool.set_sanitize None) @@ fun () ->
+  let m = components_mrf () in
+  let plain = Trws.solve_components ~jobs:2 m in
+  let r = Recorder.create "par" in
+  let recorded =
+    Recorder.with_recorder r (fun () -> Trws.solve_components ~jobs:2 m)
+  in
+  (* the recorder must not perturb the solve: bitwise-identical result *)
+  Alcotest.(check bool) "energy bitwise with recorder" true
+    (plain.Solver.energy = recorded.Solver.energy);
+  Alcotest.(check bool) "bound bitwise with recorder" true
+    (plain.Solver.lower_bound = recorded.Solver.lower_bound);
+  Alcotest.(check (array int))
+    "labeling with recorder" plain.Solver.labeling recorded.Solver.labeling;
+  (* orchestrator frames: one zone frame per component plus the summary
+     sweep, recorded after the suspended parallel region *)
+  let frames = Recorder.frames r in
+  let zones =
+    List.filter_map
+      (function Recorder.Zone z -> Some z.Recorder.z_zone | _ -> None)
+      frames
+  in
+  Alcotest.(check (list int)) "one frame per component, in order"
+    [ 0; 1; 2 ] zones;
+  Alcotest.(check int) "one summary sweep frame" 1
+    (List.length
+       (List.filter
+          (function Recorder.Sweep _ -> true | _ -> false)
+          frames))
+
+let test_recorder_report_analysis () =
+  let r = Recorder.create "an" in
+  Recorder.with_recorder r (fun () ->
+      Recorder.zone ~round:1 ~zone:0 ~energy:10.0 ~bound:9.0 ~iterations:5
+        ~converged:true;
+      Recorder.zone ~round:1 ~zone:1 ~energy:20.0 ~bound:12.0 ~iterations:5
+        ~converged:false;
+      Recorder.boundary ~round:1 ~disagree:4 ~edge_bound:(-1.0)
+        ~zone_bound:21.0 ~step:0.5;
+      Recorder.sweep ~iter:1 ~energy:30.0 ~bound:20.0 ~residual:1.0
+        ~msg_potts:0 ~msg_sparse:0 ~msg_generic:0;
+      Recorder.zone ~round:2 ~zone:0 ~energy:10.0 ~bound:9.5 ~iterations:3
+        ~converged:true;
+      Recorder.zone ~round:2 ~zone:1 ~energy:18.0 ~bound:13.0 ~iterations:4
+        ~converged:true;
+      Recorder.boundary ~round:2 ~disagree:0 ~edge_bound:(-0.5)
+        ~zone_bound:23.0 ~step:0.25;
+      Recorder.sweep ~iter:2 ~energy:28.0 ~bound:22.5 ~residual:0.5
+        ~msg_potts:0 ~msg_sparse:0 ~msg_generic:0);
+  let frames = Recorder.frames r in
+  (* zone attribution keeps only the last round, sorted by gap *)
+  let attr = Obs_report.zone_attribution frames in
+  Alcotest.(check (list int))
+    "last-round zones, widest gap first" [ 1; 0 ]
+    (List.map (fun (z : Obs_report.zone_gap) -> z.Obs_report.z_zone) attr);
+  Alcotest.(check (float 1e-9)) "gap of the top zone" 5.0
+    (List.hd attr).Obs_report.z_gap;
+  (* all boundary edges agreed in the final round *)
+  Alcotest.(check string)
+    "reconciled diagnosis"
+    "zones agree on every boundary edge (primal/dual reconciled)"
+    (Obs_report.diagnose frames);
+  (* the renderer is a pure function of the frames *)
+  let render () = Format.asprintf "%a" Obs_report.pp_convergence frames in
+  Alcotest.(check string) "rendering is deterministic" (render ()) (render ());
+  (* milestone table finds the first sweep at or under each threshold *)
+  let ms = Obs_report.gap_milestones frames in
+  Alcotest.(check bool) "50% milestone reached" true
+    (List.exists (fun m -> m.Obs_report.m_gap_pct = 50.0) ms);
+  Alcotest.(check bool) "0.1% milestone not reached" true
+    (not (List.exists (fun m -> m.Obs_report.m_gap_pct = 0.1) ms))
+
 let () =
   Alcotest.run "netdiv_obs"
     [
@@ -389,5 +640,20 @@ let () =
         [
           Alcotest.test_case "stage timings via registry" `Quick
             (scoped test_runner_stage_metrics);
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring wraparound" `Quick
+            (scoped test_recorder_ring_wraparound);
+          Alcotest.test_case "installation and suspension" `Quick
+            (scoped test_recorder_install_and_suspend);
+          Alcotest.test_case "dump round-trip" `Quick
+            (scoped test_recorder_dump_parses);
+          Alcotest.test_case "dump on runner degradation" `Quick
+            (scoped test_recorder_dump_on_degradation);
+          Alcotest.test_case "parallel recording under sanitizer" `Quick
+            (scoped test_recorder_parallel_sanitized);
+          Alcotest.test_case "report analyses" `Quick
+            (scoped test_recorder_report_analysis);
         ] );
     ]

@@ -66,6 +66,39 @@ let parse_sections src =
   flush ();
   List.rev !sections
 
+(* String-valued header fields ("commit", "hostname", "jobs", ...)
+   emitted before the first section; the scan stops at the first "name"
+   key, where section data begins. *)
+let meta src =
+  let len = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < len do
+    if src.[!i] <> '"' then incr i
+    else begin
+      let j = String.index_from src (!i + 1) '"' in
+      let key = String.sub src (!i + 1) (j - !i - 1) in
+      i := j + 1;
+      while !i < len && (src.[!i] = ' ' || src.[!i] = '\n') do
+        incr i
+      done;
+      if !i < len && src.[!i] = ':' then begin
+        incr i;
+        while !i < len && src.[!i] = ' ' do
+          incr i
+        done;
+        if !i < len && src.[!i] = '"' then begin
+          let k = String.index_from src (!i + 1) '"' in
+          let v = String.sub src (!i + 1) (k - !i - 1) in
+          i := k + 1;
+          if key = "name" then stop := true else out := (key, v) :: !out
+        end
+      end
+    end
+  done;
+  List.rev !out
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect

@@ -16,6 +16,10 @@ module J = Bench_json
 
 type run = { r_label : string; r_tier : string; r_sections : J.section list }
 
+let ends_with suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  ls >= lf && String.sub s (ls - lf) lf = suffix
+
 let html_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -52,6 +56,21 @@ let load_runs dir =
                 (String.sub label 17 2)
             else label
           in
+          (* fold the run's provenance header (commit, hostname, jobs)
+             into the label: every point tooltip then answers "which
+             commit and machine produced this number" *)
+          let meta = J.meta src in
+          let extras =
+            List.filter_map
+              (fun k ->
+                Option.map (fun v -> k ^ " " ^ v) (List.assoc_opt k meta))
+              [ "commit"; "hostname"; "jobs" ]
+          in
+          let label =
+            match extras with
+            | [] -> label
+            | l -> label ^ " (" ^ String.concat ", " l ^ ")"
+          in
           Some { r_label = label; r_tier = J.tier src;
                  r_sections = J.parse_sections src }
       | exception Sys_error _ -> None)
@@ -59,10 +78,16 @@ let load_runs dir =
 
 (* One sparkline: values drawn left-to-right, vertical span normalized
    to the series' own min..max (a flat series draws a midline).  Each
-   point carries its run label and value as a hover tooltip. *)
-let sparkline buf points =
+   point carries its run label and value as a hover tooltip.  [band]
+   lists (index, lo, hi) cycle-spread envelopes for a subset of the
+   points; when nonempty it is drawn as a filled polygon behind the
+   line and widens the normalization range. *)
+let sparkline ?(band = []) buf points =
   let w = 260 and h = 44 and pad = 4 in
-  let vals = List.map snd points in
+  let vals =
+    List.map snd points
+    @ List.concat_map (fun (_, blo, bhi) -> [ blo; bhi ]) band
+  in
   let lo = List.fold_left Float.min infinity vals in
   let hi = List.fold_left Float.max neg_infinity vals in
   let n = List.length points in
@@ -81,6 +106,19 @@ let sparkline buf points =
   Buffer.add_string buf
     (Printf.sprintf
        "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">" w h w h);
+  if List.length band > 1 then begin
+    Buffer.add_string buf "<polygon fill=\"#c9d7ea\" stroke=\"none\" \
+                           points=\"";
+    List.iter
+      (fun (i, blo, _) ->
+        Buffer.add_string buf (Printf.sprintf "%.1f,%.1f " (x i) (y blo)))
+      band;
+    List.iter
+      (fun (i, _, bhi) ->
+        Buffer.add_string buf (Printf.sprintf "%.1f,%.1f " (x i) (y bhi)))
+      (List.rev band);
+    Buffer.add_string buf "\"/>"
+  end;
   if n > 1 then begin
     Buffer.add_string buf "<polyline fill=\"none\" stroke=\"#3465a4\" \
                            stroke-width=\"1.5\" points=\"";
@@ -143,27 +181,63 @@ let render buf tier runs =
       Buffer.add_string buf
         "<tr><th>metric</th><th>trend</th><th>last</th><th>min</th>\
          <th>max</th></tr>\n";
+      (* _min_s/_med_s/_max_s metrics are the cycle-spread band of
+         their headline sibling (solve_1j_min_s belongs to solve_1j_s):
+         they render as a filled envelope behind the headline's
+         sparkline, not as rows of their own *)
+      let band_sibling key =
+        List.exists
+          (fun suffix ->
+            ends_with suffix key
+            && List.mem
+                 (String.sub key 0
+                    (String.length key - String.length suffix)
+                 ^ "_s")
+                 keys)
+          [ "_min_s"; "_med_s"; "_max_s" ]
+      in
       List.iter
         (fun key ->
-          let points =
-            List.filter_map
-              (fun r ->
-                Option.map
-                  (fun v -> (r.r_label, v))
-                  (J.find r.r_sections sec key))
-              runs
-          in
-          if points <> [] then begin
-            let vals = List.map snd points in
-            let last = List.nth vals (List.length vals - 1) in
-            let lo = List.fold_left Float.min infinity vals in
-            let hi = List.fold_left Float.max neg_infinity vals in
-            Buffer.add_string buf
-              (Printf.sprintf "<tr><td>%s</td><td>" (html_escape key));
-            sparkline buf points;
-            Buffer.add_string buf
-              (Printf.sprintf
-                 "</td><td>%g</td><td>%g</td><td>%g</td></tr>\n" last lo hi)
+          if not (band_sibling key) then begin
+            let rows =
+              List.filter_map
+                (fun r ->
+                  Option.map
+                    (fun v ->
+                      let sib suffix =
+                        if not (ends_with "_s" key) then None
+                        else
+                          J.find r.r_sections sec
+                            (String.sub key 0 (String.length key - 2)
+                            ^ suffix)
+                      in
+                      (r.r_label, v, sib "_min_s", sib "_max_s"))
+                    (J.find r.r_sections sec key))
+                runs
+            in
+            if rows <> [] then begin
+              let points = List.map (fun (l, v, _, _) -> (l, v)) rows in
+              let band =
+                List.concat
+                  (List.mapi
+                     (fun i (_, _, mn, mx) ->
+                       match (mn, mx) with
+                       | Some a, Some b -> [ (i, a, b) ]
+                       | _ -> [])
+                     rows)
+              in
+              let vals = List.map snd points in
+              let last = List.nth vals (List.length vals - 1) in
+              let lo = List.fold_left Float.min infinity vals in
+              let hi = List.fold_left Float.max neg_infinity vals in
+              Buffer.add_string buf
+                (Printf.sprintf "<tr><td>%s</td><td>" (html_escape key));
+              sparkline ~band buf points;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "</td><td>%g</td><td>%g</td><td>%g</td></tr>\n" last lo
+                   hi)
+            end
           end)
         keys;
       Buffer.add_string buf "</table>\n")

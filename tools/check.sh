@@ -11,7 +11,10 @@
 # snapshots land in bench_history/), validate that a traced optimize
 # run emits a Chrome trace and a JSONL log that netdiv obs-summary
 # accepts, run the chaos gate (a fixed NETDIV_FAULT schedule must
-# recover to the fault-free assignment and replay bitwise), and — when
+# recover to the fault-free assignment and replay bitwise), run the
+# flight-recorder gate (a degraded run must dump a black box that
+# netdiv report renders, and a zoned solve must attribute its dual gap
+# per zone), and — when
 # a .ocamlformat file is present — verify formatting. Exits non-zero
 # on the first failure.
 set -eu
@@ -123,6 +126,34 @@ chaos_run "$schedule" >"$chaosdir/replay2.out"
 cmp "$chaosdir/replay1.out" "$chaosdir/replay2.out" || {
   echo "fault replay is not deterministic"; exit 1; }
 rm -rf "$chaosdir"
+
+echo "== flight recorder gate (black box under degradation + report)"
+# A chaos schedule that kills every attempt of the first stage forces
+# the runner down its degradation ladder; the runner must dump the
+# flight recorder as it degrades, and netdiv report must parse the dump
+# and show the degradation mark.  A zoned scalability solve must yield
+# per-zone gap attribution through the same pipeline.
+flightdir=$(mktemp -d)
+NETDIV_FAULT="runner.stage@0,runner.stage@1,runner.stage@2" \
+  dune exec bin/netdiv.exe -- optimize --hosts 40 --degree 4 --services 3 \
+  --time-budget 5 --flight-record "$flightdir/degraded.json" \
+  >"$flightdir/degraded.out"
+grep -q '^outcome degraded' "$flightdir/degraded.out" || {
+  echo "fault schedule did not degrade the runner"; exit 1; }
+report=$(dune exec bin/netdiv.exe -- report "$flightdir/degraded.json")
+echo "$report" | grep -q '^reason   degraded' || {
+  echo "flight record of a degraded run lacks the degradation reason"
+  exit 1; }
+echo "$report" | grep -q 'degrade:' || {
+  echo "flight record is missing the degradation mark"; exit 1; }
+dune exec bin/netdiv.exe -- scalability --hosts 2000 --zones 4 \
+  --flight-record "$flightdir/zoned.json" >/dev/null
+report=$(dune exec bin/netdiv.exe -- report "$flightdir/zoned.json")
+echo "$report" | grep -q 'zone gap attribution' || {
+  echo "zoned flight record lacks per-zone gap attribution"; exit 1; }
+echo "$report" | grep -q 'boundary reconciliation' || {
+  echo "zoned flight record lacks boundary reconciliation rounds"; exit 1; }
+rm -rf "$flightdir"
 
 if [ -f .ocamlformat ]; then
   echo "== dune fmt (check)"
